@@ -1,0 +1,43 @@
+"""Ablation: activation functions (the paper's nine-way sweep).
+
+Shape assertion: SELU lands in the top tier on unseen applications —
+the reason the paper selected it (Section 4.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import render_ablation, run_activation_ablation
+
+
+@pytest.fixture(scope="module")
+def rows(ctx, suite):
+    return run_activation_ablation(ctx, suite=suite)
+
+
+def test_activation_ablation_report(benchmark, rows, report):
+    benchmark(render_ablation, "Ablation: activations (power model)", rows)
+    report("Ablation - activation functions", render_ablation("Ablation: activations (power model)", rows))
+
+
+def test_all_nine_variants(rows):
+    assert len(rows) == 9
+
+
+def test_selu_top_tier(rows):
+    accs = {r.variant: r.eval_accuracy for r in rows}
+    best = max(accs.values())
+    assert accs["selu"] >= best - 3.0
+
+
+def test_softmax_clearly_worst(rows):
+    """Softmax's simplex constraint cannot express a regression surface."""
+    accs = {r.variant: r.eval_accuracy for r in rows}
+    assert accs["selu"] >= accs["softmax"] + 5.0
+
+
+def test_smooth_activations_cluster_tightly(rows):
+    """Apart from softmax, the sweep is a near-tie — consistent with the
+    paper picking SELU on robustness rather than raw accuracy."""
+    accs = {r.variant: r.eval_accuracy for r in rows if r.variant != "softmax"}
+    assert max(accs.values()) - min(accs.values()) < 8.0

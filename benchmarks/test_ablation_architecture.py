@@ -1,0 +1,33 @@
+"""Ablation: network depth/width around the paper's 3x64 choice.
+
+Shape assertion: the paper's 3x64 architecture is in the top tier; a
+single narrow layer underfits relative to it.
+"""
+
+import pytest
+
+from repro.experiments.ablations import render_ablation, run_architecture_ablation
+
+
+@pytest.fixture(scope="module")
+def rows(ctx, suite):
+    return run_architecture_ablation(ctx, suite=suite)
+
+
+def test_architecture_ablation_report(benchmark, rows, report):
+    benchmark(render_ablation, "Ablation: hidden architecture (power model)", rows)
+    report("Ablation - architecture", render_ablation("Ablation: hidden architecture (power model)", rows))
+
+
+def test_six_variants(rows):
+    assert len(rows) == 6
+
+
+def test_paper_architecture_top_tier(rows):
+    accs = {r.variant: r.eval_accuracy for r in rows}
+    assert accs["64x64x64"] >= max(accs.values()) - 3.0
+
+
+def test_capacity_helps_on_train_fit(rows):
+    errs = {r.variant: r.train_mape for r in rows}
+    assert errs["64x64x64"] <= errs["32"] + 0.5

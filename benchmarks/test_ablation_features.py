@@ -1,0 +1,34 @@
+"""Ablation: number of MI-ranked features.
+
+Shape assertion: accuracy saturates by k = 3 — adding features beyond
+the paper's triple buys little, while k < 3 clearly loses accuracy.
+"""
+
+import pytest
+
+from repro.experiments.ablations import render_ablation, run_feature_count_ablation
+
+
+@pytest.fixture(scope="module")
+def rows(ctx):
+    return run_feature_count_ablation(ctx)
+
+
+def test_feature_ablation_report(benchmark, rows, report):
+    benchmark(render_ablation, "Ablation: MI-ranked feature count (power)", rows)
+    report("Ablation - feature count", render_ablation("Ablation: MI-ranked feature count (power)", rows))
+
+
+def test_five_variants(rows):
+    assert len(rows) == 5
+
+
+def test_three_features_sufficient(rows):
+    """k=3 within 2 points of the best k."""
+    accs = [r.eval_accuracy for r in rows]
+    assert accs[2] >= max(accs) - 2.0
+
+
+def test_one_feature_insufficient(rows):
+    accs = [r.eval_accuracy for r in rows]
+    assert accs[0] < accs[2]

@@ -1,0 +1,35 @@
+"""Ablation: optimizers (the paper's five-way sweep).
+
+Shape assertion: RMSprop — the paper's choice — is top-tier on unseen
+applications.
+"""
+
+import pytest
+
+from repro.experiments.ablations import render_ablation, run_optimizer_ablation
+
+
+@pytest.fixture(scope="module")
+def rows(ctx, suite):
+    return run_optimizer_ablation(ctx, suite=suite)
+
+
+def test_optimizer_ablation_report(benchmark, rows, report):
+    benchmark(render_ablation, "Ablation: optimizers (power model)", rows)
+    report("Ablation - optimizers", render_ablation("Ablation: optimizers (power model)", rows))
+
+
+def test_all_five_variants(rows):
+    assert {r.variant for r in rows} == {"adam", "adamax", "nadam", "rmsprop", "adadelta"}
+
+
+def test_rmsprop_top_tier(rows):
+    accs = {r.variant: r.eval_accuracy for r in rows}
+    assert accs["rmsprop"] >= max(accs.values()) - 4.0
+
+
+def test_optimizer_sweep_is_near_tie(rows):
+    """All five adaptive optimizers land within a few points — the
+    paper's RMSprop choice is safe but not uniquely optimal."""
+    accs = {r.variant: r.eval_accuracy for r in rows}
+    assert max(accs.values()) - min(accs.values()) < 8.0

@@ -1,0 +1,35 @@
+"""Ablation: training-set size (how much of SPEC ACCEL is needed?).
+
+Shape assertions: accuracy grows with workload count and saturates near
+the full 21-workload suite; the 2-anchor (DGEMM+STREAM only) model is
+clearly worse on unseen applications.
+"""
+
+import pytest
+
+from repro.experiments.ablations import render_ablation, run_training_set_ablation
+
+
+@pytest.fixture(scope="module")
+def rows(ctx, suite):
+    return run_training_set_ablation(ctx, suite=suite)
+
+
+def test_training_set_ablation_report(benchmark, rows, report):
+    benchmark(render_ablation, "Ablation: training-set size (power model)", rows)
+    report("Ablation - training-set size", render_ablation("Ablation: training-set size (power model)", rows))
+
+
+def test_five_sizes(rows):
+    assert [r.variant for r in rows] == [f"{k} workloads" for k in (2, 5, 9, 15, 21)]
+
+
+def test_anchors_alone_insufficient(rows):
+    accs = {r.variant: r.eval_accuracy for r in rows}
+    assert accs["2 workloads"] < accs["21 workloads"]
+
+
+def test_saturation_by_mid_size(rows):
+    """Most of the benefit arrives well before 21 workloads."""
+    accs = {r.variant: r.eval_accuracy for r in rows}
+    assert accs["15 workloads"] > accs["21 workloads"] - 4.0

@@ -1,0 +1,50 @@
+"""Cluster-policy bench: fleet-scale impact of per-job DVFS selection.
+
+Shape assertions: the model-driven ED2P policy saves a large share of
+the default policy's energy at a much smaller makespan penalty than a
+blunt static cap — the operational version of the paper's headline
+claim.
+"""
+
+import pytest
+
+from repro.experiments.cluster_study import render_cluster_study, run_cluster_study
+
+
+@pytest.fixture(scope="module")
+def study(ctx):
+    return run_cluster_study(ctx)
+
+
+def test_cluster_report(benchmark, study, report):
+    benchmark(render_cluster_study, study)
+    report("Cluster policy study", render_cluster_study(study))
+
+
+def test_model_policy_saves_energy(study):
+    base = study.report("default-clock")
+    model = study.report("model-driven")
+    assert model.energy_saving_vs(base) > 0.30
+
+
+def test_model_policy_beats_static_cap_on_makespan(study):
+    base = study.report("default-clock")
+    static = study.report("static-cap")
+    model = study.report("model-driven")
+    assert model.makespan_change_vs(base) < static.makespan_change_vs(base)
+
+
+def test_model_makespan_penalty_bounded(study):
+    base = study.report("default-clock")
+    assert study.report("model-driven").makespan_change_vs(base) < 0.15
+
+
+def test_peak_power_drops(study):
+    base = study.report("default-clock")
+    for name in ("static-cap", "model-driven"):
+        assert study.report(name).peak_power_w < 0.75 * base.peak_power_w
+
+
+def test_per_app_decisions_below_boost(study):
+    assert study.decisions_mhz
+    assert all(clock < 1410.0 for clock in study.decisions_mhz.values())

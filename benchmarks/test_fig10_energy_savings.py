@@ -1,0 +1,47 @@
+"""Figure 10 / Table 5 core claim: energy savings at small time cost.
+
+Shape assertions (paper Section 5.3): substantial average energy saving
+under M-ED2P with far smaller time loss than M-EDP; predicted selections
+realise savings close to measured ones; GROMACS/LSTM nearly free.
+"""
+
+import pytest
+
+from repro.experiments.fig10 import render_fig10, run_fig10
+
+
+@pytest.fixture(scope="module")
+def fig10(ctx, suite):
+    return run_fig10(ctx, suite=suite)
+
+
+def test_fig10_report(benchmark, fig10, report):
+    benchmark(render_fig10, fig10)
+    report("Figure 10 - realised energy and time changes", render_fig10(fig10))
+
+
+def test_fig10_ed2p_average_savings(fig10):
+    e_avg, t_avg = fig10.average("M-ED2P")
+    # Paper: 28.2% energy at -1.8% time.  The simulator's steeper voltage
+    # ramp roughly doubles the energy side (documented in EXPERIMENTS.md).
+    assert e_avg > 20.0
+    assert t_avg > -12.0
+
+
+def test_fig10_ed2p_gentler_than_edp(fig10):
+    _, t_ed2p = fig10.average("M-ED2P")
+    _, t_edp = fig10.average("M-EDP")
+    assert t_ed2p >= t_edp
+
+
+def test_fig10_predicted_tracks_measured(fig10):
+    e_m, _ = fig10.average("M-ED2P")
+    e_p, _ = fig10.average("P-ED2P")
+    assert abs(e_m - e_p) < 12.0
+
+
+def test_fig10_insensitive_apps_nearly_free(fig10):
+    for app in ("gromacs", "lstm"):
+        row = next(r for r in fig10.rows if r.app == app)
+        assert row.time_pct["M-ED2P"] > -6.0
+        assert row.energy_pct["M-ED2P"] > 25.0

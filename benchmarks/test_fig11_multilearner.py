@@ -1,0 +1,49 @@
+"""Figure 11: DNN vs RFR/XGBR/SVR/MLR power-prediction accuracy.
+
+Shape assertions (paper Section 7): the DNN outperforms the multi-learner
+baselines on unseen applications — strictly above MLR, SVR, and RFR, and
+at least competitive with the strongest tree ensemble.
+"""
+
+import pytest
+
+from repro.experiments.fig11 import render_fig11, run_fig11
+
+
+@pytest.fixture(scope="module")
+def fig11(ctx, suite):
+    return run_fig11(ctx, suite=suite)
+
+
+def test_fig11_report(benchmark, fig11, report):
+    benchmark(render_fig11, fig11)
+    report("Figure 11 - multi-learner comparison", render_fig11(fig11))
+
+
+def test_fig11_dnn_beats_weak_learners(fig11):
+    dnn = fig11.score("DNN").mean_accuracy
+    assert dnn > fig11.score("MLR").mean_accuracy
+    assert dnn > fig11.score("SVR").mean_accuracy
+    assert dnn > fig11.score("RFR").mean_accuracy
+
+
+def test_fig11_dnn_competitive_with_gbm(fig11):
+    assert fig11.score("DNN").mean_accuracy > fig11.score("XGBR").mean_accuracy - 4.0
+
+
+def test_fig11_dnn_accuracy_absolute_floor(fig11):
+    assert fig11.score("DNN").mean_accuracy > 88.0
+
+
+def test_fig11_baseline_training_cost(benchmark, ctx):
+    """Time the full multi-learner training sweep (the 'plethora of
+    individual learners' inefficiency the paper cites)."""
+    from repro.baselines import RandomForestRegressor
+
+    dataset = ctx.pipeline("GA100").training_dataset
+    x, y = dataset.x, dataset.y_power
+    benchmark.pedantic(
+        lambda: RandomForestRegressor(n_estimators=30, max_depth=12, seed=0).fit(x[:4000], y[:4000]),
+        rounds=1,
+        iterations=1,
+    )

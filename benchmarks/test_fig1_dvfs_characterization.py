@@ -1,0 +1,45 @@
+"""Figure 1: DGEMM/STREAM power, time, energy, FLOPS, bandwidth vs clock.
+
+Shape assertions (paper Section 2): nonlinear increasing power reaching
+~TDP (DGEMM) and ~TDP/2 (STREAM); inverse-nonlinear time; U-shaped
+energy with the DGEMM optimum at a higher clock than STREAM's (paper:
+1080 vs 1005 MHz); near-linear FLOPS; bandwidth saturating near 900 MHz.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig1 import render_fig1, run_fig1
+
+
+@pytest.fixture(scope="module")
+def fig1(ctx):
+    return run_fig1(ctx)
+
+
+def test_fig1_regenerate(benchmark, ctx, fig1, report):
+    benchmark(run_fig1, ctx)
+    report("Figure 1 - DVFS characterization", render_fig1(fig1))
+
+
+def test_fig1_power_envelope(fig1):
+    assert fig1.dgemm.power_w[-1] > 0.90 * 500.0
+    assert 0.35 * 500.0 < fig1.stream.power_w[-1] < 0.60 * 500.0
+    # Lowest clock cuts power to roughly a quarter/fifth of peak.
+    assert fig1.dgemm.power_w[0] < 0.35 * fig1.dgemm.power_w[-1]
+
+
+def test_fig1_energy_u_shape_and_ordering(fig1):
+    d_opt, s_opt = fig1.dgemm.energy_optimal_mhz, fig1.stream.energy_optimal_mhz
+    assert 510.0 < s_opt < d_opt < 1410.0
+    assert 945.0 <= d_opt <= 1185.0  # paper: 1080 MHz
+    assert 825.0 <= s_opt <= 1100.0  # paper: 1005 MHz
+
+
+def test_fig1_flops_linear_bandwidth_saturating(fig1):
+    d, s = fig1.dgemm, fig1.stream
+    flops_ratio = d.flops_per_s[-1] / d.flops_per_s[0]
+    clock_ratio = d.freqs_mhz[-1] / d.freqs_mhz[0]
+    assert flops_ratio == pytest.approx(clock_ratio, rel=0.25)
+    i900 = int(np.argmin(np.abs(s.freqs_mhz - 900.0)))
+    assert s.bandwidth_bytes_per_s[-1] / s.bandwidth_bytes_per_s[i900] < 1.15

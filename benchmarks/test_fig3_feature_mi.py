@@ -1,0 +1,29 @@
+"""Figure 3: mutual-information feature ranking.
+
+Shape assertion: the combined top-3 is exactly the paper's selected
+triple {fp_active, sm_app_clock, dram_active}.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import render_fig3, run_fig3
+
+
+@pytest.fixture(scope="module")
+def fig3(ctx):
+    return run_fig3(ctx)
+
+
+def test_fig3_regenerate(benchmark, ctx, fig3, report):
+    benchmark.pedantic(run_fig3, args=(ctx,), kwargs={"mi_subsample": 2000}, rounds=1, iterations=1)
+    report("Figure 3 - feature MI ranking", render_fig3(fig3))
+
+
+def test_fig3_paper_triple_selected(fig3):
+    assert set(fig3.selected) == {"fp64_active", "sm_app_clock", "dram_active"}
+
+
+def test_fig3_irrelevant_features_score_low(fig3):
+    p = dict(zip(fig3.power_ranking.feature_names, fig3.power_ranking.normalized()))
+    for weak in ("gpu_utilization", "gr_engine_active"):
+        assert p[weak] < 0.5

@@ -1,0 +1,28 @@
+"""Figure 4: activity invariance under DVFS.
+
+Shape assertions (paper Section 4.2.2): FP activity almost unaffected by
+clock changes; memory activity varies "to some extent" but stays bounded.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import relative_spread, render_fig4, run_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4(ctx):
+    return run_fig4(ctx)
+
+
+def test_fig4_regenerate(benchmark, ctx, fig4, report):
+    benchmark(run_fig4, ctx)
+    report("Figure 4 - DVFS invariance of activities", render_fig4(fig4))
+
+
+def test_fig4_fp_invariant(fig4):
+    assert relative_spread(fig4.dgemm.fp_active) < 0.12
+
+
+def test_fig4_dram_bounded(fig4):
+    assert relative_spread(fig4.stream.dram_active) < 0.25
+    assert relative_spread(fig4.dgemm.dram_active) < 0.60

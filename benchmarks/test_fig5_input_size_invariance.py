@@ -1,0 +1,31 @@
+"""Figure 5: activity invariance across input sizes.
+
+Shape assertions (paper Section 4.2.3): both activity features are flat
+in input size at the maximum clock.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import relative_spread, render_fig5, run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig5(ctx):
+    return run_fig5(ctx)
+
+
+def test_fig5_regenerate(benchmark, ctx, fig5, report):
+    benchmark(run_fig5, ctx)
+    report("Figure 5 - input-size invariance of activities", render_fig5(fig5))
+
+
+def test_fig5_fp_invariant_across_sizes(fig5):
+    # DGEMM's smallest size has relatively larger PCIe share, so the
+    # spread includes a real (small) size effect plus sampling noise.
+    assert relative_spread(fig5.dgemm.fp_active) < 0.18
+    assert relative_spread(fig5.stream.fp_active) < 0.30
+
+
+def test_fig5_dram_invariant_across_sizes(fig5):
+    assert relative_spread(fig5.stream.dram_active) < 0.12
+    assert relative_spread(fig5.dgemm.dram_active) < 0.30

@@ -1,0 +1,44 @@
+"""Figure 6: power/time model training and validation loss curves.
+
+Shape assertions (paper Section 4.3): the power model converges within
+100 epochs, the time model within 25, and validation loss tracks
+training loss at the stopping points.  The benchmark times a fresh
+25-epoch time-model fit (the paper reports 2.6 s for theirs).
+"""
+
+import pytest
+
+from repro.core.models import TimeModel
+from repro.experiments.fig6 import render_fig6, run_fig6
+
+
+@pytest.fixture(scope="module")
+def fig6(ctx):
+    return run_fig6(ctx)
+
+
+def test_fig6_histories(benchmark, fig6, report):
+    benchmark(render_fig6, fig6)
+    report("Figure 6 - training and validation loss", render_fig6(fig6))
+    assert fig6.power_history.epochs_run == 100
+    assert fig6.time_history.epochs_run == 25
+
+
+def test_fig6_convergence(fig6):
+    p, t = fig6.power_history, fig6.time_history
+    assert p.train_loss[-1] < 0.2 * p.train_loss[0]
+    assert t.train_loss[-1] < 0.6 * t.train_loss[0]
+    assert p.val_loss[-1] < 3.0 * p.train_loss[-1] + 0.05
+
+
+def test_fig6_time_model_training_speed(benchmark, ctx):
+    """Time-model training cost (paper: ~2.6 s on their setup)."""
+    dataset = ctx.pipeline("GA100").training_dataset
+
+    def fit_once():
+        model = TimeModel(seed=1)
+        model.fit(dataset)
+        return model
+
+    model = benchmark.pedantic(fit_once, rounds=1, iterations=1)
+    assert model.history.epochs_run == 25

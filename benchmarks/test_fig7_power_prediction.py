@@ -1,0 +1,41 @@
+"""Figure 7: predicted vs measured power for the six real applications.
+
+Shape assertions: high per-app accuracy (paper: >96 % on GA100; the
+simulated floor is set lower because launch-bound apps drift), and the
+prediction itself is fast (paper: ~0.2 s).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import render_fig7, run_fig7
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def fig7(ctx, suite):
+    return run_fig7(ctx, suite=suite)
+
+
+def test_fig7_report(benchmark, fig7, report):
+    benchmark(render_fig7, fig7)
+    report("Figure 7 - power prediction per app", render_fig7(fig7))
+
+
+def test_fig7_accuracy_floors(fig7):
+    accs = {ev.app: ev.power_accuracy for ev in fig7.evaluations}
+    for app, acc in accs.items():
+        assert acc > 80.0, f"{app}: {acc:.1f}%"
+    assert np.mean(list(accs.values())) > 88.0
+
+
+def test_fig7_curves_monotone_in_clock(fig7):
+    for ev in fig7.evaluations:
+        # Predicted power must rise with clock overall.
+        assert ev.power_predicted_w[-1] > ev.power_predicted_w[0]
+
+
+def test_fig7_online_prediction_latency(benchmark, ctx):
+    """The paper reports ~0.2 s for power+time prediction."""
+    pipe = ctx.pipeline("GA100")
+    benchmark(pipe.run_online, get_workload("lammps"))

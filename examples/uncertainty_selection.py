@@ -1,0 +1,65 @@
+"""Uncertainty-aware frequency selection with a deep ensemble.
+
+The paper's Table 5 shows the failure mode of point predictions: the
+predicted-ED2P clock for ResNet50 realised a 34% slowdown the model did
+not anticipate.  A deep ensemble (five differently-seeded copies of the
+paper's DNNs) exposes *how sure* the model is at each clock; the
+conservative selector only drops the clock where even the pessimistic
+time estimate honours the performance budget.
+
+Run:  python examples/uncertainty_selection.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    EDP,
+    FrequencySelectionPipeline,
+    select_optimal_frequency,
+)
+from repro.core.dataset import features_at_max
+from repro.core.uncertainty import EnsembleModel, select_conservative
+from repro.gpusim import GA100, SimulatedGPU
+from repro.workloads import get_workload, training_workloads
+
+PERF_BUDGET = 0.05  # tolerate at most 5% slowdown
+
+
+def main() -> None:
+    device = SimulatedGPU(GA100, seed=21, max_samples_per_run=8)
+
+    print("collecting the training sweep once...")
+    pipeline = FrequencySelectionPipeline(device, seed=0)
+    dataset = pipeline.fit_offline(training_workloads(), runs_per_config=1)
+
+    print("training a 5-member deep ensemble on the same dataset...")
+    ensemble = EnsembleModel(n_members=5, reference_power_w=GA100.tdp_watts, seed=10)
+    ensemble.fit(dataset)
+
+    freqs = device.dvfs.usable_array()
+    print(f"\n{'app':10s} {'point pick':>10s} {'conserv.':>9s} {'max time sigma':>14s}")
+    for name in ("resnet50", "lammps", "lstm", "bert"):
+        workload = get_workload(name)
+        fv, _p, t_max = features_at_max(device, workload)
+
+        power = ensemble.predict_power(fv, freqs, target_power_scale_w=GA100.tdp_watts)
+        time = ensemble.predict_time(fv, freqs, time_at_max_s=t_max)
+
+        point = select_optimal_frequency(
+            freqs, power.mean * time.mean, time.mean, objective=EDP, threshold=PERF_BUDGET
+        )
+        conservative = select_conservative(
+            power, time, objective=EDP, threshold=PERF_BUDGET, z=1.64
+        )
+        print(
+            f"{name:10s} {point.freq_mhz:7.0f}MHz {conservative.freq_mhz:6.0f}MHz "
+            f"{100 * float(np.max(time.relative_std)):13.1f}%"
+        )
+
+    print("\nconservative picks are at or above the point picks exactly where")
+    print("the ensemble disagrees — uncertainty buys back the paper's")
+    print("ResNet50-style degradation surprises at a small energy cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Voltage design-space exploration (the paper's stated future work).
+
+Section 8: "In the future, we plan to evaluate the voltage design space
+using the proposed methodology on GPUs supporting change of voltage
+configuration."  The simulator's voltage curve supports per-clock
+overrides, so this example runs that study: undervolt the energy-optimal
+clock region and measure the additional savings on DGEMM, checking
+stability margins by sweeping the undervolt depth.
+
+Run:  python examples/voltage_exploration.py
+"""
+
+import numpy as np
+
+from repro.gpusim import GA100, SimulatedGPU, VoltageCurve
+from repro.workloads import get_workload
+
+
+def energy_curve(device: SimulatedGPU, census) -> tuple[np.ndarray, np.ndarray]:
+    freqs = device.dvfs.usable_array()
+    energy = np.array([device.true_energy(census, f) for f in freqs])
+    return freqs, energy
+
+
+def main() -> None:
+    census = get_workload("dgemm").census()
+
+    baseline = SimulatedGPU(GA100, seed=0)
+    freqs, e_base = energy_curve(baseline, census)
+    opt_idx = int(np.argmin(e_base))
+    opt_freq = freqs[opt_idx]
+    stock_v = baseline.voltage.volts(opt_freq)
+    print(f"stock energy optimum: {opt_freq:.0f} MHz at {stock_v:.3f} V "
+          f"({e_base[opt_idx]:.0f} J per DGEMM run)")
+
+    print("\nundervolting the optimal clock (stability margin sweep):")
+    print(f"{'undervolt':>10s} {'voltage':>8s} {'energy':>8s} {'saving':>8s}")
+    for undervolt_mv in (0, 20, 40, 60, 80):
+        curve = VoltageCurve(GA100)
+        if undervolt_mv:
+            curve.set_override(opt_freq, stock_v - undervolt_mv / 1000.0)
+        device = SimulatedGPU(GA100, seed=0, voltage=curve)
+        energy = device.true_energy(census, opt_freq)
+        saving = 100.0 * (1.0 - energy / e_base[opt_idx])
+        print(f"{undervolt_mv:7d} mV {curve.volts(opt_freq):7.3f}V "
+              f"{energy:7.0f}J {saving:7.1f}%")
+
+    print("\nundervolting the whole upper clock band:")
+    curve = VoltageCurve(GA100)
+    for f in freqs[freqs >= opt_freq]:
+        curve.set_override(float(f), max(0.70, float(baseline.voltage.volts(f)) - 0.05))
+    tuned = SimulatedGPU(GA100, seed=0, voltage=curve)
+    _, e_tuned = energy_curve(tuned, census)
+    new_opt = freqs[np.argmin(e_tuned)]
+    print(f"new energy optimum: {new_opt:.0f} MHz "
+          f"({e_tuned.min():.0f} J, was {e_base[opt_idx]:.0f} J stock)")
+    print(f"band undervolt moves the optimum {'up' if new_opt > opt_freq else 'down or nowhere'} "
+          f"and saves {100 * (1 - e_tuned.min() / e_base[opt_idx]):.1f}% energy overall")
+
+
+if __name__ == "__main__":
+    main()

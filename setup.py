@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(legacy ``setup.py develop`` editable path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of "Performance-Aware Energy-Efficient GPU Frequency
+Selection using DNN-based Models" (Ali et al., ICPP 2023).
+
+Subpackages
+-----------
+``repro.gpusim``
+    Analytical GPU DVFS simulator (the A100/V100 stand-in).
+``repro.workloads``
+    The 21 training benchmarks and 6 real evaluation applications.
+``repro.telemetry``
+    DCGM-style data-collection framework (launch/control/profile).
+``repro.nn``
+    From-scratch NumPy feedforward-network framework.
+``repro.features``
+    Mutual-information feature selection and scalers.
+``repro.baselines``
+    RFR / XGBR / SVR / MLR baseline learners.
+``repro.core``
+    The paper's contribution: power/time DNNs, energy objectives,
+    Algorithm 1, and the offline/online pipeline.
+``repro.experiments``
+    One module per paper figure/table, plus ablations.
+
+The one-screen usage pattern lives in ``examples/quickstart.py``; the
+benchmark harness under ``benchmarks/`` regenerates every figure and
+table in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "gpusim",
+    "workloads",
+    "telemetry",
+    "nn",
+    "features",
+    "baselines",
+    "core",
+    "experiments",
+]

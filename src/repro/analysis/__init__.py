@@ -1,0 +1,25 @@
+"""Analysis utilities beyond the paper's core method.
+
+* :mod:`~repro.analysis.pareto` — energy/time Pareto fronts, knee points,
+  and hypervolume.  The paper's related work ([8, 11]) returns Pareto
+  *sets* of DVFS configurations; these tools let the benches show that
+  the paper's single EDP/ED2P pick always lies on that front (simplicity
+  without optimality loss).
+* :mod:`~repro.analysis.capping` — power-cap policies: the operational
+  alternative an HPC site uses when it cares about watts, not energy.
+* :mod:`~repro.analysis.stats` — bootstrap confidence intervals for the
+  accuracy numbers the evaluation reports.
+"""
+
+from repro.analysis.capping import clock_for_power_cap, power_cap_policy
+from repro.analysis.pareto import hypervolume_2d, knee_point, pareto_front
+from repro.analysis.stats import bootstrap_ci
+
+__all__ = [
+    "pareto_front",
+    "knee_point",
+    "hypervolume_2d",
+    "clock_for_power_cap",
+    "power_cap_policy",
+    "bootstrap_ci",
+]

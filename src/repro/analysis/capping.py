@@ -1,0 +1,85 @@
+"""Power-cap policies.
+
+HPC sites often manage *instantaneous power* (facility limits, demand
+response) rather than energy.  Given the per-clock power curve the
+paper's models predict, these helpers answer the operational question:
+"what is the fastest clock that stays under W watts?" — and build the
+site-wide policy table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["clock_for_power_cap", "CapDecision", "power_cap_policy"]
+
+
+@dataclass(frozen=True)
+class CapDecision:
+    """Outcome of applying one power cap to one application."""
+
+    cap_w: float
+    freq_mhz: float
+    power_w: float
+    #: Predicted slowdown factor vs the maximum clock (>= 1).
+    slowdown: float
+    #: True when even the lowest clock exceeds the cap.
+    infeasible: bool
+
+
+def clock_for_power_cap(
+    freqs_mhz: np.ndarray,
+    power_w: np.ndarray,
+    cap_w: float,
+) -> int:
+    """Index of the fastest clock with power <= cap.
+
+    Falls back to the lowest clock (index 0) when the cap is infeasible —
+    callers can detect that case via :func:`power_cap_policy`.
+    """
+    freqs = np.asarray(freqs_mhz, dtype=float)
+    power = np.asarray(power_w, dtype=float)
+    if freqs.shape != power.shape:
+        raise ValueError("freqs and power must have identical shapes")
+    if freqs.size == 0:
+        raise ValueError("empty design space")
+    if np.any(np.diff(freqs) <= 0):
+        raise ValueError("freqs must be strictly ascending")
+    if cap_w <= 0:
+        raise ValueError("cap_w must be positive")
+    admissible = np.nonzero(power <= cap_w)[0]
+    if admissible.size == 0:
+        return 0
+    # Power need not be perfectly monotone (noise); take the fastest
+    # admissible clock.
+    return int(admissible.max())
+
+
+def power_cap_policy(
+    freqs_mhz: np.ndarray,
+    power_w: np.ndarray,
+    time_s: np.ndarray,
+    caps_w: list[float],
+) -> list[CapDecision]:
+    """Per-cap clock decisions over predicted power/time curves."""
+    freqs = np.asarray(freqs_mhz, dtype=float)
+    power = np.asarray(power_w, dtype=float)
+    time = np.asarray(time_s, dtype=float)
+    if not (freqs.shape == power.shape == time.shape):
+        raise ValueError("freqs, power, and time must have identical shapes")
+    decisions = []
+    for cap in caps_w:
+        idx = clock_for_power_cap(freqs, power, cap)
+        infeasible = bool(power[idx] > cap)
+        decisions.append(
+            CapDecision(
+                cap_w=float(cap),
+                freq_mhz=float(freqs[idx]),
+                power_w=float(power[idx]),
+                slowdown=float(time[idx] / time[-1]),
+                infeasible=infeasible,
+            )
+        )
+    return decisions

@@ -1,0 +1,99 @@
+"""Pareto-front tools over the (energy, time) objective plane.
+
+Everything minimises: a configuration dominates another when it is no
+worse in both energy and time and strictly better in at least one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pareto_front", "knee_point", "hypervolume_2d"]
+
+
+def _check_objectives(energy: np.ndarray, time: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    energy = np.asarray(energy, dtype=float).reshape(-1)
+    time = np.asarray(time, dtype=float).reshape(-1)
+    if energy.size != time.size:
+        raise ValueError(f"energy and time disagree: {energy.size} vs {time.size}")
+    if energy.size == 0:
+        raise ValueError("empty objective set")
+    if np.any(~np.isfinite(energy)) or np.any(~np.isfinite(time)):
+        raise ValueError("objectives must be finite")
+    return energy, time
+
+
+def pareto_front(energy: np.ndarray, time: np.ndarray) -> np.ndarray:
+    """Indices of the non-dominated configurations, sorted by time.
+
+    O(n log n): sweep by ascending time (ties broken by energy) and keep
+    points whose energy strictly improves on the best seen so far.
+    """
+    energy, time = _check_objectives(energy, time)
+    order = np.lexsort((energy, time))
+    front: list[int] = []
+    best_energy = np.inf
+    for idx in order:
+        if energy[idx] < best_energy - 1e-300:
+            front.append(int(idx))
+            best_energy = energy[idx]
+    return np.asarray(front, dtype=int)
+
+
+def knee_point(energy: np.ndarray, time: np.ndarray) -> int:
+    """Index of the front's knee: maximum distance to the extreme chord.
+
+    The classic "best trade-off" heuristic: normalise both objectives
+    over the front, draw the line between the two extreme points, and
+    pick the front point farthest from it.  Degenerate fronts (<= 2
+    points) return the lower-energy end.
+    """
+    energy, time = _check_objectives(energy, time)
+    front = pareto_front(energy, time)
+    if front.size <= 2:
+        return int(front[np.argmin(energy[front])])
+    e = energy[front]
+    t = time[front]
+    e_span = np.ptp(e)
+    t_span = np.ptp(t)
+    e_norm = (e - e.min()) / (e_span if e_span > 0 else 1.0)
+    t_norm = (t - t.min()) / (t_span if t_span > 0 else 1.0)
+    # Chord from (min time, max energy) end to (max time, min energy) end.
+    p1 = np.array([t_norm[0], e_norm[0]])
+    p2 = np.array([t_norm[-1], e_norm[-1]])
+    chord = p2 - p1
+    norm = np.linalg.norm(chord)
+    if norm == 0:
+        return int(front[0])
+    points = np.column_stack([t_norm, e_norm]) - p1
+    distances = np.abs(points[:, 0] * chord[1] - points[:, 1] * chord[0]) / norm
+    return int(front[np.argmax(distances)])
+
+
+def hypervolume_2d(
+    energy: np.ndarray,
+    time: np.ndarray,
+    *,
+    reference: tuple[float, float] | None = None,
+) -> float:
+    """Dominated hypervolume (area) of the front w.r.t. a reference point.
+
+    ``reference`` defaults to (max time, max energy) over the set — every
+    candidate then contributes non-negative area.  Larger is better.
+    """
+    energy, time = _check_objectives(energy, time)
+    if reference is None:
+        ref_t, ref_e = float(time.max()), float(energy.max())
+    else:
+        ref_t, ref_e = float(reference[0]), float(reference[1])
+    front = pareto_front(energy, time)
+    area = 0.0
+    prev_t = ref_t
+    # Walk the front from largest time (lowest energy) to smallest.
+    for idx in front[::-1]:
+        t, e = time[idx], energy[idx]
+        if t > ref_t or e > ref_e:
+            continue  # outside the reference box contributes nothing
+        area += (prev_t - t) * (ref_e - e)
+        prev_t = t
+    return float(area)

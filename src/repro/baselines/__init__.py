@@ -1,0 +1,31 @@
+"""Multi-learner baseline regressors (paper Fig. 11).
+
+The paper compares its DNN against Random Forest (RFR), eXtreme Gradient
+Boosting (XGBR), Support Vector (SVR), and Multiple Linear (MLR)
+regressors.  scikit-learn/XGBoost are not available offline, so each
+learner is implemented from scratch on NumPy:
+
+* :class:`MultipleLinearRegression` — ordinary least squares,
+* :class:`DecisionTreeRegressor` — CART with vectorized split search,
+* :class:`RandomForestRegressor` — bootstrap + feature-subsampled trees,
+* :class:`GradientBoostingRegressor` — XGBoost-style shrinkage boosting
+  with L2 leaf regularisation,
+* :class:`SVR` — epsilon-insensitive support vector regression trained by
+  SMO with RBF/linear kernels.
+
+All share the fit/predict contract and seeded determinism.
+"""
+
+from repro.baselines.forest import RandomForestRegressor
+from repro.baselines.gbm import GradientBoostingRegressor
+from repro.baselines.linear import MultipleLinearRegression
+from repro.baselines.svr import SVR
+from repro.baselines.tree import DecisionTreeRegressor
+
+__all__ = [
+    "MultipleLinearRegression",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "SVR",
+]

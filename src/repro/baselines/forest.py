@@ -1,0 +1,87 @@
+"""Random forest regressor (the paper's RFR baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Bagged, feature-subsampled CART ensemble.
+
+    Each tree trains on a bootstrap resample and examines
+    ``max_features`` (default: all features / 3, the regression
+    convention) candidate features per split.  Prediction is the mean of
+    the per-tree predictions.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "third",
+        bootstrap: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "third":
+            return max(1, n_features // 3)
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            if not 1 <= self.max_features <= n_features:
+                raise ValueError(f"max_features must be in [1, {n_features}]")
+            return self.max_features
+        raise ValueError(f"unsupported max_features {self.max_features!r}")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Train all trees; returns self."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if x.shape[0] != y.size:
+            raise ValueError(f"X has {x.shape[0]} rows but y has {y.size}")
+        rng = np.random.default_rng(self.seed)
+        max_features = self._resolve_max_features(x.shape[1])
+        self.trees_ = []
+        n = x.shape[0]
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(2**63)),
+            )
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+                tree.fit(x[sample], y[sample])
+            else:
+                tree.fit(x, y)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Ensemble-mean prediction."""
+        if not self.trees_:
+            raise RuntimeError("predict called before fit")
+        preds = np.stack([tree.predict(x) for tree in self.trees_])
+        return preds.mean(axis=0)

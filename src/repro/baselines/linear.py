@@ -1,0 +1,57 @@
+"""Multiple linear regression (the paper's MLR baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MultipleLinearRegression"]
+
+
+class MultipleLinearRegression:
+    """Ordinary least squares ``y = X beta + b`` via lstsq.
+
+    Uses the minimum-norm least-squares solution, so collinear feature
+    sets fit without blowing up.
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MultipleLinearRegression":
+        """Solve for coefficients; returns self."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if x.shape[0] != y.size:
+            raise ValueError(f"X has {x.shape[0]} rows but y has {y.size}")
+        if self.fit_intercept:
+            design = np.column_stack([x, np.ones(x.shape[0])])
+        else:
+            design = x
+        beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.coef_ = beta[:-1]
+            self.intercept_ = float(beta[-1])
+        else:
+            self.coef_ = beta
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predictions for a (samples, features) array."""
+        if self.coef_ is None:
+            raise RuntimeError("predict called before fit")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return x @ self.coef_ + self.intercept_
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2."""
+        y = np.asarray(y, dtype=float).reshape(-1)
+        pred = self.predict(x)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0.0:
+            # Constant target: perfect up to float noise, else undefined -> 0.
+            return 1.0 if ss_res <= 1e-10 * max(1.0, float(np.sum(y**2))) else 0.0
+        return 1.0 - ss_res / ss_tot

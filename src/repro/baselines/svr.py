@@ -1,0 +1,207 @@
+"""Epsilon-insensitive support vector regression trained by SMO.
+
+Solves the standard epsilon-SVR dual over difference variables
+``beta_i = alpha_i - alpha_i*`` with box constraint ``|beta_i| <= C`` and
+``sum(beta) = 0``:
+
+``max  -1/2 beta' K beta + beta' y - epsilon |beta|_1``
+
+SMO picks pairs (i, j), optimises the two coordinates analytically under
+the equality constraint, and repeats until the KKT violation drops under
+``tol``.  The piecewise-linear epsilon term is handled by evaluating the
+subproblem's closed form on each linear piece of beta_i.
+
+Kernels: RBF (default, with the median-distance "scale"-like gamma) and
+linear.  Features are standardised internally, as libsvm recommends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SVR"]
+
+
+class SVR:
+    """Epsilon-SVR with RBF or linear kernel, SMO solver."""
+
+    def __init__(
+        self,
+        *,
+        C: float = 10.0,
+        epsilon: float = 0.05,
+        kernel: str = "rbf",
+        gamma: float | str = "scale",
+        tol: float = 1e-3,
+        max_passes: int = 200,
+        seed: int | None = None,
+    ) -> None:
+        if C <= 0:
+            raise ValueError("C must be positive")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if kernel not in ("rbf", "linear"):
+            raise ValueError(f"unsupported kernel {kernel!r}")
+        self.C = float(C)
+        self.epsilon = float(epsilon)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.tol = float(tol)
+        self.max_passes = int(max_passes)
+        self.seed = seed
+        self._x: np.ndarray | None = None
+        self._beta: np.ndarray | None = None
+        self._bias: float = 0.0
+        self._gamma_value: float = 1.0
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _kernel_matrix(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return a @ b.T
+        # RBF via the expanded-norm identity, fully vectorized.
+        sq = (a**2).sum(axis=1)[:, None] + (b**2).sum(axis=1)[None, :] - 2.0 * a @ b.T
+        np.maximum(sq, 0.0, out=sq)
+        return np.exp(-self._gamma_value * sq)
+
+    def _resolve_gamma(self, x: np.ndarray) -> float:
+        if isinstance(self.gamma, (int, float)):
+            if self.gamma <= 0:
+                raise ValueError("gamma must be positive")
+            return float(self.gamma)
+        if self.gamma == "scale":
+            var = x.var()
+            return 1.0 / (x.shape[1] * var) if var > 0 else 1.0
+        raise ValueError(f"unsupported gamma {self.gamma!r}")
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SVR":
+        """Train by SMO; returns self."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if x.shape[0] != y.size:
+            raise ValueError(f"X has {x.shape[0]} rows but y has {y.size}")
+        n = x.shape[0]
+        if n < 2:
+            raise ValueError("need at least 2 samples")
+
+        self._mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        self._scale = np.where(scale > 0, scale, 1.0)
+        xs = (x - self._mean) / self._scale
+        self._gamma_value = self._resolve_gamma(xs)
+
+        k = self._kernel_matrix(xs, xs)
+        beta = np.zeros(n)
+        # f_i = current decision value without bias.
+        f = np.zeros(n)
+        rng = np.random.default_rng(self.seed)
+
+        for _ in range(self.max_passes):
+            # KKT violation: for epsilon-SVR, optimal beta satisfies
+            # y_i - f_i - bias in the epsilon tube unless beta at a bound.
+            bias = self._estimate_bias(beta, f, y)
+            err = y - f - bias
+            up_violation = (err > self.epsilon + self.tol) & (beta < self.C)
+            down_violation = (err < -self.epsilon - self.tol) & (beta > -self.C)
+            violators = np.nonzero(up_violation | down_violation)[0]
+            if violators.size == 0:
+                break
+            order = rng.permutation(violators)
+            changed = 0
+            for i in order:
+                j = int(np.argmax(np.abs(err - err[i]))) if n > 1 else i
+                if j == i:
+                    continue
+                if self._optimise_pair(int(i), j, beta, f, k, y):
+                    err = y - f - bias
+                    changed += 1
+            if changed == 0:
+                break
+
+        self._x = xs
+        self._beta = beta
+        self._bias = self._estimate_bias(beta, f, y)
+        return self
+
+    def _optimise_pair(
+        self,
+        i: int,
+        j: int,
+        beta: np.ndarray,
+        f: np.ndarray,
+        k: np.ndarray,
+        y: np.ndarray,
+    ) -> bool:
+        """Analytic update of (beta_i, beta_j) keeping their sum fixed."""
+        eta = k[i, i] + k[j, j] - 2.0 * k[i, j]
+        if eta <= 1e-12:
+            return False
+        s = beta[i] + beta[j]
+        # Residuals excluding the pair's own contribution via current f.
+        g_i = y[i] - (f[i] - beta[i] * k[i, i] - beta[j] * k[i, j])
+        g_j = y[j] - (f[j] - beta[i] * k[i, j] - beta[j] * k[j, j])
+        # With beta_j = s - beta_i, objective in beta_i is piecewise
+        # quadratic; optimise each epsilon-sign piece and keep the best.
+        best_obj = -np.inf
+        best_bi = beta[i]
+        for sign_i in (-1.0, 0.0, 1.0):
+            for sign_j in (-1.0, 0.0, 1.0):
+                # Unconstrained optimum of the piece.
+                numer = g_i - g_j - s * (k[i, j] - k[j, j]) - self.epsilon * (sign_i - sign_j)
+                bi = numer / eta
+                lo = max(-self.C, s - self.C)
+                hi = min(self.C, s + self.C)
+                bi = float(np.clip(bi, lo, hi))
+                # Verify the sign assumption holds on this piece (0 means
+                # "at the kink", always admissible).
+                if sign_i != 0.0 and np.sign(bi) not in (0.0, sign_i):
+                    continue
+                bj = s - bi
+                if sign_j != 0.0 and np.sign(bj) not in (0.0, sign_j):
+                    continue
+                obj = self._pair_objective(bi, bj, i, j, g_i, g_j, k)
+                if obj > best_obj:
+                    best_obj = obj
+                    best_bi = bi
+        if abs(best_bi - beta[i]) < 1e-12:
+            return False
+        delta_i = best_bi - beta[i]
+        delta_j = -delta_i
+        f += delta_i * k[:, i] + delta_j * k[:, j]
+        beta[i] = best_bi
+        beta[j] = s - best_bi
+        return True
+
+    def _pair_objective(
+        self, bi: float, bj: float, i: int, j: int, g_i: float, g_j: float, k: np.ndarray
+    ) -> float:
+        quad = 0.5 * (bi**2 * k[i, i] + bj**2 * k[j, j] + 2.0 * bi * bj * k[i, j])
+        lin = bi * g_i + bj * g_j
+        return lin - quad - self.epsilon * (abs(bi) + abs(bj))
+
+    def _estimate_bias(self, beta: np.ndarray, f: np.ndarray, y: np.ndarray) -> float:
+        """Bias from free (strictly inside the box) support vectors."""
+        free = (np.abs(beta) > 1e-8) & (np.abs(beta) < self.C - 1e-8)
+        if np.any(free):
+            # On free SVs: y - f - bias = +/- epsilon * sign(beta).
+            return float(np.mean(y[free] - f[free] - self.epsilon * np.sign(beta[free])))
+        return float(np.median(y - f))
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Kernel-expansion prediction."""
+        if self._x is None or self._beta is None:
+            raise RuntimeError("predict called before fit")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        xs = (x - self._mean) / self._scale
+        k = self._kernel_matrix(xs, self._x)
+        return k @ self._beta + self._bias
+
+    @property
+    def n_support_(self) -> int:
+        """Number of support vectors (non-zero duals)."""
+        if self._beta is None:
+            raise RuntimeError("model not fitted")
+        return int(np.sum(np.abs(self._beta) > 1e-8))

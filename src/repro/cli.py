@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+Mirrors how the paper's framework is operated:
+
+``repro specs``
+    Print the Table 1 specifications of a simulated GPU.
+``repro collect``
+    Run a collection campaign (workloads x clocks x runs) and persist
+    one CSV of 20 ms samples per run — the launch module's job.
+``repro train``
+    Train the power/time DNNs from a persisted campaign directory and
+    save the weights.
+``repro predict``
+    Online phase: profile one application at the default clock with
+    saved models and print the selected frequencies.
+``repro experiment``
+    Regenerate one paper figure/table and print it.
+
+Every subcommand runs against the simulator, so the whole flow works on
+a laptop with no GPU.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.dataset import dataset_from_csv_dir
+from repro.core.energy import ED2P, EDP
+from repro.core.models import PowerModel, TimeModel
+from repro.core.pipeline import FrequencySelectionPipeline
+from repro.gpusim.arch import get_architecture, list_architectures
+from repro.gpusim.device import SimulatedGPU
+from repro.telemetry.launch import LaunchConfig, Launcher
+from repro.workloads.registry import default_registry
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "tab1", "tab3", "tab4", "tab5", "tab6",
+    "pareto_study", "capping_study", "cluster_study", "phase_study", "gv100_savings",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full repro CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DNN-based GPU DVFS frequency selection (ICPP 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_specs = sub.add_parser("specs", help="print GPU specifications (Table 1)")
+    p_specs.add_argument("--arch", default="GA100", help="architecture name")
+
+    p_collect = sub.add_parser("collect", help="run a collection campaign")
+    p_collect.add_argument("--arch", default="GA100")
+    p_collect.add_argument("--workloads", default="dgemm,stream", help="comma-separated names, or 'training'")
+    p_collect.add_argument("--runs", type=int, default=3, help="runs per configuration")
+    p_collect.add_argument("--out", required=True, help="output directory for CSVs")
+    p_collect.add_argument("--seed", type=int, default=0)
+    p_collect.add_argument("--max-samples", type=int, default=48, help="sensor samples kept per run")
+    p_collect.add_argument(
+        "--freqs", default="all", help="'all' (usable grid) or comma-separated MHz values"
+    )
+
+    p_train = sub.add_parser("train", help="train power/time models from a campaign")
+    p_train.add_argument("--data", required=True, help="campaign directory from 'collect'")
+    p_train.add_argument("--out", required=True, help="directory to write model archives")
+    p_train.add_argument("--arch", default="GA100", help="training architecture (TDP normalisation)")
+    p_train.add_argument("--power-epochs", type=int, default=100)
+    p_train.add_argument("--time-epochs", type=int, default=25)
+    p_train.add_argument("--seed", type=int, default=0)
+
+    p_predict = sub.add_parser("predict", help="online phase for one application")
+    p_predict.add_argument("--models", required=True, help="directory from 'train'")
+    p_predict.add_argument("--arch", default="GA100")
+    p_predict.add_argument("--workload", required=True)
+    p_predict.add_argument("--threshold", type=float, default=None, help="perf degradation bound (fraction)")
+    p_predict.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser("experiment", help="regenerate one paper figure/table")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p_exp.add_argument("--fast", action="store_true", help="cheap profile (seconds, noisier)")
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_specs(args: argparse.Namespace) -> int:
+    try:
+        arch = get_architecture(args.arch)
+    except KeyError:
+        print(f"unknown architecture {args.arch!r}; known: {', '.join(list_architectures())}", file=sys.stderr)
+        return 2
+    from repro.gpusim.dvfs import DVFSConfigSpace
+
+    dvfs = DVFSConfigSpace.for_architecture(arch)
+    print(f"{arch.name}")
+    print(f"  core frequency range : [{arch.core_freq_min_mhz:.0f}:{arch.core_freq_max_mhz:.0f}] MHz")
+    print(f"  default core clock   : {arch.default_core_freq_mhz:.0f} MHz")
+    print(f"  DVFS configurations  : {len(dvfs)} usable of {dvfs.num_supported} supported")
+    print(f"  memory frequency     : {arch.memory_freq_mhz:.0f} MHz")
+    print(f"  memory capacity      : {arch.memory_gib:.0f} GiB")
+    print(f"  peak bandwidth       : {arch.peak_memory_bandwidth / 1e9:.0f} GB/s")
+    print(f"  TDP                  : {arch.tdp_watts:.0f} W")
+    return 0
+
+
+def _resolve_workloads(spec: str):
+    registry = default_registry()
+    if spec == "training":
+        return registry.training_set()
+    names = [n.strip() for n in spec.split(",") if n.strip()]
+    return [registry.get(n) for n in names]
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    device = SimulatedGPU(
+        get_architecture(args.arch), seed=args.seed, max_samples_per_run=args.max_samples
+    )
+    workloads = _resolve_workloads(args.workloads)
+    if args.freqs == "all":
+        freqs = tuple(device.dvfs.usable_mhz)
+    else:
+        freqs = tuple(device.dvfs.snap(float(f)) for f in args.freqs.split(","))
+    config = LaunchConfig(freqs_mhz=freqs, runs_per_config=args.runs, output_dir=Path(args.out))
+    artifacts = Launcher(device).collect(workloads, config)
+    print(
+        f"collected {len(artifacts)} runs "
+        f"({len(workloads)} workloads x {len(freqs)} clocks x {args.runs} runs) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    arch = get_architecture(args.arch)
+    dataset = dataset_from_csv_dir(args.data, per_sample=True)
+    print(f"loaded {len(dataset)} sample rows across {len(dataset.workload_names)} workloads")
+
+    power = PowerModel(reference_power_w=arch.tdp_watts, seed=args.seed)
+    history = power.fit(dataset, epochs=args.power_epochs)
+    print(f"power model: {history.epochs_run} epochs, final val loss {history.best_val_loss:.5f}")
+
+    time_model = TimeModel(seed=args.seed)
+    history = time_model.fit(dataset, epochs=args.time_epochs)
+    print(f"time model:  {history.epochs_run} epochs, final val loss {history.best_val_loss:.5f}")
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    power.save(out / "power.npz")
+    time_model.save(out / "time.npz")
+    print(f"saved models -> {out}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    arch = get_architecture(args.arch)
+    device = SimulatedGPU(arch, seed=args.seed, max_samples_per_run=16)
+    models = Path(args.models)
+
+    # Models are trained TDP-normalised; the reference is rescaled onto
+    # this device's envelope by the pipeline.
+    power = PowerModel(reference_power_w=arch.tdp_watts)
+    power.load(models / "power.npz")
+    time_model = TimeModel()
+    time_model.load(models / "time.npz")
+
+    pipeline = FrequencySelectionPipeline(device, power_model=power, time_model=time_model)
+    workload = default_registry().get(args.workload)
+    result = pipeline.run_online(workload, objectives=(EDP, ED2P), threshold=args.threshold)
+
+    print(f"{workload.name} on {arch.name}:")
+    print(f"  measured at {arch.default_core_freq_mhz:.0f} MHz: "
+          f"{result.measured_power_at_max_w:.0f} W, {result.measured_time_at_max_s:.3f} s")
+    print(f"  features: fp_active={result.features.fp_active:.3f} "
+          f"dram_active={result.features.dram_active:.3f}")
+    for name in ("EDP", "ED2P"):
+        sel = result.selection(name)
+        print(f"  {name:5s}: {sel.freq_mhz:.0f} MHz  "
+              f"energy {100 * sel.energy_saving:+.1f}%  "
+              f"time {-100 * sel.perf_degradation:+.1f}%")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.experiments import ExperimentContext, ExperimentSettings
+
+    settings = ExperimentSettings.fast(args.seed) if args.fast else ExperimentSettings.paper(args.seed)
+    ctx = ExperimentContext(settings)
+
+    if args.name == "tab1":
+        from repro.experiments.tab1 import render_tab1, run_tab1
+
+        print(render_tab1(run_tab1()))
+        return 0
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    run = getattr(module, f"run_{args.name}")
+    render = getattr(module, f"render_{args.name}")
+    print(render(run(ctx)))
+    return 0
+
+
+_DISPATCH = {
+    "specs": _cmd_specs,
+    "collect": _cmd_collect,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _DISPATCH[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    raise SystemExit(main())

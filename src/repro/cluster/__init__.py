@@ -1,0 +1,35 @@
+"""Cluster-level simulation: from one GPU to the machine room.
+
+The paper's motivation (Section 1) is fleet-scale: future HPC systems
+draw >90 % of their compute power from GPUs, so per-GPU DVFS policies
+compound into megawatts.  This package closes that loop:
+
+* :mod:`~repro.cluster.job` — jobs (workload + size + arrival time),
+* :mod:`~repro.cluster.node` — multi-GPU nodes built from
+  :class:`~repro.gpusim.device.SimulatedGPU`,
+* :mod:`~repro.cluster.policy` — per-job clock policies: the default
+  boost clock, a static cap, and the paper's model-driven ED2P policy,
+* :mod:`~repro.cluster.scheduler` — an event-driven FIFO scheduler that
+  places jobs on free GPUs under the chosen policy,
+* :mod:`~repro.cluster.metrics` — makespan, energy, and power-series
+  accounting for a completed schedule.
+"""
+
+from repro.cluster.job import Job, JobRecord
+from repro.cluster.metrics import ClusterReport, summarize
+from repro.cluster.node import GPUNode
+from repro.cluster.policy import ClockPolicy, DefaultClockPolicy, ModelDrivenPolicy, StaticClockPolicy
+from repro.cluster.scheduler import FIFOScheduler
+
+__all__ = [
+    "Job",
+    "JobRecord",
+    "GPUNode",
+    "ClockPolicy",
+    "DefaultClockPolicy",
+    "StaticClockPolicy",
+    "ModelDrivenPolicy",
+    "FIFOScheduler",
+    "ClusterReport",
+    "summarize",
+]

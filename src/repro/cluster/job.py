@@ -1,0 +1,54 @@
+"""Jobs and their completion records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.base import Workload
+
+__all__ = ["Job", "JobRecord"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One GPU job submitted to the cluster."""
+
+    job_id: int
+    workload: Workload
+    #: Simulation time at which the job becomes runnable, seconds.
+    arrival_s: float = 0.0
+    #: Optional workload size override.
+    size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ValueError("job_id must be non-negative")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Completion record of one scheduled job."""
+
+    job_id: int
+    workload: str
+    node_id: int
+    gpu_index: int
+    #: Clock the policy applied for this job, MHz.
+    clock_mhz: float
+    arrival_s: float
+    start_s: float
+    end_s: float
+    energy_j: float
+    mean_power_w: float
+
+    @property
+    def duration_s(self) -> float:
+        """Execution time on the GPU."""
+        return self.end_s - self.start_s
+
+    @property
+    def wait_s(self) -> float:
+        """Queue wait before the job started."""
+        return self.start_s - self.arrival_s

@@ -1,0 +1,75 @@
+"""Schedule accounting: makespan, energy, power series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.job import JobRecord
+
+__all__ = ["ClusterReport", "summarize", "power_series"]
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Aggregate metrics of one completed schedule."""
+
+    policy: str
+    n_jobs: int
+    makespan_s: float
+    total_energy_j: float
+    mean_job_wait_s: float
+    #: Time-averaged busy power across the schedule (total energy over
+    #: makespan; idle draw excluded — it is policy-independent).
+    avg_power_w: float
+    peak_power_w: float
+
+    def energy_saving_vs(self, baseline: "ClusterReport") -> float:
+        """Fractional energy saving relative to a baseline report."""
+        if baseline.total_energy_j <= 0:
+            raise ValueError("baseline has no energy")
+        return 1.0 - self.total_energy_j / baseline.total_energy_j
+
+    def makespan_change_vs(self, baseline: "ClusterReport") -> float:
+        """Fractional makespan change (positive = slower) vs a baseline."""
+        if baseline.makespan_s <= 0:
+            raise ValueError("baseline has no makespan")
+        return self.makespan_s / baseline.makespan_s - 1.0
+
+
+def power_series(records: list[JobRecord], *, resolution_s: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """(timestamps, aggregate busy power) sampled on a fixed grid.
+
+    Each job contributes its mean power over [start, end); the series is
+    what a facility meter would see from the GPU partition (minus idle).
+    """
+    if not records:
+        raise ValueError("no records")
+    if resolution_s <= 0:
+        raise ValueError("resolution_s must be positive")
+    end = max(r.end_s for r in records)
+    t = np.arange(0.0, end + resolution_s, resolution_s)
+    p = np.zeros_like(t)
+    for r in records:
+        mask = (t >= r.start_s) & (t < r.end_s)
+        p[mask] += r.mean_power_w
+    return t, p
+
+
+def summarize(policy_name: str, records: list[JobRecord]) -> ClusterReport:
+    """Build the aggregate report for one schedule."""
+    if not records:
+        raise ValueError("no records to summarise")
+    makespan = max(r.end_s for r in records)
+    energy = sum(r.energy_j for r in records)
+    _, series = power_series(records)
+    return ClusterReport(
+        policy=policy_name,
+        n_jobs=len(records),
+        makespan_s=makespan,
+        total_energy_j=energy,
+        mean_job_wait_s=float(np.mean([r.wait_s for r in records])),
+        avg_power_w=energy / makespan if makespan > 0 else 0.0,
+        peak_power_w=float(series.max()),
+    )

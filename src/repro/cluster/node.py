@@ -1,0 +1,54 @@
+"""Multi-GPU nodes."""
+
+from __future__ import annotations
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.device import SimulatedGPU
+
+__all__ = ["GPUNode"]
+
+
+class GPUNode:
+    """One host with ``gpus_per_node`` independent simulated GPUs.
+
+    Each GPU gets its own seeded RNG stream so node-level results are
+    reproducible but boards are not artificially correlated.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        arch: GPUArchitecture,
+        *,
+        gpus_per_node: int = 4,
+        seed: int = 0,
+        max_samples_per_run: int = 8,
+    ) -> None:
+        if node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+        self.node_id = node_id
+        self.arch = arch
+        self.gpus = [
+            SimulatedGPU(
+                arch,
+                seed=seed * 1000 + node_id * 100 + i,
+                max_samples_per_run=max_samples_per_run,
+            )
+            for i in range(gpus_per_node)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.gpus)
+
+    def gpu(self, index: int) -> SimulatedGPU:
+        """Board accessor with bounds checking."""
+        if not 0 <= index < len(self.gpus):
+            raise IndexError(f"node {self.node_id} has {len(self.gpus)} GPUs, asked for {index}")
+        return self.gpus[index]
+
+    @property
+    def idle_power_w(self) -> float:
+        """Node GPU idle power (all boards parked)."""
+        return sum(g.power.idle_power() for g in self.gpus)

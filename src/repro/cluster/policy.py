@@ -1,0 +1,98 @@
+"""Per-job clock policies.
+
+A policy maps (job, device) to the SM clock the job should run at.  The
+three built-ins cover the operational spectrum:
+
+* :class:`DefaultClockPolicy` — boost clock, the status quo,
+* :class:`StaticClockPolicy` — one site-wide cap (the blunt instrument),
+* :class:`ModelDrivenPolicy` — the paper's method: per-job ED2P/EDP
+  selection from the trained DNNs, with decisions memoised per workload
+  (an application's clock is decided once, as a site would).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.energy import ED2P, ObjectiveFunction
+from repro.core.pipeline import FrequencySelectionPipeline
+from repro.cluster.job import Job
+from repro.gpusim.device import SimulatedGPU
+
+__all__ = ["ClockPolicy", "DefaultClockPolicy", "StaticClockPolicy", "ModelDrivenPolicy"]
+
+
+class ClockPolicy(ABC):
+    """Chooses the SM clock a job runs at."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def clock_for(self, job: Job, device: SimulatedGPU) -> float:
+        """SM clock (MHz) for ``job`` on ``device``."""
+
+
+class DefaultClockPolicy(ClockPolicy):
+    """Run everything at the boost clock (the no-DVFS baseline)."""
+
+    name = "default-clock"
+
+    def clock_for(self, job: Job, device: SimulatedGPU) -> float:
+        return device.arch.default_core_freq_mhz
+
+
+class StaticClockPolicy(ClockPolicy):
+    """One fixed clock for every job (a site-wide static cap)."""
+
+    name = "static-cap"
+
+    def __init__(self, clock_mhz: float) -> None:
+        if clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        self.clock_mhz = float(clock_mhz)
+
+    def clock_for(self, job: Job, device: SimulatedGPU) -> float:
+        return device.dvfs.snap(self.clock_mhz)
+
+
+class ModelDrivenPolicy(ClockPolicy):
+    """The paper's method as a scheduler policy.
+
+    The first job of each workload triggers one online-phase prediction
+    on the pipeline's device; the selected clock is memoised so later
+    jobs of the same application reuse it (profiles are per-application,
+    not per-job — exactly how a site would deploy this).
+    """
+
+    name = "model-driven"
+
+    def __init__(
+        self,
+        pipeline: FrequencySelectionPipeline,
+        *,
+        objective: ObjectiveFunction = ED2P,
+        threshold: float | None = None,
+    ) -> None:
+        if not pipeline.is_fitted:
+            raise ValueError("pipeline must be fitted before building a policy")
+        self.pipeline = pipeline
+        self.objective = objective
+        self.threshold = threshold
+        self._decisions: dict[str, float] = {}
+
+    def clock_for(self, job: Job, device: SimulatedGPU) -> float:
+        key = job.workload.name
+        if key not in self._decisions:
+            result = self.pipeline.run_online(
+                job.workload,
+                objectives=(self.objective,),
+                threshold=self.threshold,
+                size=job.size,
+            )
+            self._decisions[key] = result.selection(self.objective.name).freq_mhz
+        return device.dvfs.snap(self._decisions[key])
+
+    @property
+    def decisions(self) -> dict[str, float]:
+        """Memoised per-application clock decisions (MHz)."""
+        return dict(self._decisions)

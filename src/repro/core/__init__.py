@@ -1,0 +1,59 @@
+"""The paper's primary contribution: DNN-driven DVFS selection.
+
+Pipeline (paper Fig. 2):
+
+1. **Offline** — collect the 12 metrics for the 21 training workloads
+   across the DVFS space (:mod:`repro.core.dataset`), train the power and
+   time DNNs (:mod:`repro.core.models`).
+2. **Online** — run an unseen application *once at the maximum clock*,
+   harvest (fp_active, dram_active), replicate them across every clock
+   (feature invariance, paper Section 4.2), predict power and time per
+   clock, compute energy, and select the optimal frequency by EDP / ED2P
+   (:mod:`repro.core.selection`, Algorithm 1).
+
+:class:`~repro.core.pipeline.FrequencySelectionPipeline` wires the steps
+together.
+"""
+
+from repro.core.dataset import (
+    DVFSDataset,
+    FeatureVector,
+    SweepSample,
+    build_dataset,
+    dataset_from_csv_dir,
+    features_at_max,
+)
+from repro.core.energy import ED2P, EDP, EDnP, ObjectiveFunction, energy_from_power_time
+from repro.core.metrics import accuracy_percent, mape, r2_score, rmse
+from repro.core.models import PAPER_FEATURES, PowerModel, TimeModel
+from repro.core.pipeline import FrequencySelectionPipeline, OnlineResult
+from repro.core.selection import SelectionResult, select_optimal_frequency
+from repro.core.uncertainty import EnsembleModel, EnsemblePrediction, select_conservative
+
+__all__ = [
+    "DVFSDataset",
+    "FeatureVector",
+    "SweepSample",
+    "build_dataset",
+    "dataset_from_csv_dir",
+    "features_at_max",
+    "EDP",
+    "ED2P",
+    "EDnP",
+    "ObjectiveFunction",
+    "energy_from_power_time",
+    "mape",
+    "accuracy_percent",
+    "rmse",
+    "r2_score",
+    "PAPER_FEATURES",
+    "PowerModel",
+    "TimeModel",
+    "FrequencySelectionPipeline",
+    "OnlineResult",
+    "SelectionResult",
+    "select_optimal_frequency",
+    "EnsembleModel",
+    "EnsemblePrediction",
+    "select_conservative",
+]

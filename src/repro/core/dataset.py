@@ -1,0 +1,324 @@
+"""DVFS-sweep dataset construction (paper Section 4, Eq. 1/3/4/6/7).
+
+The offline phase runs every training workload three times at every
+usable clock and aggregates each run into one sample carrying the paper's
+feature vector ``x = (fp_active, dram_active, sm_app_clock)`` and the two
+targets ``power_usage`` and ``execution_time``.
+
+Execution time is additionally stored as the **slowdown factor**
+``T(f) / T(f_max)`` per workload.  Absolute runtimes across 21 workloads
+span orders of magnitude and are not identifiable from three intensive
+features alone; the paper's Fig. 8 likewise evaluates *normalized* time.
+The online phase measures T(f_max) anyway, so the absolute curve is
+recovered exactly by rescaling (see DESIGN.md, "Execution-time target
+note").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.gpusim.device import SimulatedGPU
+from repro.telemetry.csvio import read_samples_csv
+from repro.telemetry.launch import LaunchConfig, Launcher, RunArtifact
+from repro.workloads.base import Workload
+
+__all__ = [
+    "FeatureVector",
+    "SweepSample",
+    "DVFSDataset",
+    "build_dataset",
+    "dataset_from_csv_dir",
+    "features_at_max",
+]
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """The paper's Eq. 1 feature vector for one run."""
+
+    fp_active: float
+    dram_active: float
+    sm_app_clock: float
+
+    def as_array(self) -> np.ndarray:
+        """(3,) array in the canonical feature order."""
+        return np.array([self.fp_active, self.dram_active, self.sm_app_clock])
+
+    def at_clock(self, sm_app_clock: float) -> "FeatureVector":
+        """Replicate the activity features to another clock.
+
+        This is the paper's central data-reduction trick: fp/dram activity
+        are DVFS-invariant (Section 4.2.2), so features measured at the
+        default clock stand in for every other clock.
+        """
+        return FeatureVector(self.fp_active, self.dram_active, float(sm_app_clock))
+
+
+@dataclass(frozen=True)
+class SweepSample:
+    """One aggregated run: features + both targets."""
+
+    workload: str
+    features: FeatureVector
+    power_w: float
+    time_s: float
+    slowdown: float
+    run_index: int
+
+
+class DVFSDataset:
+    """Column-oriented view over sweep samples, ready for training."""
+
+    def __init__(self, samples: list[SweepSample]) -> None:
+        if not samples:
+            raise ValueError("dataset needs at least one sample")
+        self.samples = list(samples)
+        self._x = np.stack([s.features.as_array() for s in samples])
+        self._power = np.array([s.power_w for s in samples])
+        self._time = np.array([s.time_s for s in samples])
+        self._slowdown = np.array([s.slowdown for s in samples])
+        self._workloads = np.array([s.workload for s in samples])
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def x(self) -> np.ndarray:
+        """(n, 3) feature matrix (fp_active, dram_active, sm_app_clock)."""
+        return self._x
+
+    @property
+    def y_power(self) -> np.ndarray:
+        """(n,) power targets in watts (paper Eq. 3)."""
+        return self._power
+
+    @property
+    def y_time(self) -> np.ndarray:
+        """(n,) absolute execution-time targets in seconds (paper Eq. 6)."""
+        return self._time
+
+    @property
+    def y_slowdown(self) -> np.ndarray:
+        """(n,) relative execution-time targets T(f)/T(f_max)."""
+        return self._slowdown
+
+    @property
+    def workload_names(self) -> list[str]:
+        """Distinct workloads present, sorted."""
+        return sorted(set(self._workloads))
+
+    def for_workload(self, name: str) -> "DVFSDataset":
+        """Subset containing one workload's samples."""
+        subset = [s for s in self.samples if s.workload == name]
+        if not subset:
+            raise KeyError(f"no samples for workload {name!r}")
+        return DVFSDataset(subset)
+
+    def mean_curve(self, target: str = "power") -> tuple[np.ndarray, np.ndarray]:
+        """(freqs, mean target) averaged over repeated runs, ascending freq.
+
+        ``target`` is one of ``"power"``, ``"time"``, ``"slowdown"``.
+        """
+        values = {"power": self._power, "time": self._time, "slowdown": self._slowdown}[target]
+        clocks = self._x[:, 2]
+        freqs = np.unique(clocks)
+        means = np.array([values[clocks == f].mean() for f in freqs])
+        return freqs, means
+
+
+def _aggregate_sample(artifact: RunArtifact, t_ref: float) -> SweepSample:
+    metrics = artifact.record.metrics()
+    features = FeatureVector(
+        fp_active=metrics["fp64_active"] + metrics["fp32_active"],
+        dram_active=metrics["dram_active"],
+        sm_app_clock=metrics["sm_app_clock"],
+    )
+    return SweepSample(
+        workload=artifact.workload,
+        features=features,
+        power_w=metrics["power_usage"],
+        time_s=metrics["exec_time"],
+        slowdown=metrics["exec_time"] / t_ref,
+        run_index=artifact.run_index,
+    )
+
+
+def _per_sample_rows(artifact: RunArtifact, t_ref: float) -> list[SweepSample]:
+    out = []
+    exec_time = artifact.record.exec_time_s
+    for s in artifact.record.samples:
+        out.append(
+            SweepSample(
+                workload=artifact.workload,
+                features=FeatureVector(
+                    fp_active=s.fp64_active + s.fp32_active,
+                    dram_active=s.dram_active,
+                    sm_app_clock=s.sm_app_clock,
+                ),
+                power_w=s.power_usage,
+                time_s=exec_time,
+                slowdown=exec_time / t_ref,
+                run_index=artifact.run_index,
+            )
+        )
+    return out
+
+
+def build_dataset(
+    artifacts: list[RunArtifact],
+    *,
+    max_freq_mhz: float | None = None,
+    per_sample: bool = False,
+) -> DVFSDataset:
+    """Assemble a dataset from launcher artifacts.
+
+    With ``per_sample`` every 20 ms sensor sample becomes one training
+    row (its own noisy activities and power reading) — the paper's
+    "statistically significant dataset" built from interval sampling.
+    Without it, each run contributes one aggregated row; curve-plotting
+    code wants that form.
+
+    Each workload's slowdown reference T(f_max) is the mean exec time of
+    its runs at the highest clock present (or ``max_freq_mhz`` if given).
+    Raises if a workload has no run at the reference clock — slowdowns
+    would silently be garbage otherwise.
+    """
+    if not artifacts:
+        raise ValueError("no artifacts to build a dataset from")
+    top = max_freq_mhz if max_freq_mhz is not None else max(a.freq_mhz for a in artifacts)
+    t_ref: dict[str, float] = {}
+    for name in {a.workload for a in artifacts}:
+        ref_runs = [a.record.exec_time_s for a in artifacts if a.workload == name and a.freq_mhz == top]
+        if not ref_runs:
+            raise ValueError(f"workload {name!r} has no run at the reference clock {top} MHz")
+        t_ref[name] = float(np.mean(ref_runs))
+    if per_sample:
+        samples: list[SweepSample] = []
+        for a in artifacts:
+            samples.extend(_per_sample_rows(a, t_ref[a.workload]))
+        return DVFSDataset(samples)
+    return DVFSDataset([_aggregate_sample(a, t_ref[a.workload]) for a in artifacts])
+
+
+def measure_census_at_max(
+    device: SimulatedGPU,
+    census,
+    *,
+    runs: int = 1,
+    name: str = "phase",
+) -> tuple[FeatureVector, float, float]:
+    """Online-phase acquisition for one raw census (e.g. one app phase).
+
+    Same contract as :func:`features_at_max` but takes a
+    :class:`~repro.gpusim.kernel.KernelCensus` directly — the phase-aware
+    prediction path measures each phase separately.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    fmax = device.arch.default_core_freq_mhz
+    metrics = [device.run_at(census, fmax, workload_name=name).metrics() for _ in range(runs)]
+    fp = float(np.mean([m["fp64_active"] + m["fp32_active"] for m in metrics]))
+    dram = float(np.mean([m["dram_active"] for m in metrics]))
+    power = float(np.mean([m["power_usage"] for m in metrics]))
+    time_s = float(np.mean([m["exec_time"] for m in metrics]))
+    return FeatureVector(fp, dram, fmax), power, time_s
+
+
+def dataset_from_csv_dir(root: str | Path, *, per_sample: bool = True) -> DVFSDataset:
+    """Rebuild a dataset from a persisted collection campaign.
+
+    ``root`` is the ``output_dir`` a :class:`~repro.telemetry.launch.Launcher`
+    wrote: one subdirectory per workload, one CSV of 20 ms samples per
+    run.  This closes the collect -> persist -> reload -> train loop, so a
+    campaign measured once (hours of GPU time in the paper's setting) can
+    be retrained against indefinitely.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise FileNotFoundError(f"{root} is not a directory")
+    run_rows: list[tuple[str, float, float, list[dict[str, float]]]] = []
+    for csv_path in sorted(root.glob("*/*.csv")):
+        workload = csv_path.parent.name
+        rows = read_samples_csv(csv_path)
+        if not rows:
+            raise ValueError(f"{csv_path}: no sample rows")
+        freq = rows[0]["sm_app_clock"]
+        exec_time = rows[0]["exec_time"]
+        run_rows.append((workload, freq, exec_time, rows))
+    if not run_rows:
+        raise ValueError(f"{root}: no run CSVs found (expected <workload>/<run>.csv)")
+
+    top = max(freq for _, freq, _, _ in run_rows)
+    t_ref: dict[str, float] = {}
+    for name in {w for w, _, _, _ in run_rows}:
+        refs = [t for w, f, t, _ in run_rows if w == name and f == top]
+        if not refs:
+            raise ValueError(f"workload {name!r} has no run at the reference clock {top} MHz")
+        t_ref[name] = float(np.mean(refs))
+
+    samples: list[SweepSample] = []
+    for run_index, (workload, freq, exec_time, rows) in enumerate(run_rows):
+        slowdown = exec_time / t_ref[workload]
+        if per_sample:
+            for row in rows:
+                samples.append(
+                    SweepSample(
+                        workload=workload,
+                        features=FeatureVector(
+                            fp_active=row["fp64_active"] + row["fp32_active"],
+                            dram_active=row["dram_active"],
+                            sm_app_clock=freq,
+                        ),
+                        power_w=row["power_usage"],
+                        time_s=exec_time,
+                        slowdown=slowdown,
+                        run_index=run_index,
+                    )
+                )
+        else:
+            fp = float(np.mean([r["fp64_active"] + r["fp32_active"] for r in rows]))
+            dram = float(np.mean([r["dram_active"] for r in rows]))
+            power = float(np.mean([r["power_usage"] for r in rows]))
+            samples.append(
+                SweepSample(
+                    workload=workload,
+                    features=FeatureVector(fp, dram, freq),
+                    power_w=power,
+                    time_s=exec_time,
+                    slowdown=slowdown,
+                    run_index=run_index,
+                )
+            )
+    return DVFSDataset(samples)
+
+
+def features_at_max(
+    device: SimulatedGPU,
+    workload: Workload,
+    *,
+    runs: int = 1,
+    size: int | None = None,
+) -> tuple[FeatureVector, float, float]:
+    """Online-phase acquisition: one measurement at the default clock.
+
+    Returns (features, mean power, mean exec time) at f_max — everything
+    the prediction phase needs about an unseen application.
+    """
+    launcher = Launcher(device)
+    config = LaunchConfig(
+        freqs_mhz=(device.arch.default_core_freq_mhz,),
+        runs_per_config=runs,
+        sizes={} if size is None else {workload.name: size},
+    )
+    artifacts = launcher.collect([workload], config)
+    metrics = [a.record.metrics() for a in artifacts]
+    fp = float(np.mean([m["fp64_active"] + m["fp32_active"] for m in metrics]))
+    dram = float(np.mean([m["dram_active"] for m in metrics]))
+    power = float(np.mean([m["power_usage"] for m in metrics]))
+    time_s = float(np.mean([m["exec_time"] for m in metrics]))
+    features = FeatureVector(fp, dram, device.arch.default_core_freq_mhz)
+    return features, power, time_s

@@ -1,0 +1,66 @@
+"""Energy computation and multi-objective functions (paper Section 4.4).
+
+Energy is the predicted power times the predicted time (paper Eq. 8).
+EDP multiplies energy by time once; ED2P twice, weighting delay more —
+the knob that makes ED2P "better suited for HPC centers where
+performance is paramount" (paper Section 7).  :class:`EDnP` generalises
+to any exponent, and any callable with the same signature plugs in as a
+user-defined objective (the framework property the paper advertises).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["energy_from_power_time", "ObjectiveFunction", "EDnP", "EDP", "ED2P"]
+
+
+def energy_from_power_time(power_w: np.ndarray, time_s: np.ndarray) -> np.ndarray:
+    """``E_f = P_f x T_f`` elementwise (paper Eq. 8)."""
+    power_w = np.asarray(power_w, dtype=float)
+    time_s = np.asarray(time_s, dtype=float)
+    if power_w.shape != time_s.shape:
+        raise ValueError(f"shape mismatch: power {power_w.shape} vs time {time_s.shape}")
+    if np.any(power_w < 0) or np.any(time_s < 0):
+        raise ValueError("power and time must be non-negative")
+    return power_w * time_s
+
+
+@runtime_checkable
+class ObjectiveFunction(Protocol):
+    """A scalarization of (energy, time) — lower is better."""
+
+    name: str
+
+    def __call__(self, energy_j: np.ndarray, time_s: np.ndarray) -> np.ndarray:
+        """Score per configuration; the minimiser is the optimum."""
+        ...
+
+
+class EDnP:
+    """Energy-delay^n product: ``E x T^n``."""
+
+    def __init__(self, n: float) -> None:
+        if n < 0:
+            raise ValueError("delay exponent must be non-negative")
+        self.n = float(n)
+        suffix = {1.0: "EDP", 2.0: "ED2P"}.get(self.n)
+        self.name = suffix if suffix is not None else f"ED{self.n:g}P"
+
+    def __call__(self, energy_j: np.ndarray, time_s: np.ndarray) -> np.ndarray:
+        energy_j = np.asarray(energy_j, dtype=float)
+        time_s = np.asarray(time_s, dtype=float)
+        if energy_j.shape != time_s.shape:
+            raise ValueError(f"shape mismatch: energy {energy_j.shape} vs time {time_s.shape}")
+        return energy_j * time_s**self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<EDnP n={self.n:g}>"
+
+
+#: Energy-delay product (Gonzalez & Horowitz; paper refs [10, 23]).
+EDP = EDnP(1.0)
+#: Energy-delay-squared product — the paper's preferred objective.
+ED2P = EDnP(2.0)

@@ -1,0 +1,55 @@
+"""Prediction-quality metrics.
+
+The paper reports model quality as ``accuracy = 100 % - MAPE`` (Section 5.1
+uses mean absolute percentage error via scikit-learn).  RMSE and R^2 are
+included for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mape", "accuracy_percent", "rmse", "r2_score"]
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=float).reshape(-1)
+    if y_true.size != y_pred.size:
+        raise ValueError(f"length mismatch: {y_true.size} true vs {y_pred.size} predicted")
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    return y_true, y_pred
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error, in percent.
+
+    Raises on zero true values rather than returning infinity — power and
+    time are strictly positive, so a zero signals an upstream bug.
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    if np.any(y_true == 0.0):
+        raise ValueError("MAPE undefined for zero true values")
+    return float(100.0 * np.mean(np.abs((y_pred - y_true) / y_true)))
+
+
+def accuracy_percent(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """The paper's accuracy metric: ``100 - MAPE`` (floored at 0)."""
+    return max(0.0, 100.0 - mape(y_true, y_pred))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_pred - y_true) ** 2)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _check(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

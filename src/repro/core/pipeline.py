@@ -1,0 +1,256 @@
+"""End-to-end pipeline: offline training + online frequency selection.
+
+This is the paper's Fig. 2 as one object.  ``fit_offline`` runs the full
+collection campaign on the training workloads and trains both DNNs;
+``run_online`` takes an *unseen* application, measures it once at the
+default clock, predicts its power/time/energy across the design space,
+and selects the optimal frequency under the requested objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import (
+    DVFSDataset,
+    FeatureVector,
+    build_dataset,
+    features_at_max,
+    measure_census_at_max,
+)
+from repro.core.energy import ED2P, EDP, ObjectiveFunction, energy_from_power_time
+from repro.core.models import PowerModel, TimeModel
+from repro.core.selection import SelectionResult, select_optimal_frequency
+from repro.gpusim.device import SimulatedGPU
+from repro.telemetry.launch import LaunchConfig, Launcher
+from repro.workloads.base import Workload
+
+__all__ = ["OnlineResult", "FrequencySelectionPipeline"]
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Everything the online phase produces for one application."""
+
+    workload: str
+    freqs_mhz: np.ndarray
+    features: FeatureVector
+    #: Measurement at the default clock (the only measurement taken).
+    measured_power_at_max_w: float
+    measured_time_at_max_s: float
+    #: Predicted curves across the design space.
+    power_w: np.ndarray
+    time_s: np.ndarray
+    energy_j: np.ndarray
+    #: Selection per objective name (e.g. "EDP", "ED2P").
+    selections: dict[str, SelectionResult]
+
+    def selection(self, objective_name: str) -> SelectionResult:
+        """Selection result for one objective by name."""
+        try:
+            return self.selections[objective_name]
+        except KeyError:
+            raise KeyError(
+                f"no selection for {objective_name!r}; available: {sorted(self.selections)}"
+            ) from None
+
+
+class FrequencySelectionPipeline:
+    """Offline-train / online-predict pipeline over one device."""
+
+    def __init__(
+        self,
+        device: SimulatedGPU,
+        *,
+        power_model: PowerModel | None = None,
+        time_model: TimeModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.device = device
+        self.power_model = power_model if power_model is not None else PowerModel(seed=seed)
+        self.time_model = time_model if time_model is not None else TimeModel(seed=seed)
+        self.training_dataset: DVFSDataset | None = None
+
+    # ------------------------------------------------------------------
+    # Offline phase
+    # ------------------------------------------------------------------
+    def fit_offline(
+        self,
+        training_workloads: list[Workload],
+        *,
+        runs_per_config: int = 3,
+        freqs_mhz: tuple[float, ...] | None = None,
+        sizes: dict[str, int] | None = None,
+    ) -> DVFSDataset:
+        """Collect the training sweep and train both models.
+
+        Defaults follow the paper: every usable clock, three runs each.
+        Returns the assembled dataset (kept on the pipeline for
+        inspection and for the figure benches).
+        """
+        freqs = freqs_mhz if freqs_mhz is not None else tuple(self.device.dvfs.usable_mhz)
+        launcher = Launcher(self.device)
+        config = LaunchConfig(
+            freqs_mhz=freqs,
+            runs_per_config=runs_per_config,
+            sizes=sizes if sizes is not None else {},
+        )
+        artifacts = launcher.collect(training_workloads, config)
+        # Per-sample rows: every 20 ms sensor sample is a training row,
+        # the paper's "statistically significant dataset" (Section 4).
+        dataset = build_dataset(artifacts, max_freq_mhz=max(freqs), per_sample=True)
+        self.power_model.fit(dataset)
+        self.time_model.fit(dataset)
+        self.training_dataset = dataset
+        return dataset
+
+    def fit_from_dataset(self, dataset: DVFSDataset) -> None:
+        """Train both models from a pre-built dataset (e.g. loaded CSVs)."""
+        self.power_model.fit(dataset)
+        self.time_model.fit(dataset)
+        self.training_dataset = dataset
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether both models have been trained."""
+        return self.power_model.network is not None and self.time_model.network is not None
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def run_online(
+        self,
+        workload: Workload,
+        *,
+        objectives: tuple[ObjectiveFunction, ...] = (EDP, ED2P),
+        threshold: float | None = None,
+        runs: int = 1,
+        size: int | None = None,
+    ) -> OnlineResult:
+        """Measure once at f_max, predict the design space, select clocks.
+
+        The paper's evaluation selects without a degradation threshold;
+        pass ``threshold`` to reproduce the Table 6 variants.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("pipeline used before fit_offline()/fit_from_dataset()")
+        features, power_max, time_max = features_at_max(self.device, workload, runs=runs, size=size)
+        freqs = self.device.dvfs.usable_array()
+        # TDP-normalised models are rescaled onto *this* device's envelope,
+        # which is what lets GA100-trained weights serve a GV100 pipeline.
+        scale = self.device.arch.tdp_watts if self.power_model.reference_power_w is not None else None
+        power = self.power_model.predict_power(features, freqs, target_power_scale_w=scale)
+        time = self.time_model.predict_time(features, freqs, time_at_max_s=time_max)
+        energy = energy_from_power_time(power, time)
+        selections = {
+            obj.name: select_optimal_frequency(freqs, energy, time, objective=obj, threshold=threshold)
+            for obj in objectives
+        }
+        return OnlineResult(
+            workload=workload.name,
+            freqs_mhz=freqs,
+            features=features,
+            measured_power_at_max_w=power_max,
+            measured_time_at_max_s=time_max,
+            power_w=power,
+            time_s=time,
+            energy_j=energy,
+            selections=selections,
+        )
+
+    def run_online_phased(
+        self,
+        workload,
+        *,
+        objectives: tuple[ObjectiveFunction, ...] = (EDP, ED2P),
+        threshold: float | None = None,
+        runs: int = 1,
+        size: int | None = None,
+    ) -> OnlineResult:
+        """Phase-aware online prediction for a multi-phase application.
+
+        Instead of one whole-run measurement (whose averaged features sit
+        at a synthetic operating point for bimodal apps), each phase is
+        measured at the default clock and predicted separately; the
+        composite curves are ``T(f) = sum_i T_i(f)`` and
+        ``E(f) = sum_i P_i(f) T_i(f)``, with mean power ``E/T``.
+
+        ``workload`` must expose ``phases(size) -> list[Phase]``
+        (see :class:`repro.workloads.trace.PhasedWorkload`).
+        """
+        if not self.is_fitted:
+            raise RuntimeError("pipeline used before fit_offline()/fit_from_dataset()")
+        phases = workload.phases(size)
+        if not phases:
+            raise ValueError(f"{workload.name} reports no phases")
+        freqs = self.device.dvfs.usable_array()
+        scale = self.device.arch.tdp_watts if self.power_model.reference_power_w is not None else None
+
+        total_time = np.zeros(freqs.size)
+        total_energy = np.zeros(freqs.size)
+        measured_time = 0.0
+        measured_energy = 0.0
+        weighted_fp = 0.0
+        weighted_dram = 0.0
+        for phase in phases:
+            fv, p_max, t_max = measure_census_at_max(
+                self.device, phase.census, runs=runs, name=f"{workload.name}:{phase.name}"
+            )
+            p_curve = self.power_model.predict_power(fv, freqs, target_power_scale_w=scale)
+            t_curve = self.time_model.predict_time(fv, freqs, time_at_max_s=t_max)
+            total_time += t_curve
+            total_energy += p_curve * t_curve
+            measured_time += t_max
+            measured_energy += p_max * t_max
+            weighted_fp += fv.fp_active * t_max
+            weighted_dram += fv.dram_active * t_max
+
+        power = total_energy / total_time
+        selections = {
+            obj.name: select_optimal_frequency(
+                freqs, total_energy, total_time, objective=obj, threshold=threshold
+            )
+            for obj in objectives
+        }
+        return OnlineResult(
+            workload=workload.name,
+            freqs_mhz=freqs,
+            features=FeatureVector(
+                weighted_fp / measured_time,
+                weighted_dram / measured_time,
+                self.device.arch.default_core_freq_mhz,
+            ),
+            measured_power_at_max_w=measured_energy / measured_time,
+            measured_time_at_max_s=measured_time,
+            power_w=power,
+            time_s=total_time,
+            energy_j=total_energy,
+            selections=selections,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation helpers (measured ground truth for the benches)
+    # ------------------------------------------------------------------
+    def measure_sweep(
+        self,
+        workload: Workload,
+        *,
+        runs_per_config: int = 1,
+        size: int | None = None,
+    ) -> DVFSDataset:
+        """Measure an application across the whole design space.
+
+        This is the expensive brute-force path the paper's method avoids;
+        the benches use it as ground truth for Figures 7-10 and Tables
+        3-6.
+        """
+        launcher = Launcher(self.device)
+        config = LaunchConfig(
+            freqs_mhz=tuple(self.device.dvfs.usable_mhz),
+            runs_per_config=runs_per_config,
+            sizes={} if size is None else {workload.name: size},
+        )
+        artifacts = launcher.collect([workload], config)
+        return build_dataset(artifacts)

@@ -1,0 +1,115 @@
+"""Optimal frequency selection — paper Algorithm 1.
+
+Two steps:
+
+1. score every configuration with the objective (EDP/ED2P) and take the
+   minimiser;
+2. if a performance-degradation threshold is given and the minimiser
+   violates it, walk *upward* in frequency from the minimiser and take
+   the first configuration whose degradation is under the threshold.
+
+Note on the paper's pseudocode: lines 11-17 as printed assign ``index``
+on *every* pass where the degradation test holds, which would always end
+at the maximum frequency; the prose ("a higher frequency configuration is
+selected ... this step is repeated until the performance degradation is
+less than the threshold") describes the first-satisfying walk implemented
+here.  Degradation is measured against performance at the maximum
+frequency: ``perfDeg = 1 - T(f_max) / T(f)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.energy import EDP, ObjectiveFunction
+
+__all__ = ["SelectionResult", "select_optimal_frequency"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of Algorithm 1 for one application."""
+
+    freq_mhz: float
+    index: int
+    objective_name: str
+    scores: np.ndarray
+    #: Performance degradation at the selected clock vs f_max (fraction;
+    #: positive = slower).
+    perf_degradation: float
+    #: Energy change at the selected clock vs f_max (fraction; positive =
+    #: saving).
+    energy_saving: float
+    #: Whether the threshold walk moved the selection above the raw
+    #: objective minimiser.
+    threshold_applied: bool
+
+
+def select_optimal_frequency(
+    freqs_mhz: np.ndarray,
+    energy_j: np.ndarray,
+    time_s: np.ndarray,
+    *,
+    objective: ObjectiveFunction = EDP,
+    threshold: float | None = None,
+) -> SelectionResult:
+    """Run Algorithm 1 over per-configuration energy/time curves.
+
+    Parameters
+    ----------
+    freqs_mhz:
+        Ascending clock grid; the last entry must be the maximum
+        (reference) frequency.
+    energy_j, time_s:
+        Predicted (or measured) energy and execution time per clock.
+    objective:
+        EDP, ED2P, or any :class:`~repro.core.energy.ObjectiveFunction`.
+    threshold:
+        Optional maximum tolerated performance degradation (fraction,
+        e.g. 0.05 for the paper's 5 % row in Table 6).  ``None`` selects
+        purely by the objective, as the paper's main evaluation does.
+    """
+    freqs = np.asarray(freqs_mhz, dtype=float)
+    energy = np.asarray(energy_j, dtype=float)
+    time = np.asarray(time_s, dtype=float)
+    if not (freqs.shape == energy.shape == time.shape):
+        raise ValueError("freqs, energy, and time must have identical shapes")
+    if freqs.size < 1:
+        raise ValueError("empty design space")
+    if np.any(np.diff(freqs) <= 0):
+        raise ValueError("freqs must be strictly ascending")
+    if threshold is not None and threshold < 0:
+        raise ValueError("threshold must be non-negative")
+
+    scores = objective(energy, time)
+    k = int(np.argmin(scores))
+
+    t_max = time[-1]
+    e_max = energy[-1]
+    degradation = 1.0 - t_max / time  # positive where slower than f_max
+
+    index = k
+    threshold_applied = False
+    if threshold is not None and degradation[k] >= threshold:
+        # Walk upward in frequency until degradation is acceptable; the
+        # maximum frequency always satisfies (degradation there is 0).
+        for i in range(k + 1, freqs.size):
+            if degradation[i] < threshold:
+                index = i
+                threshold_applied = True
+                break
+        else:  # pragma: no cover - unreachable, kept as a guard
+            index = freqs.size - 1
+            threshold_applied = True
+
+    return SelectionResult(
+        freq_mhz=float(freqs[index]),
+        index=index,
+        objective_name=objective.name,
+        scores=scores,
+        perf_degradation=float(degradation[index]),
+        energy_saving=float(1.0 - energy[index] / e_max) if e_max > 0 else 0.0,
+        threshold_applied=threshold_applied,
+    )

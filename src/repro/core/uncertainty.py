@@ -1,0 +1,169 @@
+"""Uncertainty-aware prediction and conservative selection.
+
+Extension beyond the paper: a deep ensemble (k networks differing only
+in initialisation/shuffling seed) yields a predictive mean and spread
+for both power and time.  The spread feeds a *conservative* variant of
+Algorithm 1: instead of trusting the point estimate of performance
+degradation, the selection must satisfy the threshold at the upper
+confidence bound — "pick a lower clock only when we are confident it is
+safe".  This directly addresses the paper's observed failure mode
+(P-ED2P choosing clocks whose realised degradation exceeded
+expectations for LAMMPS/ResNet50, Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import DVFSDataset, FeatureVector
+from repro.core.energy import EDP, ObjectiveFunction, energy_from_power_time
+from repro.core.models import PowerModel, TimeModel
+from repro.core.selection import SelectionResult, select_optimal_frequency
+
+__all__ = ["EnsemblePrediction", "EnsembleModel", "select_conservative"]
+
+
+@dataclass(frozen=True)
+class EnsemblePrediction:
+    """Per-clock predictive mean and standard deviation."""
+
+    freqs_mhz: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+
+    def upper(self, z: float = 1.64) -> np.ndarray:
+        """Mean + z sigma (default ~90th percentile under normality)."""
+        return self.mean + z * self.std
+
+    def lower(self, z: float = 1.64) -> np.ndarray:
+        """Mean - z sigma, floored at zero (physical quantities)."""
+        return np.maximum(self.mean - z * self.std, 0.0)
+
+    @property
+    def relative_std(self) -> np.ndarray:
+        """Coefficient of variation per clock."""
+        return self.std / np.maximum(self.mean, 1e-12)
+
+
+class EnsembleModel:
+    """Deep ensemble of the paper's power and time models."""
+
+    def __init__(
+        self,
+        *,
+        n_members: int = 5,
+        reference_power_w: float | None = None,
+        time_target: str = "relative",
+        seed: int = 0,
+    ) -> None:
+        if n_members < 2:
+            raise ValueError("n_members must be >= 2")
+        self.n_members = n_members
+        self.power_members = [
+            PowerModel(reference_power_w=reference_power_w, seed=seed + i) for i in range(n_members)
+        ]
+        self.time_members = [
+            TimeModel(target=time_target, seed=seed + i) for i in range(n_members)
+        ]
+
+    def fit(self, dataset: DVFSDataset, *, power_epochs: int | None = None, time_epochs: int | None = None) -> None:
+        """Train every member (different init + shuffle seeds)."""
+        for m in self.power_members:
+            m.fit(dataset, epochs=power_epochs)
+        for m in self.time_members:
+            m.fit(dataset, epochs=time_epochs)
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether all members are trained."""
+        return all(m.network is not None for m in [*self.power_members, *self.time_members])
+
+    def predict_power(
+        self,
+        features: FeatureVector,
+        freqs_mhz: np.ndarray,
+        *,
+        target_power_scale_w: float | None = None,
+    ) -> EnsemblePrediction:
+        """Ensemble power prediction (watts)."""
+        if not self.is_fitted:
+            raise RuntimeError("ensemble used before fit()")
+        freqs = np.asarray(freqs_mhz, dtype=float)
+        curves = np.stack(
+            [
+                m.predict_power(features, freqs, target_power_scale_w=target_power_scale_w)
+                for m in self.power_members
+            ]
+        )
+        return EnsemblePrediction(freqs_mhz=freqs, mean=curves.mean(axis=0), std=curves.std(axis=0))
+
+    def predict_time(
+        self,
+        features: FeatureVector,
+        freqs_mhz: np.ndarray,
+        *,
+        time_at_max_s: float,
+    ) -> EnsemblePrediction:
+        """Ensemble time prediction (seconds)."""
+        if not self.is_fitted:
+            raise RuntimeError("ensemble used before fit()")
+        freqs = np.asarray(freqs_mhz, dtype=float)
+        curves = np.stack(
+            [m.predict_time(features, freqs, time_at_max_s=time_at_max_s) for m in self.time_members]
+        )
+        return EnsemblePrediction(freqs_mhz=freqs, mean=curves.mean(axis=0), std=curves.std(axis=0))
+
+
+def select_conservative(
+    power: EnsemblePrediction,
+    time: EnsemblePrediction,
+    *,
+    objective: ObjectiveFunction = EDP,
+    threshold: float = 0.05,
+    z: float = 1.64,
+) -> SelectionResult:
+    """Algorithm 1 with an uncertainty-padded degradation constraint.
+
+    The objective is scored on the predictive means, but the threshold
+    walk uses the *upper confidence bound* of execution time: a clock is
+    admissible only if even its pessimistic time stays under the
+    degradation budget.  With z = 0 this reduces to the paper's
+    thresholded Algorithm 1 on the means.
+    """
+    if z < 0:
+        raise ValueError("z must be non-negative")
+    freqs = power.freqs_mhz
+    if not np.array_equal(freqs, time.freqs_mhz):
+        raise ValueError("power and time grids disagree")
+
+    energy = energy_from_power_time(power.mean, time.mean)
+    base = select_optimal_frequency(freqs, energy, time.mean, objective=objective)
+
+    # Pessimistic degradation per clock: slowest plausible time at f
+    # versus the *mean* time at f_max (the reference the user observes).
+    t_upper = time.upper(z)
+    degradation = 1.0 - time.mean[-1] / np.maximum(t_upper, 1e-300)
+
+    index = base.index
+    threshold_applied = False
+    if degradation[index] >= threshold:
+        for i in range(index + 1, freqs.size):
+            if degradation[i] < threshold:
+                index = i
+                threshold_applied = True
+                break
+        else:
+            index = freqs.size - 1
+            threshold_applied = True
+
+    return SelectionResult(
+        freq_mhz=float(freqs[index]),
+        index=index,
+        objective_name=f"{objective.name}-conservative",
+        scores=base.scores,
+        perf_degradation=float(degradation[index]),
+        energy_saving=float(1.0 - energy[index] / energy[-1]) if energy[-1] > 0 else 0.0,
+        threshold_applied=threshold_applied,
+    )

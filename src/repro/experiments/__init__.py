@@ -1,0 +1,22 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every module exposes a ``run_*`` function taking an
+:class:`~repro.experiments.context.ExperimentContext` and returning a
+structured result object plus a ``render_*`` helper that formats it as
+the rows/series the paper reports.  The benchmark suite
+(``benchmarks/``) is a thin shell over these functions.
+
+Heavy shared work (training the pipeline, measuring ground-truth sweeps)
+is computed once and cached on the context, so regenerating all figures
+costs one collection campaign, not ten.
+"""
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.experiments.evaluation import AppEvaluation, EvaluationSuite
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentSettings",
+    "AppEvaluation",
+    "EvaluationSuite",
+]

@@ -1,0 +1,110 @@
+"""Cluster study: the paper's per-GPU method at machine-room scale.
+
+A small GPU partition (2 nodes x 2 GPUs) executes a mixed 36-job
+campaign of the six real applications under three policies:
+
+* **default-clock** — everything at boost (status quo),
+* **static-cap** — one site-wide 900 MHz cap (the blunt instrument),
+* **model-driven** — the paper's per-application ED2P selection.
+
+Expected shapes: the model-driven policy saves a large fraction of the
+default policy's energy at a single-digit makespan increase, and beats
+the static cap on makespan at comparable (or better) energy; peak
+partition power drops under both non-default policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import (
+    ClusterReport,
+    DefaultClockPolicy,
+    FIFOScheduler,
+    GPUNode,
+    Job,
+    ModelDrivenPolicy,
+    StaticClockPolicy,
+    summarize,
+)
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import render_table
+from repro.gpusim.arch import get_architecture
+
+__all__ = ["ClusterStudyResult", "run_cluster_study", "render_cluster_study"]
+
+#: Jobs per application in the campaign (arrival staggered).
+_JOBS_PER_APP = 6
+_STATIC_CAP_MHZ = 900.0
+
+
+@dataclass(frozen=True)
+class ClusterStudyResult:
+    """Reports per policy plus the model policy's decisions."""
+
+    reports: dict[str, ClusterReport]
+    decisions_mhz: dict[str, float]
+
+    def report(self, policy: str) -> ClusterReport:
+        """Report accessor by policy name."""
+        try:
+            return self.reports[policy]
+        except KeyError:
+            raise KeyError(f"no report for {policy!r}; have {sorted(self.reports)}") from None
+
+
+def _campaign(ctx: ExperimentContext) -> list[Job]:
+    jobs: list[Job] = []
+    job_id = 0
+    for burst in range(_JOBS_PER_APP):
+        for workload in ctx.evaluation_workloads():
+            jobs.append(Job(job_id, workload, arrival_s=2.0 * burst))
+            job_id += 1
+    return jobs
+
+
+def run_cluster_study(ctx: ExperimentContext) -> ClusterStudyResult:
+    """Run the campaign under all three policies on fresh partitions."""
+    pipeline = ctx.pipeline("GA100")
+    arch = get_architecture("GA100")
+    model_policy = ModelDrivenPolicy(pipeline)
+    policies = {
+        "default-clock": DefaultClockPolicy(),
+        "static-cap": StaticClockPolicy(_STATIC_CAP_MHZ),
+        "model-driven": model_policy,
+    }
+    reports: dict[str, ClusterReport] = {}
+    for name, policy in policies.items():
+        # Fresh nodes per policy so board noise streams are identical.
+        nodes = [
+            GPUNode(i, arch, gpus_per_node=2, seed=ctx.settings.seed,
+                    max_samples_per_run=ctx.settings.max_samples_per_run)
+            for i in range(2)
+        ]
+        records = FIFOScheduler(nodes, policy).run(_campaign(ctx))
+        reports[name] = summarize(name, records)
+    return ClusterStudyResult(reports=reports, decisions_mhz=model_policy.decisions)
+
+
+def render_cluster_study(result: ClusterStudyResult) -> str:
+    """Policy comparison table plus the per-app clock decisions."""
+    base = result.report("default-clock")
+    rows = []
+    for name, report in result.reports.items():
+        rows.append(
+            [
+                name,
+                report.makespan_s,
+                report.total_energy_j / 1e3,
+                report.peak_power_w / 1e3,
+                100.0 * report.energy_saving_vs(base),
+                100.0 * report.makespan_change_vs(base),
+            ]
+        )
+    table = render_table(
+        ["policy", "makespan (s)", "energy (kJ)", "peak power (kW)", "E save (%)", "makespan (+%)"],
+        rows,
+        title="Cluster study - 36 mixed jobs on 2 nodes x 2 GA100 (FIFO)",
+    )
+    decisions = ", ".join(f"{k}:{v:.0f}" for k, v in sorted(result.decisions_mhz.items()))
+    return f"{table}\nmodel-driven clocks (MHz): {decisions}"

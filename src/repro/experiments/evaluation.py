@@ -1,0 +1,119 @@
+"""Shared evaluation computation behind Figures 7-10 and Tables 3-6.
+
+For every (architecture, real application) pair this produces:
+
+* the online-phase prediction curves (power / time / energy),
+* the measured ground-truth curves from a brute-force sweep,
+* model accuracies (paper's ``100 - MAPE``),
+* the four selections: M-EDP, P-EDP, M-ED2P, P-ED2P, and
+* the energy/time changes each selection realises **on the measured
+  curves** (a predicted frequency is judged by what it actually does,
+  exactly as the paper evaluates Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import FeatureVector
+from repro.core.energy import ED2P, EDP, energy_from_power_time
+from repro.core.metrics import accuracy_percent
+from repro.core.selection import SelectionResult, select_optimal_frequency
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["AppEvaluation", "EvaluationSuite"]
+
+
+@dataclass(frozen=True)
+class AppEvaluation:
+    """Everything measured and predicted for one app on one GPU."""
+
+    app: str
+    arch: str
+    #: The online-phase feature vector (activities measured at f_max).
+    features: "FeatureVector"
+    freqs_mhz: np.ndarray
+    power_measured_w: np.ndarray
+    power_predicted_w: np.ndarray
+    time_measured_s: np.ndarray
+    time_predicted_s: np.ndarray
+    power_accuracy: float
+    time_accuracy: float
+    #: Keys: "M-EDP", "P-EDP", "M-ED2P", "P-ED2P".
+    selections: dict[str, SelectionResult]
+
+    @property
+    def energy_measured_j(self) -> np.ndarray:
+        """Measured energy curve."""
+        return self.power_measured_w * self.time_measured_s
+
+    @property
+    def energy_predicted_j(self) -> np.ndarray:
+        """Predicted energy curve."""
+        return self.power_predicted_w * self.time_predicted_s
+
+    def realised_changes(self, method: str) -> tuple[float, float]:
+        """(energy saving %, time change %) a selection realises.
+
+        Both are evaluated on the *measured* curves at the selected clock,
+        relative to the maximum clock.  Positive energy = saving; negative
+        time = slowdown (paper Table 5 sign convention).
+        """
+        sel = self.selections[method]
+        i = int(np.argmin(np.abs(self.freqs_mhz - sel.freq_mhz)))
+        e = self.energy_measured_j
+        t = self.time_measured_s
+        energy_saving = 100.0 * (1.0 - e[i] / e[-1])
+        time_change = 100.0 * (1.0 - t[i] / t[-1])  # negative when slower
+        return float(energy_saving), float(time_change)
+
+
+class EvaluationSuite:
+    """Computes and caches :class:`AppEvaluation` for every app/arch."""
+
+    def __init__(self, ctx: ExperimentContext) -> None:
+        self.ctx = ctx
+        self._cache: dict[tuple[str, str], AppEvaluation] = {}
+
+    def evaluate(self, app_name: str, arch_name: str = "GA100") -> AppEvaluation:
+        """Evaluate one application on one architecture (cached)."""
+        key = (app_name.lower(), arch_name.upper())
+        if key in self._cache:
+            return self._cache[key]
+
+        pipe = self.ctx.pipeline(arch_name)
+        online = pipe.run_online(self.ctx.registry.get(app_name), objectives=(EDP, ED2P))
+        truth = self.ctx.truth_sweep(app_name, arch_name)
+        freqs, p_meas = truth.mean_curve("power")
+        _, t_meas = truth.mean_curve("time")
+        if freqs.shape != online.freqs_mhz.shape or not np.allclose(freqs, online.freqs_mhz):
+            raise RuntimeError("measured and predicted clock grids disagree")
+
+        e_meas = energy_from_power_time(p_meas, t_meas)
+        selections = {
+            "M-EDP": select_optimal_frequency(freqs, e_meas, t_meas, objective=EDP),
+            "M-ED2P": select_optimal_frequency(freqs, e_meas, t_meas, objective=ED2P),
+            "P-EDP": online.selection("EDP"),
+            "P-ED2P": online.selection("ED2P"),
+        }
+        result = AppEvaluation(
+            app=app_name.lower(),
+            arch=arch_name.upper(),
+            features=online.features,
+            freqs_mhz=freqs,
+            power_measured_w=p_meas,
+            power_predicted_w=online.power_w,
+            time_measured_s=t_meas,
+            time_predicted_s=online.time_s,
+            power_accuracy=accuracy_percent(p_meas, online.power_w),
+            time_accuracy=accuracy_percent(t_meas / t_meas[-1], online.time_s / online.time_s[-1]),
+            selections=selections,
+        )
+        self._cache[key] = result
+        return result
+
+    def evaluate_all(self, arch_name: str = "GA100") -> list[AppEvaluation]:
+        """All six real applications on one architecture."""
+        return [self.evaluate(w.name, arch_name) for w in self.ctx.evaluation_workloads()]

@@ -1,0 +1,104 @@
+"""Figure 1: power / time / energy / FLOPS / bandwidth vs frequency.
+
+Sweeps DGEMM (compute-bound) and STREAM (memory-bound) across the 61
+usable GA100 clocks and reports the eight panels of paper Fig. 1:
+(a/e) power, (b/f) execution time, (c/g) energy, (d) DGEMM FLOPS, and
+(h) STREAM bandwidth.
+
+Expected shapes (checked by the bench): nonlinear increasing power,
+inverse-nonlinear time, U-shaped energy with the DGEMM optimum at a
+higher clock than STREAM's, near-linear FLOPS, and bandwidth flattening
+around ~900 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import render_series
+from repro.workloads.base import Workload
+
+__all__ = ["WorkloadSweep", "Fig1Result", "run_fig1", "render_fig1"]
+
+
+@dataclass(frozen=True)
+class WorkloadSweep:
+    """One workload's measured curves across the clock grid."""
+
+    workload: str
+    freqs_mhz: np.ndarray
+    power_w: np.ndarray
+    time_s: np.ndarray
+    energy_j: np.ndarray
+    flops_per_s: np.ndarray
+    bandwidth_bytes_per_s: np.ndarray
+
+    @property
+    def energy_optimal_mhz(self) -> float:
+        """Clock minimising energy."""
+        return float(self.freqs_mhz[np.argmin(self.energy_j)])
+
+    @property
+    def time_optimal_mhz(self) -> float:
+        """Clock minimising execution time."""
+        return float(self.freqs_mhz[np.argmin(self.time_s)])
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Both micro-benchmark sweeps."""
+
+    dgemm: WorkloadSweep
+    stream: WorkloadSweep
+
+
+def _sweep(ctx: ExperimentContext, workload: Workload, *, runs: int) -> WorkloadSweep:
+    device = ctx.device("GA100")
+    census = workload.census()
+    freqs = device.dvfs.usable_array()
+    power = np.empty(freqs.size)
+    time = np.empty(freqs.size)
+    for i, f in enumerate(freqs):
+        records = [device.run_at(census, f, workload_name=workload.name) for _ in range(runs)]
+        power[i] = float(np.mean([r.mean_power_w for r in records]))
+        time[i] = float(np.mean([r.exec_time_s for r in records]))
+    return WorkloadSweep(
+        workload=workload.name,
+        freqs_mhz=freqs,
+        power_w=power,
+        time_s=time,
+        energy_j=power * time,
+        flops_per_s=census.total_flops / time,
+        bandwidth_bytes_per_s=census.dram_bytes / time,
+    )
+
+
+def run_fig1(ctx: ExperimentContext) -> Fig1Result:
+    """Measure both micro-benchmark sweeps on GA100."""
+    runs = ctx.settings.truth_runs_per_config
+    return Fig1Result(
+        dgemm=_sweep(ctx, ctx.registry.get("dgemm"), runs=runs),
+        stream=_sweep(ctx, ctx.registry.get("stream"), runs=runs),
+    )
+
+
+def render_fig1(result: Fig1Result) -> str:
+    """The eight panels as compact series."""
+    d, s = result.dgemm, result.stream
+    lines = [
+        "Figure 1 - DVFS characterization on GA100 (61 configs, 510-1410 MHz)",
+        render_series("(a) DGEMM power [W]", d.freqs_mhz, d.power_w),
+        render_series("(b) DGEMM time [s]", d.freqs_mhz, d.time_s),
+        render_series("(c) DGEMM energy [J]", d.freqs_mhz, d.energy_j),
+        render_series("(d) DGEMM FLOPS", d.freqs_mhz, d.flops_per_s),
+        render_series("(e) STREAM power [W]", s.freqs_mhz, s.power_w),
+        render_series("(f) STREAM time [s]", s.freqs_mhz, s.time_s),
+        render_series("(g) STREAM energy [J]", s.freqs_mhz, s.energy_j),
+        render_series("(h) STREAM bandwidth [B/s]", s.freqs_mhz, s.bandwidth_bytes_per_s),
+        f"DGEMM optimal energy @ {d.energy_optimal_mhz:.0f} MHz, optimal time @ {d.time_optimal_mhz:.0f} MHz",
+        f"STREAM optimal energy @ {s.energy_optimal_mhz:.0f} MHz, optimal time @ {s.time_optimal_mhz:.0f} MHz",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Figure 10 + Table 5: energy and time changes at the selected clocks.
+
+For every application and method this evaluates, on the *measured*
+curves, the percentage energy saving and execution-time change the
+selected clock realises relative to the maximum clock (paper's sign
+convention: negative time = performance loss).
+
+Expected shapes: substantial energy savings with small ED2P time losses;
+ED2P's average time loss much smaller than EDP's; predicted selections
+close to measured ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import AppEvaluation, EvaluationSuite
+from repro.experiments.fig9 import METHODS
+from repro.experiments.report import render_table
+
+__all__ = ["TradeoffRow", "Fig10Result", "run_fig10", "render_fig10"]
+
+
+@dataclass(frozen=True)
+class TradeoffRow:
+    """Energy/time change (%) per method for one application."""
+
+    app: str
+    energy_pct: dict[str, float]
+    time_pct: dict[str, float]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """All rows plus the per-method averages (Table 5's last row)."""
+
+    rows: list[TradeoffRow]
+
+    def average(self, method: str) -> tuple[float, float]:
+        """(mean energy %, mean time %) across applications."""
+        e = float(np.mean([r.energy_pct[method] for r in self.rows]))
+        t = float(np.mean([r.time_pct[method] for r in self.rows]))
+        return e, t
+
+
+def run_fig10(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> Fig10Result:
+    """Realised energy/time changes for all apps and methods on GA100."""
+    suite = suite if suite is not None else EvaluationSuite(ctx)
+    rows = []
+    for ev in suite.evaluate_all("GA100"):
+        energy: dict[str, float] = {}
+        time: dict[str, float] = {}
+        for method in METHODS:
+            e, t = ev.realised_changes(method)
+            energy[method] = e
+            time[method] = t
+        rows.append(TradeoffRow(app=ev.app, energy_pct=energy, time_pct=time))
+    return Fig10Result(rows=rows)
+
+
+def render_fig10(result: Fig10Result) -> str:
+    """Table 5-style energy/time matrix with averages."""
+    headers = ["application"]
+    headers += [f"E% {m}" for m in METHODS]
+    headers += [f"T% {m}" for m in METHODS]
+    table_rows = [
+        [r.app, *(r.energy_pct[m] for m in METHODS), *(r.time_pct[m] for m in METHODS)]
+        for r in result.rows
+    ]
+    avg_row: list[object] = ["average"]
+    avg_row += [result.average(m)[0] for m in METHODS]
+    avg_row += [result.average(m)[1] for m in METHODS]
+    table_rows.append(avg_row)
+    return render_table(
+        headers,
+        table_rows,
+        title="Figure 10 / Table 5 - realised energy & time change vs f_max, GA100 "
+        "(positive energy = saving, negative time = slowdown)",
+    )

@@ -1,0 +1,81 @@
+"""Figure 4: impact of DVFS on fp_active / dram_active.
+
+Sweeps DGEMM and STREAM (at their maximum/default input sizes) across
+the clock grid and records the two selected activity features at each
+clock.  Expected shape: fp activity is almost flat; memory activity
+varies "to some extent" but stays bounded — the invariance that lets the
+online phase collect features only at the default clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import render_series
+
+__all__ = ["ActivityVsClock", "Fig4Result", "run_fig4", "render_fig4", "relative_spread"]
+
+
+@dataclass(frozen=True)
+class ActivityVsClock:
+    """Activity features measured at every clock for one workload."""
+
+    workload: str
+    freqs_mhz: np.ndarray
+    fp_active: np.ndarray
+    dram_active: np.ndarray
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Both micro-benchmarks' activity-vs-clock curves."""
+
+    dgemm: ActivityVsClock
+    stream: ActivityVsClock
+
+
+def relative_spread(values: np.ndarray) -> float:
+    """(max - min) / mean — the invariance measure the benches assert on."""
+    values = np.asarray(values, dtype=float)
+    mean = values.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(np.ptp(values) / mean)
+
+
+def _activity_sweep(ctx: ExperimentContext, name: str) -> ActivityVsClock:
+    device = ctx.device("GA100")
+    workload = ctx.registry.get(name)
+    census = workload.census()
+    freqs = device.dvfs.usable_array()
+    fp = np.empty(freqs.size)
+    dram = np.empty(freqs.size)
+    for i, f in enumerate(freqs):
+        metrics = device.run_at(census, f, workload_name=name).metrics()
+        fp[i] = metrics["fp64_active"] + metrics["fp32_active"]
+        dram[i] = metrics["dram_active"]
+    return ActivityVsClock(workload=name, freqs_mhz=freqs, fp_active=fp, dram_active=dram)
+
+
+def run_fig4(ctx: ExperimentContext) -> Fig4Result:
+    """Measure activity-vs-clock for both micro-benchmarks."""
+    return Fig4Result(
+        dgemm=_activity_sweep(ctx, "dgemm"),
+        stream=_activity_sweep(ctx, "stream"),
+    )
+
+
+def render_fig4(result: Fig4Result) -> str:
+    """Series plus the invariance spreads."""
+    lines = ["Figure 4 - impact of DVFS on fp_active and dram_active"]
+    for sweep in (result.dgemm, result.stream):
+        lines.append(render_series(f"{sweep.workload} fp_active", sweep.freqs_mhz, sweep.fp_active))
+        lines.append(render_series(f"{sweep.workload} dram_active", sweep.freqs_mhz, sweep.dram_active))
+        lines.append(
+            f"{sweep.workload}: fp spread {100 * relative_spread(sweep.fp_active):.1f}%, "
+            f"dram spread {100 * relative_spread(sweep.dram_active):.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Figure 5: impact of input size on fp_active / dram_active.
+
+Runs DGEMM and STREAM at the maximum clock across a geometric ladder of
+input sizes.  Expected shape: both activity features are essentially
+flat in input size (they are intensive properties of the kernel), which
+is the second half of the paper's invariance argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.fig4 import relative_spread
+from repro.experiments.report import render_series
+
+__all__ = ["ActivityVsSize", "Fig5Result", "run_fig5", "render_fig5", "DGEMM_SIZES", "STREAM_SIZES"]
+
+#: Matrix dimensions swept for DGEMM (paper tested "different input sizes").
+DGEMM_SIZES: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384)
+#: Element counts swept for STREAM (64 MiB to 1 GiB per array).
+STREAM_SIZES: tuple[int, ...] = (8_388_608, 16_777_216, 33_554_432, 67_108_864, 134_217_728)
+
+
+@dataclass(frozen=True)
+class ActivityVsSize:
+    """Activity features measured at f_max for each input size."""
+
+    workload: str
+    sizes: np.ndarray
+    fp_active: np.ndarray
+    dram_active: np.ndarray
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Both micro-benchmarks' activity-vs-size curves."""
+
+    dgemm: ActivityVsSize
+    stream: ActivityVsSize
+
+
+def _size_sweep(ctx: ExperimentContext, name: str, sizes: tuple[int, ...]) -> ActivityVsSize:
+    device = ctx.device("GA100")
+    workload = ctx.registry.get(name)
+    fmax = device.arch.default_core_freq_mhz
+    fp = np.empty(len(sizes))
+    dram = np.empty(len(sizes))
+    for i, size in enumerate(sizes):
+        metrics = device.run_at(workload.census(size), fmax, workload_name=name).metrics()
+        fp[i] = metrics["fp64_active"] + metrics["fp32_active"]
+        dram[i] = metrics["dram_active"]
+    return ActivityVsSize(workload=name, sizes=np.asarray(sizes, dtype=float), fp_active=fp, dram_active=dram)
+
+
+def run_fig5(ctx: ExperimentContext) -> Fig5Result:
+    """Measure activity-vs-input-size for both micro-benchmarks."""
+    return Fig5Result(
+        dgemm=_size_sweep(ctx, "dgemm", DGEMM_SIZES),
+        stream=_size_sweep(ctx, "stream", STREAM_SIZES),
+    )
+
+
+def render_fig5(result: Fig5Result) -> str:
+    """Series plus the invariance spreads."""
+    lines = ["Figure 5 - impact of input size on fp_active and dram_active (at f_max)"]
+    for sweep in (result.dgemm, result.stream):
+        lines.append(render_series(f"{sweep.workload} fp_active", sweep.sizes, sweep.fp_active, every=1))
+        lines.append(render_series(f"{sweep.workload} dram_active", sweep.sizes, sweep.dram_active, every=1))
+        lines.append(
+            f"{sweep.workload}: fp spread {100 * relative_spread(sweep.fp_active):.1f}%, "
+            f"dram spread {100 * relative_spread(sweep.dram_active):.1f}%"
+        )
+    return "\n".join(lines)

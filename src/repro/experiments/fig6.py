@@ -1,0 +1,55 @@
+"""Figure 6: training/validation loss of the power and time models.
+
+Returns the per-epoch loss histories of both DNNs as trained by the
+shared context: 100 epochs for power, 25 for time (paper Section 4.3).
+Expected shape: both losses fall steeply and the validation curve tracks
+the training curve without divergence at the chosen epoch counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import render_series
+from repro.nn.training import History
+
+__all__ = ["Fig6Result", "run_fig6", "render_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Loss histories for both models."""
+
+    power_history: History
+    time_history: History
+
+
+def run_fig6(ctx: ExperimentContext) -> Fig6Result:
+    """Train (via the shared context) and return both loss histories."""
+    pipe = ctx.pipeline("GA100")
+    power_history = pipe.power_model.history
+    time_history = pipe.time_model.history
+    if power_history is None or time_history is None:
+        raise RuntimeError("pipeline trained without recorded histories")
+    return Fig6Result(power_history=power_history, time_history=time_history)
+
+
+def render_fig6(result: Fig6Result) -> str:
+    """Loss curves as series, Fig. 6 style."""
+    p, t = result.power_history, result.time_history
+    epochs_p = np.arange(1, p.epochs_run + 1)
+    epochs_t = np.arange(1, t.epochs_run + 1)
+    return "\n".join(
+        [
+            "Figure 6 - model training and validation loss (MSE, standardised targets)",
+            render_series("(a) power train", epochs_p, np.asarray(p.train_loss), every=10),
+            render_series("(a) power val", epochs_p, np.asarray(p.val_loss), every=10),
+            render_series("(b) time train", epochs_t, np.asarray(t.train_loss), every=3),
+            render_series("(b) time val", epochs_t, np.asarray(t.val_loss), every=3),
+            f"power: {p.epochs_run} epochs, final val {p.val_loss[-1]:.5f}",
+            f"time: {t.epochs_run} epochs, final val {t.val_loss[-1]:.5f}",
+        ]
+    )

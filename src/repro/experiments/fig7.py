@@ -1,0 +1,40 @@
+"""Figure 7: predicted vs measured power for the six real applications.
+
+One panel per application: the measured power curve across the 61 GA100
+clocks against the curve the GA100-trained power model predicts from
+features collected only at the maximum clock.  Expected shape: curves
+overlay closely (paper: >96 % accuracy on GA100).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import AppEvaluation, EvaluationSuite
+from repro.experiments.report import render_series
+
+__all__ = ["Fig7Result", "run_fig7", "render_fig7"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Per-application power curves and accuracies."""
+
+    evaluations: list[AppEvaluation]
+
+
+def run_fig7(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> Fig7Result:
+    """Evaluate power prediction for all six apps on GA100."""
+    suite = suite if suite is not None else EvaluationSuite(ctx)
+    return Fig7Result(evaluations=suite.evaluate_all("GA100"))
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """Measured vs predicted power series per app."""
+    lines = ["Figure 7 - predicted vs measured power, real applications on GA100"]
+    for ev in result.evaluations:
+        lines.append(render_series(f"{ev.app} measured [W]", ev.freqs_mhz, ev.power_measured_w))
+        lines.append(render_series(f"{ev.app} predicted [W]", ev.freqs_mhz, ev.power_predicted_w))
+        lines.append(f"{ev.app}: power accuracy {ev.power_accuracy:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Figure 8: normalized predicted vs measured execution time.
+
+One panel per application: execution time across the GA100 clocks,
+normalized to the time at the maximum clock, measured vs predicted.
+Expected shapes: close overlay for most apps; GROMACS slightly
+overpredicted at low clocks and underpredicted at high clocks — the
+DVFS-insensitive case the paper calls out in Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import AppEvaluation, EvaluationSuite
+from repro.experiments.report import render_series
+
+__all__ = ["Fig8Result", "run_fig8", "render_fig8"]
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Per-application normalized time curves and accuracies."""
+
+    evaluations: list[AppEvaluation]
+
+    def normalized(self, app: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(freqs, measured slowdown, predicted slowdown) for one app."""
+        for ev in self.evaluations:
+            if ev.app == app.lower():
+                return (
+                    ev.freqs_mhz,
+                    ev.time_measured_s / ev.time_measured_s[-1],
+                    ev.time_predicted_s / ev.time_predicted_s[-1],
+                )
+        raise KeyError(f"no evaluation for app {app!r}")
+
+
+def run_fig8(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> Fig8Result:
+    """Evaluate time prediction for all six apps on GA100."""
+    suite = suite if suite is not None else EvaluationSuite(ctx)
+    return Fig8Result(evaluations=suite.evaluate_all("GA100"))
+
+
+def render_fig8(result: Fig8Result) -> str:
+    """Measured vs predicted normalized time series per app."""
+    lines = ["Figure 8 - normalized predicted vs measured execution time, GA100"]
+    for ev in result.evaluations:
+        freqs, meas, pred = result.normalized(ev.app)
+        lines.append(render_series(f"{ev.app} measured T/Tmax", freqs, meas))
+        lines.append(render_series(f"{ev.app} predicted T/Tmax", freqs, pred))
+        lines.append(f"{ev.app}: time accuracy {ev.time_accuracy:.1f}%")
+    return "\n".join(lines)

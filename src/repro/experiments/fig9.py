@@ -1,0 +1,54 @@
+"""Figure 9 + Table 4: optimal DVFS configurations per selection method.
+
+For every real application on GA100 this reports the power/time curves
+annotated with the four selected clocks: EDP and ED2P, each computed on
+measured (M-) and predicted (P-) data.  Expected shapes: every selection
+sits below the maximum clock for most apps, and ED2P selections sit at
+or above the EDP selections (more delay-averse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import AppEvaluation, EvaluationSuite
+from repro.experiments.report import render_table
+
+__all__ = ["Fig9Result", "run_fig9", "render_fig9", "METHODS"]
+
+#: Column order used by the paper's Table 4.
+METHODS: tuple[str, ...] = ("M-ED2P", "P-ED2P", "M-EDP", "P-EDP")
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Selections for all apps (this is also Table 4's content)."""
+
+    evaluations: list[AppEvaluation]
+
+    def optimal_mhz(self, app: str, method: str) -> float:
+        """Selected clock for one app and method."""
+        for ev in self.evaluations:
+            if ev.app == app.lower():
+                return ev.selections[method].freq_mhz
+        raise KeyError(f"no evaluation for app {app!r}")
+
+
+def run_fig9(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> Fig9Result:
+    """Compute the four selections for every app on GA100."""
+    suite = suite if suite is not None else EvaluationSuite(ctx)
+    return Fig9Result(evaluations=suite.evaluate_all("GA100"))
+
+
+def render_fig9(result: Fig9Result) -> str:
+    """Table 4-style optimal frequency matrix."""
+    rows = [
+        [ev.app, *(ev.selections[m].freq_mhz for m in METHODS)]
+        for ev in result.evaluations
+    ]
+    return render_table(
+        ["application", *METHODS],
+        rows,
+        title="Figure 9 / Table 4 - optimal frequencies (MHz) per method, GA100",
+    )

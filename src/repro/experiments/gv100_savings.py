@@ -1,0 +1,88 @@
+"""GV100 energy savings (paper Section 1 contribution claim).
+
+"Further, energy saving of up to 23.6% was achieved with less than 1%
+performance loss on GV100."  This experiment repeats the Figure 10 /
+Table 5 computation on the Volta device, still driving everything with
+the GA100-trained models (full portability path: features measured on
+GV100, TDP-rescaled power, slowdown-rescaled time, ED2P selection,
+realised changes measured on GV100 sweeps).
+
+Expected shapes: positive energy savings on every app via P-ED2P; at
+least one app at near-zero time loss; average time loss in single
+digits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import EvaluationSuite
+from repro.experiments.fig9 import METHODS
+from repro.experiments.report import render_table
+
+__all__ = ["GV100Row", "GV100SavingsResult", "run_gv100_savings", "render_gv100_savings"]
+
+
+@dataclass(frozen=True)
+class GV100Row:
+    """Realised energy/time change for one app on GV100."""
+
+    app: str
+    energy_pct: dict[str, float]
+    time_pct: dict[str, float]
+
+
+@dataclass(frozen=True)
+class GV100SavingsResult:
+    """All apps, plus the per-method averages."""
+
+    rows: list[GV100Row]
+
+    def average(self, method: str) -> tuple[float, float]:
+        """(mean energy %, mean time %) across applications."""
+        e = float(np.mean([r.energy_pct[method] for r in self.rows]))
+        t = float(np.mean([r.time_pct[method] for r in self.rows]))
+        return e, t
+
+    def best_saving(self, method: str) -> float:
+        """Largest single-app energy saving for one method."""
+        return max(r.energy_pct[method] for r in self.rows)
+
+
+def run_gv100_savings(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> GV100SavingsResult:
+    """Realised changes on GV100 with GA100-trained models."""
+    suite = suite if suite is not None else EvaluationSuite(ctx)
+    rows = []
+    for ev in suite.evaluate_all("GV100"):
+        energy: dict[str, float] = {}
+        time: dict[str, float] = {}
+        for method in METHODS:
+            e, t = ev.realised_changes(method)
+            energy[method] = e
+            time[method] = t
+        rows.append(GV100Row(app=ev.app, energy_pct=energy, time_pct=time))
+    return GV100SavingsResult(rows=rows)
+
+
+def render_gv100_savings(result: GV100SavingsResult) -> str:
+    """Table 5-style matrix for the Volta device."""
+    headers = ["application"]
+    headers += [f"E% {m}" for m in METHODS]
+    headers += [f"T% {m}" for m in METHODS]
+    table_rows = [
+        [r.app, *(r.energy_pct[m] for m in METHODS), *(r.time_pct[m] for m in METHODS)]
+        for r in result.rows
+    ]
+    avg: list[object] = ["average"]
+    avg += [result.average(m)[0] for m in METHODS]
+    avg += [result.average(m)[1] for m in METHODS]
+    table_rows.append(avg)
+    return render_table(
+        headers,
+        table_rows,
+        title="GV100 savings - realised energy & time change vs f_max "
+        "(GA100-trained models, positive energy = saving)",
+    )

@@ -1,0 +1,92 @@
+"""Pareto study: the paper's single pick vs the related work's sets.
+
+The paper argues (Section 1) that Pareto-set approaches like Guerreiro
+et al. [11] and Fan et al. [8] burden the user with a *set* of optimal
+DVFS configurations, while EDP/ED2P return one.  This study quantifies
+what that simplicity costs: for every real application it computes the
+measured (energy, time) Pareto front across the design space and checks
+where the EDP/ED2P selections and the geometric knee point sit on it.
+
+Expected shape: every EDP/ED2P minimiser lies ON the Pareto front (any
+scalarising product of the objectives is Pareto-optimal), so the paper's
+simplification loses nothing but choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.pareto import hypervolume_2d, knee_point, pareto_front
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import EvaluationSuite
+from repro.experiments.report import render_table
+
+__all__ = ["ParetoRow", "ParetoStudyResult", "run_pareto_study", "render_pareto_study"]
+
+
+@dataclass(frozen=True)
+class ParetoRow:
+    """Front geometry + selection placement for one application."""
+
+    app: str
+    front_size: int
+    hypervolume: float
+    knee_freq_mhz: float
+    edp_freq_mhz: float
+    ed2p_freq_mhz: float
+    edp_on_front: bool
+    ed2p_on_front: bool
+
+
+@dataclass(frozen=True)
+class ParetoStudyResult:
+    """All per-app rows."""
+
+    rows: list[ParetoRow]
+
+    def all_selections_on_front(self) -> bool:
+        """Whether every EDP/ED2P pick is Pareto-optimal."""
+        return all(r.edp_on_front and r.ed2p_on_front for r in self.rows)
+
+
+def run_pareto_study(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> ParetoStudyResult:
+    """Compute fronts and selection placement on GA100 measured curves."""
+    suite = suite if suite is not None else EvaluationSuite(ctx)
+    rows: list[ParetoRow] = []
+    for ev in suite.evaluate_all("GA100"):
+        energy = ev.energy_measured_j
+        time = ev.time_measured_s
+        front = pareto_front(energy, time)
+        front_freqs = set(np.round(ev.freqs_mhz[front], 3).tolist())
+        knee = knee_point(energy, time)
+        edp = ev.selections["M-EDP"].freq_mhz
+        ed2p = ev.selections["M-ED2P"].freq_mhz
+        rows.append(
+            ParetoRow(
+                app=ev.app,
+                front_size=int(front.size),
+                hypervolume=hypervolume_2d(energy, time),
+                knee_freq_mhz=float(ev.freqs_mhz[knee]),
+                edp_freq_mhz=edp,
+                ed2p_freq_mhz=ed2p,
+                edp_on_front=round(edp, 3) in front_freqs,
+                ed2p_on_front=round(ed2p, 3) in front_freqs,
+            )
+        )
+    return ParetoStudyResult(rows=rows)
+
+
+def render_pareto_study(result: ParetoStudyResult) -> str:
+    """Front geometry table."""
+    table = render_table(
+        ["app", "front size", "knee (MHz)", "EDP (MHz)", "ED2P (MHz)", "EDP on front", "ED2P on front"],
+        [
+            [r.app, r.front_size, r.knee_freq_mhz, r.edp_freq_mhz, r.ed2p_freq_mhz, r.edp_on_front, r.ed2p_on_front]
+            for r in result.rows
+        ],
+        title="Pareto study - single EDP/ED2P picks vs the measured front, GA100",
+    )
+    verdict = "every selection is Pareto-optimal" if result.all_selections_on_front() else "some selections are dominated"
+    return f"{table}\n=> {verdict}"

@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints these tables so a run of
+``pytest benchmarks/ --benchmark-only`` reproduces the same rows/series
+the paper reports, greppable from the captured output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None) -> str:
+    """Fixed-width ASCII table; floats formatted to sensible precision."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}" if abs(cell) >= 10 else f"{cell:.2f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[float], ys: Sequence[float], *, every: int = 6) -> str:
+    """Compact (x, y) series dump, subsampled for readability."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    picks = list(range(0, len(xs), max(1, every)))
+    if picks and picks[-1] != len(xs) - 1:
+        picks.append(len(xs) - 1)
+    pairs = ", ".join(f"{xs[i]:.0f}:{ys[i]:.4g}" for i in picks)
+    return f"{name}: {pairs}"

@@ -1,0 +1,49 @@
+"""Table 1: specifications of the GPUs used in this study.
+
+A direct dump of the architecture constants — the bench asserts that the
+simulator is parameterised with exactly the paper's figures (frequency
+ranges, config counts, memory clock/size, bandwidth, TDP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.arch import get_architecture
+from repro.gpusim.dvfs import DVFSConfigSpace
+from repro.experiments.report import render_table
+
+__all__ = ["Tab1Result", "run_tab1", "render_tab1"]
+
+
+@dataclass(frozen=True)
+class Tab1Result:
+    """Spec rows for both architectures."""
+
+    rows: dict[str, dict[str, float | str]]
+
+
+def run_tab1() -> Tab1Result:
+    """Collect the Table 1 rows from the architecture registry."""
+    rows: dict[str, dict[str, float | str]] = {}
+    for name in ("GA100", "GV100"):
+        arch = get_architecture(name)
+        dvfs = DVFSConfigSpace.for_architecture(arch)
+        rows[name] = {
+            "core_freq_range_mhz": f"[{arch.core_freq_min_mhz:.0f}:{arch.core_freq_max_mhz:.0f}]",
+            "default_core_freq_mhz": arch.default_core_freq_mhz,
+            "used_dvfs_configs": len(dvfs),
+            "supported_dvfs_configs": dvfs.num_supported,
+            "memory_freq_mhz": arch.memory_freq_mhz,
+            "memory_gib": arch.memory_gib,
+            "peak_bandwidth_gbs": arch.peak_memory_bandwidth / 1e9,
+            "tdp_w": arch.tdp_watts,
+        }
+    return Tab1Result(rows=rows)
+
+
+def render_tab1(result: Tab1Result) -> str:
+    """Table 1 layout: one column per GPU."""
+    keys = list(next(iter(result.rows.values())).keys())
+    table_rows = [[k, *(result.rows[gpu][k] for gpu in ("GA100", "GV100"))] for k in keys]
+    return render_table(["spec", "GA100", "GV100"], table_rows, title="Table 1 - GPU specifications")

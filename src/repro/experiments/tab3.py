@@ -1,0 +1,77 @@
+"""Table 3: power/performance model accuracy per app, GA100 and GV100.
+
+The GV100 rows are the paper's portability experiment: the *same*
+GA100-trained networks predict Volta behaviour (power rescaled through
+the TDP normalisation, time as the dimensionless slowdown factor).
+
+Expected shape: all accuracies high (paper: 89-98 %), with GV100 within
+a few points of GA100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import EvaluationSuite
+from repro.experiments.report import render_table
+
+__all__ = ["AccuracyRow", "Tab3Result", "run_tab3", "render_tab3"]
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One (GPU, application) accuracy pair."""
+
+    arch: str
+    app: str
+    power_accuracy: float
+    time_accuracy: float
+
+
+@dataclass(frozen=True)
+class Tab3Result:
+    """All accuracy rows, GA100 first."""
+
+    rows: list[AccuracyRow]
+
+    def row(self, arch: str, app: str) -> AccuracyRow:
+        """Look up one row."""
+        for r in self.rows:
+            if r.arch == arch.upper() and r.app == app.lower():
+                return r
+        raise KeyError(f"no row for {arch}/{app}")
+
+    def min_accuracy(self, arch: str) -> float:
+        """Worst accuracy (power or time) on one architecture."""
+        vals = [
+            min(r.power_accuracy, r.time_accuracy) for r in self.rows if r.arch == arch.upper()
+        ]
+        return min(vals)
+
+
+def run_tab3(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> Tab3Result:
+    """Evaluate all apps on both architectures."""
+    suite = suite if suite is not None else EvaluationSuite(ctx)
+    rows: list[AccuracyRow] = []
+    for arch in ("GA100", "GV100"):
+        for ev in suite.evaluate_all(arch):
+            rows.append(
+                AccuracyRow(
+                    arch=arch,
+                    app=ev.app,
+                    power_accuracy=ev.power_accuracy,
+                    time_accuracy=ev.time_accuracy,
+                )
+            )
+    return Tab3Result(rows=rows)
+
+
+def render_tab3(result: Tab3Result) -> str:
+    """Table 3 layout."""
+    table_rows = [[r.arch, r.app, r.power_accuracy, r.time_accuracy] for r in result.rows]
+    return render_table(
+        ["GPU", "application", "power acc (%)", "time acc (%)"],
+        table_rows,
+        title="Table 3 - model accuracy per real application (GA100-trained models)",
+    )

@@ -1,0 +1,22 @@
+"""Table 4: optimal frequencies per method — shares Figure 9's data."""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import EvaluationSuite
+from repro.experiments.fig9 import Fig9Result, render_fig9, run_fig9
+
+__all__ = ["Tab4Result", "run_tab4", "render_tab4"]
+
+#: Table 4 is the tabular form of Figure 9's annotations.
+Tab4Result = Fig9Result
+
+
+def run_tab4(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> Tab4Result:
+    """Optimal frequencies for every app and method on GA100."""
+    return run_fig9(ctx, suite=suite)
+
+
+def render_tab4(result: Tab4Result) -> str:
+    """Table 4 layout (same matrix as Figure 9's annotation table)."""
+    return render_fig9(result).replace("Figure 9 / Table 4", "Table 4")

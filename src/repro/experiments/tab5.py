@@ -1,0 +1,22 @@
+"""Table 5: energy/time changes per method — shares Figure 10's data."""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import EvaluationSuite
+from repro.experiments.fig10 import Fig10Result, render_fig10, run_fig10
+
+__all__ = ["Tab5Result", "run_tab5", "render_tab5"]
+
+#: Table 5 is the tabular form of Figure 10.
+Tab5Result = Fig10Result
+
+
+def run_tab5(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> Tab5Result:
+    """Realised energy/time changes for every app and method on GA100."""
+    return run_fig10(ctx, suite=suite)
+
+
+def render_tab5(result: Tab5Result) -> str:
+    """Table 5 layout (same matrix as Figure 10)."""
+    return render_fig10(result).replace("Figure 10 / Table 5", "Table 5")

@@ -1,0 +1,89 @@
+"""Table 6: effect of performance-degradation thresholds.
+
+Re-runs the EDP selection for LAMMPS and ResNet50 (the two apps the
+paper flags for high performance penalties) under three threshold
+settings: none, 5 %, and 1 %.  Expected shape: tightening the threshold
+monotonically reduces the time loss, trading away energy savings — at
+1 % the selection approaches the maximum clock and savings approach
+zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.energy import EDP
+from repro.core.selection import select_optimal_frequency
+from repro.experiments.context import ExperimentContext
+from repro.experiments.evaluation import EvaluationSuite
+from repro.experiments.report import render_table
+
+__all__ = ["ThresholdCell", "Tab6Result", "run_tab6", "render_tab6", "THRESHOLDS", "TAB6_APPS"]
+
+#: The paper's threshold settings: Nil, 5 %, 1 %.
+THRESHOLDS: tuple[float | None, ...] = (None, 0.05, 0.01)
+#: The applications paper Table 6 examines.
+TAB6_APPS: tuple[str, ...] = ("lammps", "resnet50")
+
+
+@dataclass(frozen=True)
+class ThresholdCell:
+    """Selection outcome for one (app, threshold) cell."""
+
+    app: str
+    threshold: float | None
+    freq_mhz: float
+    time_change_pct: float
+    energy_saving_pct: float
+
+
+@dataclass(frozen=True)
+class Tab6Result:
+    """All cells, apps x thresholds."""
+
+    cells: list[ThresholdCell]
+
+    def cell(self, app: str, threshold: float | None) -> ThresholdCell:
+        """Look up one cell."""
+        for c in self.cells:
+            if c.app == app.lower() and c.threshold == threshold:
+                return c
+        raise KeyError(f"no cell for {app}/{threshold}")
+
+
+def run_tab6(ctx: ExperimentContext, *, suite: EvaluationSuite | None = None) -> Tab6Result:
+    """Thresholded EDP selections on the measured curves."""
+    suite = suite if suite is not None else EvaluationSuite(ctx)
+    cells: list[ThresholdCell] = []
+    for app in TAB6_APPS:
+        ev = suite.evaluate(app, "GA100")
+        energy = ev.energy_measured_j
+        time = ev.time_measured_s
+        for threshold in THRESHOLDS:
+            sel = select_optimal_frequency(
+                ev.freqs_mhz, energy, time, objective=EDP, threshold=threshold
+            )
+            i = sel.index
+            cells.append(
+                ThresholdCell(
+                    app=app,
+                    threshold=threshold,
+                    freq_mhz=sel.freq_mhz,
+                    time_change_pct=100.0 * (1.0 - time[i] / time[-1]),
+                    energy_saving_pct=100.0 * (1.0 - energy[i] / energy[-1]),
+                )
+            )
+    return Tab6Result(cells=cells)
+
+
+def render_tab6(result: Tab6Result) -> str:
+    """Table 6 layout."""
+    rows = []
+    for c in result.cells:
+        label = "Nil" if c.threshold is None else f"{100 * c.threshold:.0f}%"
+        rows.append([c.app, label, c.freq_mhz, c.time_change_pct, c.energy_saving_pct])
+    return render_table(
+        ["application", "threshold", "freq (MHz)", "time (%)", "energy (%)"],
+        rows,
+        title="Table 6 - EDP selection under performance-degradation thresholds, GA100",
+    )

@@ -1,0 +1,22 @@
+"""Feature characterisation: mutual information, ranking, scaling.
+
+Implements the paper's Section 4.2 pipeline: a Kraskov-Stögbauer-
+Grassberger k-NN mutual-information estimator (the same estimator family
+scikit-learn's ``mutual_info_regression`` uses, per the paper's citations
+[22, 35]), feature ranking against the two predictands, and the scalers
+the models train with.
+"""
+
+from repro.features.mutual_info import mutual_information, mutual_information_matrix
+from repro.features.scaling import MinMaxScaler, StandardScaler
+from repro.features.selection import FeatureRanking, rank_features, select_top_k
+
+__all__ = [
+    "mutual_information",
+    "mutual_information_matrix",
+    "StandardScaler",
+    "MinMaxScaler",
+    "FeatureRanking",
+    "rank_features",
+    "select_top_k",
+]

@@ -1,0 +1,79 @@
+"""Feature scalers with fit/transform/inverse_transform contracts.
+
+The DNN trains on standardised features and targets; predictions are
+mapped back through ``inverse_transform``.  Both scalers are stateless
+until :meth:`fit` and refuse to transform before fitting — silent
+identity transforms are how scaling bugs hide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling, column-wise."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn column means and standard deviations."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        # Constant columns scale by 1 so transform maps them to zero
+        # rather than dividing by zero.
+        self.scale_ = np.where(scale > 0, scale, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler used before fit()")
+        return (np.asarray(x, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original units."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler used before fit()")
+        return np.asarray(x, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale columns into [0, 1] by observed range."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+        """Learn column minima and ranges."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.min_ = x.min(axis=0)
+        rng = x.max(axis=0) - self.min_
+        self.range_ = np.where(rng > 0, rng, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("scaler used before fit()")
+        return (np.asarray(x, dtype=float) - self.min_) / self.range_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original units."""
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("scaler used before fit()")
+        return np.asarray(x, dtype=float) * self.range_ + self.min_

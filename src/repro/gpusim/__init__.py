@@ -1,0 +1,57 @@
+"""Analytical GPU DVFS simulator.
+
+This package replaces the physical NVIDIA A100 (GA100) and V100 (GV100)
+nodes used in the paper.  It models, per DVFS configuration:
+
+* **voltage** — a realistic voltage/frequency curve (flat floor, then a
+  linear ramp to the maximum boost voltage),
+* **power** — idle/static power plus activity-weighted dynamic power
+  following the classic ``P_dyn proportional to C_eff * V^2 * f`` law, with
+  per-architecture coefficients calibrated so compute-bound work reaches
+  ~TDP and memory-bound work ~50 % TDP at the maximum clock (paper Fig. 1),
+* **timing** — a latency-aware roofline with a memory-bandwidth knee at
+  roughly 64 % of the maximum core clock (paper Fig. 1 (h)) and a
+  frequency-insensitive serial fraction per workload,
+* **sensors** — the 12 DCGM utilization metrics the paper collects,
+  with seedable measurement noise.
+
+The public entry point is :class:`~repro.gpusim.device.SimulatedGPU`.
+"""
+
+from repro.gpusim.arch import (
+    GA100,
+    GV100,
+    GPUArchitecture,
+    get_architecture,
+    list_architectures,
+    register_architecture,
+)
+from repro.gpusim.dvfs import DVFSConfigSpace
+from repro.gpusim.kernel import KernelCensus
+from repro.gpusim.noise import NoiseModel
+from repro.gpusim.power import PowerCoefficients, PowerModel
+from repro.gpusim.thermal import ThermalModel
+from repro.gpusim.timing import TimingBreakdown, TimingModel
+from repro.gpusim.voltage import VoltageCurve
+from repro.gpusim.device import RunRecord, SampleRecord, SimulatedGPU
+
+__all__ = [
+    "GA100",
+    "GV100",
+    "GPUArchitecture",
+    "get_architecture",
+    "list_architectures",
+    "register_architecture",
+    "DVFSConfigSpace",
+    "KernelCensus",
+    "NoiseModel",
+    "PowerCoefficients",
+    "PowerModel",
+    "ThermalModel",
+    "TimingBreakdown",
+    "TimingModel",
+    "VoltageCurve",
+    "RunRecord",
+    "SampleRecord",
+    "SimulatedGPU",
+]

@@ -1,0 +1,199 @@
+"""GPU architecture specifications (paper Table 1).
+
+The two architectures evaluated in the paper are modelled here with the
+exact figures from Table 1.  Quantities Table 1 does not list (peak FLOP
+rates, PCIe bandwidth, voltage envelope, idle power fraction) are filled in
+from the public NVIDIA datasheets and are only used to *shape* the simulated
+curves, never to claim absolute fidelity.
+
+Frequencies are handled in MHz throughout the simulator, matching both the
+paper's plots and DCGM's ``sm_app_clock`` field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "GPUArchitecture",
+    "GA100",
+    "GV100",
+    "register_architecture",
+    "get_architecture",
+    "list_architectures",
+]
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """Immutable description of a GPU model's DVFS-relevant envelope.
+
+    Parameters mirror paper Table 1 plus the physical constants the
+    analytical power/timing models need.
+    """
+
+    name: str
+    #: Inclusive supported core-clock range in MHz (Table 1 row 1).
+    core_freq_min_mhz: float
+    core_freq_max_mhz: float
+    #: Clock step between adjacent DVFS states, MHz.
+    core_freq_step_mhz: float
+    #: Default (boost) core clock, MHz (Table 1 row 2).
+    default_core_freq_mhz: float
+    #: Lowest clock actually *used* in the paper's design space; lower
+    #: clocks are excluded because of "heavy performance degradation" (S2).
+    usable_freq_min_mhz: float
+    #: Default memory clock, MHz (Table 1 row 4).
+    memory_freq_mhz: float
+    #: HBM2e capacity in GiB (Table 1 row 5).
+    memory_gib: float
+    #: Peak DRAM bandwidth, bytes/s (Table 1 row 6, converted from GB/s).
+    peak_memory_bandwidth: float
+    #: Thermal design power, watts (Table 1 row 7).
+    tdp_watts: float
+    #: Peak dense FP64 / FP32 throughput at the maximum clock, FLOP/s.
+    peak_flops_fp64: float
+    peak_flops_fp32: float
+    #: Host link (PCIe/NVLink) bandwidth, bytes/s, frequency-insensitive.
+    pcie_bandwidth: float
+    #: Idle (static + uncore + fixed memory clock) power as fraction of TDP.
+    idle_power_fraction: float = 0.10
+    #: Core voltage envelope, volts.
+    voltage_min: float = 0.70
+    voltage_max: float = 1.05
+    #: Clock (fraction of max) below which voltage sits at the floor.  The
+    #: energy-vs-frequency minimum of a compute-bound kernel lands at this
+    #: knee (see repro.gpusim.timing), so it is placed to reproduce the
+    #: ~1080 MHz DGEMM energy optimum of paper Fig. 1 (c).
+    voltage_knee_fraction: float = 0.76
+    #: Clock (fraction of max) where DRAM bandwidth saturates (Fig. 1 (h)).
+    bandwidth_knee_fraction: float = 0.64
+    #: Number of streaming multiprocessors (used for occupancy accounting).
+    num_sms: int = 108
+    #: Memory clocks the driver accepts, MHz.  Datacenter GPUs expose the
+    #: performance clock plus deep idle states; the paper's control module
+    #: "applies the desired operating frequency to the GPU cores and
+    #: memory", so the simulator models both axes.  Empty tuple means
+    #: "default clock only".
+    supported_memory_clocks_mhz: tuple[float, ...] = ()
+    #: Share of idle power attributable to the memory subsystem at the
+    #: default memory clock (scales with the applied memory clock).
+    memory_idle_power_share: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.core_freq_min_mhz >= self.core_freq_max_mhz:
+            raise ValueError(
+                f"{self.name}: core_freq_min_mhz ({self.core_freq_min_mhz}) must be "
+                f"< core_freq_max_mhz ({self.core_freq_max_mhz})"
+            )
+        if self.core_freq_step_mhz <= 0:
+            raise ValueError(f"{self.name}: core_freq_step_mhz must be positive")
+        if not (self.core_freq_min_mhz <= self.usable_freq_min_mhz <= self.core_freq_max_mhz):
+            raise ValueError(f"{self.name}: usable_freq_min_mhz outside supported range")
+        if not (self.core_freq_min_mhz <= self.default_core_freq_mhz <= self.core_freq_max_mhz):
+            raise ValueError(f"{self.name}: default_core_freq_mhz outside supported range")
+        if self.tdp_watts <= 0:
+            raise ValueError(f"{self.name}: tdp_watts must be positive")
+        if not 0.0 <= self.idle_power_fraction < 1.0:
+            raise ValueError(f"{self.name}: idle_power_fraction must be in [0, 1)")
+        if self.voltage_min >= self.voltage_max:
+            raise ValueError(f"{self.name}: voltage_min must be < voltage_max")
+        if not 0.0 <= self.memory_idle_power_share <= 1.0:
+            raise ValueError(f"{self.name}: memory_idle_power_share must be in [0, 1]")
+        for clk in self.supported_memory_clocks_mhz:
+            if clk <= 0:
+                raise ValueError(f"{self.name}: memory clocks must be positive")
+
+    @property
+    def memory_clocks(self) -> tuple[float, ...]:
+        """All acceptable memory clocks (always includes the default)."""
+        clocks = set(self.supported_memory_clocks_mhz)
+        clocks.add(self.memory_freq_mhz)
+        return tuple(sorted(clocks))
+
+    @property
+    def idle_power_watts(self) -> float:
+        """Idle power in watts (static + uncore)."""
+        return self.idle_power_fraction * self.tdp_watts
+
+    def with_overrides(self, **kwargs: object) -> "GPUArchitecture":
+        """Return a copy with the given fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: NVIDIA A100 80 GB (GA100) — paper Table 1, column 1.
+#: 81 supported configs at a 15 MHz step in [210, 1410]; the paper uses the
+#: 61 configs in [510, 1410].
+GA100 = GPUArchitecture(
+    name="GA100",
+    core_freq_min_mhz=210.0,
+    core_freq_max_mhz=1410.0,
+    core_freq_step_mhz=15.0,
+    default_core_freq_mhz=1410.0,
+    usable_freq_min_mhz=510.0,
+    memory_freq_mhz=1597.0,
+    memory_gib=80.0,
+    peak_memory_bandwidth=2039e9,
+    tdp_watts=500.0,
+    peak_flops_fp64=19.5e12,  # FP64 tensor core (DGEMM path)
+    peak_flops_fp32=19.5e12,
+    pcie_bandwidth=25e9,  # PCIe gen4 x16 effective
+    num_sms=108,
+    # P0 performance clock plus the deep idle state the driver exposes.
+    supported_memory_clocks_mhz=(510.0, 1593.0, 1597.0),
+)
+
+#: NVIDIA V100 (GV100) — paper Table 1, column 2.
+#: 167 supported configs at a 7.5 MHz step in [135, 1380]; the paper uses
+#: the 117 configs in [510, 1380].
+GV100 = GPUArchitecture(
+    name="GV100",
+    core_freq_min_mhz=135.0,
+    core_freq_max_mhz=1380.0,
+    core_freq_step_mhz=7.5,
+    default_core_freq_mhz=1380.0,
+    usable_freq_min_mhz=510.0,
+    memory_freq_mhz=877.0,
+    memory_gib=40.0,
+    peak_memory_bandwidth=900e9,
+    tdp_watts=250.0,
+    peak_flops_fp64=7.8e12,
+    peak_flops_fp32=15.7e12,
+    pcie_bandwidth=12e9,  # PCIe gen3 x16 effective
+    num_sms=80,
+    bandwidth_knee_fraction=0.68,
+    supported_memory_clocks_mhz=(405.0, 877.0),
+)
+
+
+_REGISTRY: dict[str, GPUArchitecture] = {}
+
+
+def register_architecture(arch: GPUArchitecture, *, overwrite: bool = False) -> None:
+    """Register an architecture so it can be looked up by name.
+
+    Raises :class:`ValueError` if the name is taken and ``overwrite`` is
+    false, so tests never silently clobber the built-ins.
+    """
+    key = arch.name.upper()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"architecture {arch.name!r} already registered")
+    _REGISTRY[key] = arch
+
+
+def get_architecture(name: str) -> GPUArchitecture:
+    """Look up a registered architecture by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown architecture {name!r}; known: {known}") from None
+
+
+def list_architectures() -> list[str]:
+    """Names of all registered architectures, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_architecture(GA100)
+register_architecture(GV100)

@@ -1,0 +1,354 @@
+"""The simulated GPU device: clock control, kernel execution, sensors.
+
+:class:`SimulatedGPU` is the stand-in for one physical A100/V100 board.
+It owns a DVFS config space, a timing model, a power model, and a noise
+model, and exposes the two operations the paper's data-collection
+framework performs:
+
+* ``set_sm_clock`` — apply an application clock (snapped to a supported
+  state, as the real driver does), and
+* ``run`` — execute a workload (described by its :class:`KernelCensus`)
+  at the current clock, sampling the 12 DCGM metrics of paper Section 4.1
+  on a fixed interval for the duration of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.dvfs import DVFSConfigSpace
+from repro.gpusim.kernel import KernelCensus
+from repro.gpusim.noise import NoiseModel
+from repro.gpusim.power import PowerModel
+from repro.gpusim.thermal import ThermalModel
+from repro.gpusim.timing import TimingModel
+from repro.gpusim.voltage import VoltageCurve
+
+__all__ = ["SampleRecord", "RunRecord", "SimulatedGPU"]
+
+#: The 12 utilization metrics collected in paper Section 4.1, in the
+#: order the paper lists them.
+METRIC_NAMES: tuple[str, ...] = (
+    "fp64_active",
+    "fp32_active",
+    "sm_app_clock",
+    "dram_active",
+    "gr_engine_active",
+    "gpu_utilization",
+    "power_usage",
+    "sm_active",
+    "sm_occupancy",
+    "pcie_tx_bytes",
+    "pcie_rx_bytes",
+    "exec_time",
+)
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One periodic sensor sample (one CSV row of the paper's framework)."""
+
+    timestamp_s: float
+    fp64_active: float
+    fp32_active: float
+    sm_app_clock: float
+    dram_active: float
+    gr_engine_active: float
+    gpu_utilization: float
+    power_usage: float
+    sm_active: float
+    sm_occupancy: float
+    pcie_tx_bytes: float
+    pcie_rx_bytes: float
+    exec_time: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric name -> value, excluding the timestamp."""
+        return {name: getattr(self, name) for name in METRIC_NAMES}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Aggregate result of one application execution on the device."""
+
+    workload: str
+    arch: str
+    freq_mhz: float
+    exec_time_s: float
+    mean_power_w: float
+    samples: tuple[SampleRecord, ...] = field(repr=False)
+    #: Whether hardware thermal throttling engaged during the run.
+    throttled: bool = False
+    #: Junction temperature at the end of the run (None without a
+    #: thermal model).
+    final_temperature_c: float | None = None
+
+    @property
+    def energy_j(self) -> float:
+        """Measured energy = mean power x wall time."""
+        return self.mean_power_w * self.exec_time_s
+
+    def metrics(self) -> dict[str, float]:
+        """Run-level means of the 12 collected metrics.
+
+        ``pcie_*_bytes`` are summed (they are traffic totals), everything
+        else is averaged; ``exec_time`` is the wall time of the run.
+        """
+        out: dict[str, float] = {}
+        for name in METRIC_NAMES:
+            values = np.array([getattr(s, name) for s in self.samples])
+            if name.startswith("pcie_"):
+                out[name] = float(values.sum())
+            elif name == "exec_time":
+                out[name] = self.exec_time_s
+            elif name == "power_usage":
+                out[name] = self.mean_power_w
+            else:
+                out[name] = float(values.mean())
+        return out
+
+
+class SimulatedGPU:
+    """One simulated GPU board with controllable application clocks."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture,
+        *,
+        seed: int = 0,
+        noise: NoiseModel | None = None,
+        timing: TimingModel | None = None,
+        power: PowerModel | None = None,
+        voltage: VoltageCurve | None = None,
+        thermal: ThermalModel | None = None,
+        sampling_interval_s: float = 0.020,
+        max_samples_per_run: int = 512,
+    ) -> None:
+        if sampling_interval_s <= 0:
+            raise ValueError("sampling_interval_s must be positive")
+        if max_samples_per_run < 1:
+            raise ValueError("max_samples_per_run must be >= 1")
+        self.arch = arch
+        self.dvfs = DVFSConfigSpace.for_architecture(arch)
+        self.noise = noise if noise is not None else NoiseModel()
+        self.voltage = voltage if voltage is not None else VoltageCurve(arch)
+        self.timing = timing if timing is not None else TimingModel(arch)
+        self.power = power if power is not None else PowerModel(arch, self.voltage)
+        self.thermal = thermal
+        self._temperature_c = thermal.ambient_c if thermal is not None else None
+        self.sampling_interval_s = float(sampling_interval_s)
+        self.max_samples_per_run = int(max_samples_per_run)
+        self._rng = np.random.default_rng(seed)
+        self._sm_clock = arch.default_core_freq_mhz
+        self._mem_clock = arch.memory_freq_mhz
+
+    # ------------------------------------------------------------------
+    # Clock control (the paper's "control module" talks to this)
+    # ------------------------------------------------------------------
+    @property
+    def current_sm_clock(self) -> float:
+        """The applied SM application clock, MHz."""
+        return self._sm_clock
+
+    @property
+    def current_mem_clock(self) -> float:
+        """The applied memory clock, MHz."""
+        return self._mem_clock
+
+    @property
+    def mem_ratio(self) -> float:
+        """Applied memory clock relative to the default."""
+        return self._mem_clock / self.arch.memory_freq_mhz
+
+    def set_sm_clock(self, freq_mhz: float) -> float:
+        """Apply an application clock; returns the snapped actual clock."""
+        if freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
+        self._sm_clock = self.dvfs.snap(freq_mhz)
+        return self._sm_clock
+
+    def set_mem_clock(self, freq_mhz: float) -> float:
+        """Apply a memory clock; snaps to the nearest supported state.
+
+        Datacenter GPUs expose only a handful of memory clocks (the
+        performance state plus idle states), so requests snap to
+        ``arch.memory_clocks`` exactly as SM requests snap to their grid.
+        """
+        if freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
+        clocks = np.asarray(self.arch.memory_clocks)
+        self._mem_clock = float(clocks[np.argmin(np.abs(clocks - freq_mhz))])
+        return self._mem_clock
+
+    def reset_clocks(self) -> float:
+        """Restore default core and memory clocks (``nvidia-smi -rac``)."""
+        self._sm_clock = self.arch.default_core_freq_mhz
+        self._mem_clock = self.arch.memory_freq_mhz
+        return self._sm_clock
+
+    # ------------------------------------------------------------------
+    # Execution + sensors (the paper's "profile module" talks to this)
+    # ------------------------------------------------------------------
+    def run(self, census: KernelCensus, *, workload_name: str = "anonymous") -> RunRecord:
+        """Execute one workload at the current clock and sample sensors.
+
+        The run's true time/power come from the analytical models; the
+        returned record carries noisy periodic samples plus noisy run-level
+        aggregates, mimicking what DCGM hands back on real hardware.
+        """
+        freq = self._sm_clock
+        mem_ratio = self.mem_ratio
+        breakdown = self.timing.evaluate(census, freq, mem_ratio=mem_ratio)
+        true_time = breakdown.t_total
+        true_power = self.power.power_from_breakdown(breakdown, mem_ratio=mem_ratio)
+
+        throttled = False
+        if self.thermal is not None:
+            true_time, true_power, throttled = self._apply_thermal(
+                census, freq, mem_ratio, true_time, true_power
+            )
+
+        exec_time = self.noise.perturb_time(self._rng, true_time)
+        n_samples = int(np.ceil(exec_time / self.sampling_interval_s))
+        n_samples = int(np.clip(n_samples, 1, self.max_samples_per_run))
+
+        # Per-run drift of dram_active across clocks (paper Fig. 4).
+        dram_drift = self.noise.dram_dvfs_drift_std
+
+        timestamps = self.sampling_interval_s * (1.0 + np.arange(n_samples))
+        pcie_tx_per_sample = census.pcie_tx_bytes / n_samples
+        pcie_rx_per_sample = census.pcie_rx_bytes / n_samples
+
+        samples: list[SampleRecord] = []
+        power_values = np.empty(n_samples)
+        for i in range(n_samples):
+            fp64 = self.noise.perturb_activity(self._rng, breakdown.fp64_active)
+            fp32 = self.noise.perturb_activity(self._rng, breakdown.fp32_active)
+            dram = self.noise.perturb_activity(self._rng, breakdown.dram_active, extra_std=dram_drift)
+            sm_act = self.noise.perturb_activity(self._rng, breakdown.sm_active)
+            gr_act = self.noise.perturb_activity(self._rng, breakdown.gr_engine_active)
+            occ = self.noise.perturb_activity(self._rng, census.occupancy)
+            pwr = self.noise.perturb_power(self._rng, true_power)
+            power_values[i] = pwr
+            samples.append(
+                SampleRecord(
+                    timestamp_s=float(timestamps[i]),
+                    fp64_active=fp64,
+                    fp32_active=fp32,
+                    sm_app_clock=freq,
+                    dram_active=dram,
+                    gr_engine_active=gr_act,
+                    gpu_utilization=float(np.round(100.0 * gr_act)),
+                    power_usage=pwr,
+                    sm_active=sm_act,
+                    sm_occupancy=occ,
+                    pcie_tx_bytes=pcie_tx_per_sample,
+                    pcie_rx_bytes=pcie_rx_per_sample,
+                    exec_time=exec_time,
+                )
+            )
+        return RunRecord(
+            workload=workload_name,
+            arch=self.arch.name,
+            freq_mhz=freq,
+            exec_time_s=exec_time,
+            mean_power_w=float(power_values.mean()),
+            samples=tuple(samples),
+            throttled=throttled,
+            final_temperature_c=self._temperature_c,
+        )
+
+    # ------------------------------------------------------------------
+    # Thermal behaviour
+    # ------------------------------------------------------------------
+    @property
+    def temperature_c(self) -> float | None:
+        """Current junction temperature (None without a thermal model)."""
+        return self._temperature_c
+
+    def cool_down(self, seconds: float) -> float | None:
+        """Idle for ``seconds``; the junction relaxes toward idle-load
+        steady state.  Returns the new temperature (None if no thermal
+        model) — the per-run cooldown a careful power study inserts."""
+        if self.thermal is None:
+            return None
+        self._temperature_c = self.thermal.evolve(
+            self._temperature_c, self.power.idle_power(), seconds
+        )
+        return self._temperature_c
+
+    def _throttle_clock(self, census: KernelCensus, mem_ratio: float) -> tuple[float, float, float]:
+        """Highest usable clock whose steady-state temperature holds.
+
+        Returns (clock, wall_time, power) at that clock; falls back to
+        the lowest usable clock if nothing is sustainable.
+        """
+        for f in reversed(self.dvfs.usable_mhz):
+            bd = self.timing.evaluate(census, f, mem_ratio=mem_ratio)
+            p = self.power.power_from_breakdown(bd, mem_ratio=mem_ratio)
+            if not self.thermal.would_throttle(p):
+                return f, bd.t_total, p
+        f = self.dvfs.usable_mhz[0]
+        bd = self.timing.evaluate(census, f, mem_ratio=mem_ratio)
+        return f, bd.t_total, self.power.power_from_breakdown(bd, mem_ratio=mem_ratio)
+
+    def _apply_thermal(
+        self,
+        census: KernelCensus,
+        freq: float,
+        mem_ratio: float,
+        true_time: float,
+        true_power: float,
+    ) -> tuple[float, float, bool]:
+        """Evolve junction temperature; throttle if the limit is hit.
+
+        If the limit is crossed mid-run, the remaining work executes at
+        the highest thermally sustainable clock; wall time and mean power
+        are blended accordingly.
+        """
+        thermal = self.thermal
+        t_cross = thermal.time_to_reach(self._temperature_c, true_power, thermal.throttle_limit_c)
+        if t_cross >= true_time:
+            self._temperature_c = thermal.evolve(self._temperature_c, true_power, true_time)
+            return true_time, true_power, False
+
+        # Work completed before the limit, remainder at the safe clock.
+        frac_done = t_cross / true_time if true_time > 0 else 1.0
+        _f_safe, t_safe_full, p_safe = self._throttle_clock(census, mem_ratio)
+        t_rest = (1.0 - frac_done) * t_safe_full
+        total_time = t_cross + t_rest
+        mean_power = (true_power * t_cross + p_safe * t_rest) / total_time
+        temp_at_cross = thermal.evolve(self._temperature_c, true_power, t_cross)
+        self._temperature_c = thermal.evolve(temp_at_cross, p_safe, t_rest)
+        return total_time, mean_power, True
+
+    def run_at(self, census: KernelCensus, freq_mhz: float, *, workload_name: str = "anonymous") -> RunRecord:
+        """Convenience: set the clock, run, restore the previous clock."""
+        previous = self._sm_clock
+        try:
+            self.set_sm_clock(freq_mhz)
+            return self.run(census, workload_name=workload_name)
+        finally:
+            self._sm_clock = previous
+
+    # ------------------------------------------------------------------
+    # Noise-free ground truth (for validation and plotting)
+    # ------------------------------------------------------------------
+    def true_time(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+        """Noise-free wall time at a clock (not necessarily the current)."""
+        return self.timing.execution_time(census, self.dvfs.snap(freq_mhz), mem_ratio=mem_ratio)
+
+    def true_power(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+        """Noise-free board power at a clock."""
+        breakdown = self.timing.evaluate(census, self.dvfs.snap(freq_mhz), mem_ratio=mem_ratio)
+        return self.power.power_from_breakdown(breakdown, mem_ratio=mem_ratio)
+
+    def true_energy(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+        """Noise-free energy at a clock."""
+        f = self.dvfs.snap(freq_mhz)
+        return self.true_power(census, f, mem_ratio=mem_ratio) * self.true_time(
+            census, f, mem_ratio=mem_ratio
+        )

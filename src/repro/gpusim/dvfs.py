@@ -1,0 +1,106 @@
+"""DVFS configuration spaces.
+
+The paper's design space is the set of supported SM application clocks.
+Table 1 reports "61 out of 80" usable configurations for GA100 and
+"117 out of 167" for GV100; Section 2 explains that clocks below 510 MHz
+are excluded because of heavy performance degradation.
+
+This module generates those grids from the architecture description and
+provides the snap/validate helpers the frequency-control path needs:
+real drivers only accept the discrete supported clocks, so requesting an
+arbitrary MHz value must resolve to the nearest supported state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+
+__all__ = ["DVFSConfigSpace"]
+
+
+@dataclass(frozen=True)
+class DVFSConfigSpace:
+    """The discrete set of SM clocks supported by an architecture.
+
+    Attributes
+    ----------
+    supported_mhz:
+        Every clock the hardware exposes (ascending, MHz).
+    usable_mhz:
+        The subset the paper's design space uses (>= ``usable_freq_min_mhz``).
+    """
+
+    arch: GPUArchitecture
+    supported_mhz: tuple[float, ...]
+    usable_mhz: tuple[float, ...]
+
+    @classmethod
+    def for_architecture(cls, arch: GPUArchitecture) -> "DVFSConfigSpace":
+        """Build the clock grid for ``arch`` from its min/max/step."""
+        n_steps = int(round((arch.core_freq_max_mhz - arch.core_freq_min_mhz) / arch.core_freq_step_mhz))
+        grid = arch.core_freq_min_mhz + arch.core_freq_step_mhz * np.arange(n_steps + 1)
+        # Guard against float drift so the top clock is exactly the max.
+        grid[-1] = arch.core_freq_max_mhz
+        supported = tuple(float(f) for f in grid)
+        usable = tuple(f for f in supported if f >= arch.usable_freq_min_mhz - 1e-9)
+        return cls(arch=arch, supported_mhz=supported, usable_mhz=usable)
+
+    def __len__(self) -> int:
+        return len(self.usable_mhz)
+
+    @property
+    def num_supported(self) -> int:
+        """Total number of hardware clock states."""
+        return len(self.supported_mhz)
+
+    @property
+    def max_mhz(self) -> float:
+        """The maximum (default/boost) clock."""
+        return self.supported_mhz[-1]
+
+    @property
+    def min_usable_mhz(self) -> float:
+        """The lowest clock in the paper's design space."""
+        return self.usable_mhz[0]
+
+    def is_supported(self, freq_mhz: float, *, tol: float = 1e-6) -> bool:
+        """Whether ``freq_mhz`` is exactly a hardware clock state."""
+        arr = np.asarray(self.supported_mhz)
+        return bool(np.any(np.abs(arr - freq_mhz) <= tol))
+
+    def snap(self, freq_mhz: float) -> float:
+        """Nearest supported clock to ``freq_mhz`` (ties resolve upward).
+
+        Mirrors driver behaviour: any requested application clock is
+        clamped into the supported range and rounded to a real state.
+        """
+        arr = np.asarray(self.supported_mhz)
+        idx = int(np.argmin(np.abs(arr - freq_mhz)))
+        # Prefer the higher clock on exact ties (conservative for perf).
+        if idx + 1 < arr.size and abs(arr[idx + 1] - freq_mhz) == abs(arr[idx] - freq_mhz):
+            idx += 1
+        return float(arr[idx])
+
+    def usable_array(self) -> np.ndarray:
+        """Usable clocks as a float ndarray (ascending)."""
+        return np.asarray(self.usable_mhz, dtype=float)
+
+    def normalized(self, freq_mhz: float | np.ndarray) -> np.ndarray | float:
+        """Clock expressed as a fraction of the maximum clock."""
+        return np.asarray(freq_mhz, dtype=float) / self.max_mhz
+
+    def index_of(self, freq_mhz: float) -> int:
+        """Index of ``freq_mhz`` within the usable grid.
+
+        Raises :class:`ValueError` if the clock is not a usable state; call
+        :meth:`snap` first when handling free-form requests.
+        """
+        arr = self.usable_array()
+        matches = np.nonzero(np.abs(arr - freq_mhz) <= 1e-6)[0]
+        if matches.size == 0:
+            raise ValueError(f"{freq_mhz} MHz is not a usable clock of {self.arch.name}")
+        return int(matches[0])

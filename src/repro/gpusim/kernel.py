@@ -1,0 +1,108 @@
+"""Kernel census: the op/byte accounting the timing and power models consume.
+
+A *census* is the frequency-independent description of one application run:
+how many floating-point operations it performs (by precision), how many
+bytes it moves through DRAM and over the host link, how well it occupies
+the SMs, and what fraction of its wall time is serial host-side work that
+GPU clocks cannot touch.
+
+Workload definitions (``repro.workloads``) produce a census from an input
+size; the simulator turns (census, clock) into time, power, and the DCGM
+utilization metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["KernelCensus"]
+
+
+@dataclass(frozen=True)
+class KernelCensus:
+    """Frequency-independent accounting of one application execution."""
+
+    #: Double-precision floating point operations executed.
+    flops_fp64: float = 0.0
+    #: Single-precision (incl. tensor-core FP32/TF32 paths) operations.
+    flops_fp32: float = 0.0
+    #: Bytes moved between SMs/L2 and DRAM.
+    dram_bytes: float = 0.0
+    #: Host-link traffic (device -> host and host -> device).
+    pcie_tx_bytes: float = 0.0
+    pcie_rx_bytes: float = 0.0
+    #: Achieved SM occupancy in [0, 1] (resident warps / max warps).
+    occupancy: float = 0.75
+    #: Fraction of issue slots lost to divergence, dependency stalls, and
+    #: instruction mix, expressed as achievable fraction of peak in (0, 1].
+    compute_efficiency: float = 0.85
+    #: Achievable fraction of peak DRAM bandwidth in (0, 1].
+    memory_efficiency: float = 0.80
+    #: Fraction of *total* wall time at the maximum clock that is serial
+    #: host work (launch gaps, CPU phases, I/O) insensitive to GPU clocks.
+    serial_fraction: float = 0.02
+    #: Fraction of compute-pipe busy time that does NOT scale with the SM
+    #: clock (fixed-latency stalls: DRAM latency at the fixed memory clock,
+    #: dependency chains, launch tails).  0 is an ideal roofline kernel;
+    #: real applications sit anywhere up to ~0.6, which is what makes their
+    #: measured time curves much flatter than DGEMM's (paper Fig. 8 vs
+    #: Fig. 1 (b)).
+    compute_latency_fraction: float = 0.0
+    #: Concurrent host-side pipeline time, as a multiple of the GPU time at
+    #: the maximum clock, that fully overlaps GPU execution.  When > 1 the
+    #: CPU is the critical path at high clocks and wall time is flat until
+    #: the GPU slows past it — the GROMACS-style DVFS-insensitive regime
+    #: the paper observes in Section 5.1.
+    concurrent_host_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("flops_fp64", "flops_fp32", "dram_bytes", "pcie_tx_bytes", "pcie_rx_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.flops_fp64 + self.flops_fp32 + self.dram_bytes <= 0:
+            raise ValueError("census must contain some GPU work (flops or dram bytes)")
+        for name in ("occupancy", "compute_efficiency", "memory_efficiency"):
+            v = getattr(self, name)
+            if not 0.0 < v <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {v}")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError(f"serial_fraction must be in [0, 1), got {self.serial_fraction}")
+        if self.concurrent_host_fraction < 0.0:
+            raise ValueError("concurrent_host_fraction must be non-negative")
+        if not 0.0 <= self.compute_latency_fraction < 1.0:
+            raise ValueError("compute_latency_fraction must be in [0, 1)")
+
+    @property
+    def total_flops(self) -> float:
+        """All floating-point operations regardless of precision."""
+        return self.flops_fp64 + self.flops_fp32
+
+    @property
+    def total_pcie_bytes(self) -> float:
+        """Total host-link traffic in both directions."""
+        return self.pcie_tx_bytes + self.pcie_rx_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte (infinite for DRAM-free kernels)."""
+        if self.dram_bytes == 0:
+            return float("inf")
+        return self.total_flops / self.dram_bytes
+
+    def scaled(self, factor: float) -> "KernelCensus":
+        """Census for ``factor``x the work (all traffic scales linearly).
+
+        Occupancy/efficiency/serial fraction are intensive properties and
+        are preserved — this mirrors the paper's observation (Fig. 5) that
+        activity features are insensitive to input size.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(
+            self,
+            flops_fp64=self.flops_fp64 * factor,
+            flops_fp32=self.flops_fp32 * factor,
+            dram_bytes=self.dram_bytes * factor,
+            pcie_tx_bytes=self.pcie_tx_bytes * factor,
+            pcie_rx_bytes=self.pcie_rx_bytes * factor,
+        )

@@ -1,0 +1,63 @@
+"""Measurement noise for the simulated sensors.
+
+Real DCGM samples jitter: power sensors quantize and lag, activity counters
+aggregate over windows, wall-clock timing carries launch jitter.  The noise
+model applies seedable, multiplicative log-normal perturbations so that
+
+* repeated runs differ (the paper runs every configuration three times),
+* the DNN never sees a perfectly deterministic mapping (its 89-98 %
+  accuracy ceiling is meaningful), and
+* every experiment stays exactly reproducible from a seed.
+
+Log-normal (rather than additive Gaussian) noise keeps all quantities
+strictly positive, which matters for power/time/energy downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass
+class NoiseModel:
+    """Relative noise magnitudes (standard deviation of the log factor)."""
+
+    power_rel_std: float = 0.010
+    time_rel_std: float = 0.010
+    activity_rel_std: float = 0.020
+    #: Extra relative drift applied to dram_active across clocks; paper
+    #: Fig. 4 shows memory activity "varies to some extent" under DVFS.
+    dram_dvfs_drift_std: float = 0.015
+
+    def __post_init__(self) -> None:
+        for name in ("power_rel_std", "time_rel_std", "activity_rel_std", "dram_dvfs_drift_std"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @staticmethod
+    def disabled() -> "NoiseModel":
+        """A noise model that perturbs nothing (for deterministic tests)."""
+        return NoiseModel(0.0, 0.0, 0.0, 0.0)
+
+    # ------------------------------------------------------------------
+    def _perturb(self, rng: np.random.Generator, value: float, rel_std: float) -> float:
+        if rel_std == 0.0:
+            return float(value)
+        return float(value * np.exp(rng.normal(0.0, rel_std)))
+
+    def perturb_power(self, rng: np.random.Generator, watts: float) -> float:
+        """Noisy power sample."""
+        return self._perturb(rng, watts, self.power_rel_std)
+
+    def perturb_time(self, rng: np.random.Generator, seconds: float) -> float:
+        """Noisy wall-clock time."""
+        return self._perturb(rng, seconds, self.time_rel_std)
+
+    def perturb_activity(self, rng: np.random.Generator, fraction: float, *, extra_std: float = 0.0) -> float:
+        """Noisy activity fraction, clipped into [0, 1]."""
+        std = float(np.hypot(self.activity_rel_std, extra_std))
+        return float(np.clip(self._perturb(rng, fraction, std), 0.0, 1.0))

@@ -1,0 +1,90 @@
+"""First-order thermal model with clock throttling.
+
+The board is a single thermal RC node: junction temperature relaxes
+toward ``ambient + R_th * P`` with time constant ``tau = R_th * C_th``.
+When the junction would exceed the throttle limit, the device drops to
+the highest clock whose steady-state temperature stays under the limit —
+the behaviour real datacenter GPUs exhibit under sustained TDP loads and
+a real confound for DVFS studies (the paper avoided it with exclusive
+node access and per-run cooldowns; the simulator lets you study it).
+
+All of the transient math is closed-form:
+
+``T(t) = T_ss + (T_0 - T_ss) * exp(-t / tau)``
+
+so crossing times come from a logarithm, not an ODE integrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ThermalModel"]
+
+
+@dataclass
+class ThermalModel:
+    """Single-node RC thermal model with a hard throttle limit."""
+
+    #: Inlet/ambient temperature, Celsius.
+    ambient_c: float = 30.0
+    #: Junction-to-ambient thermal resistance, C/W.  The default puts a
+    #: 500 W board at 95 C steady state — above the 90 C limit, so a
+    #: sustained TDP load eventually throttles (as SXM boards do under
+    #: marginal cooling).
+    thermal_resistance_c_per_w: float = 0.13
+    #: Lumped heat capacity, J/C; with the default resistance this gives
+    #: a ~44 s thermal time constant.
+    thermal_capacitance_j_per_c: float = 400.0
+    #: Junction temperature at which hardware throttling engages.
+    throttle_limit_c: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance_c_per_w <= 0:
+            raise ValueError("thermal_resistance_c_per_w must be positive")
+        if self.thermal_capacitance_j_per_c <= 0:
+            raise ValueError("thermal_capacitance_j_per_c must be positive")
+        if self.throttle_limit_c <= self.ambient_c:
+            raise ValueError("throttle_limit_c must exceed ambient_c")
+
+    @property
+    def time_constant_s(self) -> float:
+        """RC time constant tau in seconds."""
+        return self.thermal_resistance_c_per_w * self.thermal_capacitance_j_per_c
+
+    # ------------------------------------------------------------------
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium junction temperature under constant power."""
+        if power_w < 0:
+            raise ValueError("power_w must be non-negative")
+        return self.ambient_c + self.thermal_resistance_c_per_w * power_w
+
+    def max_sustainable_power_w(self) -> float:
+        """Largest constant power that never throttles."""
+        return (self.throttle_limit_c - self.ambient_c) / self.thermal_resistance_c_per_w
+
+    def evolve(self, temp_c: float, power_w: float, duration_s: float) -> float:
+        """Temperature after ``duration_s`` under constant power."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        t_ss = self.steady_state_c(power_w)
+        return float(t_ss + (temp_c - t_ss) * np.exp(-duration_s / self.time_constant_s))
+
+    def time_to_reach(self, temp_c: float, power_w: float, target_c: float) -> float:
+        """Seconds until the junction reaches ``target_c`` (inf if never).
+
+        Only meaningful when heating toward a steady state above the
+        target; cooling toward or past the target returns inf.
+        """
+        t_ss = self.steady_state_c(power_w)
+        if temp_c >= target_c:
+            return 0.0
+        if t_ss <= target_c:
+            return float("inf")
+        return float(self.time_constant_s * np.log((t_ss - temp_c) / (t_ss - target_c)))
+
+    def would_throttle(self, power_w: float) -> bool:
+        """Whether constant ``power_w`` eventually hits the limit."""
+        return self.steady_state_c(power_w) > self.throttle_limit_c

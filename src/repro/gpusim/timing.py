@@ -1,0 +1,251 @@
+"""Execution-time model: latency-aware roofline over the DVFS space.
+
+The model decomposes one application execution into
+
+* **compute time** — FLOPs divided by achievable FLOP rate; the rate scales
+  linearly with the SM clock (paper Fig. 1 (d): FLOPS is a direct linear
+  function of core frequency),
+* **memory time** — DRAM bytes divided by achievable bandwidth; bandwidth
+  scales with the clock up to a saturation knee at
+  ``arch.bandwidth_knee_fraction * f_max`` and is flat above it (paper
+  Fig. 1 (h): bandwidth flattens at ~900 MHz on GA100),
+* **exposed host-link time** — PCIe traffic, partially overlapped with GPU
+  work and insensitive to the SM clock,
+* **serial time** — host-side fraction of wall time (launch gaps, CPU
+  phases), fixed in absolute terms and insensitive to the SM clock.
+
+Compute and memory time overlap through a smooth-maximum with exponent
+``overlap_p``: ``t_gpu = (t_c^p + t_m^p)^(1/p)``.  ``p -> inf`` is perfect
+overlap (pure roofline max); ``p = 1`` is fully serialized.
+
+The DCGM-style activity fractions (``fp64_active``, ``dram_active``, …)
+fall out of the same breakdown, which is why they are nearly invariant to
+the clock: for compute-bound work, both numerator (pipe-busy time) and
+denominator (wall time) scale as ``1/f`` and the ratio cancels — exactly
+the invariance paper Section 4.2.2 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.kernel import KernelCensus
+
+__all__ = ["TimingBreakdown", "TimingModel"]
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Per-component time (seconds) of one execution at one clock.
+
+    The ``*_activity_scale`` fields convert busy *time* into counter
+    *activity*: DCGM's ``fp64_active`` counts cycles the pipe actually
+    issues, so a kernel achieving 70 % of peak shows ~0.7 pipe activity
+    even while compute time dominates the run.  The scales are the
+    census's compute/memory efficiencies.
+    """
+
+    freq_mhz: float
+    t_compute_fp64: float
+    t_compute_fp32: float
+    t_memory: float
+    t_gpu: float
+    t_pcie_exposed: float
+    t_serial: float
+    #: Concurrent host pipeline time; overlaps t_gpu, so only the longer of
+    #: the two reaches the wall clock.
+    t_host_overlap: float = 0.0
+    compute_activity_scale: float = 1.0
+    memory_activity_scale: float = 1.0
+
+    @property
+    def t_compute(self) -> float:
+        """Total FP pipe busy time."""
+        return self.t_compute_fp64 + self.t_compute_fp32
+
+    @property
+    def t_total(self) -> float:
+        """Wall-clock execution time."""
+        return max(self.t_gpu, self.t_host_overlap) + self.t_pcie_exposed + self.t_serial
+
+    # ------------------------------------------------------------------
+    # DCGM-style activity fractions (all in [0, 1]).
+    # ------------------------------------------------------------------
+    @property
+    def fp64_active(self) -> float:
+        """Fraction of cycles the FP64 pipes issue work."""
+        return min(1.0, self.compute_activity_scale * self.t_compute_fp64 / self.t_total)
+
+    @property
+    def fp32_active(self) -> float:
+        """Fraction of cycles the FP32 pipes issue work."""
+        return min(1.0, self.compute_activity_scale * self.t_compute_fp32 / self.t_total)
+
+    @property
+    def fp_active(self) -> float:
+        """Combined FP pipe activity — the paper's ``fp_active`` feature."""
+        return min(1.0, self.compute_activity_scale * self.t_compute / self.t_total)
+
+    @property
+    def dram_active(self) -> float:
+        """Fraction of cycles the DRAM interface transfers data."""
+        return min(1.0, self.memory_activity_scale * self.t_memory / self.t_total)
+
+    @property
+    def sm_active(self) -> float:
+        """Fraction of wall time at least one warp is resident on an SM."""
+        return min(1.0, self.t_gpu / self.t_total)
+
+    @property
+    def gr_engine_active(self) -> float:
+        """Fraction of wall time the graphics/compute engine is busy."""
+        return min(1.0, (self.t_gpu + self.t_pcie_exposed) / self.t_total)
+
+
+class TimingModel:
+    """Maps (census, SM clock) to a :class:`TimingBreakdown`.
+
+    Parameters
+    ----------
+    arch:
+        Architecture whose peak rates and knees parameterise the roofline.
+    overlap_p:
+        Smooth-max exponent for compute/memory overlap.  The default (4)
+        models the high-but-imperfect overlap of a well-pipelined kernel.
+    pcie_overlap:
+        Fraction of host-link time hidden under GPU work.
+    bandwidth_softness:
+        Exponent of the smooth bandwidth saturation curve; higher is a
+        sharper knee.
+    """
+
+    def __init__(
+        self,
+        arch: GPUArchitecture,
+        *,
+        overlap_p: float = 4.0,
+        pcie_overlap: float = 0.7,
+        bandwidth_softness: float = 8.0,
+    ) -> None:
+        if overlap_p < 1.0:
+            raise ValueError("overlap_p must be >= 1")
+        if not 0.0 <= pcie_overlap <= 1.0:
+            raise ValueError("pcie_overlap must be in [0, 1]")
+        if bandwidth_softness <= 0:
+            raise ValueError("bandwidth_softness must be positive")
+        self.arch = arch
+        self.overlap_p = float(overlap_p)
+        self.pcie_overlap = float(pcie_overlap)
+        self.bandwidth_softness = float(bandwidth_softness)
+
+    # ------------------------------------------------------------------
+    # Rate curves
+    # ------------------------------------------------------------------
+    def compute_rate(self, census: KernelCensus, freq_mhz: float, *, fp64: bool) -> float:
+        """Achievable FLOP rate (FLOP/s) for one precision at one clock."""
+        peak = self.arch.peak_flops_fp64 if fp64 else self.arch.peak_flops_fp32
+        f_norm = freq_mhz / self.arch.core_freq_max_mhz
+        return peak * census.compute_efficiency * f_norm
+
+    def memory_bandwidth(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+        """Achievable DRAM bandwidth (bytes/s) at one clock.
+
+        Uses a smooth saturating curve: linear in the SM clock well below
+        the knee, flat well above it (the SM clock stops being the
+        bottleneck once the memory clock dominates).  ``mem_ratio`` is the
+        applied memory clock relative to the default: the saturated
+        plateau scales with it, and the saturation knee moves with it too
+        (a slower memory clock is saturated by a slower SM clock).
+        """
+        if mem_ratio <= 0:
+            raise ValueError("mem_ratio must be positive")
+        knee = self.arch.bandwidth_knee_fraction * self.arch.core_freq_max_mhz * mem_ratio
+        x = freq_mhz / knee
+        p = self.bandwidth_softness
+        saturation = x / (1.0 + x**p) ** (1.0 / p)
+        return self.arch.peak_memory_bandwidth * mem_ratio * census.memory_efficiency * saturation
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> TimingBreakdown:
+        """Time breakdown of one execution of ``census`` at ``freq_mhz``.
+
+        ``mem_ratio`` is the applied memory clock relative to the default
+        (1.0 unless the control module changed the memory clock).
+        """
+        if freq_mhz <= 0:
+            raise ValueError("freq_mhz must be positive")
+        t_c64 = self._compute_time(census, freq_mhz, fp64=True)
+        t_c32 = self._compute_time(census, freq_mhz, fp64=False)
+        t_mem = census.dram_bytes / self.memory_bandwidth(census, freq_mhz, mem_ratio=mem_ratio)
+        t_gpu = self._overlap(t_c64 + t_c32, t_mem)
+        t_pcie_exposed = (1.0 - self.pcie_overlap) * census.total_pcie_bytes / self.arch.pcie_bandwidth
+        gpu_at_fmax = self._gpu_time_at_fmax(census)
+        t_serial = census.serial_fraction / (1.0 - census.serial_fraction) * (gpu_at_fmax + t_pcie_exposed)
+        t_host = census.concurrent_host_fraction * gpu_at_fmax
+        return TimingBreakdown(
+            freq_mhz=float(freq_mhz),
+            t_compute_fp64=t_c64,
+            t_compute_fp32=t_c32,
+            t_memory=t_mem,
+            t_gpu=t_gpu,
+            t_pcie_exposed=t_pcie_exposed,
+            t_serial=t_serial,
+            t_host_overlap=t_host,
+            compute_activity_scale=census.compute_efficiency,
+            memory_activity_scale=census.memory_efficiency,
+        )
+
+    def execution_time(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+        """Wall-clock seconds for one execution (noise-free)."""
+        return self.evaluate(census, freq_mhz, mem_ratio=mem_ratio).t_total
+
+    def sweep(self, census: KernelCensus, freqs_mhz: np.ndarray) -> list[TimingBreakdown]:
+        """Breakdowns across a clock grid (ascending or arbitrary order)."""
+        return [self.evaluate(census, float(f)) for f in np.asarray(freqs_mhz, dtype=float)]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _compute_time(self, census: KernelCensus, freq_mhz: float, *, fp64: bool) -> float:
+        """Compute-pipe busy time with a clock-insensitive latency share.
+
+        The clock-scaled share (1 - lambda) stretches as 1/f; the latency
+        share lambda is pinned to its f_max value, flattening the time
+        curve of latency-limited applications.
+        """
+        flops = census.flops_fp64 if fp64 else census.flops_fp32
+        if flops == 0:
+            return 0.0
+        peak = self.arch.peak_flops_fp64 if fp64 else self.arch.peak_flops_fp32
+        t_base = flops / (peak * census.compute_efficiency)
+        lam = census.compute_latency_fraction
+        f_norm = freq_mhz / self.arch.core_freq_max_mhz
+        return t_base * ((1.0 - lam) / f_norm + lam)
+
+    def _overlap(self, t_compute: float, t_memory: float) -> float:
+        if t_compute == 0.0:
+            return t_memory
+        if t_memory == 0.0:
+            return t_compute
+        p = self.overlap_p
+        return float((t_compute**p + t_memory**p) ** (1.0 / p))
+
+    def _gpu_time_at_fmax(self, census: KernelCensus) -> float:
+        """Overlapped GPU time at the maximum clock.
+
+        Both the serial time (``serial_fraction`` is defined as the serial
+        share of wall time at f_max) and the concurrent host pipeline time
+        are anchored here and stay constant as the clock drops — which is
+        what makes DVFS-insensitive applications (paper: GROMACS) flat in
+        time.
+        """
+        fmax = self.arch.core_freq_max_mhz
+        t_c64 = self._compute_time(census, fmax, fp64=True)
+        t_c32 = self._compute_time(census, fmax, fp64=False)
+        t_mem = census.dram_bytes / self.memory_bandwidth(census, fmax)
+        return self._overlap(t_c64 + t_c32, t_mem)

@@ -1,0 +1,89 @@
+"""Core voltage as a function of SM clock.
+
+Real GPUs run a voltage/frequency table: below some clock the core sits at
+its minimum stable voltage, above it the voltage ramps (roughly linearly,
+slightly super-linearly near the top bin) to the boost voltage.  Because
+dynamic power scales with ``V^2 * f``, this curve is what bends the
+power-vs-frequency plot from linear into the convex shape seen in paper
+Figure 1 (a)/(e).
+
+The curve also exposes a per-step override hook so the paper's stated
+future work — exploring the *voltage* design space — has a concrete
+experiment surface (see ``examples/voltage_exploration.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+
+__all__ = ["VoltageCurve"]
+
+
+@dataclass
+class VoltageCurve:
+    """Piecewise voltage/frequency curve for one architecture.
+
+    ``V(f) = v_min``                                     for f <= knee
+    ``V(f) = v_min + (v_max - v_min) * x ** gamma``      for f  > knee
+
+    with ``x`` the knee-relative normalized clock and ``gamma`` slightly
+    above 1 to capture the steeper ramp near the top bins.
+    """
+
+    arch: GPUArchitecture
+    #: Curvature of the ramp segment; 1.0 = linear.
+    gamma: float = 1.15
+    #: Optional per-clock overrides (MHz -> volts) for undervolting studies.
+    overrides: dict[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self._knee_mhz = self.arch.voltage_knee_fraction * self.arch.core_freq_max_mhz
+
+    @property
+    def knee_mhz(self) -> float:
+        """Clock below which voltage sits at the floor."""
+        return self._knee_mhz
+
+    def volts(self, freq_mhz: float | np.ndarray) -> np.ndarray | float:
+        """Core voltage at the given clock(s)."""
+        f = np.asarray(freq_mhz, dtype=float)
+        scalar = f.ndim == 0
+        f = np.atleast_1d(f)
+        out = np.full_like(f, self.arch.voltage_min)
+        span = self.arch.core_freq_max_mhz - self._knee_mhz
+        ramp = f > self._knee_mhz
+        x = np.clip((f[ramp] - self._knee_mhz) / span, 0.0, 1.0)
+        out[ramp] = self.arch.voltage_min + (self.arch.voltage_max - self.arch.voltage_min) * x**self.gamma
+        if self.overrides:
+            for mhz, v in self.overrides.items():
+                out[np.abs(f - mhz) <= 1e-6] = v
+        return float(out[0]) if scalar else out
+
+    def set_override(self, freq_mhz: float, volts: float) -> None:
+        """Pin the voltage at one clock (undervolt/overvolt what-if)."""
+        if volts <= 0:
+            raise ValueError("voltage must be positive")
+        if self.overrides is None:
+            self.overrides = {}
+        self.overrides[float(freq_mhz)] = float(volts)
+
+    def clear_overrides(self) -> None:
+        """Remove all per-clock overrides."""
+        self.overrides = None
+
+    def dynamic_power_factor(self, freq_mhz: float | np.ndarray) -> np.ndarray | float:
+        """Normalized ``V(f)^2 * f`` factor (1.0 at the maximum clock).
+
+        This is the multiplier the power model applies to per-unit dynamic
+        power coefficients.
+        """
+        f = np.asarray(freq_mhz, dtype=float)
+        v = np.asarray(self.volts(f), dtype=float)
+        top = self.arch.voltage_max**2 * self.arch.core_freq_max_mhz
+        return (v**2 * f) / top

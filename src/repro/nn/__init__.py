@@ -1,0 +1,90 @@
+"""From-scratch NumPy feedforward neural network framework.
+
+Implements everything the paper's modelling section (4.3) needs without a
+deep-learning dependency:
+
+* the nine activation functions the paper swept (ReLU, ELU, Leaky ReLU,
+  SELU, sigmoid, tanh, softmax, softplus, softsign),
+* the five optimizers it swept (Adam, Adamax, Nadam, RMSprop, AdaDelta)
+  plus plain SGD,
+* dense layers with backpropagation, MSE/MAE/Huber losses, LeCun/He/Glorot
+  initialisation, mini-batch training with an 80/20 train/validation split
+  and loss histories (paper Fig. 6), and weight (de)serialisation.
+
+Everything is vectorized over the batch dimension; no Python-level loops
+touch individual samples.
+"""
+
+from repro.nn.activations import (
+    ELU,
+    SELU,
+    Activation,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Softplus,
+    Softsign,
+    Tanh,
+    get_activation,
+)
+from repro.nn.initializers import glorot_uniform, he_normal, lecun_normal
+from repro.nn.layers import Dense
+from repro.nn.losses import MAE, MSE, Huber, Loss, get_loss
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.optimizers import SGD, AdaDelta, Adam, Adamax, Nadam, Optimizer, RMSprop, get_optimizer
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialDecay,
+    Schedule,
+    StepDecay,
+    WarmupSchedule,
+)
+from repro.nn.serialize import load_network, save_network
+from repro.nn.training import History, TrainConfig, train
+
+__all__ = [
+    "Activation",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "SELU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Softplus",
+    "Softsign",
+    "Linear",
+    "get_activation",
+    "lecun_normal",
+    "he_normal",
+    "glorot_uniform",
+    "Dense",
+    "Loss",
+    "MSE",
+    "MAE",
+    "Huber",
+    "get_loss",
+    "FeedForwardNetwork",
+    "Optimizer",
+    "SGD",
+    "RMSprop",
+    "Adam",
+    "Adamax",
+    "Nadam",
+    "AdaDelta",
+    "get_optimizer",
+    "Schedule",
+    "ConstantSchedule",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineAnnealing",
+    "WarmupSchedule",
+    "History",
+    "TrainConfig",
+    "train",
+    "save_network",
+    "load_network",
+]

@@ -1,0 +1,208 @@
+"""Activation functions (the nine the paper swept, Section 4.3).
+
+Each activation implements the forward map and its derivative with
+respect to the pre-activation input.  Derivatives are expressed in terms
+of the *input* ``x`` (not the output), which keeps SELU/ELU exact.
+
+SELU uses the paper's stated constants (alpha = 1.67326324,
+scale = 1.05070098) from Klambauer et al., self-normalizing networks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Activation",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "SELU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "Softsign",
+    "Softmax",
+    "get_activation",
+]
+
+
+class Activation(ABC):
+    """Elementwise nonlinearity with an analytic derivative."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Forward map, elementwise."""
+
+    @abstractmethod
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        """d(activation)/dx evaluated at the pre-activation ``x``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class Linear(Activation):
+    """Identity — used on regression output layers."""
+
+    name = "linear"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return np.ones_like(x)
+
+
+class ReLU(Activation):
+    """Rectified linear unit ``max(0, x)``."""
+
+    name = "relu"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return (x > 0.0).astype(x.dtype)
+
+
+class LeakyReLU(Activation):
+    """ReLU with a small negative-side slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        if negative_slope < 0:
+            raise ValueError("negative_slope must be non-negative")
+        self.negative_slope = float(negative_slope)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.negative_slope * x)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, 1.0, self.negative_slope).astype(x.dtype)
+
+
+class ELU(Activation):
+    """Exponential linear unit."""
+
+    name = "elu"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = float(alpha)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.alpha * np.expm1(np.minimum(x, 0.0)))
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, 1.0, self.alpha * np.exp(np.minimum(x, 0.0)))
+
+
+class SELU(Activation):
+    """Scaled ELU with the self-normalizing constants (paper Eq. 2)."""
+
+    name = "selu"
+
+    ALPHA = 1.67326324
+    SCALE = 1.05070098
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.SCALE * np.where(x > 0.0, x, self.ALPHA * np.expm1(np.minimum(x, 0.0)))
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return self.SCALE * np.where(x > 0.0, 1.0, self.ALPHA * np.exp(np.minimum(x, 0.0)))
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, computed stably for large |x|."""
+
+    name = "sigmoid"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=float)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        s = self(x)
+        return s * (1.0 - s)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        t = np.tanh(x)
+        return 1.0 - t * t
+
+
+class Softplus(Activation):
+    """``log(1 + e^x)``, computed stably."""
+
+    name = "softplus"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.logaddexp(0.0, x)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return Sigmoid()(x)
+
+
+class Softsign(Activation):
+    """``x / (1 + |x|)``."""
+
+    name = "softsign"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x / (1.0 + np.abs(x))
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.abs(x)) ** 2
+
+
+class Softmax(Activation):
+    """Row-wise softmax.
+
+    Included because the paper's sweep lists it; for the elementwise
+    backprop path used by :class:`~repro.nn.layers.Dense` we expose the
+    diagonal of the Jacobian, which is the exact gradient only when
+    downstream losses treat outputs independently (as MSE does).
+    """
+
+    name = "softmax"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        ex = np.exp(shifted)
+        return ex / ex.sum(axis=-1, keepdims=True)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        s = self(x)
+        return s * (1.0 - s)
+
+
+_REGISTRY: dict[str, type[Activation]] = {
+    cls.name: cls  # type: ignore[misc]
+    for cls in (Linear, ReLU, LeakyReLU, ELU, SELU, Sigmoid, Tanh, Softplus, Softsign, Softmax)
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Instantiate an activation by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise KeyError(f"unknown activation {name!r}; known: {sorted(_REGISTRY)}") from None

@@ -1,0 +1,38 @@
+"""Weight initialisation schemes.
+
+SELU networks require LeCun-normal initialisation for the
+self-normalizing property to hold (Klambauer et al.), so that is the
+default the network builder picks for SELU hidden layers; He-normal suits
+ReLU-family activations and Glorot-uniform the saturating ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lecun_normal", "he_normal", "glorot_uniform", "for_activation"]
+
+
+def lecun_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """N(0, 1/fan_in) — the SELU-compatible initialiser."""
+    return rng.normal(0.0, np.sqrt(1.0 / fan_in), size=(fan_in, fan_out))
+
+
+def he_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """N(0, 2/fan_in) — for ReLU-family activations."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """U(-limit, limit) with limit = sqrt(6 / (fan_in + fan_out))."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def for_activation(activation_name: str):
+    """The conventional initialiser for a given activation."""
+    if activation_name in ("selu", "elu"):
+        return lecun_normal
+    if activation_name in ("relu", "leaky_relu", "softplus"):
+        return he_normal
+    return glorot_uniform

@@ -1,0 +1,98 @@
+"""Regression losses with analytic gradients.
+
+Gradients are with respect to the prediction and are normalized by the
+total number of elements, so layer gradients stay batch-size invariant.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Loss", "MSE", "MAE", "Huber", "get_loss"]
+
+
+def _check(y_pred: np.ndarray, y_true: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_pred = np.asarray(y_pred, dtype=float)
+    y_true = np.asarray(y_true, dtype=float)
+    if y_pred.shape != y_true.shape:
+        raise ValueError(f"shape mismatch: predictions {y_pred.shape} vs targets {y_true.shape}")
+    return y_pred, y_true
+
+
+class Loss(ABC):
+    """Scalar loss plus its gradient w.r.t. the predictions."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def __call__(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+        """Mean loss over all elements."""
+
+    @abstractmethod
+    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        """dL/dy_pred, same shape as the predictions."""
+
+
+class MSE(Loss):
+    """Mean squared error — the paper's training loss."""
+
+    name = "mse"
+
+    def __call__(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+        y_pred, y_true = _check(y_pred, y_true)
+        return float(np.mean((y_pred - y_true) ** 2))
+
+    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        y_pred, y_true = _check(y_pred, y_true)
+        return 2.0 * (y_pred - y_true) / y_pred.size
+
+
+class MAE(Loss):
+    """Mean absolute error."""
+
+    name = "mae"
+
+    def __call__(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+        y_pred, y_true = _check(y_pred, y_true)
+        return float(np.mean(np.abs(y_pred - y_true)))
+
+    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        y_pred, y_true = _check(y_pred, y_true)
+        return np.sign(y_pred - y_true) / y_pred.size
+
+
+class Huber(Loss):
+    """Huber loss: quadratic near zero, linear in the tails."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+
+    def __call__(self, y_pred: np.ndarray, y_true: np.ndarray) -> float:
+        y_pred, y_true = _check(y_pred, y_true)
+        err = y_pred - y_true
+        small = np.abs(err) <= self.delta
+        quad = 0.5 * err**2
+        lin = self.delta * (np.abs(err) - 0.5 * self.delta)
+        return float(np.mean(np.where(small, quad, lin)))
+
+    def gradient(self, y_pred: np.ndarray, y_true: np.ndarray) -> np.ndarray:
+        y_pred, y_true = _check(y_pred, y_true)
+        err = y_pred - y_true
+        return np.clip(err, -self.delta, self.delta) / y_pred.size
+
+
+_REGISTRY: dict[str, type[Loss]] = {cls.name: cls for cls in (MSE, MAE, Huber)}  # type: ignore[misc]
+
+
+def get_loss(name: str) -> Loss:
+    """Instantiate a loss by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise KeyError(f"unknown loss {name!r}; known: {sorted(_REGISTRY)}") from None

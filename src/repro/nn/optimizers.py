@@ -1,0 +1,208 @@
+"""Gradient-descent optimizers (the paper's sweep, Section 4.3).
+
+All optimizers share the slot-state pattern: per-parameter auxiliary
+arrays keyed by an opaque parameter id, created lazily on first update.
+``update`` mutates the parameter arrays in place — layers keep their
+identity across steps.
+
+RMSprop is the paper's final choice for both the power and time models.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "RMSprop", "Adam", "Adamax", "Nadam", "AdaDelta", "get_optimizer"]
+
+
+class Optimizer(ABC):
+    """Base class holding per-parameter slot state."""
+
+    name: str = "abstract"
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self._slots: dict[tuple[int, str], dict[str, np.ndarray]] = {}
+        self._step = 0
+
+    def begin_step(self) -> None:
+        """Advance the shared step counter (bias correction schedules)."""
+        self._step += 1
+
+    def _slot(self, key: tuple[int, str], names: tuple[str, ...], like: np.ndarray) -> dict[str, np.ndarray]:
+        if key not in self._slots:
+            self._slots[key] = {n: np.zeros_like(like) for n in names}
+        return self._slots[key]
+
+    @abstractmethod
+    def update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
+        """Apply one update to ``param`` in place."""
+
+    def reset(self) -> None:
+        """Drop all slot state (fresh training run)."""
+        self._slots.clear()
+        self._step = 0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    name = "sgd"
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+
+    def update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum == 0.0:
+            param -= self.learning_rate * grad
+            return
+        slot = self._slot(key, ("v",), param)
+        slot["v"] *= self.momentum
+        slot["v"] += grad
+        param -= self.learning_rate * slot["v"]
+
+
+class RMSprop(Optimizer):
+    """Tieleman & Hinton: divide by a running RMS of recent gradients."""
+
+    name = "rmsprop"
+
+    def __init__(self, learning_rate: float = 0.001, rho: float = 0.9, epsilon: float = 1e-7) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 < rho < 1.0:
+            raise ValueError("rho must be in (0, 1)")
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+
+    def update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
+        slot = self._slot(key, ("sq",), param)
+        slot["sq"] *= self.rho
+        slot["sq"] += (1.0 - self.rho) * grad**2
+        param -= self.learning_rate * grad / (np.sqrt(slot["sq"]) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first and second moments."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-7,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not (0.0 < beta1 < 1.0 and 0.0 < beta2 < 1.0):
+            raise ValueError("betas must be in (0, 1)")
+        self.beta1, self.beta2, self.epsilon = float(beta1), float(beta2), float(epsilon)
+
+    def update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
+        slot = self._slot(key, ("m", "v"), param)
+        t = max(self._step, 1)
+        slot["m"] *= self.beta1
+        slot["m"] += (1.0 - self.beta1) * grad
+        slot["v"] *= self.beta2
+        slot["v"] += (1.0 - self.beta2) * grad**2
+        m_hat = slot["m"] / (1.0 - self.beta1**t)
+        v_hat = slot["v"] / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class Adamax(Optimizer):
+    """Adam variant with an infinity-norm second moment."""
+
+    name = "adamax"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-7,
+    ) -> None:
+        super().__init__(learning_rate)
+        self.beta1, self.beta2, self.epsilon = float(beta1), float(beta2), float(epsilon)
+
+    def update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
+        slot = self._slot(key, ("m", "u"), param)
+        t = max(self._step, 1)
+        slot["m"] *= self.beta1
+        slot["m"] += (1.0 - self.beta1) * grad
+        np.maximum(self.beta2 * slot["u"], np.abs(grad), out=slot["u"])
+        m_hat = slot["m"] / (1.0 - self.beta1**t)
+        param -= self.learning_rate * m_hat / (slot["u"] + self.epsilon)
+
+
+class Nadam(Optimizer):
+    """Adam with Nesterov momentum (Dozat)."""
+
+    name = "nadam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-7,
+    ) -> None:
+        super().__init__(learning_rate)
+        self.beta1, self.beta2, self.epsilon = float(beta1), float(beta2), float(epsilon)
+
+    def update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
+        slot = self._slot(key, ("m", "v"), param)
+        t = max(self._step, 1)
+        slot["m"] *= self.beta1
+        slot["m"] += (1.0 - self.beta1) * grad
+        slot["v"] *= self.beta2
+        slot["v"] += (1.0 - self.beta2) * grad**2
+        m_hat = slot["m"] / (1.0 - self.beta1 ** (t + 1))
+        v_hat = slot["v"] / (1.0 - self.beta2**t)
+        nesterov = self.beta1 * m_hat + (1.0 - self.beta1) * grad / (1.0 - self.beta1**t)
+        param -= self.learning_rate * nesterov / (np.sqrt(v_hat) + self.epsilon)
+
+
+class AdaDelta(Optimizer):
+    """Zeiler's AdaDelta: unit-corrected adaptive steps, no raw LR.
+
+    ``learning_rate`` acts as a final scale factor (Keras semantics,
+    default 1.0).
+    """
+
+    name = "adadelta"
+
+    def __init__(self, learning_rate: float = 1.0, rho: float = 0.95, epsilon: float = 1e-6) -> None:
+        super().__init__(learning_rate)
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+
+    def update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
+        slot = self._slot(key, ("sq", "dx"), param)
+        slot["sq"] *= self.rho
+        slot["sq"] += (1.0 - self.rho) * grad**2
+        step = np.sqrt(slot["dx"] + self.epsilon) / np.sqrt(slot["sq"] + self.epsilon) * grad
+        slot["dx"] *= self.rho
+        slot["dx"] += (1.0 - self.rho) * step**2
+        param -= self.learning_rate * step
+
+
+_REGISTRY: dict[str, type[Optimizer]] = {
+    cls.name: cls  # type: ignore[misc]
+    for cls in (SGD, RMSprop, Adam, Adamax, Nadam, AdaDelta)
+}
+
+
+def get_optimizer(name: str, **kwargs: float) -> Optimizer:
+    """Instantiate an optimizer by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()](**kwargs)  # type: ignore[arg-type]
+    except KeyError:
+        raise KeyError(f"unknown optimizer {name!r}; known: {sorted(_REGISTRY)}") from None

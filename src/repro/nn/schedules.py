@@ -1,0 +1,96 @@
+"""Learning-rate schedules.
+
+Schedules map an epoch index to a learning-rate multiplier; the training
+loop applies them to the optimizer before each epoch.  They compose with
+any optimizer because only ``optimizer.learning_rate`` is touched (the
+base value is captured on first use and restored on demand).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Schedule", "ConstantSchedule", "StepDecay", "ExponentialDecay", "CosineAnnealing", "WarmupSchedule"]
+
+
+class Schedule(ABC):
+    """Epoch -> learning-rate multiplier (1.0 = base rate)."""
+
+    @abstractmethod
+    def multiplier(self, epoch: int) -> float:
+        """Multiplier for ``epoch`` (0-based)."""
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        m = self.multiplier(epoch)
+        if m <= 0:
+            raise RuntimeError(f"{type(self).__name__} produced non-positive multiplier {m}")
+        return m
+
+
+class ConstantSchedule(Schedule):
+    """No decay — the implicit default."""
+
+    def multiplier(self, epoch: int) -> float:
+        return 1.0
+
+
+class StepDecay(Schedule):
+    """Multiply by ``gamma`` every ``step_epochs`` epochs."""
+
+    def __init__(self, step_epochs: int, gamma: float = 0.5) -> None:
+        if step_epochs < 1:
+            raise ValueError("step_epochs must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_epochs = step_epochs
+        self.gamma = gamma
+
+    def multiplier(self, epoch: int) -> float:
+        return self.gamma ** (epoch // self.step_epochs)
+
+
+class ExponentialDecay(Schedule):
+    """Smooth per-epoch decay ``rate ** epoch``."""
+
+    def __init__(self, rate: float = 0.97) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        self.rate = rate
+
+    def multiplier(self, epoch: int) -> float:
+        return self.rate**epoch
+
+
+class CosineAnnealing(Schedule):
+    """Cosine decay from 1.0 to ``floor`` over ``total_epochs``."""
+
+    def __init__(self, total_epochs: int, floor: float = 0.01) -> None:
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if not 0.0 < floor <= 1.0:
+            raise ValueError("floor must be in (0, 1]")
+        self.total_epochs = total_epochs
+        self.floor = floor
+
+    def multiplier(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.floor + 0.5 * (1.0 - self.floor) * (1.0 + np.cos(np.pi * progress))
+
+
+class WarmupSchedule(Schedule):
+    """Linear warmup over the first epochs, then delegate to ``after``."""
+
+    def __init__(self, warmup_epochs: int, after: Schedule | None = None) -> None:
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.warmup_epochs = warmup_epochs
+        self.after = after if after is not None else ConstantSchedule()
+
+    def multiplier(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return (epoch + 1) / self.warmup_epochs
+        return self.after.multiplier(epoch - self.warmup_epochs)

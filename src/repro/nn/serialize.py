@@ -1,0 +1,62 @@
+"""Weight (de)serialisation to NumPy ``.npz`` archives.
+
+The archive stores the architecture (layer sizes + activation names) and
+every parameter array, so a trained power/time model can be shipped to
+another machine — the cross-architecture portability experiment loads
+GA100-trained weights to predict GV100.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Dense
+from repro.nn.network import FeedForwardNetwork
+
+__all__ = ["save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def save_network(network: FeedForwardNetwork, path: str | Path) -> Path:
+    """Persist architecture + weights; returns the resolved path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    spec = {
+        "version": _FORMAT_VERSION,
+        "layers": [
+            {
+                "in_features": layer.in_features,
+                "out_features": layer.out_features,
+                "activation": layer.activation.name,
+            }
+            for layer in network.layers
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {"spec": np.frombuffer(json.dumps(spec).encode(), dtype=np.uint8)}
+    for i, layer in enumerate(network.layers):
+        for name, param in layer.params.items():
+            arrays[f"layer{i}_{name}"] = param
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_network(path: str | Path) -> FeedForwardNetwork:
+    """Reconstruct a network saved by :func:`save_network`."""
+    path = Path(path)
+    with np.load(path) as data:
+        spec = json.loads(bytes(data["spec"]).decode())
+        if spec.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported format version {spec.get('version')}")
+        layers = []
+        for i, meta in enumerate(spec["layers"]):
+            layer = Dense(meta["in_features"], meta["out_features"], meta["activation"])
+            layer.params["W"] = np.array(data[f"layer{i}_W"])
+            layer.params["b"] = np.array(data[f"layer{i}_b"])
+            layers.append(layer)
+    return FeedForwardNetwork(layers)

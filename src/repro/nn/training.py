@@ -1,0 +1,187 @@
+"""Training loop: mini-batches, 80/20 split, loss histories, early stop.
+
+Reproduces the paper's training protocol (Section 4.3): the dataset is
+split 80 % train / 20 % validation, the model trains with batch size 64,
+and both losses are tracked per epoch (paper Fig. 6).  An optional
+patience-based early stop captures the paper's "we stopped training here
+to avoid overfitting" decision for the time model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import Loss, get_loss
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.nn.schedules import Schedule
+
+__all__ = ["TrainConfig", "History", "train"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of one training run (paper defaults)."""
+
+    epochs: int = 100
+    batch_size: int = 64
+    validation_split: float = 0.2
+    shuffle: bool = True
+    #: Stop if validation loss hasn't improved for this many epochs
+    #: (None disables early stopping).
+    early_stop_patience: int | None = None
+    #: Minimum relative improvement that resets the patience counter.
+    early_stop_min_delta: float = 1e-4
+    #: L2 weight decay coefficient applied to weight matrices (not
+    #: biases), decoupled from the loss gradient (AdamW-style).
+    weight_decay: float = 0.0
+    #: Clip each parameter gradient's L2 norm at this value (None = off).
+    grad_clip_norm: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 <= self.validation_split < 1.0:
+            raise ValueError("validation_split must be in [0, 1)")
+        if self.early_stop_patience is not None and self.early_stop_patience < 1:
+            raise ValueError("early_stop_patience must be >= 1 or None")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if self.grad_clip_norm is not None and self.grad_clip_norm <= 0:
+            raise ValueError("grad_clip_norm must be positive or None")
+
+
+@dataclass
+class History:
+    """Per-epoch losses, as plotted in paper Fig. 6."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        """How many epochs actually executed."""
+        return len(self.train_loss)
+
+    @property
+    def best_val_loss(self) -> float:
+        """Lowest validation loss seen (inf when no validation split)."""
+        return min(self.val_loss) if self.val_loss else float("inf")
+
+
+def train(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    optimizer: Optimizer | str = "rmsprop",
+    loss: Loss | str = "mse",
+    config: TrainConfig | None = None,
+    schedule: Schedule | None = None,
+    seed: int | None = None,
+) -> History:
+    """Train ``network`` in place and return the loss history.
+
+    ``x`` is (samples, features); ``y`` is (samples,) or (samples, out).
+    The validation split is taken from the *end* of a seeded shuffle, so
+    repeated runs with the same seed see identical splits.  ``schedule``
+    scales the optimizer's learning rate per epoch (base rate restored on
+    exit).
+    """
+    config = config if config is not None else TrainConfig()
+    optimizer = get_optimizer(optimizer) if isinstance(optimizer, str) else optimizer
+    loss = get_loss(loss) if isinstance(loss, str) else loss
+
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if y.ndim == 1:
+        y = y[:, None]
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D (samples, features), got shape {x.shape}")
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x has {x.shape[0]} samples but y has {y.shape[0]}")
+    if x.shape[0] < 2:
+        raise ValueError("need at least 2 samples to train")
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(x.shape[0])
+    x, y = x[order], y[order]
+
+    n_val = int(round(config.validation_split * x.shape[0]))
+    n_val = min(n_val, x.shape[0] - 1)
+    if n_val > 0:
+        x_train, y_train = x[:-n_val], y[:-n_val]
+        x_val, y_val = x[-n_val:], y[-n_val:]
+    else:
+        x_train, y_train = x, y
+        x_val = y_val = None
+
+    history = History()
+    best_val = float("inf")
+    patience_left = config.early_stop_patience
+
+    n = x_train.shape[0]
+    base_lr = optimizer.learning_rate
+    try:
+        for epoch in range(config.epochs):
+            if schedule is not None:
+                optimizer.learning_rate = base_lr * schedule(epoch)
+            idx = rng.permutation(n) if config.shuffle else np.arange(n)
+            epoch_losses = []
+            for start in range(0, n, config.batch_size):
+                batch = idx[start : start + config.batch_size]
+                epoch_losses.append(
+                    _train_batch(network, x_train[batch], y_train[batch], loss, optimizer, config)
+                )
+            history.train_loss.append(float(np.mean(epoch_losses)))
+
+            if x_val is not None:
+                val = network.evaluate(x_val, y_val, loss)
+                history.val_loss.append(val)
+                if config.early_stop_patience is not None:
+                    if val < best_val * (1.0 - config.early_stop_min_delta):
+                        best_val = val
+                        patience_left = config.early_stop_patience
+                    else:
+                        patience_left -= 1  # type: ignore[operator]
+                        if patience_left <= 0:
+                            history.stopped_early = True
+                            break
+    finally:
+        optimizer.learning_rate = base_lr
+    return history
+
+
+def _train_batch(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss: Loss,
+    optimizer: Optimizer,
+    config: TrainConfig,
+) -> float:
+    """One step with optional gradient clipping and decoupled decay."""
+    if config.grad_clip_norm is None and config.weight_decay == 0.0:
+        return network.train_batch(x, y, loss, optimizer)
+
+    y_pred = network.forward(x, training=True)
+    value = loss(y_pred, y)
+    network.backward(loss.gradient(y_pred, y))
+    optimizer.begin_step()
+    for i, layer in enumerate(network.layers):
+        for name, param in layer.params.items():
+            grad = layer.grads[name]
+            if config.grad_clip_norm is not None:
+                norm = float(np.linalg.norm(grad))
+                if norm > config.grad_clip_norm:
+                    grad = grad * (config.grad_clip_norm / norm)
+            optimizer.update((i, name), param, grad)
+            # Decoupled (AdamW-style) decay on weights only.
+            if config.weight_decay > 0.0 and name == "W":
+                param -= optimizer.learning_rate * config.weight_decay * param
+    return value

@@ -1,0 +1,39 @@
+"""Transparent GPU data-acquisition framework (paper Section 4.1).
+
+The paper built a three-module framework on top of NVIDIA DCGM; this
+package mirrors it against the simulated device:
+
+* :mod:`~repro.telemetry.fields` — DCGM-style field-id registry for the 12
+  collected metrics,
+* :mod:`~repro.telemetry.control` — applies the desired SM clocks
+  ("control module"),
+* :mod:`~repro.telemetry.profile` — runs an application and samples
+  metrics on a fixed interval throughout execution ("profile module"),
+* :mod:`~repro.telemetry.launch` — orchestrates DVFS sweeps x workloads x
+  repeats and persists one CSV per run ("launch module"),
+* :mod:`~repro.telemetry.csvio` — the CSV persistence format.
+
+No compiling or linking is needed to profile a new workload — exactly the
+transparency property the paper claims — because workloads are plain
+Python objects implementing :class:`repro.workloads.Workload`.
+"""
+
+from repro.telemetry.control import ClockController
+from repro.telemetry.csvio import read_samples_csv, write_samples_csv
+from repro.telemetry.fields import FIELDS, FieldDef, field_by_id, field_by_name
+from repro.telemetry.launch import LaunchConfig, Launcher, RunArtifact
+from repro.telemetry.profile import Profiler
+
+__all__ = [
+    "ClockController",
+    "read_samples_csv",
+    "write_samples_csv",
+    "FIELDS",
+    "FieldDef",
+    "field_by_id",
+    "field_by_name",
+    "LaunchConfig",
+    "Launcher",
+    "RunArtifact",
+    "Profiler",
+]

@@ -1,0 +1,68 @@
+"""Clock control module (paper Section 4.1, "control module").
+
+Thin, auditable wrapper over the device's clock interface: every applied
+configuration is recorded so an experiment can prove exactly which clocks
+each run executed under — the provenance a real power study needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.device import SimulatedGPU
+
+__all__ = ["ClockController"]
+
+
+@dataclass
+class ClockController:
+    """Applies SM/memory clocks to one device and logs the history.
+
+    The paper's control module "applies the desired operating frequency
+    to the GPU cores *and memory*"; both axes are exposed here.  History
+    entries are ``(domain, snapped_mhz)`` pairs.
+    """
+
+    device: SimulatedGPU
+    history: list[tuple[str, float]] = field(default_factory=list)
+
+    def set_sm_clock(self, freq_mhz: float) -> float:
+        """Apply a core clock; returns the snapped value actually in effect.
+
+        Requests snap to the nearest supported state (driver semantics);
+        the *snapped* value is what gets logged.
+        """
+        actual = self.device.set_sm_clock(freq_mhz)
+        self.history.append(("sm", actual))
+        return actual
+
+    def set_mem_clock(self, freq_mhz: float) -> float:
+        """Apply a memory clock; returns the snapped value in effect."""
+        actual = self.device.set_mem_clock(freq_mhz)
+        self.history.append(("mem", actual))
+        return actual
+
+    def reset(self) -> float:
+        """Restore default core and memory clocks (and log it)."""
+        actual = self.device.reset_clocks()
+        self.history.append(("sm", actual))
+        self.history.append(("mem", self.device.current_mem_clock))
+        return actual
+
+    @property
+    def current_clock(self) -> float:
+        """The core clock currently in effect on the device."""
+        return self.device.current_sm_clock
+
+    @property
+    def current_mem_clock(self) -> float:
+        """The memory clock currently in effect on the device."""
+        return self.device.current_mem_clock
+
+    def sweep(self, freqs_mhz: list[float]) -> list[float]:
+        """Validate-and-snap a whole sweep without applying it.
+
+        Used by the launch module to precompute the actual design space
+        before starting a (simulated) multi-hour collection.
+        """
+        return [self.device.dvfs.snap(f) for f in freqs_mhz]

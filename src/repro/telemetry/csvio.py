@@ -1,0 +1,52 @@
+"""CSV persistence for collected metrics (paper Section 4.1).
+
+The paper's launch module "saves output metrics of each run into a
+comma-separated values format file"; this module is that format.  Files
+are plain CSV with a header row, one line per sample, all-numeric values,
+so they remain greppable and loadable by any downstream tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+__all__ = ["write_samples_csv", "read_samples_csv"]
+
+
+def write_samples_csv(path: str | Path, rows: list[dict[str, float]]) -> Path:
+    """Write sample rows to ``path``; returns the resolved path.
+
+    All rows must share the same keys (the first row defines the header) —
+    a mismatch raises :class:`ValueError` rather than silently writing a
+    ragged file.
+    """
+    if not rows:
+        raise ValueError("refusing to write an empty CSV")
+    path = Path(path)
+    header = list(rows[0].keys())
+    for i, row in enumerate(rows):
+        if list(row.keys()) != header:
+            raise ValueError(f"row {i} keys {sorted(row)} differ from header {sorted(header)}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=header)
+        writer.writeheader()
+        writer.writerows({k: repr(float(v)) for k, v in row.items()} for row in rows)
+    return path
+
+
+def read_samples_csv(path: str | Path) -> list[dict[str, float]]:
+    """Read sample rows back; values are parsed to float."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty CSV")
+        rows: list[dict[str, float]] = []
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                rows.append({k: float(v) for k, v in row.items()})
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: non-numeric value ({exc})") from exc
+    return rows

@@ -1,0 +1,64 @@
+"""DCGM-style field registry for the 12 collected metrics.
+
+Field ids follow the real DCGM numbering where one exists (``dcgm_fields.h``)
+so that CSVs produced here line up with what the paper's framework would
+emit: profiling fields live in the 1001-1012 range, device fields below
+1000.  ``exec_time`` is the one synthetic field (DCGM reports it via the
+job-stats interface rather than a field id); it gets a private id in the
+vendor-reserved range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FieldDef", "FIELDS", "field_by_name", "field_by_id"]
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One collectable metric."""
+
+    field_id: int
+    name: str
+    unit: str
+    description: str
+    #: Whether per-sample values are summed (traffic counters) rather than
+    #: averaged when aggregating a run.
+    cumulative: bool = False
+
+
+#: The 12 metrics of paper Section 4.1, keyed by the paper's names.
+FIELDS: tuple[FieldDef, ...] = (
+    FieldDef(1006, "fp64_active", "ratio", "Fraction of cycles the FP64 pipes are active"),
+    FieldDef(1007, "fp32_active", "ratio", "Fraction of cycles the FP32 pipes are active"),
+    FieldDef(100, "sm_app_clock", "MHz", "Applied SM application clock"),
+    FieldDef(1005, "dram_active", "ratio", "Fraction of cycles the DRAM interface is active"),
+    FieldDef(1001, "gr_engine_active", "ratio", "Fraction of time the graphics/compute engine is active"),
+    FieldDef(203, "gpu_utilization", "percent", "Coarse GPU utilization"),
+    FieldDef(155, "power_usage", "W", "Board power draw"),
+    FieldDef(1002, "sm_active", "ratio", "Fraction of time at least one warp is resident"),
+    FieldDef(1003, "sm_occupancy", "ratio", "Resident warps / maximum warps"),
+    FieldDef(1009, "pcie_tx_bytes", "B", "PCIe bytes transmitted (device to host)", cumulative=True),
+    FieldDef(1010, "pcie_rx_bytes", "B", "PCIe bytes received (host to device)", cumulative=True),
+    FieldDef(9001, "exec_time", "s", "Wall-clock execution time of the run"),
+)
+
+_BY_NAME = {f.name: f for f in FIELDS}
+_BY_ID = {f.field_id: f for f in FIELDS}
+
+
+def field_by_name(name: str) -> FieldDef:
+    """Look up a field by its paper name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown field {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def field_by_id(field_id: int) -> FieldDef:
+    """Look up a field by its DCGM field id."""
+    try:
+        return _BY_ID[field_id]
+    except KeyError:
+        raise KeyError(f"unknown field id {field_id}; known: {sorted(_BY_ID)}") from None

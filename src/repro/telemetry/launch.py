@@ -1,0 +1,110 @@
+"""Launch module (paper Section 4.1): orchestrates a collection campaign.
+
+A campaign is (workloads) x (DVFS configurations) x (runs).  For every
+cell the launcher applies the clock, profiles the execution, and persists
+one CSV of 20 ms samples.  The returned :class:`RunArtifact` list is the
+campaign manifest — the dataset builder in :mod:`repro.core.dataset`
+consumes either the in-memory artifacts or the CSVs on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.gpusim.device import RunRecord, SimulatedGPU
+from repro.telemetry.control import ClockController
+from repro.telemetry.csvio import write_samples_csv
+from repro.telemetry.profile import Profiler
+from repro.workloads.base import Workload
+
+__all__ = ["LaunchConfig", "RunArtifact", "Launcher"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """What to collect.
+
+    Mirrors the knobs the paper's launch module exposes: the DVFS
+    configurations, the executables (workloads) with their arguments
+    (sizes), the results path, the number of runs, and the sampling
+    interval (owned by the device).
+    """
+
+    freqs_mhz: tuple[float, ...]
+    runs_per_config: int = 3
+    output_dir: Path | None = None
+    #: Optional per-workload size overrides (workload name -> size).
+    sizes: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.freqs_mhz:
+            raise ValueError("freqs_mhz must not be empty")
+        if self.runs_per_config < 1:
+            raise ValueError("runs_per_config must be >= 1")
+
+
+@dataclass(frozen=True)
+class RunArtifact:
+    """One completed run: its record plus where the CSV landed (if any)."""
+
+    workload: str
+    freq_mhz: float
+    run_index: int
+    record: RunRecord
+    csv_path: Path | None = None
+
+
+class Launcher:
+    """Drives a full collection campaign against one device."""
+
+    def __init__(self, device: SimulatedGPU) -> None:
+        self.device = device
+        self.controller = ClockController(device)
+        self.profiler = Profiler(device)
+
+    def collect(self, workloads: list[Workload], config: LaunchConfig) -> list[RunArtifact]:
+        """Run the campaign; returns one artifact per (workload, freq, run).
+
+        The device clock is always restored to the default afterwards,
+        even if a workload raises — leaving a shared node at a throttled
+        clock is the classic data-collection footgun.
+        """
+        artifacts: list[RunArtifact] = []
+        try:
+            for workload in workloads:
+                size = config.sizes.get(workload.name)
+                for freq in config.freqs_mhz:
+                    actual = self.controller.set_sm_clock(freq)
+                    for run_idx in range(config.runs_per_config):
+                        record = self.profiler.profile(workload, size=size)
+                        csv_path: Path | None = None
+                        if config.output_dir is not None:
+                            csv_path = (
+                                Path(config.output_dir)
+                                / workload.name
+                                / f"{workload.name}_{int(round(actual))}mhz_run{run_idx}.csv"
+                            )
+                            write_samples_csv(csv_path, self.profiler.samples_as_rows(record))
+                        artifacts.append(
+                            RunArtifact(
+                                workload=workload.name,
+                                freq_mhz=actual,
+                                run_index=run_idx,
+                                record=record,
+                                csv_path=csv_path,
+                            )
+                        )
+        finally:
+            self.controller.reset()
+        return artifacts
+
+    def collect_at_max(self, workloads: list[Workload], *, runs: int = 1) -> list[RunArtifact]:
+        """Collect only at the default/maximum clock.
+
+        This is the *online phase* acquisition: the paper measures an
+        unseen application once at the default clock and predicts the rest
+        of the DVFS space from those features.
+        """
+        config = LaunchConfig(freqs_mhz=(self.device.arch.default_core_freq_mhz,), runs_per_config=runs)
+        return self.collect(workloads, config)

@@ -1,0 +1,47 @@
+"""Profile module (paper Section 4.1): run an app, sample metrics.
+
+The paper samples DCGM fields every 20 ms for the whole execution so that
+even short workloads contribute a statistically significant number of
+rows.  Here the device produces those samples; the profiler converts them
+to field-keyed records and run-level aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import RunRecord, SimulatedGPU
+from repro.telemetry.fields import FIELDS
+from repro.workloads.base import Workload
+
+__all__ = ["Profiler"]
+
+
+@dataclass
+class Profiler:
+    """Executes workloads on one device and collects per-sample metrics."""
+
+    device: SimulatedGPU
+
+    def profile(self, workload: Workload, *, size: int | None = None) -> RunRecord:
+        """One profiled execution at the device's current clock."""
+        census = workload.census(size)
+        return self.device.run(census, workload_name=workload.name)
+
+    def samples_as_rows(self, record: RunRecord) -> list[dict[str, float]]:
+        """Per-sample rows keyed by field name (plus ``timestamp_s``).
+
+        This is the row format the CSV writer persists — one row per 20 ms
+        sample, mirroring the paper's framework output.
+        """
+        rows: list[dict[str, float]] = []
+        for sample in record.samples:
+            row: dict[str, float] = {"timestamp_s": sample.timestamp_s}
+            for f in FIELDS:
+                row[f.name] = float(getattr(sample, f.name))
+            rows.append(row)
+        return rows
+
+    def aggregate(self, record: RunRecord) -> dict[str, float]:
+        """Run-level aggregates (means; sums for traffic counters)."""
+        return record.metrics()

@@ -1,0 +1,43 @@
+"""Workload models: the 21 training benchmarks and 6 real applications.
+
+Each workload produces a :class:`~repro.gpusim.kernel.KernelCensus` — the
+frequency-independent op/byte accounting — from an input-size parameter.
+The census math follows each algorithm's actual complexity (e.g. DGEMM
+performs ``2 n^3`` FLOPs and moves ``~2 n^3 8 / tile`` DRAM bytes under
+blocking), so the (fp_active, dram_active) signatures the paper's models
+key on emerge from first principles instead of being hard-coded.
+
+Training set (paper Table 2): DGEMM, STREAM, and the 19 SPEC ACCEL
+benchmarks.  Evaluation set: LAMMPS, NAMD, GROMACS, LSTM, BERT, ResNet50.
+
+A few workloads also ship a runnable NumPy reference kernel
+(:meth:`Workload.run_reference`) used by tests to sanity-check the census
+arithmetic against an actual computation.
+"""
+
+from repro.workloads.base import Workload, WorkloadCategory
+from repro.workloads.microbench import DGEMM, STREAM
+from repro.workloads.registry import (
+    WorkloadRegistry,
+    default_registry,
+    evaluation_workloads,
+    get_workload,
+    training_workloads,
+)
+from repro.workloads.trace import Phase, PhasedWorkload, RecommenderTraining, merge_censuses
+
+__all__ = [
+    "Workload",
+    "WorkloadCategory",
+    "DGEMM",
+    "STREAM",
+    "WorkloadRegistry",
+    "default_registry",
+    "get_workload",
+    "training_workloads",
+    "evaluation_workloads",
+    "Phase",
+    "PhasedWorkload",
+    "RecommenderTraining",
+    "merge_censuses",
+]

@@ -1,0 +1,76 @@
+"""Workload abstraction shared by micro-benchmarks, SPEC ACCEL, real apps."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.gpusim.kernel import KernelCensus
+
+__all__ = ["WorkloadCategory", "Workload"]
+
+
+class WorkloadCategory(enum.Enum):
+    """Paper Table 2 grouping."""
+
+    MICROBENCH = "micro-benchmark"
+    SPEC_ACCEL = "spec-accel"
+    REAL_APP = "real-application"
+
+
+class Workload(ABC):
+    """One benchmark/application with a size-parameterised census.
+
+    Subclasses define:
+
+    * :attr:`name` / :attr:`category`,
+    * :attr:`default_size` — the size used when none is given (the paper
+      runs training workloads at their standard sizes),
+    * :meth:`census` — the op/byte accounting for a given size.
+
+    ``size`` is a single scalar "problem scale" whose meaning is workload
+    specific (matrix dimension, element count, node count, ...), documented
+    per subclass.
+    """
+
+    name: str = "abstract"
+    category: WorkloadCategory = WorkloadCategory.MICROBENCH
+    default_size: int = 1
+    #: Inclusive bounds on meaningful sizes for this workload.
+    min_size: int = 1
+    max_size: int = 2**62
+
+    @abstractmethod
+    def census(self, size: int | None = None) -> KernelCensus:
+        """Op/byte accounting for one execution at ``size``."""
+
+    def resolve_size(self, size: int | None) -> int:
+        """Validate and default the size parameter."""
+        n = self.default_size if size is None else int(size)
+        if not self.min_size <= n <= self.max_size:
+            raise ValueError(
+                f"{self.name}: size {n} outside supported range [{self.min_size}, {self.max_size}]"
+            )
+        return n
+
+    # ------------------------------------------------------------------
+    # Optional runnable reference kernel
+    # ------------------------------------------------------------------
+    @property
+    def has_reference_kernel(self) -> bool:
+        """Whether :meth:`run_reference` is implemented."""
+        return type(self).run_reference is not Workload.run_reference
+
+    def run_reference(self, size: int, rng: np.random.Generator) -> dict[str, float]:
+        """Execute a small NumPy version of the kernel.
+
+        Returns a dict with at least ``checksum`` (a reduction over the
+        output, for regression testing) and, when countable, ``flops`` and
+        ``bytes_touched`` to validate the census arithmetic.
+        """
+        raise NotImplementedError(f"{self.name} has no runnable reference kernel")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} category={self.category.value}>"

@@ -1,0 +1,120 @@
+"""Registry mapping workload names to instances and paper groupings."""
+
+from __future__ import annotations
+
+from repro.workloads import realapps, spec_accel
+from repro.workloads.base import Workload, WorkloadCategory
+from repro.workloads.microbench import DGEMM, STREAM
+
+__all__ = [
+    "WorkloadRegistry",
+    "default_registry",
+    "get_workload",
+    "training_workloads",
+    "evaluation_workloads",
+]
+
+
+class WorkloadRegistry:
+    """Named collection of workloads with paper-aligned groupings."""
+
+    def __init__(self) -> None:
+        self._workloads: dict[str, Workload] = {}
+
+    def register(self, workload: Workload, *, overwrite: bool = False) -> None:
+        """Add a workload; refuses to clobber unless ``overwrite``."""
+        key = workload.name.lower()
+        if key in self._workloads and not overwrite:
+            raise ValueError(f"workload {workload.name!r} already registered")
+        self._workloads[key] = workload
+
+    def get(self, name: str) -> Workload:
+        """Look up a workload by (case-insensitive) name."""
+        try:
+            return self._workloads[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._workloads))
+            raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._workloads
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._workloads)
+
+    def by_category(self, category: WorkloadCategory) -> list[Workload]:
+        """All workloads in one Table 2 category, name-sorted."""
+        return [w for _, w in sorted(self._workloads.items()) if w.category is category]
+
+    def training_set(self) -> list[Workload]:
+        """The 21 model-training workloads (micro-benchmarks + SPEC ACCEL)."""
+        return self.by_category(WorkloadCategory.MICROBENCH) + self.by_category(WorkloadCategory.SPEC_ACCEL)
+
+    def evaluation_set(self) -> list[Workload]:
+        """The 6 unseen real applications used for evaluation."""
+        return self.by_category(WorkloadCategory.REAL_APP)
+
+
+def _build_default() -> WorkloadRegistry:
+    reg = WorkloadRegistry()
+    reg.register(DGEMM())
+    reg.register(STREAM())
+    for cls in (
+        spec_accel.TPACF,
+        spec_accel.Stencil,
+        spec_accel.LBM,
+        spec_accel.FFT,
+        spec_accel.SPMV,
+        spec_accel.MRIQ,
+        spec_accel.Histo,
+        spec_accel.BFS,
+        spec_accel.CUTCP,
+        spec_accel.KMeans,
+        spec_accel.LavaMD,
+        spec_accel.CFD,
+        spec_accel.NW,
+        spec_accel.Hotspot,
+        spec_accel.LUD,
+        spec_accel.GE,
+        spec_accel.SRAD,
+        spec_accel.HeartWall,
+        spec_accel.BPlusTree,
+    ):
+        reg.register(cls())
+    for cls in (
+        realapps.LAMMPS,
+        realapps.NAMD,
+        realapps.GROMACS,
+        realapps.LSTM,
+        realapps.BERT,
+        realapps.ResNet50,
+    ):
+        reg.register(cls())
+    return reg
+
+
+_DEFAULT = _build_default()
+
+
+def default_registry() -> WorkloadRegistry:
+    """The registry with all 27 paper workloads."""
+    return _DEFAULT
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload in the default registry."""
+    return _DEFAULT.get(name)
+
+
+def training_workloads() -> list[Workload]:
+    """The 21 training workloads (paper Table 2)."""
+    return _DEFAULT.training_set()
+
+
+def evaluation_workloads() -> list[Workload]:
+    """The 6 real evaluation applications (paper Table 2)."""
+    return _DEFAULT.evaluation_set()

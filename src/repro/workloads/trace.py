@@ -1,0 +1,142 @@
+"""Multi-phase (trace) workloads.
+
+Real applications alternate phases with different computational
+characters — a recommender interleaves memory-bound embedding lookups
+with compute-bound MLP updates; a climate pipeline alternates FFTs with
+I/O.  The paper's method profiles the *whole run* and averages the
+features, which places a bimodal application at a synthetic operating
+point no real kernel occupies.  Phase-aware prediction (see
+``repro.core.pipeline.FrequencySelectionPipeline.run_online_phased``)
+predicts each phase separately and composes the curves.
+
+A :class:`PhasedWorkload` describes its phases; its whole-run census is
+the physically correct merge (extensive quantities sum, intensive ones
+average weighted by each phase's share of the wall time at the default
+clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.kernel import KernelCensus
+from repro.workloads.base import Workload, WorkloadCategory
+
+__all__ = ["Phase", "merge_censuses", "PhasedWorkload", "RecommenderTraining"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a multi-phase application."""
+
+    name: str
+    census: KernelCensus
+    #: This phase's approximate share of wall time at the default clock,
+    #: used to weight intensive properties when merging.  Shares need not
+    #: sum to 1; they are normalised.
+    duration_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_weight <= 0:
+            raise ValueError("duration_weight must be positive")
+
+
+def merge_censuses(phases: list[Phase]) -> KernelCensus:
+    """Whole-run census from per-phase censuses.
+
+    FLOPs and byte counts sum; occupancy, efficiencies, and the timing
+    fractions are duration-weighted means — what a whole-run profile
+    (the paper's acquisition) would report for this application.
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    total_w = sum(p.duration_weight for p in phases)
+
+    def wmean(attr: str) -> float:
+        return sum(getattr(p.census, attr) * p.duration_weight for p in phases) / total_w
+
+    return KernelCensus(
+        flops_fp64=sum(p.census.flops_fp64 for p in phases),
+        flops_fp32=sum(p.census.flops_fp32 for p in phases),
+        dram_bytes=sum(p.census.dram_bytes for p in phases),
+        pcie_tx_bytes=sum(p.census.pcie_tx_bytes for p in phases),
+        pcie_rx_bytes=sum(p.census.pcie_rx_bytes for p in phases),
+        occupancy=wmean("occupancy"),
+        compute_efficiency=wmean("compute_efficiency"),
+        memory_efficiency=wmean("memory_efficiency"),
+        serial_fraction=wmean("serial_fraction"),
+        compute_latency_fraction=wmean("compute_latency_fraction"),
+        concurrent_host_fraction=wmean("concurrent_host_fraction"),
+    )
+
+
+class PhasedWorkload(Workload):
+    """Workload composed of named phases.
+
+    Subclasses implement :meth:`phases`; the whole-run census is derived
+    by :func:`merge_censuses` so monolithic (paper-style) profiling still
+    works on the same object.
+    """
+
+    def phases(self, size: int | None = None) -> list[Phase]:
+        """Per-phase censuses at ``size``."""
+        raise NotImplementedError
+
+    def census(self, size: int | None = None) -> KernelCensus:
+        return merge_censuses(self.phases(size))
+
+
+class RecommenderTraining(PhasedWorkload):
+    """DLRM-style recommender: embedding gathers + dense MLP updates.
+
+    ``size`` is the number of training steps.  Per step:
+
+    * **embedding phase** — sparse gathers over huge tables: almost no
+      FLOPs, heavy irregular DRAM traffic at poor efficiency;
+    * **mlp phase** — batched dense GEMMs: compute-bound.
+
+    The two phases sit at opposite corners of the (fp, dram) plane, so
+    the merged profile is the worst case for whole-run feature averaging.
+    """
+
+    name = "recommender"
+    category = WorkloadCategory.REAL_APP
+    default_size = 2000
+    min_size = 10
+
+    _BATCH = 4096
+    #: 80 sparse features x 64-dim embeddings gathered per sample.
+    _EMBED_BYTES_PER_STEP = _BATCH * 80.0 * 64.0 * 4.0 * 6.0  # gathers + grads
+    #: Three MLP layers of 1024 units, fwd + bwd.
+    _MLP_FLOPS_PER_STEP = 6.0 * _BATCH * (512 * 1024 + 1024 * 1024 + 1024 * 256)
+
+    def phases(self, size: int | None = None) -> list[Phase]:
+        steps = float(self.resolve_size(size))
+        embedding = KernelCensus(
+            flops_fp32=0.05 * self._EMBED_BYTES_PER_STEP * steps,
+            dram_bytes=self._EMBED_BYTES_PER_STEP * steps * 14.0,
+            pcie_rx_bytes=self._BATCH * 80.0 * 4.0 * steps,
+            pcie_tx_bytes=1e6,
+            occupancy=0.55,
+            compute_efficiency=0.35,
+            memory_efficiency=0.40,
+            compute_latency_fraction=0.30,
+            serial_fraction=0.04,
+        )
+        mlp = KernelCensus(
+            flops_fp32=self._MLP_FLOPS_PER_STEP * steps * 6.0,
+            dram_bytes=self._MLP_FLOPS_PER_STEP * steps * 0.05,
+            pcie_rx_bytes=1e6,
+            pcie_tx_bytes=self._BATCH * 4.0 * steps,
+            occupancy=0.88,
+            compute_efficiency=0.82,
+            memory_efficiency=0.75,
+            compute_latency_fraction=0.40,
+            serial_fraction=0.03,
+        )
+        # Weight by rough wall-time share at the default clock: the
+        # embedding phase dominates DLRM steps.
+        return [
+            Phase("embedding", embedding, duration_weight=0.55),
+            Phase("mlp", mlp, duration_weight=0.45),
+        ]

@@ -1,0 +1,68 @@
+"""Power-cap policy tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import clock_for_power_cap, power_cap_policy
+
+
+@pytest.fixture()
+def curves():
+    freqs = np.linspace(510.0, 1410.0, 61)
+    x = freqs / freqs[-1]
+    power = 50.0 + 450.0 * x**3
+    time = 1.0 / x
+    return freqs, power, time
+
+
+class TestClockForCap:
+    def test_fastest_admissible_clock(self, curves):
+        freqs, power, _ = curves
+        idx = clock_for_power_cap(freqs, power, 300.0)
+        assert power[idx] <= 300.0
+        if idx + 1 < freqs.size:
+            assert power[idx + 1] > 300.0
+
+    def test_generous_cap_gives_max_clock(self, curves):
+        freqs, power, _ = curves
+        assert clock_for_power_cap(freqs, power, 1e6) == freqs.size - 1
+
+    def test_infeasible_cap_gives_lowest(self, curves):
+        freqs, power, _ = curves
+        assert clock_for_power_cap(freqs, power, 1.0) == 0
+
+    def test_validation(self, curves):
+        freqs, power, _ = curves
+        with pytest.raises(ValueError, match="identical shapes"):
+            clock_for_power_cap(freqs, power[:-1], 100.0)
+        with pytest.raises(ValueError, match="cap_w"):
+            clock_for_power_cap(freqs, power, 0.0)
+        with pytest.raises(ValueError, match="ascending"):
+            clock_for_power_cap(freqs[::-1], power, 100.0)
+
+
+class TestPolicy:
+    def test_decisions_per_cap(self, curves):
+        freqs, power, time = curves
+        decisions = power_cap_policy(freqs, power, time, [400.0, 250.0, 100.0])
+        assert len(decisions) == 3
+        # Tighter caps -> lower clocks, bigger slowdowns.
+        assert decisions[0].freq_mhz >= decisions[1].freq_mhz >= decisions[2].freq_mhz
+        assert decisions[0].slowdown <= decisions[1].slowdown <= decisions[2].slowdown
+
+    def test_infeasible_flag(self, curves):
+        freqs, power, time = curves
+        decision = power_cap_policy(freqs, power, time, [10.0])[0]
+        assert decision.infeasible
+        assert decision.freq_mhz == freqs[0]
+
+    def test_feasible_decision_honours_cap(self, curves):
+        freqs, power, time = curves
+        decision = power_cap_policy(freqs, power, time, [350.0])[0]
+        assert not decision.infeasible
+        assert decision.power_w <= 350.0
+
+    def test_slowdown_of_max_clock_is_one(self, curves):
+        freqs, power, time = curves
+        decision = power_cap_policy(freqs, power, time, [1e9])[0]
+        assert decision.slowdown == pytest.approx(1.0)

@@ -1,0 +1,117 @@
+"""Pareto-front tool tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import hypervolume_2d, knee_point, pareto_front
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        energy = np.array([3.0, 1.0, 2.0, 4.0])
+        time = np.array([1.0, 2.0, 3.0, 4.0])
+        front = pareto_front(energy, time)
+        # (1,3) and (2,1) are non-dominated; (3,2) dominated by (1,3)?
+        # point0 = (t=1,e=3); point1 = (t=2,e=1); point2 = (t=3,e=2)
+        # dominated by point1; point3 dominated by everything.
+        assert set(front.tolist()) == {0, 1}
+
+    def test_front_sorted_by_time(self):
+        rng = np.random.default_rng(0)
+        energy = rng.uniform(1, 10, 50)
+        time = rng.uniform(1, 10, 50)
+        front = pareto_front(energy, time)
+        assert np.all(np.diff(time[front]) >= 0)
+        assert np.all(np.diff(energy[front]) < 0)
+
+    def test_single_point(self):
+        assert pareto_front(np.array([1.0]), np.array([1.0])).tolist() == [0]
+
+    def test_duplicates_keep_one(self):
+        energy = np.array([1.0, 1.0])
+        time = np.array([1.0, 1.0])
+        assert pareto_front(energy, time).size == 1
+
+    def test_no_front_point_dominated(self):
+        rng = np.random.default_rng(1)
+        energy = rng.uniform(1, 10, 80)
+        time = rng.uniform(1, 10, 80)
+        front = pareto_front(energy, time)
+        for i in front:
+            dominated = (energy <= energy[i]) & (time <= time[i]) & (
+                (energy < energy[i]) | (time < time[i])
+            )
+            assert not np.any(dominated), i
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="disagree"):
+            pareto_front(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError, match="empty"):
+            pareto_front(np.array([]), np.array([]))
+        with pytest.raises(ValueError, match="finite"):
+            pareto_front(np.array([np.nan]), np.array([1.0]))
+
+    @given(seed=st.integers(0, 1000), n=st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_every_point_dominated_by_or_on_front(self, seed, n):
+        rng = np.random.default_rng(seed)
+        energy = rng.uniform(0, 10, n)
+        time = rng.uniform(0, 10, n)
+        front = set(pareto_front(energy, time).tolist())
+        for i in range(n):
+            if i in front:
+                continue
+            covered = any(
+                energy[j] <= energy[i] and time[j] <= time[i] for j in front
+            )
+            assert covered, i
+
+
+class TestKnee:
+    def test_knee_on_convex_front(self):
+        """On an L-shaped front the knee is the corner."""
+        time = np.array([1.0, 1.05, 1.1, 2.0, 3.0])
+        energy = np.array([10.0, 5.0, 1.0, 0.95, 0.9])
+        knee = knee_point(energy, time)
+        assert knee == 2  # the corner of the L
+
+    def test_two_point_front(self):
+        energy = np.array([2.0, 1.0])
+        time = np.array([1.0, 2.0])
+        assert knee_point(energy, time) == 1  # lower-energy end
+
+    def test_knee_is_on_front(self):
+        rng = np.random.default_rng(2)
+        energy = rng.uniform(1, 10, 40)
+        time = rng.uniform(1, 10, 40)
+        assert knee_point(energy, time) in pareto_front(energy, time)
+
+
+class TestHypervolume:
+    def test_two_point_union(self):
+        energy = np.array([3.0, 1.0])
+        time = np.array([1.0, 2.0])
+        hv = hypervolume_2d(energy, time, reference=(3.0, 4.0))
+        assert hv == pytest.approx(4.0)  # computed by hand
+
+    def test_dominated_point_adds_nothing(self):
+        e1 = np.array([3.0, 1.0])
+        t1 = np.array([1.0, 2.0])
+        e2 = np.array([3.0, 1.0, 3.5])
+        t2 = np.array([1.0, 2.0, 2.5])
+        ref = (4.0, 5.0)
+        assert hypervolume_2d(e2, t2, reference=ref) == pytest.approx(
+            hypervolume_2d(e1, t1, reference=ref)
+        )
+
+    def test_better_front_bigger_volume(self):
+        ref = (10.0, 10.0)
+        worse = hypervolume_2d(np.array([5.0]), np.array([5.0]), reference=ref)
+        better = hypervolume_2d(np.array([2.0]), np.array([2.0]), reference=ref)
+        assert better > worse
+
+    def test_points_outside_reference_ignored(self):
+        hv = hypervolume_2d(np.array([100.0]), np.array([100.0]), reference=(10.0, 10.0))
+        assert hv == 0.0

@@ -1,0 +1,68 @@
+"""Bootstrap-CI tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_ci
+from repro.core import accuracy_percent, mape
+
+
+@pytest.fixture()
+def paired_data(rng):
+    y = rng.uniform(100, 500, size=61)
+    pred = y * (1.0 + rng.normal(0, 0.04, size=61))
+    return y, pred
+
+
+class TestBootstrap:
+    def test_ci_contains_point_estimate(self, paired_data):
+        y, pred = paired_data
+        result = bootstrap_ci(y, pred, mape, seed=1)
+        assert result.lower <= result.estimate <= result.upper
+
+    def test_deterministic_with_seed(self, paired_data):
+        y, pred = paired_data
+        a = bootstrap_ci(y, pred, mape, seed=7)
+        b = bootstrap_ci(y, pred, mape, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_more_noise_wider_ci(self, rng):
+        y = rng.uniform(100, 500, size=61)
+        tight = y * (1.0 + rng.normal(0, 0.01, size=61))
+        loose = y * (1.0 + rng.normal(0, 0.10, size=61))
+        ci_tight = bootstrap_ci(y, tight, mape, seed=0)
+        ci_loose = bootstrap_ci(y, loose, mape, seed=0)
+        assert ci_loose.width > ci_tight.width
+
+    def test_perfect_predictions_zero_width(self, rng):
+        y = rng.uniform(10, 20, size=30)
+        result = bootstrap_ci(y, y, mape, seed=0)
+        assert result.estimate == 0.0
+        assert result.width == 0.0
+
+    def test_works_with_accuracy_metric(self, paired_data):
+        y, pred = paired_data
+        result = bootstrap_ci(y, pred, accuracy_percent, seed=0)
+        assert 90.0 < result.estimate <= 100.0
+
+    def test_contains_dunder(self, paired_data):
+        y, pred = paired_data
+        result = bootstrap_ci(y, pred, mape, seed=0)
+        assert result.estimate in result
+
+    def test_confidence_changes_width(self, paired_data):
+        y, pred = paired_data
+        narrow = bootstrap_ci(y, pred, mape, confidence=0.5, seed=0)
+        wide = bootstrap_ci(y, pred, mape, confidence=0.99, seed=0)
+        assert wide.width > narrow.width
+
+    def test_validation(self, paired_data):
+        y, pred = paired_data
+        with pytest.raises(ValueError, match="mismatch"):
+            bootstrap_ci(y, pred[:-1], mape)
+        with pytest.raises(ValueError, match="at least 2"):
+            bootstrap_ci(np.array([1.0]), np.array([1.0]), mape)
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_ci(y, pred, mape, confidence=1.0)
+        with pytest.raises(ValueError, match="n_resamples"):
+            bootstrap_ci(y, pred, mape, n_resamples=2)

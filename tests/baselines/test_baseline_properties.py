@@ -1,0 +1,87 @@
+"""Cross-learner property tests (hypothesis) shared by all baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    MultipleLinearRegression,
+    RandomForestRegressor,
+)
+
+
+def make_learners():
+    return [
+        MultipleLinearRegression(),
+        DecisionTreeRegressor(max_depth=6, rng=np.random.default_rng(0)),
+        RandomForestRegressor(n_estimators=8, max_depth=6, seed=0),
+        GradientBoostingRegressor(n_estimators=25, max_depth=3, seed=0),
+    ]
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=15, deadline=None)
+def test_constant_target_predicted_exactly(seed):
+    """Every learner must reproduce a constant target everywhere."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((60, 3))
+    y = np.full(60, 7.5)
+    for learner in make_learners():
+        learner.fit(x, y)
+        pred = learner.predict(rng.standard_normal((20, 3)))
+        assert np.allclose(pred, 7.5, atol=1e-6), type(learner).__name__
+
+
+@given(shift=st.floats(-100.0, 100.0))
+@settings(max_examples=15, deadline=None)
+def test_target_shift_equivariance_linear(shift):
+    """OLS is exactly shift-equivariant.
+
+    (Tree learners are only *mathematically* shift-equivariant: float
+    rounding in the SSE-gain comparison can flip split ties under large
+    shifts, so they are excluded here.)
+    """
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((80, 2))
+    y = np.sin(x[:, 0]) + x[:, 1]
+    xt = rng.standard_normal((30, 2))
+    a = MultipleLinearRegression().fit(x, y)
+    b = MultipleLinearRegression().fit(x, y + shift)
+    assert np.allclose(b.predict(xt), a.predict(xt) + shift, atol=1e-6)
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=10, deadline=None)
+def test_tree_family_predictions_within_target_hull(seed):
+    """Tree-based learners cannot extrapolate beyond observed targets."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((60, 2))
+    y = rng.uniform(3.0, 9.0, size=60)
+    xt = 5.0 * rng.standard_normal((30, 2))  # far outside training inputs
+    for learner in (
+        DecisionTreeRegressor(rng=np.random.default_rng(0)),
+        RandomForestRegressor(n_estimators=5, seed=0),
+    ):
+        learner.fit(x, y)
+        pred = learner.predict(xt)
+        assert pred.min() >= 3.0 - 1e-9, type(learner).__name__
+        assert pred.max() <= 9.0 + 1e-9, type(learner).__name__
+
+
+def test_all_learners_deterministic_after_seeding():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((70, 3))
+    y = x[:, 0] ** 2
+    xt = rng.standard_normal((10, 3))
+    for build in (
+        lambda: MultipleLinearRegression(),
+        lambda: DecisionTreeRegressor(rng=np.random.default_rng(9)),
+        lambda: RandomForestRegressor(n_estimators=6, seed=9),
+        lambda: GradientBoostingRegressor(n_estimators=10, seed=9),
+    ):
+        a = build().fit(x, y).predict(xt)
+        b = build().fit(x, y).predict(xt)
+        assert np.array_equal(a, b)

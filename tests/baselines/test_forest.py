@@ -1,0 +1,87 @@
+"""Random-forest tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomForestRegressor
+
+
+def friedman_like(rng, n=300):
+    x = rng.uniform(0, 1, size=(n, 5))
+    y = 10 * np.sin(np.pi * x[:, 0] * x[:, 1]) + 20 * (x[:, 2] - 0.5) ** 2 + 10 * x[:, 3]
+    return x, y
+
+
+class TestFitQuality:
+    def test_beats_single_stump_family(self, rng):
+        x, y = friedman_like(rng)
+        xt, yt = friedman_like(rng)
+        forest = RandomForestRegressor(n_estimators=30, max_depth=8, seed=0).fit(x, y)
+        mse = np.mean((forest.predict(xt) - yt) ** 2)
+        assert mse < 0.25 * np.var(yt)
+
+    def test_prediction_is_tree_mean(self, rng):
+        x, y = friedman_like(rng, 100)
+        forest = RandomForestRegressor(n_estimators=5, seed=0).fit(x, y)
+        manual = np.mean([t.predict(x) for t in forest.trees_], axis=0)
+        assert np.allclose(forest.predict(x), manual)
+
+    def test_seeded_fit_deterministic(self, rng):
+        x, y = friedman_like(rng, 100)
+        a = RandomForestRegressor(n_estimators=8, seed=4).fit(x, y).predict(x)
+        b = RandomForestRegressor(n_estimators=8, seed=4).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, rng):
+        x, y = friedman_like(rng, 100)
+        a = RandomForestRegressor(n_estimators=8, seed=1).fit(x, y).predict(x)
+        b = RandomForestRegressor(n_estimators=8, seed=2).fit(x, y).predict(x)
+        assert not np.array_equal(a, b)
+
+    def test_no_bootstrap_identical_deep_trees_fit_exactly(self, rng):
+        x = np.arange(40.0)[:, None]
+        y = rng.standard_normal(40)
+        forest = RandomForestRegressor(n_estimators=3, bootstrap=False, max_features=None, seed=0)
+        forest.fit(x, y)
+        assert np.allclose(forest.predict(x), y)
+
+
+class TestMaxFeatures:
+    def test_third_rule(self, rng):
+        x, y = friedman_like(rng, 60)
+        forest = RandomForestRegressor(n_estimators=2, max_features="third", seed=0).fit(x, y)
+        assert forest.trees_[0].max_features == 1  # 5 // 3
+
+    def test_sqrt_rule(self, rng):
+        x, y = friedman_like(rng, 60)
+        forest = RandomForestRegressor(n_estimators=2, max_features="sqrt", seed=0).fit(x, y)
+        assert forest.trees_[0].max_features == 2
+
+    def test_explicit_int(self, rng):
+        x, y = friedman_like(rng, 60)
+        forest = RandomForestRegressor(n_estimators=2, max_features=4, seed=0).fit(x, y)
+        assert forest.trees_[0].max_features == 4
+
+    def test_out_of_range_int_rejected(self, rng):
+        x, y = friedman_like(rng, 60)
+        with pytest.raises(ValueError, match="max_features"):
+            RandomForestRegressor(n_estimators=1, max_features=99, seed=0).fit(x, y)
+
+    def test_unknown_rule_rejected(self, rng):
+        x, y = friedman_like(rng, 60)
+        with pytest.raises(ValueError, match="unsupported"):
+            RandomForestRegressor(n_estimators=1, max_features="log99", seed=0).fit(x, y)
+
+
+class TestGuards:
+    def test_zero_estimators_rejected(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            RandomForestRegressor(n_estimators=1).fit(np.zeros((3, 1)), np.zeros(4))

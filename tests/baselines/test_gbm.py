@@ -1,0 +1,82 @@
+"""Gradient-boosting tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GradientBoostingRegressor
+
+
+def problem(rng, n=300):
+    x = rng.uniform(-1, 1, size=(n, 3))
+    y = x[:, 0] ** 2 + np.sin(3 * x[:, 1]) + 0.5 * x[:, 2]
+    return x, y
+
+
+class TestBoosting:
+    def test_fits_nonlinear_function(self, rng):
+        x, y = problem(rng)
+        gbm = GradientBoostingRegressor(n_estimators=150, max_depth=3, seed=0).fit(x, y)
+        mse = np.mean((gbm.predict(x) - y) ** 2)
+        assert mse < 0.02 * np.var(y)
+
+    def test_staged_error_decreases(self, rng):
+        x, y = problem(rng)
+        gbm = GradientBoostingRegressor(n_estimators=60, max_depth=3, seed=0).fit(x, y)
+        stages = gbm.staged_predict(x)
+        errors = ((stages - y) ** 2).mean(axis=1)
+        assert errors[-1] < errors[10] < errors[0]
+
+    def test_base_prediction_is_target_mean(self, rng):
+        x, y = problem(rng, 100)
+        gbm = GradientBoostingRegressor(n_estimators=1, seed=0).fit(x, y)
+        assert gbm.base_prediction_ == pytest.approx(y.mean())
+
+    def test_more_rounds_fit_no_worse(self, rng):
+        x, y = problem(rng, 150)
+        errs = []
+        for rounds in (10, 50, 200):
+            gbm = GradientBoostingRegressor(n_estimators=rounds, max_depth=3, seed=0).fit(x, y)
+            errs.append(float(np.mean((gbm.predict(x) - y) ** 2)))
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_seeded_deterministic(self, rng):
+        x, y = problem(rng, 100)
+        a = GradientBoostingRegressor(n_estimators=20, subsample=0.7, seed=5).fit(x, y).predict(x)
+        b = GradientBoostingRegressor(n_estimators=20, subsample=0.7, seed=5).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_regularisation_shrinks_leaf_magnitudes(self, rng):
+        """Large reg_lambda must pull predictions toward the mean."""
+        x, y = problem(rng, 150)
+        free = GradientBoostingRegressor(n_estimators=20, reg_lambda=0.0, seed=0).fit(x, y)
+        heavy = GradientBoostingRegressor(n_estimators=20, reg_lambda=50.0, seed=0).fit(x, y)
+        spread_free = np.ptp(free.predict(x))
+        spread_heavy = np.ptp(heavy.predict(x))
+        assert spread_heavy < spread_free
+
+    def test_subsampling_still_converges(self, rng):
+        x, y = problem(rng)
+        gbm = GradientBoostingRegressor(n_estimators=120, subsample=0.6, seed=0).fit(x, y)
+        assert np.mean((gbm.predict(x) - y) ** 2) < 0.1 * np.var(y)
+
+
+class TestGuards:
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            GradientBoostingRegressor(learning_rate=0.0)
+
+    def test_invalid_subsample(self):
+        with pytest.raises(ValueError, match="subsample"):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_invalid_reg_lambda(self):
+        with pytest.raises(ValueError, match="reg_lambda"):
+            GradientBoostingRegressor(reg_lambda=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+    def test_staged_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            GradientBoostingRegressor().staged_predict(np.zeros((1, 2)))

@@ -1,0 +1,59 @@
+"""Multiple linear regression tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MultipleLinearRegression
+
+
+class TestExactRecovery:
+    def test_recovers_known_coefficients(self, rng):
+        x = rng.standard_normal((200, 3))
+        y = x @ np.array([2.0, -1.0, 0.5]) + 4.0
+        m = MultipleLinearRegression().fit(x, y)
+        assert np.allclose(m.coef_, [2.0, -1.0, 0.5], atol=1e-10)
+        assert m.intercept_ == pytest.approx(4.0)
+
+    def test_no_intercept_mode(self, rng):
+        x = rng.standard_normal((100, 2))
+        y = x @ np.array([1.5, -2.0])
+        m = MultipleLinearRegression(fit_intercept=False).fit(x, y)
+        assert m.intercept_ == 0.0
+        assert np.allclose(m.coef_, [1.5, -2.0], atol=1e-10)
+
+    def test_collinear_features_do_not_blow_up(self, rng):
+        x1 = rng.standard_normal(50)
+        x = np.column_stack([x1, 2.0 * x1])  # rank deficient
+        y = 3.0 * x1
+        m = MultipleLinearRegression().fit(x, y)
+        assert np.all(np.isfinite(m.coef_))
+        assert np.allclose(m.predict(x), y, atol=1e-8)
+
+
+class TestScoreAndGuards:
+    def test_r2_perfect_fit(self, rng):
+        x = rng.standard_normal((50, 2))
+        y = x @ np.array([1.0, 1.0])
+        m = MultipleLinearRegression().fit(x, y)
+        assert m.score(x, y) == pytest.approx(1.0)
+
+    def test_r2_constant_target(self):
+        x = np.arange(10.0)[:, None]
+        y = np.full(10, 5.0)
+        m = MultipleLinearRegression().fit(x, y)
+        assert m.score(x, y) == 1.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            MultipleLinearRegression().predict(np.zeros((2, 2)))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            MultipleLinearRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_nonlinear_function_fits_poorly(self, rng):
+        """Sanity: the Fig. 11 premise that MLR cannot model power curves."""
+        x = rng.uniform(-2, 2, size=(300, 1))
+        y = x[:, 0] ** 3 - 2 * x[:, 0] ** 2
+        m = MultipleLinearRegression().fit(x, y)
+        assert m.score(x, y) < 0.9

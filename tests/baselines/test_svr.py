@@ -1,0 +1,93 @@
+"""Epsilon-SVR (SMO) tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SVR
+
+
+class TestLinearKernel:
+    def test_recovers_linear_function(self, rng):
+        x = rng.uniform(-1, 1, size=(150, 2))
+        y = 2.0 * x[:, 0] - x[:, 1] + 0.5
+        m = SVR(kernel="linear", C=50.0, epsilon=0.01, seed=0).fit(x, y)
+        pred = m.predict(x)
+        assert np.mean(np.abs(pred - y)) < 0.05
+
+
+class TestRBFKernel:
+    def test_fits_smooth_nonlinear_function(self, rng):
+        x = rng.uniform(-2, 2, size=(250, 2))
+        y = np.sin(x[:, 0]) + 0.5 * np.cos(2 * x[:, 1])
+        m = SVR(C=20.0, epsilon=0.02, seed=0).fit(x, y)
+        assert np.mean(np.abs(m.predict(x) - y)) < 0.1
+
+    def test_generalises_to_test_points(self, rng):
+        x = rng.uniform(-2, 2, size=(300, 1))
+        y = np.sin(2 * x[:, 0])
+        m = SVR(C=20.0, epsilon=0.02, seed=0).fit(x, y)
+        xt = rng.uniform(-1.8, 1.8, size=(100, 1))
+        assert np.mean(np.abs(m.predict(xt) - np.sin(2 * xt[:, 0]))) < 0.15
+
+    def test_epsilon_tube_limits_support_vectors(self, rng):
+        """A wide tube around an easy function needs few support vectors."""
+        x = rng.uniform(-1, 1, size=(200, 1))
+        y = 0.1 * x[:, 0]
+        wide = SVR(C=10.0, epsilon=0.5, seed=0).fit(x, y)
+        narrow = SVR(C=10.0, epsilon=0.001, seed=0).fit(x, y)
+        assert wide.n_support_ <= narrow.n_support_
+
+    def test_duals_respect_box_constraint(self, rng):
+        x = rng.uniform(-1, 1, size=(120, 2))
+        y = x[:, 0] ** 2
+        m = SVR(C=5.0, epsilon=0.01, seed=0).fit(x, y)
+        assert np.all(np.abs(m._beta) <= 5.0 + 1e-9)
+
+    def test_equality_constraint_maintained(self, rng):
+        """SMO pair updates preserve sum(beta) = 0 exactly."""
+        x = rng.uniform(-1, 1, size=(100, 2))
+        y = np.sin(x[:, 0])
+        m = SVR(C=5.0, epsilon=0.02, seed=0).fit(x, y)
+        assert abs(m._beta.sum()) < 1e-8
+
+    def test_custom_gamma(self, rng):
+        x = rng.uniform(-1, 1, size=(80, 1))
+        y = x[:, 0]
+        m = SVR(gamma=0.5, seed=0).fit(x, y)
+        assert m._gamma_value == 0.5
+
+
+class TestGuards:
+    def test_invalid_c(self):
+        with pytest.raises(ValueError, match="C"):
+            SVR(C=0.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            SVR(epsilon=-0.1)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            SVR(kernel="poly")
+
+    def test_invalid_gamma_value(self, rng):
+        x = rng.standard_normal((10, 1))
+        with pytest.raises(ValueError, match="gamma"):
+            SVR(gamma=-1.0).fit(x, x[:, 0])
+
+    def test_unknown_gamma_rule(self, rng):
+        x = rng.standard_normal((10, 1))
+        with pytest.raises(ValueError, match="gamma"):
+            SVR(gamma="auto99").fit(x, x[:, 0])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            SVR().predict(np.zeros((1, 1)))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            SVR().fit(np.zeros((1, 1)), np.zeros(1))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            SVR().fit(np.zeros((3, 1)), np.zeros(4))

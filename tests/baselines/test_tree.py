@@ -1,0 +1,111 @@
+"""CART regression tree tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DecisionTreeRegressor
+
+
+class TestFitting:
+    def test_perfect_fit_unbounded_depth(self, rng):
+        x = np.arange(32.0)[:, None]
+        y = rng.standard_normal(32)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert np.allclose(tree.predict(x), y)
+
+    def test_single_sample(self):
+        tree = DecisionTreeRegressor().fit(np.array([[1.0]]), np.array([5.0]))
+        assert tree.predict(np.array([[99.0]]))[0] == 5.0
+
+    def test_constant_target_is_single_leaf(self):
+        x = np.arange(20.0)[:, None]
+        tree = DecisionTreeRegressor().fit(x, np.full(20, 3.0))
+        assert tree.node_count == 1
+        assert tree.depth == 0
+
+    def test_max_depth_respected(self, rng):
+        x = rng.standard_normal((200, 3))
+        y = rng.standard_normal(200)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_respected(self, rng):
+        x = rng.standard_normal((100, 2))
+        y = rng.standard_normal(100)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(x, y)
+
+        # Count samples landing in each leaf.
+        feature = np.asarray(tree._feature)
+        nodes = np.zeros(100, dtype=int)
+        active = feature[nodes] != -1
+        while np.any(active):
+            cur = nodes[active]
+            go_left = x[active, np.asarray(tree._feature)[cur]] <= np.asarray(tree._threshold)[cur]
+            nodes[active] = np.where(go_left, np.asarray(tree._left)[cur], np.asarray(tree._right)[cur])
+            active = feature[nodes] != -1
+        _, counts = np.unique(nodes, return_counts=True)
+        assert counts.min() >= 10
+
+    def test_step_function_learned_exactly(self):
+        x = np.linspace(0, 1, 100)[:, None]
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        assert np.allclose(tree.predict(x), y)
+
+    def test_axis_aligned_interaction(self, rng):
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = np.where((x[:, 0] > 0) & (x[:, 1] > 0), 1.0, 0.0)
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert np.mean((tree.predict(x) - y) ** 2) < 0.02
+
+
+class TestPrediction:
+    def test_predictions_within_target_range(self, rng):
+        x = rng.standard_normal((150, 3))
+        y = rng.uniform(5.0, 9.0, size=150)
+        tree = DecisionTreeRegressor(max_depth=6).fit(x, y)
+        pred = tree.predict(rng.standard_normal((50, 3)))
+        assert pred.min() >= 5.0 - 1e-12
+        assert pred.max() <= 9.0 + 1e-12
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+    def test_depth_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            DecisionTreeRegressor().depth
+
+
+class TestValidation:
+    def test_invalid_max_depth(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            DecisionTreeRegressor(max_depth=0)
+
+    def test_invalid_min_samples_split(self):
+        with pytest.raises(ValueError, match="min_samples_split"):
+            DecisionTreeRegressor(min_samples_split=1)
+
+    def test_invalid_min_samples_leaf(self):
+        with pytest.raises(ValueError, match="min_samples_leaf"):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            DecisionTreeRegressor().fit(np.zeros((3, 1)), np.zeros(4))
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_deeper_trees_fit_no_worse(seed):
+    """Training error is monotone nonincreasing in depth."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((80, 2))
+    y = rng.standard_normal(80)
+    errors = []
+    for depth in (1, 3, 6):
+        tree = DecisionTreeRegressor(max_depth=depth, rng=np.random.default_rng(0)).fit(x, y)
+        errors.append(float(np.mean((tree.predict(x) - y) ** 2)))
+    assert errors[0] >= errors[1] - 1e-12 >= errors[2] - 2e-12

@@ -1,0 +1,164 @@
+"""Cluster-layer tests: nodes, policies, scheduling, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    DefaultClockPolicy,
+    FIFOScheduler,
+    GPUNode,
+    Job,
+    ModelDrivenPolicy,
+    StaticClockPolicy,
+    summarize,
+)
+from repro.cluster.metrics import power_series
+from repro.gpusim import GA100
+from repro.workloads import get_workload
+
+
+@pytest.fixture()
+def nodes():
+    return [GPUNode(i, GA100, gpus_per_node=2, seed=1) for i in range(2)]
+
+
+@pytest.fixture()
+def jobs():
+    stream = get_workload("stream")
+    dgemm = get_workload("dgemm")
+    return [
+        Job(0, dgemm, arrival_s=0.0),
+        Job(1, stream, arrival_s=0.0),
+        Job(2, dgemm, arrival_s=0.5),
+        Job(3, stream, arrival_s=1.0),
+        Job(4, dgemm, arrival_s=1.0),
+        Job(5, stream, arrival_s=2.0),
+    ]
+
+
+class TestNode:
+    def test_gpu_count(self, nodes):
+        assert len(nodes[0]) == 2
+
+    def test_bounds_checked(self, nodes):
+        with pytest.raises(IndexError, match="has 2 GPUs"):
+            nodes[0].gpu(2)
+
+    def test_boards_have_distinct_streams(self, nodes):
+        census = get_workload("stream").census()
+        a = nodes[0].gpu(0).run(census).exec_time_s
+        b = nodes[0].gpu(1).run(census).exec_time_s
+        assert a != b
+
+    def test_idle_power(self, nodes):
+        assert nodes[0].idle_power_w == pytest.approx(2 * 50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="gpus_per_node"):
+            GPUNode(0, GA100, gpus_per_node=0)
+        with pytest.raises(ValueError, match="node_id"):
+            GPUNode(-1, GA100)
+
+
+class TestPolicies:
+    def test_default_policy_is_boost(self, nodes, jobs):
+        policy = DefaultClockPolicy()
+        assert policy.clock_for(jobs[0], nodes[0].gpu(0)) == 1410.0
+
+    def test_static_policy_snaps(self, nodes, jobs):
+        policy = StaticClockPolicy(1001.0)
+        assert policy.clock_for(jobs[0], nodes[0].gpu(0)) == 1005.0
+
+    def test_static_policy_validation(self):
+        with pytest.raises(ValueError, match="clock_mhz"):
+            StaticClockPolicy(0.0)
+
+    def test_model_policy_requires_fitted_pipeline(self):
+        from repro.core import FrequencySelectionPipeline
+        from repro.gpusim import SimulatedGPU
+
+        pipe = FrequencySelectionPipeline(SimulatedGPU(GA100, seed=0))
+        with pytest.raises(ValueError, match="fitted"):
+            ModelDrivenPolicy(pipe)
+
+    def test_model_policy_memoises_per_workload(self, fast_ctx, nodes, jobs):
+        policy = ModelDrivenPolicy(fast_ctx.pipeline("GA100"))
+        device = nodes[0].gpu(0)
+        c1 = policy.clock_for(jobs[0], device)
+        c2 = policy.clock_for(jobs[2], device)  # same workload (dgemm)
+        assert c1 == c2
+        assert set(policy.decisions) == {"dgemm"}
+        policy.clock_for(jobs[1], device)
+        assert set(policy.decisions) == {"dgemm", "stream"}
+
+    def test_model_policy_below_boost(self, fast_ctx, nodes, jobs):
+        policy = ModelDrivenPolicy(fast_ctx.pipeline("GA100"))
+        clock = policy.clock_for(jobs[0], nodes[0].gpu(0))
+        assert clock < 1410.0
+
+
+class TestScheduler:
+    def test_all_jobs_complete(self, nodes, jobs):
+        records = FIFOScheduler(nodes, DefaultClockPolicy()).run(jobs)
+        assert {r.job_id for r in records} == {j.job_id for j in jobs}
+
+    def test_no_gpu_overlap(self, nodes, jobs):
+        records = FIFOScheduler(nodes, DefaultClockPolicy()).run(jobs * 3 if False else jobs)
+        by_gpu: dict[tuple[int, int], list] = {}
+        for r in records:
+            by_gpu.setdefault((r.node_id, r.gpu_index), []).append(r)
+        for runs in by_gpu.values():
+            runs.sort(key=lambda r: r.start_s)
+            for a, b in zip(runs, runs[1:]):
+                assert b.start_s >= a.end_s - 1e-9
+
+    def test_jobs_start_after_arrival(self, nodes, jobs):
+        records = FIFOScheduler(nodes, DefaultClockPolicy()).run(jobs)
+        for r in records:
+            assert r.start_s >= r.arrival_s - 1e-12
+            assert r.wait_s >= 0.0
+
+    def test_empty_job_list(self, nodes):
+        assert FIFOScheduler(nodes, DefaultClockPolicy()).run([]) == []
+
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            FIFOScheduler([], DefaultClockPolicy())
+
+    def test_device_clock_restored_after_each_job(self, nodes, jobs):
+        FIFOScheduler(nodes, StaticClockPolicy(600.0)).run(jobs)
+        for node in nodes:
+            for gpu in node.gpus:
+                assert gpu.current_sm_clock == 1410.0
+
+    def test_low_clock_policy_uses_less_power(self, nodes, jobs):
+        fast = FIFOScheduler(nodes, DefaultClockPolicy()).run(jobs)
+        capped = FIFOScheduler(nodes, StaticClockPolicy(800.0)).run(jobs)
+        assert all(c.mean_power_w < f.mean_power_w for c, f in
+                   zip(sorted(capped, key=lambda r: r.job_id), sorted(fast, key=lambda r: r.job_id)))
+
+
+class TestMetrics:
+    def test_summary_fields(self, nodes, jobs):
+        records = FIFOScheduler(nodes, DefaultClockPolicy()).run(jobs)
+        report = summarize("default", records)
+        assert report.n_jobs == len(jobs)
+        assert report.makespan_s == pytest.approx(max(r.end_s for r in records))
+        assert report.total_energy_j == pytest.approx(sum(r.energy_j for r in records))
+        assert report.peak_power_w > 0
+
+    def test_power_series_conserves_energy(self, nodes, jobs):
+        records = FIFOScheduler(nodes, DefaultClockPolicy()).run(jobs)
+        t, p = power_series(records, resolution_s=0.05)
+        integral = float(np.sum(p) * 0.05)
+        assert integral == pytest.approx(sum(r.energy_j for r in records), rel=0.15)
+
+    def test_comparisons(self, nodes, jobs):
+        base = summarize("default", FIFOScheduler(nodes, DefaultClockPolicy()).run(jobs))
+        capped = summarize("capped", FIFOScheduler(nodes, StaticClockPolicy(900.0)).run(jobs))
+        assert capped.energy_saving_vs(base) > 0.0
+        assert capped.makespan_change_vs(base) > 0.0  # slower
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError, match="no records"):
+            summarize("x", [])

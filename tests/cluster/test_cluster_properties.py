@@ -1,0 +1,82 @@
+"""Property-based tests for the cluster layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DefaultClockPolicy, FIFOScheduler, GPUNode, Job, StaticClockPolicy, summarize
+from repro.cluster.job import JobRecord
+from repro.cluster.metrics import power_series
+from repro.gpusim import GA100
+from repro.workloads import get_workload
+
+
+@st.composite
+def synthetic_records(draw):
+    """Random but consistent completed-job records."""
+    n = draw(st.integers(1, 20))
+    records = []
+    for i in range(n):
+        arrival = draw(st.floats(0.0, 50.0))
+        start = arrival + draw(st.floats(0.0, 20.0))
+        duration = draw(st.floats(0.1, 30.0))
+        power = draw(st.floats(60.0, 500.0))
+        records.append(
+            JobRecord(
+                job_id=i,
+                workload="synthetic",
+                node_id=0,
+                gpu_index=i % 4,
+                clock_mhz=1410.0,
+                arrival_s=arrival,
+                start_s=start,
+                end_s=start + duration,
+                energy_j=power * duration,
+                mean_power_w=power,
+            )
+        )
+    return records
+
+
+@given(records=synthetic_records())
+@settings(max_examples=40, deadline=None)
+def test_power_series_integral_matches_energy(records):
+    """The facility meter must integrate to the jobs' total energy."""
+    resolution = 0.1
+    t, p = power_series(records, resolution_s=resolution)
+    integral = float(np.sum(p) * resolution)
+    total = sum(r.energy_j for r in records)
+    assert integral == pytest.approx(total, rel=0.10, abs=5.0 * resolution * 500.0)
+
+
+@given(records=synthetic_records())
+@settings(max_examples=40, deadline=None)
+def test_summary_invariants(records):
+    report = summarize("synthetic", records)
+    assert report.makespan_s == pytest.approx(max(r.end_s for r in records))
+    assert report.total_energy_j == pytest.approx(sum(r.energy_j for r in records))
+    assert report.peak_power_w <= sum(r.mean_power_w for r in records) + 1e-9
+    assert report.mean_job_wait_s >= 0.0
+
+
+@given(n_jobs=st.integers(1, 24), gpus=st.integers(1, 4))
+@settings(max_examples=10, deadline=None)
+def test_scheduler_work_conservation(n_jobs, gpus):
+    """Makespan is bounded below by total work / GPU count and above by
+    serial execution."""
+    node = GPUNode(0, GA100, gpus_per_node=gpus, seed=0)
+    stream = get_workload("stream")
+    jobs = [Job(i, stream, arrival_s=0.0, size=2**20) for i in range(n_jobs)]
+    records = FIFOScheduler([node], DefaultClockPolicy()).run(jobs)
+    total_work = sum(r.duration_s for r in records)
+    makespan = max(r.end_s for r in records)
+    assert makespan >= total_work / gpus - 1e-9
+    assert makespan <= total_work + 1e-9
+
+
+def test_static_cap_never_exceeds_cap_clock():
+    node = GPUNode(0, GA100, gpus_per_node=2, seed=0)
+    jobs = [Job(i, get_workload("stream"), size=2**20) for i in range(6)]
+    records = FIFOScheduler([node], StaticClockPolicy(750.0)).run(jobs)
+    assert all(r.clock_mhz == 750.0 for r in records)

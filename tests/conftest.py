@@ -1,0 +1,92 @@
+"""Shared fixtures.
+
+Expensive artefacts (trained pipeline, measured sweeps) are session-scoped
+and use the fast experiment profile, so the whole suite exercises every
+layer end-to-end without re-running collection campaigns per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck
+from hypothesis import settings as hypothesis_settings
+
+from repro.experiments import EvaluationSuite, ExperimentContext, ExperimentSettings
+from repro.gpusim import GA100, GV100, KernelCensus, NoiseModel, SimulatedGPU
+
+# Device/model fixtures are read-only under @given, so sharing them across
+# generated examples is safe; the deadline is lifted because simulator
+# sweeps legitimately take milliseconds.
+hypothesis_settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+hypothesis_settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def fast_ctx() -> ExperimentContext:
+    """Shared fast-profile experiment context (trains models once)."""
+    return ExperimentContext(ExperimentSettings.fast(seed=0))
+
+
+@pytest.fixture(scope="session")
+def fast_suite(fast_ctx: ExperimentContext) -> EvaluationSuite:
+    """Shared evaluation suite over the fast context."""
+    return EvaluationSuite(fast_ctx)
+
+
+@pytest.fixture()
+def ga100() -> SimulatedGPU:
+    """Fresh noisy GA100 device."""
+    return SimulatedGPU(GA100, seed=123)
+
+
+@pytest.fixture()
+def gv100() -> SimulatedGPU:
+    """Fresh noisy GV100 device."""
+    return SimulatedGPU(GV100, seed=123)
+
+
+@pytest.fixture()
+def quiet_ga100() -> SimulatedGPU:
+    """GA100 with noise disabled — deterministic measurements."""
+    return SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+
+
+@pytest.fixture()
+def compute_census() -> KernelCensus:
+    """A DGEMM-like compute-bound census."""
+    return KernelCensus(
+        flops_fp64=1e13,
+        dram_bytes=5e11,
+        pcie_rx_bytes=1e9,
+        pcie_tx_bytes=5e8,
+        occupancy=0.9,
+        compute_efficiency=0.9,
+        memory_efficiency=0.75,
+        serial_fraction=0.02,
+    )
+
+
+@pytest.fixture()
+def memory_census() -> KernelCensus:
+    """A STREAM-like memory-bound census."""
+    return KernelCensus(
+        flops_fp64=5e10,
+        dram_bytes=6e11,
+        pcie_rx_bytes=1e9,
+        pcie_tx_bytes=1e8,
+        occupancy=0.8,
+        compute_efficiency=0.85,
+        memory_efficiency=0.88,
+        serial_fraction=0.02,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Seeded generator for test data."""
+    return np.random.default_rng(42)

@@ -1,0 +1,81 @@
+"""collect -> persist -> reload -> train loop tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_dataset, dataset_from_csv_dir
+from repro.core.models import PowerModel
+from repro.telemetry import LaunchConfig, Launcher
+from repro.workloads import get_workload
+
+
+@pytest.fixture()
+def campaign_dir(ga100, tmp_path):
+    launcher = Launcher(ga100)
+    config = LaunchConfig(
+        freqs_mhz=(600.0, 1005.0, 1410.0), runs_per_config=2, output_dir=tmp_path
+    )
+    artifacts = launcher.collect([get_workload("stream"), get_workload("dgemm")], config)
+    return tmp_path, artifacts
+
+
+class TestReload:
+    def test_per_sample_row_counts_match(self, campaign_dir):
+        root, artifacts = campaign_dir
+        reloaded = dataset_from_csv_dir(root, per_sample=True)
+        expected = sum(len(a.record.samples) for a in artifacts)
+        assert len(reloaded) == expected
+
+    def test_aggregate_row_counts_match(self, campaign_dir):
+        root, artifacts = campaign_dir
+        reloaded = dataset_from_csv_dir(root, per_sample=False)
+        assert len(reloaded) == len(artifacts)
+
+    def test_reloaded_matches_in_memory_dataset(self, campaign_dir):
+        root, artifacts = campaign_dir
+        direct = build_dataset(artifacts, per_sample=True)
+        reloaded = dataset_from_csv_dir(root, per_sample=True)
+        # Same power values and clock columns up to ordering by workload.
+        assert sorted(direct.y_power.tolist()) == pytest.approx(sorted(reloaded.y_power.tolist()))
+        assert sorted(direct.x[:, 2].tolist()) == sorted(reloaded.x[:, 2].tolist())
+
+    def test_slowdown_references_recomputed(self, campaign_dir):
+        root, _ = campaign_dir
+        reloaded = dataset_from_csv_dir(root, per_sample=False)
+        at_max = [s.slowdown for s in reloaded.samples if s.features.sm_app_clock == 1410.0]
+        assert np.mean(at_max) == pytest.approx(1.0, rel=0.05)
+
+    def test_workload_names_from_directories(self, campaign_dir):
+        root, _ = campaign_dir
+        assert dataset_from_csv_dir(root).workload_names == ["dgemm", "stream"]
+
+    def test_trainable_after_reload(self, campaign_dir):
+        root, _ = campaign_dir
+        model = PowerModel(seed=0)
+        history = model.fit(dataset_from_csv_dir(root), epochs=3)
+        assert history.epochs_run == 3
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            dataset_from_csv_dir(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="no run CSVs"):
+            dataset_from_csv_dir(tmp_path)
+
+    def test_missing_reference_clock(self, ga100, tmp_path):
+        launcher = Launcher(ga100)
+        # Two workloads collected at different single clocks: the one
+        # without a run at the top clock must be rejected.
+        launcher.collect(
+            [get_workload("stream")],
+            LaunchConfig(freqs_mhz=(600.0,), runs_per_config=1, output_dir=tmp_path),
+        )
+        launcher.collect(
+            [get_workload("dgemm")],
+            LaunchConfig(freqs_mhz=(1410.0,), runs_per_config=1, output_dir=tmp_path),
+        )
+        with pytest.raises(ValueError, match="reference clock"):
+            dataset_from_csv_dir(tmp_path)

@@ -1,0 +1,115 @@
+"""Dataset construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureVector, build_dataset, features_at_max
+from repro.core.dataset import DVFSDataset, SweepSample
+from repro.telemetry import LaunchConfig, Launcher
+from repro.workloads import get_workload
+
+
+@pytest.fixture()
+def artifacts(ga100):
+    launcher = Launcher(ga100)
+    config = LaunchConfig(freqs_mhz=(600.0, 1005.0, 1410.0), runs_per_config=2)
+    return launcher.collect([get_workload("stream"), get_workload("dgemm")], config)
+
+
+class TestFeatureVector:
+    def test_as_array_order(self):
+        fv = FeatureVector(fp_active=0.8, dram_active=0.3, sm_app_clock=1200.0)
+        assert np.array_equal(fv.as_array(), [0.8, 0.3, 1200.0])
+
+    def test_at_clock_replicates_activities(self):
+        fv = FeatureVector(0.8, 0.3, 1410.0)
+        moved = fv.at_clock(600.0)
+        assert moved.fp_active == 0.8
+        assert moved.dram_active == 0.3
+        assert moved.sm_app_clock == 600.0
+
+
+class TestBuildDataset:
+    def test_aggregate_row_count(self, artifacts):
+        ds = build_dataset(artifacts)
+        assert len(ds) == len(artifacts)
+
+    def test_per_sample_rows_exceed_aggregate(self, artifacts):
+        agg = build_dataset(artifacts)
+        per = build_dataset(artifacts, per_sample=True)
+        assert len(per) > len(agg)
+
+    def test_slowdown_reference_is_unity_at_fmax(self, artifacts):
+        ds = build_dataset(artifacts)
+        at_max = [s for s in ds.samples if s.features.sm_app_clock == 1410.0]
+        mean_slowdown = np.mean([s.slowdown for s in at_max if s.workload == "stream"])
+        assert mean_slowdown == pytest.approx(1.0, rel=0.05)
+
+    def test_slowdown_above_one_at_low_clock(self, artifacts):
+        ds = build_dataset(artifacts)
+        lows = [s.slowdown for s in ds.samples if s.features.sm_app_clock == 600.0]
+        assert min(lows) > 1.0
+
+    def test_missing_reference_clock_rejected(self, artifacts):
+        partial = [a for a in artifacts if a.freq_mhz < 1400.0]
+        with pytest.raises(ValueError, match="reference clock"):
+            build_dataset(partial, max_freq_mhz=1410.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no artifacts"):
+            build_dataset([])
+
+    def test_columns_consistent(self, artifacts):
+        ds = build_dataset(artifacts)
+        assert ds.x.shape == (len(ds), 3)
+        assert ds.y_power.shape == (len(ds),)
+        assert ds.y_time.shape == (len(ds),)
+        assert ds.y_slowdown.shape == (len(ds),)
+
+    def test_workload_names(self, artifacts):
+        ds = build_dataset(artifacts)
+        assert ds.workload_names == ["dgemm", "stream"]
+
+    def test_for_workload_subset(self, artifacts):
+        ds = build_dataset(artifacts)
+        sub = ds.for_workload("stream")
+        assert all(s.workload == "stream" for s in sub.samples)
+
+    def test_for_unknown_workload_raises(self, artifacts):
+        with pytest.raises(KeyError, match="nope"):
+            build_dataset(artifacts).for_workload("nope")
+
+    def test_mean_curve_ascending_freqs(self, artifacts):
+        ds = build_dataset(artifacts).for_workload("dgemm")
+        freqs, power = ds.mean_curve("power")
+        assert np.array_equal(freqs, np.sort(freqs))
+        assert power.shape == freqs.shape
+        # Power increases with clock for a compute-bound workload.
+        assert power[-1] > power[0]
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DVFSDataset([])
+
+
+class TestFeaturesAtMax:
+    def test_returns_fmax_clock(self, ga100):
+        fv, power, time = features_at_max(ga100, get_workload("stream"))
+        assert fv.sm_app_clock == 1410.0
+        assert power > 0
+        assert time > 0
+
+    def test_device_clock_restored(self, ga100):
+        ga100.set_sm_clock(600.0)
+        features_at_max(ga100, get_workload("stream"))
+        assert ga100.current_sm_clock == 1410.0
+
+    def test_multiple_runs_average(self, ga100):
+        fv1, p1, t1 = features_at_max(ga100, get_workload("stream"), runs=3)
+        assert 0.0 <= fv1.fp_active <= 1.0
+        assert 0.0 <= fv1.dram_active <= 1.0
+
+    def test_size_override(self, ga100):
+        _, _, t_small = features_at_max(ga100, get_workload("stream"), size=4096)
+        _, _, t_big = features_at_max(ga100, get_workload("stream"))
+        assert t_small < t_big

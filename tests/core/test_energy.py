@@ -1,0 +1,81 @@
+"""Energy and objective-function tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ED2P, EDP, EDnP, ObjectiveFunction, energy_from_power_time
+
+
+class TestEnergy:
+    def test_elementwise_product(self):
+        e = energy_from_power_time(np.array([100.0, 200.0]), np.array([2.0, 0.5]))
+        assert np.allclose(e, [200.0, 100.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            energy_from_power_time(np.zeros(2), np.zeros(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            energy_from_power_time(np.array([-1.0]), np.array([1.0]))
+
+
+class TestEDnP:
+    def test_edp_is_exponent_one(self):
+        assert EDP.n == 1.0
+        assert EDP.name == "EDP"
+
+    def test_ed2p_is_exponent_two(self):
+        assert ED2P.n == 2.0
+        assert ED2P.name == "ED2P"
+
+    def test_custom_exponent_name(self):
+        assert EDnP(3.0).name == "ED3P"
+        assert EDnP(1.5).name == "ED1.5P"
+
+    def test_values(self):
+        e = np.array([10.0])
+        t = np.array([2.0])
+        assert EDP(e, t)[0] == pytest.approx(20.0)
+        assert ED2P(e, t)[0] == pytest.approx(40.0)
+
+    def test_zero_exponent_is_energy(self):
+        e = np.array([7.0, 3.0])
+        t = np.array([2.0, 9.0])
+        assert np.allclose(EDnP(0.0)(e, t), e)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError, match="exponent"):
+            EDnP(-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            EDP(np.zeros(2), np.zeros(3))
+
+    def test_satisfies_protocol(self):
+        assert isinstance(EDP, ObjectiveFunction)
+        assert isinstance(ED2P, ObjectiveFunction)
+
+    def test_custom_callable_satisfies_protocol(self):
+        class PowerOnly:
+            name = "power-only"
+
+            def __call__(self, energy_j, time_s):
+                return energy_j / time_s
+
+        assert isinstance(PowerOnly(), ObjectiveFunction)
+
+    @given(
+        e=st.floats(min_value=0.1, max_value=1e6),
+        t1=st.floats(min_value=0.1, max_value=1e3),
+        t2=st.floats(min_value=0.1, max_value=1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ed2p_weights_delay_more(self, e, t1, t2):
+        """If t1 < t2 at equal energy, ED2P's preference margin >= EDP's."""
+        lo, hi = min(t1, t2), max(t1, t2)
+        edp_ratio = EDP(np.array([e]), np.array([hi]))[0] / EDP(np.array([e]), np.array([lo]))[0]
+        ed2p_ratio = ED2P(np.array([e]), np.array([hi]))[0] / ED2P(np.array([e]), np.array([lo]))[0]
+        assert ed2p_ratio >= edp_ratio - 1e-12

@@ -1,0 +1,79 @@
+"""Metric tests: MAPE, accuracy, RMSE, R2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import accuracy_percent, mape, r2_score, rmse
+
+
+class TestMAPE:
+    def test_zero_on_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mape(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mape(np.array([100.0]), np.array([110.0])) == pytest.approx(10.0)
+
+    def test_symmetric_in_sign_of_error(self):
+        y = np.array([100.0, 100.0])
+        pred = np.array([90.0, 110.0])
+        assert mape(y, pred) == pytest.approx(10.0)
+
+    def test_zero_true_value_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            mape(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            mape(np.zeros(2) + 1, np.zeros(3) + 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            mape(np.array([]), np.array([]))
+
+
+class TestAccuracy:
+    def test_complement_of_mape(self):
+        y = np.array([100.0])
+        pred = np.array([95.0])
+        assert accuracy_percent(y, pred) == pytest.approx(95.0)
+
+    def test_floored_at_zero(self):
+        assert accuracy_percent(np.array([1.0]), np.array([10.0])) == 0.0
+
+    @given(
+        scale=st.floats(min_value=0.01, max_value=1e6),
+        rel_err=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariant(self, scale, rel_err):
+        y = np.array([scale])
+        pred = np.array([scale * (1 + rel_err)])
+        assert accuracy_percent(y, pred) == pytest.approx(100.0 - 100.0 * rel_err, abs=1e-6)
+
+
+class TestRMSE:
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    def test_zero_on_perfect(self):
+        y = np.array([1.0, -2.0])
+        assert rmse(y, y) == 0.0
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_predictor_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, 2.0)
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        y = np.full(4, 2.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1.0) == 0.0

@@ -1,0 +1,144 @@
+"""Power/time model wrapper tests (paper hyper-parameters, scaling, IO)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureVector, PowerModel, TimeModel, build_dataset
+from repro.telemetry import LaunchConfig, Launcher
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    from repro.gpusim import GA100, SimulatedGPU
+
+    dev = SimulatedGPU(GA100, seed=5, max_samples_per_run=4)
+    launcher = Launcher(dev)
+    freqs = tuple(dev.dvfs.usable_array()[::6])
+    config = LaunchConfig(freqs_mhz=freqs, runs_per_config=1)
+    workloads = [get_workload(n) for n in ("dgemm", "stream", "spmv", "lud", "fft")]
+    artifacts = launcher.collect(workloads, config)
+    return build_dataset(artifacts, per_sample=True)
+
+
+class TestPaperHyperparameters:
+    def test_power_model_epochs_100(self):
+        assert PowerModel.epochs == 100
+
+    def test_time_model_epochs_25(self):
+        assert TimeModel.epochs == 25
+
+    def test_hidden_architecture(self, small_dataset):
+        m = PowerModel(seed=0)
+        m.fit(small_dataset, epochs=1)
+        assert [l.out_features for l in m.network.layers] == [64, 64, 64, 1]
+        assert all(l.activation.name == "selu" for l in m.network.layers[:-1])
+
+
+class TestPowerModel:
+    def test_fit_and_predict_positive(self, small_dataset):
+        m = PowerModel(seed=0)
+        m.fit(small_dataset, epochs=30)
+        pred = m.predict_power(FeatureVector(0.8, 0.3, 1410.0), np.array([510.0, 1410.0]))
+        assert np.all(pred > 0)
+
+    def test_power_increases_with_clock(self, small_dataset):
+        m = PowerModel(seed=0)
+        m.fit(small_dataset, epochs=60)
+        freqs = np.linspace(510.0, 1410.0, 10)
+        pred = m.predict_power(FeatureVector(0.85, 0.3, 1410.0), freqs)
+        assert pred[-1] > pred[0]
+
+    def test_training_fit_quality(self, small_dataset):
+        from repro.core import mape
+
+        m = PowerModel(seed=0)
+        m.fit(small_dataset)
+        pred = m.predict_raw(small_dataset.x)
+        assert mape(small_dataset.y_power, pred) < 10.0
+
+    def test_tdp_normalised_rescaling(self, small_dataset):
+        m = PowerModel(reference_power_w=500.0, seed=0)
+        m.fit(small_dataset, epochs=20)
+        fv = FeatureVector(0.8, 0.3, 1410.0)
+        freqs = np.array([1005.0])
+        native = m.predict_power(fv, freqs)
+        rescaled = m.predict_power(fv, freqs, target_power_scale_w=250.0)
+        assert rescaled[0] == pytest.approx(0.5 * native[0])
+
+    def test_absolute_model_rejects_rescale(self, small_dataset):
+        m = PowerModel(seed=0)
+        m.fit(small_dataset, epochs=5)
+        with pytest.raises(ValueError, match="absolute watts"):
+            m.predict_power(FeatureVector(0.8, 0.3, 1410.0), np.array([1005.0]), target_power_scale_w=250.0)
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(ValueError, match="reference_power_w"):
+            PowerModel(reference_power_w=0.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            PowerModel().predict_raw(np.zeros((1, 3)))
+
+
+class TestTimeModel:
+    def test_relative_target_needs_time_at_max(self, small_dataset):
+        m = TimeModel(seed=0)
+        m.fit(small_dataset, epochs=5)
+        with pytest.raises(ValueError, match="time_at_max_s"):
+            m.predict_time(FeatureVector(0.8, 0.3, 1410.0), np.array([1005.0]))
+
+    def test_relative_prediction_scales(self, small_dataset):
+        m = TimeModel(seed=0)
+        m.fit(small_dataset, epochs=25)
+        fv = FeatureVector(0.85, 0.3, 1410.0)
+        freqs = np.array([510.0, 1410.0])
+        t10 = m.predict_time(fv, freqs, time_at_max_s=10.0)
+        t20 = m.predict_time(fv, freqs, time_at_max_s=20.0)
+        assert np.allclose(t20, 2.0 * t10)
+
+    def test_slowdown_near_unity_at_fmax(self, small_dataset):
+        m = TimeModel(seed=0)
+        m.fit(small_dataset)
+        slow = m.predict_slowdown(FeatureVector(0.85, 0.3, 1410.0), np.array([1410.0]))
+        assert slow[0] == pytest.approx(1.0, abs=0.12)
+
+    def test_time_increases_at_low_clock(self, small_dataset):
+        m = TimeModel(seed=0)
+        m.fit(small_dataset)
+        slow = m.predict_slowdown(FeatureVector(0.85, 0.3, 1410.0), np.array([510.0, 1410.0]))
+        assert slow[0] > slow[1]
+
+    def test_absolute_target_mode(self, small_dataset):
+        m = TimeModel(target="absolute", seed=0)
+        m.fit(small_dataset, epochs=10)
+        t = m.predict_time(FeatureVector(0.85, 0.3, 1410.0), np.array([1005.0]))
+        assert t[0] > 0
+
+    def test_absolute_mode_rejects_slowdown(self, small_dataset):
+        m = TimeModel(target="absolute", seed=0)
+        m.fit(small_dataset, epochs=5)
+        with pytest.raises(RuntimeError, match="relative"):
+            m.predict_slowdown(FeatureVector(0.8, 0.3, 1410.0), np.array([1005.0]))
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            TimeModel(target="bogus")
+
+
+class TestSerialisation:
+    def test_save_load_roundtrip(self, small_dataset, tmp_path):
+        m = PowerModel(reference_power_w=500.0, seed=0)
+        m.fit(small_dataset, epochs=10)
+        fv = FeatureVector(0.8, 0.3, 1410.0)
+        freqs = np.linspace(510, 1410, 7)
+        expected = m.predict_power(fv, freqs)
+        path = m.save(tmp_path / "power.npz")
+
+        loaded = PowerModel(reference_power_w=500.0)
+        loaded.load(path)
+        assert np.allclose(loaded.predict_power(fv, freqs), expected)
+
+    def test_save_before_fit_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="save"):
+            PowerModel().save(tmp_path / "x.npz")

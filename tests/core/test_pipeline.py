@@ -1,0 +1,109 @@
+"""End-to-end pipeline tests using the shared fast context."""
+
+import numpy as np
+import pytest
+
+from repro.core import ED2P, EDP, EDnP, FrequencySelectionPipeline, accuracy_percent
+from repro.gpusim import GA100, SimulatedGPU
+from repro.workloads import get_workload
+
+
+class TestOfflinePhase:
+    def test_context_pipeline_is_fitted(self, fast_ctx):
+        pipe = fast_ctx.pipeline("GA100")
+        assert pipe.is_fitted
+        assert pipe.training_dataset is not None
+
+    def test_training_dataset_covers_21_workloads(self, fast_ctx):
+        ds = fast_ctx.pipeline("GA100").training_dataset
+        assert len(ds.workload_names) == 21
+
+    def test_training_dataset_covers_61_clocks(self, fast_ctx):
+        ds = fast_ctx.pipeline("GA100").training_dataset
+        clocks = np.unique(ds.x[:, 2])
+        assert clocks.size == 61
+
+    def test_unfitted_pipeline_rejects_online(self):
+        pipe = FrequencySelectionPipeline(SimulatedGPU(GA100, seed=0))
+        with pytest.raises(RuntimeError, match="fit_offline"):
+            pipe.run_online(get_workload("lstm"))
+
+    def test_fit_from_dataset(self, fast_ctx):
+        ds = fast_ctx.pipeline("GA100").training_dataset
+        pipe = FrequencySelectionPipeline(SimulatedGPU(GA100, seed=1), seed=1)
+        pipe.power_model.epochs = 5
+        pipe.time_model.epochs = 5
+        pipe.fit_from_dataset(ds)
+        assert pipe.is_fitted
+
+
+class TestOnlinePhase:
+    def test_online_result_structure(self, fast_ctx):
+        pipe = fast_ctx.pipeline("GA100")
+        res = pipe.run_online(get_workload("lammps"))
+        n = res.freqs_mhz.size
+        assert n == 61
+        assert res.power_w.shape == (n,)
+        assert res.time_s.shape == (n,)
+        assert np.allclose(res.energy_j, res.power_w * res.time_s)
+        assert set(res.selections) == {"EDP", "ED2P"}
+
+    def test_selection_lookup(self, fast_ctx):
+        res = fast_ctx.pipeline("GA100").run_online(get_workload("lammps"))
+        assert res.selection("EDP").objective_name == "EDP"
+        with pytest.raises(KeyError, match="available"):
+            res.selection("ED9P")
+
+    def test_custom_objectives(self, fast_ctx):
+        pipe = fast_ctx.pipeline("GA100")
+        res = pipe.run_online(get_workload("lstm"), objectives=(EDnP(3.0),))
+        assert "ED3P" in res.selections
+
+    def test_threshold_propagates(self, fast_ctx):
+        pipe = fast_ctx.pipeline("GA100")
+        res = pipe.run_online(get_workload("resnet50"), objectives=(EDP,), threshold=0.01)
+        assert res.selection("EDP").perf_degradation < 0.01
+
+    def test_predictions_track_measurements(self, fast_ctx):
+        """Online predictions must be within ~25% of brute-force truth."""
+        pipe = fast_ctx.pipeline("GA100")
+        res = pipe.run_online(get_workload("namd"))
+        truth = fast_ctx.truth_sweep("namd", "GA100")
+        freqs, p_meas = truth.mean_curve("power")
+        assert accuracy_percent(p_meas, res.power_w) > 75.0
+
+    def test_selected_frequency_below_max_for_most_apps(self, fast_ctx):
+        pipe = fast_ctx.pipeline("GA100")
+        below = 0
+        for name in ("lammps", "lstm", "resnet50", "gromacs"):
+            res = pipe.run_online(get_workload(name))
+            if res.selection("EDP").freq_mhz < 1410.0:
+                below += 1
+        assert below >= 3
+
+    def test_measured_time_at_max_positive(self, fast_ctx):
+        res = fast_ctx.pipeline("GA100").run_online(get_workload("bert"))
+        assert res.measured_time_at_max_s > 0
+        assert res.measured_power_at_max_w > 0
+
+
+class TestPortability:
+    def test_gv100_pipeline_shares_models(self, fast_ctx):
+        ga = fast_ctx.pipeline("GA100")
+        gv = fast_ctx.pipeline("GV100")
+        assert gv.power_model is ga.power_model
+        assert gv.time_model is ga.time_model
+
+    def test_gv100_grid_has_117_clocks(self, fast_ctx):
+        res = fast_ctx.pipeline("GV100").run_online(get_workload("lstm"))
+        assert res.freqs_mhz.size == 117
+
+    def test_gv100_power_scale_is_volta(self, fast_ctx):
+        """TDP-rescaled predictions must be in the 250 W envelope."""
+        res = fast_ctx.pipeline("GV100").run_online(get_workload("bert"))
+        assert np.max(res.power_w) < 300.0
+
+    def test_measure_sweep_matches_grid(self, fast_ctx):
+        truth = fast_ctx.truth_sweep("lstm", "GV100")
+        freqs, _ = truth.mean_curve("power")
+        assert freqs.size == 117

@@ -1,0 +1,132 @@
+"""Algorithm 1 (optimal frequency selection) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ED2P, EDP, select_optimal_frequency
+
+
+def synthetic_curves(n=61):
+    """U-shaped energy and 1/f-ish time over an ascending grid."""
+    freqs = np.linspace(510.0, 1410.0, n)
+    x = freqs / freqs[-1]
+    time = 1.0 / x
+    # Steep (voltage-ramp-like) power curve so EDP = P/x^2 is U-shaped
+    # with an interior minimum rather than pinned at f_max.
+    power = 50.0 + 450.0 * x**3.5
+    energy = power * time
+    return freqs, energy, time
+
+
+class TestUnthresholded:
+    def test_selects_objective_minimiser(self):
+        freqs, energy, time = synthetic_curves()
+        res = select_optimal_frequency(freqs, energy, time, objective=EDP)
+        scores = energy * time
+        assert res.index == int(np.argmin(scores))
+        assert res.freq_mhz == freqs[res.index]
+
+    def test_ed2p_selects_at_or_above_edp(self):
+        """ED2P weights delay more, so its optimum is >= EDP's."""
+        freqs, energy, time = synthetic_curves()
+        edp = select_optimal_frequency(freqs, energy, time, objective=EDP)
+        ed2p = select_optimal_frequency(freqs, energy, time, objective=ED2P)
+        assert ed2p.freq_mhz >= edp.freq_mhz
+
+    def test_objective_name_recorded(self):
+        freqs, energy, time = synthetic_curves()
+        assert select_optimal_frequency(freqs, energy, time, objective=ED2P).objective_name == "ED2P"
+
+    def test_energy_saving_and_degradation_consistent(self):
+        freqs, energy, time = synthetic_curves()
+        res = select_optimal_frequency(freqs, energy, time, objective=EDP)
+        i = res.index
+        assert res.energy_saving == pytest.approx(1.0 - energy[i] / energy[-1])
+        assert res.perf_degradation == pytest.approx(1.0 - time[-1] / time[i])
+
+    def test_flat_curves_pick_first_minimum(self):
+        freqs = np.array([500.0, 600.0, 700.0])
+        energy = np.array([1.0, 1.0, 1.0])
+        time = np.array([1.0, 1.0, 1.0])
+        res = select_optimal_frequency(freqs, energy, time)
+        assert res.index == 0
+
+
+class TestThresholded:
+    def test_threshold_walks_to_higher_clock(self):
+        freqs, energy, time = synthetic_curves()
+        free = select_optimal_frequency(freqs, energy, time, objective=EDP)
+        tight = select_optimal_frequency(freqs, energy, time, objective=EDP, threshold=0.01)
+        assert tight.freq_mhz > free.freq_mhz
+        assert tight.threshold_applied
+        assert tight.perf_degradation < 0.01
+
+    def test_loose_threshold_no_walk(self):
+        freqs, energy, time = synthetic_curves()
+        free = select_optimal_frequency(freqs, energy, time, objective=EDP)
+        loose = select_optimal_frequency(
+            freqs, energy, time, objective=EDP, threshold=free.perf_degradation + 0.5
+        )
+        assert loose.freq_mhz == free.freq_mhz
+        assert not loose.threshold_applied
+
+    def test_zero_threshold_selects_fmax_on_monotone_time(self):
+        freqs, energy, time = synthetic_curves()
+        res = select_optimal_frequency(freqs, energy, time, objective=EDP, threshold=0.0)
+        assert res.freq_mhz == freqs[-1]
+        assert res.perf_degradation == 0.0
+
+    def test_first_satisfying_clock_chosen(self):
+        """The walk stops at the lowest admissible clock, not f_max."""
+        freqs, energy, time = synthetic_curves()
+        res = select_optimal_frequency(freqs, energy, time, objective=EDP, threshold=0.10)
+        # The clock just below the selected one must violate the threshold.
+        below = res.index - 1
+        degradation_below = 1.0 - time[-1] / time[below]
+        assert degradation_below >= 0.10
+        assert res.perf_degradation < 0.10
+
+    @given(threshold=st.floats(min_value=0.001, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_threshold_always_honored(self, threshold):
+        freqs, energy, time = synthetic_curves()
+        res = select_optimal_frequency(freqs, energy, time, objective=EDP, threshold=threshold)
+        assert res.perf_degradation < threshold
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            select_optimal_frequency(np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_descending_freqs_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            select_optimal_frequency(
+                np.array([2.0, 1.0]), np.array([1.0, 1.0]), np.array([1.0, 1.0])
+            )
+
+    def test_negative_threshold_rejected(self):
+        freqs, energy, time = synthetic_curves(5)
+        with pytest.raises(ValueError, match="threshold"):
+            select_optimal_frequency(freqs, energy, time, threshold=-0.1)
+
+    def test_empty_design_space_rejected(self):
+        with pytest.raises(ValueError):
+            select_optimal_frequency(np.array([]), np.array([]), np.array([]))
+
+
+class TestPropertyGrid:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_selected_freq_always_in_grid(self, seed):
+        rng = np.random.default_rng(seed)
+        n = rng.integers(3, 40)
+        freqs = np.sort(rng.uniform(100, 2000, size=n))
+        freqs += np.arange(n) * 1e-3  # enforce strictly ascending
+        energy = rng.uniform(10, 1000, size=n)
+        time = rng.uniform(0.1, 10, size=n)
+        res = select_optimal_frequency(freqs, energy, time, objective=ED2P)
+        assert res.freq_mhz in freqs
+        assert 0 <= res.index < n

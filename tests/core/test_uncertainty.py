@@ -1,0 +1,134 @@
+"""Ensemble / uncertainty-aware selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import EDP, FeatureVector
+from repro.core.uncertainty import EnsembleModel, EnsemblePrediction, select_conservative
+
+
+@pytest.fixture(scope="module")
+def trained_ensemble(fast_ctx):
+    dataset = fast_ctx.pipeline("GA100").training_dataset
+    ens = EnsembleModel(n_members=3, reference_power_w=500.0, seed=0)
+    ens.fit(dataset, power_epochs=15, time_epochs=10)
+    return ens
+
+
+@pytest.fixture()
+def features():
+    return FeatureVector(fp_active=0.8, dram_active=0.3, sm_app_clock=1410.0)
+
+
+class TestEnsembleModel:
+    def test_needs_two_members(self):
+        with pytest.raises(ValueError, match="n_members"):
+            EnsembleModel(n_members=1)
+
+    def test_members_have_distinct_seeds(self):
+        ens = EnsembleModel(n_members=3, seed=5)
+        seeds = {m.seed for m in ens.power_members}
+        assert seeds == {5, 6, 7}
+
+    def test_unfitted_predict_raises(self, features):
+        ens = EnsembleModel(n_members=2)
+        with pytest.raises(RuntimeError, match="fit"):
+            ens.predict_power(features, np.array([1005.0]))
+
+    def test_prediction_shapes(self, trained_ensemble, features):
+        freqs = np.linspace(510, 1410, 61)
+        pred = trained_ensemble.predict_power(features, freqs, target_power_scale_w=500.0)
+        assert pred.mean.shape == (61,)
+        assert pred.std.shape == (61,)
+        assert np.all(pred.std >= 0)
+
+    def test_disagreement_is_nonzero(self, trained_ensemble, features):
+        """Differently seeded members must disagree somewhere."""
+        freqs = np.linspace(510, 1410, 61)
+        pred = trained_ensemble.predict_power(features, freqs, target_power_scale_w=500.0)
+        assert pred.std.max() > 0.0
+
+    def test_time_prediction_scales_with_reference(self, trained_ensemble, features):
+        freqs = np.linspace(510, 1410, 13)
+        p10 = trained_ensemble.predict_time(features, freqs, time_at_max_s=10.0)
+        p20 = trained_ensemble.predict_time(features, freqs, time_at_max_s=20.0)
+        assert np.allclose(p20.mean, 2.0 * p10.mean)
+
+
+class TestEnsemblePrediction:
+    def test_bounds_bracket_mean(self):
+        pred = EnsemblePrediction(
+            freqs_mhz=np.array([1.0, 2.0]),
+            mean=np.array([10.0, 20.0]),
+            std=np.array([1.0, 2.0]),
+        )
+        assert np.all(pred.lower() <= pred.mean)
+        assert np.all(pred.mean <= pred.upper())
+
+    def test_lower_floored_at_zero(self):
+        pred = EnsemblePrediction(
+            freqs_mhz=np.array([1.0]), mean=np.array([0.5]), std=np.array([10.0])
+        )
+        assert pred.lower()[0] == 0.0
+
+    def test_relative_std(self):
+        pred = EnsemblePrediction(
+            freqs_mhz=np.array([1.0]), mean=np.array([10.0]), std=np.array([1.0])
+        )
+        assert pred.relative_std[0] == pytest.approx(0.1)
+
+
+class TestConservativeSelection:
+    def _make(self, std_scale: float):
+        freqs = np.linspace(510.0, 1410.0, 61)
+        x = freqs / freqs[-1]
+        t_mean = 1.0 / x
+        p_mean = 50.0 + 450.0 * x**3.5
+        power = EnsemblePrediction(freqs, p_mean, np.full(61, 1.0))
+        time = EnsemblePrediction(freqs, t_mean, std_scale * t_mean)
+        return power, time
+
+    def test_zero_uncertainty_matches_plain_threshold(self):
+        power, time = self._make(0.0)
+        from repro.core import select_optimal_frequency
+
+        conservative = select_conservative(power, time, threshold=0.05, z=1.64)
+        plain = select_optimal_frequency(
+            power.freqs_mhz,
+            power.mean * time.mean,
+            time.mean,
+            objective=EDP,
+            threshold=0.05,
+        )
+        assert conservative.freq_mhz == plain.freq_mhz
+
+    def test_more_uncertainty_higher_clock(self):
+        power, time_tight = self._make(0.005)
+        _, time_loose = self._make(0.05)
+        tight = select_conservative(power, time_tight, threshold=0.05)
+        loose = select_conservative(power, time_loose, threshold=0.05)
+        assert loose.freq_mhz >= tight.freq_mhz
+
+    def test_objective_name_labelled(self):
+        power, time = self._make(0.01)
+        assert select_conservative(power, time).objective_name == "EDP-conservative"
+
+    def test_grid_mismatch_rejected(self):
+        power, time = self._make(0.01)
+        bad_time = EnsemblePrediction(time.freqs_mhz + 1.0, time.mean, time.std)
+        with pytest.raises(ValueError, match="grids disagree"):
+            select_conservative(power, bad_time)
+
+    def test_negative_z_rejected(self):
+        power, time = self._make(0.01)
+        with pytest.raises(ValueError, match="z must"):
+            select_conservative(power, time, z=-1.0)
+
+    def test_end_to_end_with_trained_ensemble(self, trained_ensemble, features, fast_ctx):
+        device = fast_ctx.device("GA100")
+        freqs = device.dvfs.usable_array()
+        power = trained_ensemble.predict_power(features, freqs, target_power_scale_w=500.0)
+        time = trained_ensemble.predict_time(features, freqs, time_at_max_s=5.0)
+        sel = select_conservative(power, time, threshold=0.10)
+        assert sel.freq_mhz in freqs
+        assert sel.perf_degradation < 0.10

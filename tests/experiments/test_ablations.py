@@ -1,0 +1,66 @@
+"""Ablation runners execute end-to-end on the fast profile."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    PAPER_ACTIVATIONS,
+    PAPER_OPTIMIZERS,
+    render_ablation,
+    run_architecture_ablation,
+    run_feature_count_ablation,
+    run_optimizer_ablation,
+    run_time_target_ablation,
+)
+
+
+class TestOptimizerAblation:
+    @pytest.fixture(scope="class")
+    def rows(self, fast_ctx, fast_suite):
+        return run_optimizer_ablation(fast_ctx, suite=fast_suite, epochs=5)
+
+    def test_all_paper_optimizers(self, rows):
+        assert {r.variant for r in rows} == set(PAPER_OPTIMIZERS)
+
+    def test_scores_in_range(self, rows):
+        for r in rows:
+            assert 0.0 <= r.eval_accuracy <= 100.0
+            assert r.train_mape >= 0.0
+
+    def test_render(self, rows):
+        out = render_ablation("Ablation: optimizers", rows)
+        assert "rmsprop" in out
+
+
+class TestFeatureCountAblation:
+    @pytest.fixture(scope="class")
+    def rows(self, fast_ctx):
+        return run_feature_count_ablation(fast_ctx, epochs=10)
+
+    def test_five_ks(self, rows):
+        assert [r.variant.split(":")[0] for r in rows] == [f"top-{k}" for k in (1, 2, 3, 4, 5)]
+
+    def test_variants_name_their_features(self, rows):
+        assert "sm_app_clock" in rows[0].variant  # strongest feature first
+
+
+class TestTimeTargetAblation:
+    @pytest.fixture(scope="class")
+    def rows(self, fast_ctx, fast_suite):
+        return run_time_target_ablation(fast_ctx, suite=fast_suite)
+
+    def test_relative_at_least_competitive(self, rows):
+        accs = {r.variant: r.eval_accuracy for r in rows}
+        assert accs["relative"] >= accs["absolute"] - 2.0
+
+
+class TestArchitectureAblation:
+    def test_runs_with_reduced_epochs(self, fast_ctx, fast_suite):
+        rows = run_architecture_ablation(fast_ctx, suite=fast_suite, epochs=3)
+        assert len(rows) == 6
+        assert any(r.variant == "64x64x64" for r in rows)
+
+
+class TestActivationList:
+    def test_nine_paper_activations(self):
+        assert len(PAPER_ACTIVATIONS) == 9
+        assert "selu" in PAPER_ACTIVATIONS

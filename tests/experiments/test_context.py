@@ -1,0 +1,43 @@
+"""Experiment-context tests."""
+
+import pytest
+
+from repro.experiments import ExperimentContext, ExperimentSettings
+
+
+class TestSettings:
+    def test_paper_profile_defaults(self):
+        s = ExperimentSettings.paper()
+        assert s.runs_per_config == 3  # paper: three runs per config
+        assert s.truth_runs_per_config == 3
+
+    def test_fast_profile_is_cheap(self):
+        s = ExperimentSettings.fast()
+        assert s.runs_per_config == 1
+        assert s.max_samples_per_run <= 8
+
+
+class TestContext:
+    def test_device_cached(self, fast_ctx):
+        assert fast_ctx.device("GA100") is fast_ctx.device("ga100")
+
+    def test_devices_distinct_per_arch(self, fast_ctx):
+        assert fast_ctx.device("GA100") is not fast_ctx.device("GV100")
+
+    def test_pipeline_cached(self, fast_ctx):
+        assert fast_ctx.pipeline("GA100") is fast_ctx.pipeline("GA100")
+
+    def test_gv100_pipeline_wraps_ga100_models(self, fast_ctx):
+        assert fast_ctx.pipeline("GV100").power_model is fast_ctx.pipeline("GA100").power_model
+
+    def test_workload_sets(self, fast_ctx):
+        assert len(fast_ctx.training_workloads()) == 21
+        assert len(fast_ctx.evaluation_workloads()) == 6
+
+    def test_truth_sweep_cached(self, fast_ctx):
+        a = fast_ctx.truth_sweep("lstm", "GA100")
+        b = fast_ctx.truth_sweep("lstm", "GA100")
+        assert a is b
+
+    def test_power_model_is_tdp_normalised(self, fast_ctx):
+        assert fast_ctx.pipeline("GA100").power_model.reference_power_w == 500.0

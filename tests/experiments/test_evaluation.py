@@ -1,0 +1,73 @@
+"""EvaluationSuite unit tests (shared computation behind Figs 7-10)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.evaluation import EvaluationSuite
+
+
+class TestSuiteCaching:
+    def test_evaluate_is_cached(self, fast_ctx, fast_suite):
+        a = fast_suite.evaluate("lstm", "GA100")
+        b = fast_suite.evaluate("LSTM", "ga100")
+        assert a is b
+
+    def test_evaluate_all_covers_six(self, fast_ctx, fast_suite):
+        evs = fast_suite.evaluate_all("GA100")
+        assert len(evs) == 6
+        assert len({ev.app for ev in evs}) == 6
+
+
+class TestAppEvaluationContract:
+    @pytest.fixture(scope="class")
+    def ev(self, fast_suite):
+        return fast_suite.evaluate("namd", "GA100")
+
+    def test_curve_shapes_agree(self, ev):
+        n = ev.freqs_mhz.size
+        for arr in (ev.power_measured_w, ev.power_predicted_w, ev.time_measured_s, ev.time_predicted_s):
+            assert arr.shape == (n,)
+
+    def test_energy_properties(self, ev):
+        assert np.allclose(ev.energy_measured_j, ev.power_measured_w * ev.time_measured_s)
+        assert np.allclose(ev.energy_predicted_j, ev.power_predicted_w * ev.time_predicted_s)
+
+    def test_four_selection_methods(self, ev):
+        assert set(ev.selections) == {"M-EDP", "P-EDP", "M-ED2P", "P-ED2P"}
+
+    def test_realised_changes_reference_is_fmax(self, ev):
+        """A selection at f_max must realise exactly zero change."""
+        import dataclasses
+
+        import numpy as np
+
+        from repro.core.selection import SelectionResult
+
+        pin = SelectionResult(
+            freq_mhz=float(ev.freqs_mhz[-1]),
+            index=ev.freqs_mhz.size - 1,
+            objective_name="PIN",
+            scores=np.zeros(ev.freqs_mhz.size),
+            perf_degradation=0.0,
+            energy_saving=0.0,
+            threshold_applied=False,
+        )
+        patched = dataclasses.replace(ev, selections={**ev.selections, "PIN": pin})
+        e, t = patched.realised_changes("PIN")
+        assert e == pytest.approx(0.0)
+        assert t == pytest.approx(0.0)
+
+    def test_realised_changes_sign_convention(self, ev):
+        """M-EDP saves energy (positive) and loses time (non-positive-ish)."""
+        e, t = ev.realised_changes("M-EDP")
+        assert e > 0.0
+        assert t < 5.0  # time gain beyond noise would be a bug
+
+    def test_features_carried(self, ev):
+        assert 0.0 <= ev.features.fp_active <= 1.0
+        assert 0.0 <= ev.features.dram_active <= 1.0
+        assert ev.features.sm_app_clock == 1410.0
+
+    def test_accuracies_in_percent_band(self, ev):
+        assert 0.0 <= ev.power_accuracy <= 100.0
+        assert 0.0 <= ev.time_accuracy <= 100.0

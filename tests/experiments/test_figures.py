@@ -1,0 +1,264 @@
+"""Every figure experiment runs end-to-end (fast profile) with the
+paper's qualitative shapes asserted."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig1 import render_fig1, run_fig1
+from repro.experiments.fig3 import CANDIDATE_FEATURES, render_fig3, run_fig3
+from repro.experiments.fig4 import relative_spread, render_fig4, run_fig4
+from repro.experiments.fig5 import render_fig5, run_fig5
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.fig7 import render_fig7, run_fig7
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.fig9 import METHODS, render_fig9, run_fig9
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.experiments.fig11 import render_fig11, run_fig11
+
+
+@pytest.fixture(scope="module")
+def fig1(fast_ctx):
+    return run_fig1(fast_ctx)
+
+
+class TestFig1:
+    def test_power_increases_with_clock(self, fig1):
+        for sweep in (fig1.dgemm, fig1.stream):
+            assert sweep.power_w[-1] > 1.5 * sweep.power_w[0]
+
+    def test_time_decreases_with_clock(self, fig1):
+        for sweep in (fig1.dgemm, fig1.stream):
+            assert sweep.time_s[0] > sweep.time_s[-1]
+
+    def test_energy_u_shaped(self, fig1):
+        """Optimal energy strictly inside the clock range (paper Fig. 1 c/g)."""
+        for sweep in (fig1.dgemm, fig1.stream):
+            opt = sweep.energy_optimal_mhz
+            assert 510.0 < opt < 1410.0
+
+    def test_dgemm_energy_optimum_above_streams(self, fig1):
+        assert fig1.dgemm.energy_optimal_mhz > fig1.stream.energy_optimal_mhz
+
+    def test_dgemm_optimum_near_1080(self, fig1):
+        """Paper: DGEMM optimal energy at 1080 MHz."""
+        assert 945.0 <= fig1.dgemm.energy_optimal_mhz <= 1185.0
+
+    def test_flops_roughly_linear(self, fig1):
+        f = fig1.dgemm
+        ratio = (f.flops_per_s[-1] / f.flops_per_s[0]) / (f.freqs_mhz[-1] / f.freqs_mhz[0])
+        assert 0.8 < ratio < 1.25
+
+    def test_stream_bandwidth_flattens(self, fig1):
+        s = fig1.stream
+        idx_900 = int(np.argmin(np.abs(s.freqs_mhz - 900.0)))
+        gain_above = s.bandwidth_bytes_per_s[-1] / s.bandwidth_bytes_per_s[idx_900]
+        assert gain_above < 1.15
+
+    def test_time_optimal_near_max_clock(self, fig1):
+        # Measurement noise can shuffle the near-flat top of the curve.
+        assert fig1.dgemm.time_optimal_mhz >= 1200.0
+
+    def test_render(self, fig1):
+        text = render_fig1(fig1)
+        assert "DGEMM" in text and "STREAM" in text and "(h)" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def fig3(self, fast_ctx):
+        return run_fig3(fast_ctx, mi_subsample=1200)
+
+    def test_selected_triple_matches_paper(self, fig3):
+        """Paper selects fp_active, sm_app_clock, dram_active."""
+        assert set(fig3.selected) == {"fp64_active", "sm_app_clock", "dram_active"}
+
+    def test_clock_strongest_for_both_targets(self, fig3):
+        assert fig3.power_ranking.top_k(1) == ["sm_app_clock"]
+
+    def test_ten_candidates(self, fig3):
+        assert len(CANDIDATE_FEATURES) == 10
+        assert len(fig3.power_ranking.scores) == 10
+
+    def test_render(self, fig3):
+        assert "Selected top-3" in render_fig3(fig3)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self, fast_ctx):
+        return run_fig4(fast_ctx)
+
+    def test_fp_activity_nearly_invariant(self, fig4):
+        assert relative_spread(fig4.dgemm.fp_active) < 0.15
+        assert relative_spread(fig4.stream.fp_active) < 0.5  # tiny absolute values
+
+    def test_dram_activity_bounded_variation(self, fig4):
+        assert relative_spread(fig4.stream.dram_active) < 0.30
+
+    def test_full_grid(self, fig4):
+        assert fig4.dgemm.freqs_mhz.size == 61
+
+    def test_render(self, fig4):
+        assert "spread" in render_fig4(fig4)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self, fast_ctx):
+        return run_fig5(fast_ctx)
+
+    def test_size_invariance(self, fig5):
+        assert relative_spread(fig5.dgemm.fp_active) < 0.15
+        assert relative_spread(fig5.stream.dram_active) < 0.15
+
+    def test_five_sizes_each(self, fig5):
+        assert fig5.dgemm.sizes.size == 5
+        assert fig5.stream.sizes.size == 5
+
+    def test_render(self, fig5):
+        assert "input size" in render_fig5(fig5)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig6(self, fast_ctx):
+        return run_fig6(fast_ctx)
+
+    def test_paper_epoch_counts(self, fig6):
+        assert fig6.power_history.epochs_run == 100
+        assert fig6.time_history.epochs_run == 25
+
+    def test_losses_fall(self, fig6):
+        assert fig6.power_history.train_loss[-1] < 0.5 * fig6.power_history.train_loss[0]
+        assert fig6.time_history.train_loss[-1] < 0.5 * fig6.time_history.train_loss[0]
+
+    def test_validation_tracks_training(self, fig6):
+        """No divergence at the chosen epoch counts (paper Fig. 6)."""
+        h = fig6.power_history
+        assert h.val_loss[-1] < 3.0 * h.train_loss[-1] + 0.05
+
+    def test_render(self, fig6):
+        assert "epochs" in render_fig6(fig6)
+
+
+class TestFig7And8:
+    def test_fig7_power_accuracy_floor(self, fast_ctx, fast_suite):
+        result = run_fig7(fast_ctx, suite=fast_suite)
+        assert len(result.evaluations) == 6
+        for ev in result.evaluations:
+            assert ev.power_accuracy > 75.0, ev.app
+
+    def test_fig7_curves_full_grid(self, fast_ctx, fast_suite):
+        for ev in run_fig7(fast_ctx, suite=fast_suite).evaluations:
+            assert ev.freqs_mhz.size == 61
+
+    def test_fig8_time_accuracy_floor(self, fast_ctx, fast_suite):
+        result = run_fig8(fast_ctx, suite=fast_suite)
+        for ev in result.evaluations:
+            assert ev.time_accuracy > 70.0, ev.app
+
+    def test_fig8_normalized_at_unity(self, fast_ctx, fast_suite):
+        result = run_fig8(fast_ctx, suite=fast_suite)
+        freqs, meas, pred = result.normalized("lammps")
+        assert meas[-1] == pytest.approx(1.0)
+        assert pred[-1] == pytest.approx(1.0)
+
+    def test_fig8_unknown_app_raises(self, fast_ctx, fast_suite):
+        with pytest.raises(KeyError):
+            run_fig8(fast_ctx, suite=fast_suite).normalized("doom")
+
+    def test_renders(self, fast_ctx, fast_suite):
+        assert "accuracy" in render_fig7(run_fig7(fast_ctx, suite=fast_suite))
+        assert "normalized" in render_fig8(run_fig8(fast_ctx, suite=fast_suite)).lower()
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def fig9(self, fast_ctx, fast_suite):
+        return run_fig9(fast_ctx, suite=fast_suite)
+
+    def test_four_methods_per_app(self, fig9):
+        for ev in fig9.evaluations:
+            assert set(ev.selections) == set(METHODS)
+
+    def test_selections_on_grid(self, fig9):
+        for ev in fig9.evaluations:
+            for method in METHODS:
+                assert ev.selections[method].freq_mhz in ev.freqs_mhz
+
+    def test_most_optima_below_max(self, fig9):
+        """Paper: 'optimal frequencies ... were less than the maximum'."""
+        below = sum(
+            1
+            for ev in fig9.evaluations
+            for m in ("M-EDP", "M-ED2P")
+            if ev.selections[m].freq_mhz < 1410.0
+        )
+        assert below >= 10  # out of 12 measured selections
+
+    def test_ed2p_at_or_above_edp_on_measured(self, fig9):
+        for ev in fig9.evaluations:
+            assert ev.selections["M-ED2P"].freq_mhz >= ev.selections["M-EDP"].freq_mhz - 1e-9
+
+    def test_lstm_selects_lowest_measured_clock(self, fig9):
+        """Paper Section 7: low-utilization LSTM saves the most."""
+        freqs = {ev.app: ev.selections["M-ED2P"].freq_mhz for ev in fig9.evaluations}
+        assert freqs["lstm"] == min(freqs.values())
+
+    def test_render(self, fig9):
+        assert "optimal frequencies" in render_fig9(fig9)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def fig10(self, fast_ctx, fast_suite):
+        return run_fig10(fast_ctx, suite=fast_suite)
+
+    def test_energy_savings_positive_on_average(self, fig10):
+        e_avg, _ = fig10.average("M-ED2P")
+        assert e_avg > 15.0
+
+    def test_ed2p_time_loss_smaller_than_edp(self, fig10):
+        """Paper Section 7: ED2P improves performance vs EDP."""
+        _, t_ed2p = fig10.average("M-ED2P")
+        _, t_edp = fig10.average("M-EDP")
+        assert t_ed2p >= t_edp
+
+    def test_gromacs_time_roughly_flat(self, fig10):
+        row = next(r for r in fig10.rows if r.app == "gromacs")
+        assert abs(row.time_pct["M-ED2P"]) < 8.0
+
+    def test_predicted_close_to_measured_energy(self, fig10):
+        e_m, _ = fig10.average("M-ED2P")
+        e_p, _ = fig10.average("P-ED2P")
+        assert abs(e_m - e_p) < 15.0
+
+    def test_render_has_average_row(self, fig10):
+        assert "average" in render_fig10(fig10)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def fig11(self, fast_ctx, fast_suite):
+        return run_fig11(fast_ctx, suite=fast_suite)
+
+    def test_all_five_learners_scored(self, fig11):
+        assert {s.learner for s in fig11.scores} == {"RFR", "XGBR", "SVR", "MLR", "DNN"}
+
+    def test_each_learner_scores_all_apps(self, fig11):
+        for s in fig11.scores:
+            assert len(s.per_app) == 6
+
+    def test_dnn_beats_mlr_and_svr(self, fig11):
+        """Fig. 11's core claim: the DNN outperforms the weaker learners."""
+        dnn = fig11.score("DNN").mean_accuracy
+        assert dnn > fig11.score("MLR").mean_accuracy
+        assert dnn > fig11.score("SVR").mean_accuracy
+
+    def test_unknown_learner_raises(self, fig11):
+        with pytest.raises(KeyError):
+            fig11.score("CNN")
+
+    def test_render(self, fig11):
+        out = render_fig11(fig11)
+        assert "DNN" in out and "mean" in out

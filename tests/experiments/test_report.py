@@ -1,0 +1,50 @@
+"""Report-rendering tests."""
+
+import pytest
+
+from repro.experiments.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", 10.0]])
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = render_table(["a"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159], [123.456]])
+        assert "3.14" in out
+        assert "123.5" in out  # >= 10 gets one decimal
+
+    def test_column_alignment(self):
+        out = render_table(["name", "value"], [["aa", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        # All rows have the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_subsamples_and_keeps_last(self):
+        xs = list(range(0, 61))
+        ys = [float(x) * 2 for x in xs]
+        out = render_series("s", xs, ys, every=10)
+        assert out.startswith("s: ")
+        assert "60:120" in out  # final point always present
+
+    def test_every_one_keeps_all(self):
+        out = render_series("s", [1, 2, 3], [4.0, 5.0, 6.0], every=1)
+        assert out.count(":") == 4  # label colon + three points
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            render_series("s", [1, 2], [1.0])

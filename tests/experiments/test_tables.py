@@ -1,0 +1,114 @@
+"""Table experiments run end-to-end (fast profile) with shape asserts."""
+
+import pytest
+
+from repro.experiments.tab1 import render_tab1, run_tab1
+from repro.experiments.tab3 import render_tab3, run_tab3
+from repro.experiments.tab4 import render_tab4, run_tab4
+from repro.experiments.tab5 import render_tab5, run_tab5
+from repro.experiments.tab6 import TAB6_APPS, THRESHOLDS, render_tab6, run_tab6
+
+
+class TestTab1:
+    def test_paper_specs(self):
+        result = run_tab1()
+        ga = result.rows["GA100"]
+        gv = result.rows["GV100"]
+        assert ga["used_dvfs_configs"] == 61
+        assert gv["used_dvfs_configs"] == 117
+        assert ga["tdp_w"] == 500.0
+        assert gv["tdp_w"] == 250.0
+        assert ga["peak_bandwidth_gbs"] == pytest.approx(2039.0)
+
+    def test_render(self):
+        out = render_tab1(run_tab1())
+        assert "GA100" in out and "GV100" in out
+
+
+class TestTab3:
+    @pytest.fixture(scope="class")
+    def tab3(self, fast_ctx, fast_suite):
+        return run_tab3(fast_ctx, suite=fast_suite)
+
+    def test_twelve_rows(self, tab3):
+        assert len(tab3.rows) == 12
+
+    def test_accuracy_floors(self, tab3):
+        """Paper: 89-98%. The fast profile tolerates a lower floor."""
+        assert tab3.min_accuracy("GA100") > 70.0
+        assert tab3.min_accuracy("GV100") > 70.0
+
+    def test_portability_gap_small(self, tab3):
+        """GV100 (transferred weights) stays close to GA100 accuracy."""
+        import numpy as np
+
+        ga = np.mean([r.power_accuracy for r in tab3.rows if r.arch == "GA100"])
+        gv = np.mean([r.power_accuracy for r in tab3.rows if r.arch == "GV100"])
+        assert abs(ga - gv) < 10.0
+
+    def test_row_lookup(self, tab3):
+        row = tab3.row("GA100", "lammps")
+        assert row.app == "lammps"
+        with pytest.raises(KeyError):
+            tab3.row("GA100", "doom")
+
+    def test_render(self, tab3):
+        assert "GV100" in render_tab3(tab3)
+
+
+class TestTab4And5:
+    def test_tab4_matches_fig9(self, fast_ctx, fast_suite):
+        t4 = run_tab4(fast_ctx, suite=fast_suite)
+        assert len(t4.evaluations) == 6
+        assert "Table 4" in render_tab4(t4)
+
+    def test_tab5_matches_fig10(self, fast_ctx, fast_suite):
+        t5 = run_tab5(fast_ctx, suite=fast_suite)
+        assert len(t5.rows) == 6
+        assert "Table 5" in render_tab5(t5)
+
+
+class TestTab6:
+    @pytest.fixture(scope="class")
+    def tab6(self, fast_ctx, fast_suite):
+        return run_tab6(fast_ctx, suite=fast_suite)
+
+    def test_all_cells_present(self, tab6):
+        assert len(tab6.cells) == len(TAB6_APPS) * len(THRESHOLDS)
+
+    def test_thresholds_honored(self, tab6):
+        # Algorithm 1 bounds degradation as 1 - T_max/T < th, which in the
+        # table's T/T_max - 1 convention is a bound of th / (1 - th).
+        for app in TAB6_APPS:
+            assert tab6.cell(app, 0.05).time_change_pct > -100 * 0.05 / 0.95
+            assert tab6.cell(app, 0.01).time_change_pct > -100 * 0.01 / 0.99
+
+    def test_tighter_threshold_less_time_loss(self, tab6):
+        """Paper Table 6 shape: thresholds monotonically cut the loss."""
+        for app in TAB6_APPS:
+            nil = tab6.cell(app, None).time_change_pct
+            t5 = tab6.cell(app, 0.05).time_change_pct
+            t1 = tab6.cell(app, 0.01).time_change_pct
+            assert nil <= t5 + 1e-9 <= t1 + 2e-9
+
+    def test_tighter_threshold_less_energy_saving(self, tab6):
+        for app in TAB6_APPS:
+            nil = tab6.cell(app, None).energy_saving_pct
+            t1 = tab6.cell(app, 0.01).energy_saving_pct
+            assert t1 <= nil + 1e-9
+
+    def test_frequency_rises_with_tightening(self, tab6):
+        for app in TAB6_APPS:
+            assert (
+                tab6.cell(app, None).freq_mhz
+                <= tab6.cell(app, 0.05).freq_mhz
+                <= tab6.cell(app, 0.01).freq_mhz
+            )
+
+    def test_unknown_cell_raises(self, tab6):
+        with pytest.raises(KeyError):
+            tab6.cell("lammps", 0.42)
+
+    def test_render(self, tab6):
+        out = render_tab6(tab6)
+        assert "Nil" in out and "5%" in out and "1%" in out

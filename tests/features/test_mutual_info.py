@@ -1,0 +1,116 @@
+"""KSG mutual-information estimator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import mutual_information, mutual_information_matrix
+
+
+class TestBasicProperties:
+    def test_independent_variables_near_zero(self, rng):
+        x = rng.standard_normal(2000)
+        y = rng.standard_normal(2000)
+        assert mutual_information(x, y) < 0.1
+
+    def test_identical_variables_high(self, rng):
+        x = rng.standard_normal(2000)
+        assert mutual_information(x, x) > 2.0
+
+    def test_noisy_linear_relation_detected(self, rng):
+        x = rng.standard_normal(2000)
+        y = 2.0 * x + 0.3 * rng.standard_normal(2000)
+        assert mutual_information(x, y) > 0.8
+
+    def test_nonlinear_relation_detected(self, rng):
+        """MI (unlike Pearson r) sees non-monotone dependence."""
+        x = rng.uniform(-2, 2, size=2000)
+        y = x**2 + 0.1 * rng.standard_normal(2000)
+        assert mutual_information(x, y) > 0.5
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.15  # sanity: r misses it
+
+    def test_non_negative(self, rng):
+        for _ in range(5):
+            x = rng.standard_normal(300)
+            y = rng.standard_normal(300)
+            assert mutual_information(x, y) >= 0.0
+
+    def test_approximately_symmetric(self, rng):
+        x = rng.standard_normal(800)
+        y = x + 0.5 * rng.standard_normal(800)
+        assert mutual_information(x, y, seed=1) == pytest.approx(
+            mutual_information(y, x, seed=1), abs=0.08
+        )
+
+    def test_gaussian_analytic_value(self, rng):
+        """For bivariate normal with correlation rho, I = -0.5 ln(1-rho^2)."""
+        rho = 0.8
+        n = 6000
+        x = rng.standard_normal(n)
+        y = rho * x + np.sqrt(1 - rho**2) * rng.standard_normal(n)
+        expected = -0.5 * np.log(1 - rho**2)
+        assert mutual_information(x, y) == pytest.approx(expected, rel=0.15)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.standard_normal(500)
+        y = x + rng.standard_normal(500)
+        assert mutual_information(x, y, seed=5) == mutual_information(x, y, seed=5)
+
+    def test_handles_discrete_ties(self, rng):
+        """A discrete clock-grid variable must not crash the kNN search."""
+        clock = rng.choice([510.0, 750.0, 1005.0, 1410.0], size=1000)
+        power = 0.3 * clock + rng.standard_normal(1000)
+        assert mutual_information(clock, power) > 0.3
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            mutual_information(np.zeros(10), np.zeros(11))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            mutual_information(np.zeros(3), np.zeros(3), k=3)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="k must"):
+            mutual_information(np.zeros(10), np.zeros(10), k=0)
+
+
+class TestMatrix:
+    def test_shape(self, rng):
+        feats = rng.standard_normal((300, 4))
+        targets = rng.standard_normal((300, 2))
+        out = mutual_information_matrix(feats, targets)
+        assert out.shape == (4, 2)
+
+    def test_one_dim_target_promoted(self, rng):
+        feats = rng.standard_normal((300, 3))
+        out = mutual_information_matrix(feats, rng.standard_normal(300))
+        assert out.shape == (3, 1)
+
+    def test_informative_column_ranks_first(self, rng):
+        n = 1500
+        signal = rng.standard_normal(n)
+        feats = np.column_stack([signal, rng.standard_normal(n), rng.standard_normal(n)])
+        target = signal + 0.2 * rng.standard_normal(n)
+        out = mutual_information_matrix(feats, target)
+        assert out[0, 0] > out[1, 0]
+        assert out[0, 0] > out[2, 0]
+
+    def test_sample_count_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="sample count"):
+            mutual_information_matrix(rng.standard_normal((10, 2)), rng.standard_normal(11))
+
+
+@given(scale=st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=20, deadline=None)
+def test_scale_invariance(scale):
+    """MI is invariant to affine rescaling of either variable."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(600)
+    y = x + 0.5 * rng.standard_normal(600)
+    base = mutual_information(x, y, seed=2)
+    scaled = mutual_information(x * scale, y, seed=2)
+    assert scaled == pytest.approx(base, abs=0.05)

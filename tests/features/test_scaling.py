@@ -1,0 +1,75 @@
+"""Scaler tests: roundtrips, constant columns, fit-before-use guards."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.features import MinMaxScaler, StandardScaler
+
+
+@pytest.mark.parametrize("scaler_cls", [StandardScaler, MinMaxScaler])
+class TestCommonContract:
+    def test_roundtrip(self, scaler_cls, rng):
+        x = rng.standard_normal((50, 4)) * 10 + 3
+        s = scaler_cls()
+        assert np.allclose(s.inverse_transform(s.fit_transform(x)), x)
+
+    def test_transform_before_fit_raises(self, scaler_cls):
+        with pytest.raises(RuntimeError, match="fit"):
+            scaler_cls().transform(np.zeros((2, 2)))
+
+    def test_inverse_before_fit_raises(self, scaler_cls):
+        with pytest.raises(RuntimeError, match="fit"):
+            scaler_cls().inverse_transform(np.zeros((2, 2)))
+
+    def test_constant_column_no_nan(self, scaler_cls):
+        x = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        out = scaler_cls().fit_transform(x)
+        assert np.all(np.isfinite(out))
+
+    def test_fit_returns_self(self, scaler_cls):
+        s = scaler_cls()
+        assert s.fit(np.zeros((3, 2))) is s
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.standard_normal((200, 3)) * 5 + 2
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-12)
+
+    def test_transform_new_data_uses_fit_stats(self, rng):
+        train = rng.standard_normal((100, 2))
+        s = StandardScaler().fit(train)
+        new = np.array([[100.0, 100.0]])
+        out = s.transform(new)
+        expected = (100.0 - train.mean(axis=0)) / train.std(axis=0)
+        assert np.allclose(out[0], expected)
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self, rng):
+        x = rng.uniform(-50, 50, size=(100, 3))
+        out = MinMaxScaler().fit_transform(x)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_out_of_range_extrapolates(self):
+        s = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert s.transform(np.array([[20.0]]))[0, 0] == pytest.approx(2.0)
+
+
+@given(
+    x=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 30), st.integers(1, 5)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_standard_roundtrip_property(x):
+    s = StandardScaler()
+    assert np.allclose(s.inverse_transform(s.fit_transform(x)), x, atol=1e-6 * (1 + np.abs(x).max()))

@@ -1,0 +1,77 @@
+"""Feature ranking / top-k selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.features import FeatureRanking, rank_features, select_top_k
+
+
+@pytest.fixture()
+def synthetic_features(rng):
+    n = 1200
+    strong = rng.standard_normal(n)
+    weak = rng.standard_normal(n)
+    noise = rng.standard_normal(n)
+    target = strong + 0.3 * weak + 0.05 * rng.standard_normal(n)
+    features = {"strong": strong, "weak": weak, "noise": noise}
+    return features, target
+
+
+class TestRankFeatures:
+    def test_ordering(self, synthetic_features):
+        features, target = synthetic_features
+        ranking = rank_features(features, target, target_name="y")
+        ordered = [name for name, _ in ranking.ordered()]
+        assert ordered[0] == "strong"
+        assert ordered[-1] == "noise"
+
+    def test_normalized_in_unit_interval(self, synthetic_features):
+        features, target = synthetic_features
+        norm = rank_features(features, target).normalized()
+        assert max(norm) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in norm)
+
+    def test_top_k(self, synthetic_features):
+        features, target = synthetic_features
+        ranking = rank_features(features, target)
+        assert ranking.top_k(1) == ["strong"]
+        assert set(ranking.top_k(2)) == {"strong", "weak"}
+
+    def test_top_k_invalid(self, synthetic_features):
+        features, target = synthetic_features
+        with pytest.raises(ValueError, match="k must"):
+            rank_features(features, target).top_k(0)
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            rank_features({}, np.zeros(10))
+
+    def test_all_zero_scores_normalize_to_zero(self):
+        ranking = FeatureRanking(target_name="y", feature_names=("a", "b"), scores=(0.0, 0.0))
+        assert ranking.normalized() == (0.0, 0.0)
+
+
+class TestSelectTopK:
+    def test_combined_selection_serves_both_targets(self, rng):
+        """A feature informative for both targets beats single-target ones."""
+        n = 1500
+        shared = rng.standard_normal(n)
+        only_a = rng.standard_normal(n)
+        only_b = rng.standard_normal(n)
+        features = {
+            "shared": shared,
+            "only_a": only_a,
+            "only_b": only_b,
+            "junk": rng.standard_normal(n),
+        }
+        targets = {
+            "a": shared + only_a + 0.05 * rng.standard_normal(n),
+            "b": shared + only_b + 0.05 * rng.standard_normal(n),
+        }
+        top = select_top_k(features, targets, k=1)
+        assert top == ["shared"]
+
+    def test_k_bounds_result_length(self, synthetic_features):
+        features, target = synthetic_features
+        top = select_top_k(features, {"y": target}, k=2)
+        assert len(top) == 2

@@ -1,0 +1,143 @@
+"""Architecture specification tests (paper Table 1 fidelity)."""
+
+import pytest
+
+from repro.gpusim import GA100, GV100, GPUArchitecture, get_architecture, list_architectures, register_architecture
+
+
+class TestTable1Fidelity:
+    """The simulator must be parameterised with the paper's exact specs."""
+
+    def test_ga100_core_freq_range(self):
+        assert GA100.core_freq_min_mhz == 210.0
+        assert GA100.core_freq_max_mhz == 1410.0
+
+    def test_ga100_default_clock(self):
+        assert GA100.default_core_freq_mhz == 1410.0
+
+    def test_ga100_memory(self):
+        assert GA100.memory_freq_mhz == 1597.0
+        assert GA100.memory_gib == 80.0
+        assert GA100.peak_memory_bandwidth == pytest.approx(2039e9)
+
+    def test_ga100_tdp(self):
+        assert GA100.tdp_watts == 500.0
+
+    def test_ga100_usable_floor_is_510(self):
+        assert GA100.usable_freq_min_mhz == 510.0
+
+    def test_gv100_core_freq_range(self):
+        assert GV100.core_freq_min_mhz == 135.0
+        assert GV100.core_freq_max_mhz == 1380.0
+
+    def test_gv100_default_clock(self):
+        assert GV100.default_core_freq_mhz == 1380.0
+
+    def test_gv100_memory(self):
+        assert GV100.memory_freq_mhz == 877.0
+        assert GV100.memory_gib == 40.0
+        assert GV100.peak_memory_bandwidth == pytest.approx(900e9)
+
+    def test_gv100_tdp(self):
+        assert GV100.tdp_watts == 250.0
+
+
+class TestDerivedProperties:
+    def test_idle_power_is_fraction_of_tdp(self):
+        assert GA100.idle_power_watts == pytest.approx(GA100.idle_power_fraction * 500.0)
+
+    def test_with_overrides_returns_copy(self):
+        modified = GA100.with_overrides(tdp_watts=400.0)
+        assert modified.tdp_watts == 400.0
+        assert GA100.tdp_watts == 500.0
+        assert modified.name == GA100.name
+
+    def test_voltage_envelope_ordering(self):
+        assert GA100.voltage_min < GA100.voltage_max
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="TEST",
+            core_freq_min_mhz=100.0,
+            core_freq_max_mhz=1000.0,
+            core_freq_step_mhz=10.0,
+            default_core_freq_mhz=1000.0,
+            usable_freq_min_mhz=500.0,
+            memory_freq_mhz=800.0,
+            memory_gib=16.0,
+            peak_memory_bandwidth=1e12,
+            tdp_watts=300.0,
+            peak_flops_fp64=1e13,
+            peak_flops_fp32=2e13,
+            pcie_bandwidth=2e10,
+        )
+
+    def test_valid_construction(self):
+        arch = GPUArchitecture(**self._base_kwargs())
+        assert arch.name == "TEST"
+
+    def test_min_above_max_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["core_freq_min_mhz"] = 2000.0
+        with pytest.raises(ValueError, match="core_freq_min_mhz"):
+            GPUArchitecture(**kwargs)
+
+    def test_nonpositive_step_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["core_freq_step_mhz"] = 0.0
+        with pytest.raises(ValueError, match="step"):
+            GPUArchitecture(**kwargs)
+
+    def test_usable_floor_outside_range_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["usable_freq_min_mhz"] = 50.0
+        with pytest.raises(ValueError, match="usable"):
+            GPUArchitecture(**kwargs)
+
+    def test_default_clock_outside_range_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["default_core_freq_mhz"] = 5000.0
+        with pytest.raises(ValueError, match="default"):
+            GPUArchitecture(**kwargs)
+
+    def test_nonpositive_tdp_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["tdp_watts"] = -1.0
+        with pytest.raises(ValueError, match="tdp"):
+            GPUArchitecture(**kwargs)
+
+    def test_idle_fraction_bounds(self):
+        kwargs = self._base_kwargs()
+        kwargs["idle_power_fraction"] = 1.0
+        with pytest.raises(ValueError, match="idle_power_fraction"):
+            GPUArchitecture(**kwargs)
+
+    def test_inverted_voltage_envelope_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["voltage_min"] = 1.2
+        with pytest.raises(ValueError, match="voltage"):
+            GPUArchitecture(**kwargs)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "GA100" in list_architectures()
+        assert "GV100" in list_architectures()
+
+    def test_lookup_case_insensitive(self):
+        assert get_architecture("ga100") is GA100
+        assert get_architecture("Gv100") is GV100
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="GA100"):
+            get_architecture("H100")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_architecture(GA100)
+
+    def test_overwrite_allows_replacement(self):
+        register_architecture(GA100, overwrite=True)
+        assert get_architecture("GA100") is GA100

@@ -1,0 +1,122 @@
+"""SimulatedGPU integration tests: clocks, runs, sensors, energy."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GA100, NoiseModel, SimulatedGPU
+from repro.gpusim.device import METRIC_NAMES
+
+
+class TestClockControl:
+    def test_default_clock_on_boot(self, ga100):
+        assert ga100.current_sm_clock == 1410.0
+
+    def test_set_clock_snaps(self, ga100):
+        actual = ga100.set_sm_clock(1001.0)
+        assert actual == 1005.0
+        assert ga100.current_sm_clock == 1005.0
+
+    def test_reset_restores_default(self, ga100):
+        ga100.set_sm_clock(600.0)
+        assert ga100.reset_clocks() == 1410.0
+
+    def test_nonpositive_clock_rejected(self, ga100):
+        with pytest.raises(ValueError, match="freq_mhz"):
+            ga100.set_sm_clock(-5.0)
+
+    def test_run_at_restores_previous_clock(self, ga100, compute_census):
+        ga100.set_sm_clock(900.0)
+        ga100.run_at(compute_census, 600.0)
+        assert ga100.current_sm_clock == 900.0
+
+
+class TestRunRecords:
+    def test_run_produces_samples(self, ga100, compute_census):
+        record = ga100.run(compute_census, workload_name="x")
+        assert record.workload == "x"
+        assert record.arch == "GA100"
+        assert len(record.samples) >= 1
+
+    def test_sample_count_follows_interval(self, quiet_ga100, compute_census):
+        record = quiet_ga100.run(compute_census)
+        expected = int(np.ceil(record.exec_time_s / quiet_ga100.sampling_interval_s))
+        assert len(record.samples) == min(expected, quiet_ga100.max_samples_per_run)
+
+    def test_sample_cap_respected(self, compute_census):
+        dev = SimulatedGPU(GA100, seed=0, max_samples_per_run=5)
+        record = dev.run(compute_census.scaled(100.0))
+        assert len(record.samples) == 5
+
+    def test_metrics_contain_all_twelve_fields(self, ga100, compute_census):
+        metrics = ga100.run(compute_census).metrics()
+        assert set(metrics) == set(METRIC_NAMES)
+
+    def test_pcie_totals_preserved(self, quiet_ga100, compute_census):
+        metrics = quiet_ga100.run(compute_census).metrics()
+        assert metrics["pcie_rx_bytes"] == pytest.approx(compute_census.pcie_rx_bytes, rel=1e-6)
+        assert metrics["pcie_tx_bytes"] == pytest.approx(compute_census.pcie_tx_bytes, rel=1e-6)
+
+    def test_energy_is_power_times_time(self, ga100, compute_census):
+        record = ga100.run(compute_census)
+        assert record.energy_j == pytest.approx(record.mean_power_w * record.exec_time_s)
+
+    def test_sample_clock_matches_applied(self, ga100, compute_census):
+        ga100.set_sm_clock(750.0)
+        record = ga100.run(compute_census)
+        assert all(s.sm_app_clock == 750.0 for s in record.samples)
+
+    def test_sample_as_dict_roundtrip(self, ga100, compute_census):
+        sample = ga100.run(compute_census).samples[0]
+        d = sample.as_dict()
+        assert set(d) == set(METRIC_NAMES)
+        assert d["power_usage"] == sample.power_usage
+
+
+class TestDeterminism:
+    def test_same_seed_identical_runs(self, compute_census):
+        a = SimulatedGPU(GA100, seed=99).run(compute_census)
+        b = SimulatedGPU(GA100, seed=99).run(compute_census)
+        assert a.exec_time_s == b.exec_time_s
+        assert a.mean_power_w == b.mean_power_w
+
+    def test_consecutive_runs_differ_with_noise(self, ga100, compute_census):
+        a = ga100.run(compute_census)
+        b = ga100.run(compute_census)
+        assert a.exec_time_s != b.exec_time_s
+
+    def test_noise_free_matches_ground_truth(self, quiet_ga100, compute_census):
+        record = quiet_ga100.run(compute_census)
+        assert record.exec_time_s == pytest.approx(
+            quiet_ga100.true_time(compute_census, 1410.0), rel=1e-9
+        )
+        assert record.mean_power_w == pytest.approx(
+            quiet_ga100.true_power(compute_census, 1410.0), rel=1e-9
+        )
+
+
+class TestGroundTruthHelpers:
+    def test_true_energy_consistency(self, ga100, compute_census):
+        e = ga100.true_energy(compute_census, 1000.0)
+        p = ga100.true_power(compute_census, 1000.0)
+        t = ga100.true_time(compute_census, 1000.0)
+        assert e == pytest.approx(p * t)
+
+    def test_true_time_decreases_with_clock(self, ga100, compute_census):
+        assert ga100.true_time(compute_census, 510.0) > ga100.true_time(compute_census, 1410.0)
+
+    def test_true_power_increases_with_clock(self, ga100, compute_census):
+        assert ga100.true_power(compute_census, 510.0) < ga100.true_power(compute_census, 1410.0)
+
+
+class TestConstruction:
+    def test_invalid_sampling_interval(self):
+        with pytest.raises(ValueError, match="sampling_interval"):
+            SimulatedGPU(GA100, sampling_interval_s=0.0)
+
+    def test_invalid_sample_cap(self):
+        with pytest.raises(ValueError, match="max_samples"):
+            SimulatedGPU(GA100, max_samples_per_run=0)
+
+    def test_default_sampling_interval_is_20ms(self):
+        """The paper's 20 ms collection interval is the default."""
+        assert SimulatedGPU(GA100).sampling_interval_s == 0.020

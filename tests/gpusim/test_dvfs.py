@@ -1,0 +1,104 @@
+"""DVFS config-space tests, including the paper's exact config counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import GA100, GV100, DVFSConfigSpace
+
+GA100_SPACE = DVFSConfigSpace.for_architecture(GA100)
+GV100_SPACE = DVFSConfigSpace.for_architecture(GV100)
+
+
+class TestPaperConfigCounts:
+    """Table 1: '61 out of 80' (we model 81 states) and '117 out of 167'."""
+
+    def test_ga100_usable_count_is_61(self):
+        assert len(GA100_SPACE) == 61
+
+    def test_ga100_supported_count(self):
+        assert GA100_SPACE.num_supported == 81
+
+    def test_gv100_usable_count_is_117(self):
+        assert len(GV100_SPACE) == 117
+
+    def test_gv100_supported_count_is_167(self):
+        assert GV100_SPACE.num_supported == 167
+
+    def test_ga100_usable_floor(self):
+        assert GA100_SPACE.min_usable_mhz == 510.0
+
+    def test_ga100_top_is_1410(self):
+        assert GA100_SPACE.max_mhz == 1410.0
+
+    def test_gv100_top_is_1380(self):
+        assert GV100_SPACE.max_mhz == 1380.0
+
+
+class TestGridStructure:
+    def test_grid_ascending_and_uniform(self):
+        arr = np.asarray(GA100_SPACE.supported_mhz)
+        steps = np.diff(arr)
+        assert np.all(steps > 0)
+        assert np.allclose(steps, 15.0)
+
+    def test_usable_subset_of_supported(self):
+        assert set(GA100_SPACE.usable_mhz) <= set(GA100_SPACE.supported_mhz)
+
+    def test_usable_array_dtype(self):
+        arr = GA100_SPACE.usable_array()
+        assert arr.dtype == np.float64
+        assert arr.size == 61
+
+    def test_normalized_top_is_one(self):
+        assert GA100_SPACE.normalized(1410.0) == pytest.approx(1.0)
+
+    def test_index_of_known_clock(self):
+        assert GA100_SPACE.index_of(510.0) == 0
+        assert GA100_SPACE.index_of(1410.0) == 60
+
+    def test_index_of_unknown_clock_raises(self):
+        with pytest.raises(ValueError, match="usable clock"):
+            GA100_SPACE.index_of(511.0)
+
+
+class TestSnap:
+    def test_snap_exact_value_unchanged(self):
+        assert GA100_SPACE.snap(750.0) == 750.0
+
+    def test_snap_rounds_to_nearest(self):
+        assert GA100_SPACE.snap(752.0) == 750.0
+        assert GA100_SPACE.snap(758.0) == 765.0
+
+    def test_snap_tie_resolves_upward(self):
+        # 757.5 is equidistant between 750 and 765.
+        assert GA100_SPACE.snap(757.5) == 765.0
+
+    def test_snap_clamps_below_range(self):
+        assert GA100_SPACE.snap(1.0) == 210.0
+
+    def test_snap_clamps_above_range(self):
+        assert GA100_SPACE.snap(99999.0) == 1410.0
+
+    def test_is_supported(self):
+        assert GA100_SPACE.is_supported(210.0)
+        assert not GA100_SPACE.is_supported(211.0)
+
+    @given(freq=st.floats(min_value=1.0, max_value=5000.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_snap_always_returns_supported_state(self, freq):
+        snapped = GA100_SPACE.snap(freq)
+        assert GA100_SPACE.is_supported(snapped)
+
+    @given(freq=st.floats(min_value=1.0, max_value=5000.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_snap_is_idempotent(self, freq):
+        once = GA100_SPACE.snap(freq)
+        assert GA100_SPACE.snap(once) == once
+
+    @given(freq=st.floats(min_value=210.0, max_value=1410.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_snap_error_bounded_by_half_step(self, freq):
+        snapped = GA100_SPACE.snap(freq)
+        assert abs(snapped - freq) <= 7.5 + 1e-9

@@ -1,0 +1,103 @@
+"""KernelCensus validation and arithmetic tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import KernelCensus
+
+
+def make_census(**overrides):
+    kwargs = dict(flops_fp64=1e12, dram_bytes=1e11)
+    kwargs.update(overrides)
+    return KernelCensus(**kwargs)
+
+
+class TestValidation:
+    def test_valid_minimal(self):
+        c = make_census()
+        assert c.total_flops == 1e12
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError, match="flops_fp64"):
+            make_census(flops_fp64=-1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="dram_bytes"):
+            make_census(dram_bytes=-1.0)
+
+    def test_zero_work_rejected(self):
+        with pytest.raises(ValueError, match="some GPU work"):
+            KernelCensus(flops_fp64=0.0, flops_fp32=0.0, dram_bytes=0.0)
+
+    def test_occupancy_zero_rejected(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            make_census(occupancy=0.0)
+
+    def test_occupancy_above_one_rejected(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            make_census(occupancy=1.5)
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError, match="compute_efficiency"):
+            make_census(compute_efficiency=0.0)
+        with pytest.raises(ValueError, match="memory_efficiency"):
+            make_census(memory_efficiency=1.01)
+
+    def test_serial_fraction_bounds(self):
+        with pytest.raises(ValueError, match="serial_fraction"):
+            make_census(serial_fraction=1.0)
+        with pytest.raises(ValueError, match="serial_fraction"):
+            make_census(serial_fraction=-0.1)
+
+    def test_latency_fraction_bounds(self):
+        with pytest.raises(ValueError, match="compute_latency_fraction"):
+            make_census(compute_latency_fraction=1.0)
+
+    def test_negative_host_fraction_rejected(self):
+        with pytest.raises(ValueError, match="concurrent_host_fraction"):
+            make_census(concurrent_host_fraction=-0.5)
+
+
+class TestDerived:
+    def test_total_flops_sums_precisions(self):
+        c = make_census(flops_fp64=3e9, flops_fp32=2e9)
+        assert c.total_flops == pytest.approx(5e9)
+
+    def test_total_pcie(self):
+        c = make_census(pcie_tx_bytes=100.0, pcie_rx_bytes=200.0)
+        assert c.total_pcie_bytes == pytest.approx(300.0)
+
+    def test_arithmetic_intensity(self):
+        c = make_census(flops_fp64=1e12, dram_bytes=1e11)
+        assert c.arithmetic_intensity == pytest.approx(10.0)
+
+    def test_arithmetic_intensity_no_dram(self):
+        c = KernelCensus(flops_fp64=1e12, dram_bytes=0.0)
+        assert c.arithmetic_intensity == float("inf")
+
+
+class TestScaled:
+    def test_traffic_scales_linearly(self):
+        c = make_census(pcie_tx_bytes=10.0, pcie_rx_bytes=20.0)
+        s = c.scaled(3.0)
+        assert s.flops_fp64 == pytest.approx(3e12)
+        assert s.dram_bytes == pytest.approx(3e11)
+        assert s.pcie_tx_bytes == pytest.approx(30.0)
+
+    def test_intensive_properties_preserved(self):
+        c = make_census(occupancy=0.7, serial_fraction=0.1, compute_latency_fraction=0.2)
+        s = c.scaled(5.0)
+        assert s.occupancy == c.occupancy
+        assert s.serial_fraction == c.serial_fraction
+        assert s.compute_latency_fraction == c.compute_latency_fraction
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            make_census().scaled(0.0)
+
+    @given(factor=st.floats(min_value=0.01, max_value=100.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_intensity_invariant_under_scaling(self, factor):
+        c = make_census()
+        assert c.scaled(factor).arithmetic_intensity == pytest.approx(c.arithmetic_intensity)

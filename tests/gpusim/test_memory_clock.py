@@ -1,0 +1,92 @@
+"""Memory-clock dimension tests (the control module's second axis)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GA100, GV100, KernelCensus, NoiseModel, SimulatedGPU
+
+
+@pytest.fixture()
+def device():
+    return SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+
+
+class TestClockStates:
+    def test_default_is_table1_value(self, device):
+        assert device.current_mem_clock == 1597.0
+        assert device.mem_ratio == 1.0
+
+    def test_memory_clocks_include_default(self):
+        assert 1597.0 in GA100.memory_clocks
+        assert 877.0 in GV100.memory_clocks
+
+    def test_snap_to_supported_state(self, device):
+        assert device.set_mem_clock(600.0) == 510.0
+        assert device.set_mem_clock(1595.0) == 1593.0
+
+    def test_reset_restores_memory_clock(self, device):
+        device.set_mem_clock(510.0)
+        device.reset_clocks()
+        assert device.current_mem_clock == 1597.0
+
+    def test_nonpositive_rejected(self, device):
+        with pytest.raises(ValueError, match="freq_mhz"):
+            device.set_mem_clock(0.0)
+
+
+class TestPhysicalEffects:
+    @pytest.fixture()
+    def mem_census(self):
+        return KernelCensus(flops_fp64=1e10, dram_bytes=5e11, memory_efficiency=0.85)
+
+    def test_lower_mem_clock_slows_memory_bound_work(self, device, mem_census):
+        t_full = device.true_time(mem_census, 1410.0, mem_ratio=1.0)
+        t_half = device.true_time(mem_census, 1410.0, mem_ratio=0.5)
+        assert t_half == pytest.approx(2.0 * t_full, rel=0.05)
+
+    def test_compute_bound_work_unaffected(self, device):
+        census = KernelCensus(flops_fp64=1e13, dram_bytes=1e9)
+        t_full = device.true_time(census, 1410.0, mem_ratio=1.0)
+        t_half = device.true_time(census, 1410.0, mem_ratio=0.5)
+        assert t_half == pytest.approx(t_full, rel=0.02)
+
+    def test_lower_mem_clock_cuts_idle_power(self, device):
+        census = KernelCensus(flops_fp64=1e12, dram_bytes=1e9)
+        p_full = device.true_power(census, 510.0, mem_ratio=1.0)
+        p_low = device.true_power(census, 510.0, mem_ratio=0.32)
+        assert p_low < p_full
+
+    def test_run_uses_current_mem_clock(self, mem_census):
+        device = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+        full = device.run(mem_census).exec_time_s
+        device.set_mem_clock(510.0)
+        slow = device.run(mem_census).exec_time_s
+        assert slow > 1.5 * full
+
+    def test_bandwidth_knee_moves_with_mem_clock(self, device, mem_census):
+        """At a reduced memory clock, a lower SM clock already saturates."""
+        bw_low_sm = device.timing.memory_bandwidth(mem_census, 600.0, mem_ratio=0.5)
+        bw_high_sm = device.timing.memory_bandwidth(mem_census, 1410.0, mem_ratio=0.5)
+        assert bw_high_sm / bw_low_sm < 1.10
+
+    def test_invalid_mem_ratio_rejected(self, device, mem_census):
+        with pytest.raises(ValueError, match="mem_ratio"):
+            device.timing.memory_bandwidth(mem_census, 1000.0, mem_ratio=0.0)
+        with pytest.raises(ValueError, match="mem_ratio"):
+            device.power.power(1000.0, fp_active=0.5, dram_active=0.5, sm_active=0.5, mem_ratio=-1.0)
+
+
+class TestEnergyTradeoff:
+    def test_mem_downclock_saves_energy_on_compute_bound(self, device):
+        """Compute-bound work at reduced memory clock: same time, less power."""
+        census = KernelCensus(flops_fp64=1e13, dram_bytes=1e9)
+        e_full = device.true_energy(census, 1410.0, mem_ratio=1.0)
+        e_low = device.true_energy(census, 1410.0, mem_ratio=0.32)
+        assert e_low < e_full
+
+    def test_mem_downclock_wastes_energy_on_memory_bound(self, device):
+        """Memory-bound work: halved bandwidth doubles time, energy rises."""
+        census = KernelCensus(flops_fp64=1e10, dram_bytes=5e11)
+        e_full = device.true_energy(census, 1410.0, mem_ratio=1.0)
+        e_low = device.true_energy(census, 1410.0, mem_ratio=0.32)
+        assert e_low > e_full

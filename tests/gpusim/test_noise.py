@@ -1,0 +1,67 @@
+"""Noise-model tests: reproducibility, positivity, magnitudes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import NoiseModel
+
+
+class TestDisabled:
+    def test_disabled_is_identity(self):
+        noise = NoiseModel.disabled()
+        rng = np.random.default_rng(0)
+        assert noise.perturb_power(rng, 123.4) == 123.4
+        assert noise.perturb_time(rng, 5.6) == 5.6
+        assert noise.perturb_activity(rng, 0.7) == 0.7
+
+
+class TestReproducibility:
+    def test_same_seed_same_samples(self):
+        noise = NoiseModel()
+        a = noise.perturb_power(np.random.default_rng(7), 100.0)
+        b = noise.perturb_power(np.random.default_rng(7), 100.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        noise = NoiseModel()
+        a = noise.perturb_power(np.random.default_rng(1), 100.0)
+        b = noise.perturb_power(np.random.default_rng(2), 100.0)
+        assert a != b
+
+
+class TestStatistics:
+    def test_power_noise_magnitude(self):
+        noise = NoiseModel(power_rel_std=0.02)
+        rng = np.random.default_rng(0)
+        samples = np.array([noise.perturb_power(rng, 100.0) for _ in range(4000)])
+        assert samples.mean() == pytest.approx(100.0, rel=0.01)
+        assert samples.std() == pytest.approx(2.0, rel=0.2)
+
+    def test_unbiased_time(self):
+        noise = NoiseModel(time_rel_std=0.01)
+        rng = np.random.default_rng(0)
+        samples = np.array([noise.perturb_time(rng, 10.0) for _ in range(4000)])
+        assert samples.mean() == pytest.approx(10.0, rel=0.01)
+
+    @given(value=st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_lognormal_keeps_positive(self, value):
+        noise = NoiseModel(power_rel_std=0.5)
+        rng = np.random.default_rng(3)
+        assert noise.perturb_power(rng, value) > 0
+
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_activity_clipped_to_unit_interval(self, fraction):
+        noise = NoiseModel(activity_rel_std=0.5)
+        rng = np.random.default_rng(4)
+        out = noise.perturb_activity(rng, fraction, extra_std=0.5)
+        assert 0.0 <= out <= 1.0
+
+
+class TestValidation:
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError, match="power_rel_std"):
+            NoiseModel(power_rel_std=-0.1)

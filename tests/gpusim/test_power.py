@@ -1,0 +1,112 @@
+"""Power-model tests: calibration anchors, monotonicity, clamping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import GA100, GV100, PowerCoefficients, PowerModel
+from repro.gpusim.power import _COMPUTE_ANCHOR, _MEMORY_ANCHOR
+
+
+@pytest.fixture()
+def model() -> PowerModel:
+    return PowerModel(GA100)
+
+
+class TestCalibration:
+    def test_compute_anchor_reaches_target(self, model):
+        """Paper Fig. 1 (a): compute-bound work draws ~100% TDP at f_max."""
+        fp, dram, sm = _COMPUTE_ANCHOR
+        p = model.power(1410.0, fp_active=fp, dram_active=dram, sm_active=sm)
+        assert p == pytest.approx(GA100.tdp_watts, rel=0.01)
+
+    def test_memory_anchor_reaches_target(self, model):
+        """Paper Fig. 1 (e): memory-bound work draws ~50% TDP at f_max."""
+        fp, dram, sm = _MEMORY_ANCHOR
+        p = model.power(1410.0, fp_active=fp, dram_active=dram, sm_active=sm)
+        assert p == pytest.approx(0.5 * GA100.tdp_watts, rel=0.01)
+
+    def test_coefficients_positive(self):
+        c = PowerCoefficients.calibrate(GA100)
+        assert c.c_fp_watts > 0
+        assert c.c_dram_watts > 0
+        assert c.c_sm_watts > 0
+
+    def test_gv100_calibration_scales_with_tdp(self):
+        ga = PowerCoefficients.calibrate(GA100)
+        gv = PowerCoefficients.calibrate(GV100)
+        assert gv.c_fp_watts / ga.c_fp_watts == pytest.approx(250.0 / 500.0, rel=0.01)
+
+    def test_inconsistent_anchors_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            PowerCoefficients.calibrate(GA100, compute_power_fraction=0.4, memory_power_fraction=0.5)
+
+    def test_negative_coefficient_rejected_in_dataclass(self):
+        with pytest.raises(ValueError, match="c_fp_watts"):
+            PowerCoefficients(c_fp_watts=-1.0, c_dram_watts=1.0, c_sm_watts=1.0)
+
+
+class TestPowerBehaviour:
+    def test_idle_floor(self, model):
+        p = model.power(510.0, fp_active=0.0, dram_active=0.0, sm_active=0.0)
+        assert p == pytest.approx(GA100.idle_power_watts)
+
+    def test_low_clock_power_near_one_fifth_tdp(self, model):
+        """Paper Section 2: lowest-clock power ~1/5 of TDP for busy kernels."""
+        fp, dram, sm = _COMPUTE_ANCHOR
+        p = model.power(510.0, fp_active=fp, dram_active=dram, sm_active=sm)
+        assert 0.12 * GA100.tdp_watts < p < 0.33 * GA100.tdp_watts
+
+    def test_tdp_clamp(self, model):
+        p = model.power(1410.0, fp_active=1.0, dram_active=1.0, sm_active=1.0)
+        assert p <= GA100.tdp_watts
+
+    def test_activity_clipping(self, model):
+        """Out-of-range activities are clipped, not propagated."""
+        p_over = model.power(1000.0, fp_active=2.0, dram_active=0.5, sm_active=0.5)
+        p_one = model.power(1000.0, fp_active=1.0, dram_active=0.5, sm_active=0.5)
+        assert p_over == pytest.approx(p_one)
+
+    def test_vectorized_over_clock_grid(self, model):
+        freqs = np.linspace(510.0, 1410.0, 61)
+        p = model.power(freqs, fp_active=0.8, dram_active=0.3, sm_active=0.9)
+        assert p.shape == (61,)
+        assert np.all(np.diff(p) >= -1e-9)
+
+    @given(
+        f=st.floats(min_value=510.0, max_value=1410.0),
+        fp=st.floats(min_value=0.0, max_value=1.0),
+        dram=st.floats(min_value=0.0, max_value=1.0),
+        sm=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_power_within_physical_envelope(self, model, f, fp, dram, sm):
+        p = model.power(f, fp_active=fp, dram_active=dram, sm_active=sm)
+        assert GA100.idle_power_watts - 1e-9 <= p <= GA100.tdp_watts + 1e-9
+
+    @given(
+        fp1=st.floats(min_value=0.0, max_value=1.0),
+        fp2=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_power_monotone_in_fp_activity(self, model, fp1, fp2):
+        lo, hi = min(fp1, fp2), max(fp1, fp2)
+        p_lo = model.power(1200.0, fp_active=lo, dram_active=0.3, sm_active=0.5)
+        p_hi = model.power(1200.0, fp_active=hi, dram_active=0.3, sm_active=0.5)
+        assert p_lo <= p_hi + 1e-9
+
+
+class TestBreakdownIntegration:
+    def test_power_from_breakdown(self, model, compute_census):
+        from repro.gpusim import TimingModel
+
+        bd = TimingModel(GA100).evaluate(compute_census, 1410.0)
+        p = model.power_from_breakdown(bd)
+        direct = model.power(
+            1410.0, fp_active=bd.fp_active, dram_active=bd.dram_active, sm_active=bd.sm_active
+        )
+        assert p == pytest.approx(direct)
+
+    def test_idle_power_accessor(self, model):
+        assert model.idle_power() == GA100.idle_power_watts

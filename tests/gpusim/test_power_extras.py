@@ -1,0 +1,60 @@
+"""Additional power-model behaviour: custom anchors, voltage coupling."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GA100, PowerCoefficients, PowerModel, VoltageCurve
+
+
+class TestCustomCalibration:
+    def test_custom_anchor_fractions(self):
+        c = PowerCoefficients.calibrate(
+            GA100, compute_power_fraction=0.9, memory_power_fraction=0.45
+        )
+        model = PowerModel(GA100, coefficients=c)
+        from repro.gpusim.power import _COMPUTE_ANCHOR
+
+        fp, dram, sm = _COMPUTE_ANCHOR
+        p = model.power(1410.0, fp_active=fp, dram_active=dram, sm_active=sm)
+        assert p == pytest.approx(0.9 * 500.0, rel=0.01)
+
+    def test_equal_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            PowerCoefficients.calibrate(GA100, compute_power_fraction=0.5, memory_power_fraction=0.5)
+
+
+class TestVoltageCoupling:
+    def test_undervolt_reduces_power(self):
+        census_activities = dict(fp_active=0.8, dram_active=0.3, sm_active=0.9)
+        stock = PowerModel(GA100)
+        curve = VoltageCurve(GA100)
+        curve.set_override(1200.0, 0.80)
+        tuned = PowerModel(GA100, voltage=curve)
+        assert tuned.power(1200.0, **census_activities) < stock.power(1200.0, **census_activities)
+
+    def test_power_difference_scales_with_v_squared(self):
+        activities = dict(fp_active=0.8, dram_active=0.3, sm_active=0.9)
+        stock = PowerModel(GA100)
+        v_stock = stock.voltage.volts(1200.0)
+        curve = VoltageCurve(GA100)
+        v_new = v_stock * 0.9
+        curve.set_override(1200.0, v_new)
+        tuned = PowerModel(GA100, voltage=curve)
+        dyn_stock = stock.power(1200.0, **activities) - GA100.idle_power_watts
+        dyn_tuned = tuned.power(1200.0, **activities) - GA100.idle_power_watts
+        assert dyn_tuned / dyn_stock == pytest.approx(0.81, rel=1e-6)
+
+
+class TestBroadcasting:
+    def test_array_activities_scalar_clock(self):
+        model = PowerModel(GA100)
+        fp = np.array([0.1, 0.5, 0.9])
+        p = model.power(1200.0, fp_active=fp, dram_active=0.3, sm_active=0.8)
+        assert p.shape == (3,)
+        assert np.all(np.diff(p) > 0)
+
+    def test_grid_by_grid_broadcast(self):
+        model = PowerModel(GA100)
+        freqs = np.linspace(510, 1410, 61)
+        p = model.power(freqs, fp_active=np.full(61, 0.5), dram_active=0.3, sm_active=0.8)
+        assert p.shape == (61,)

@@ -1,0 +1,147 @@
+"""Thermal model and throttling tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import GA100, KernelCensus, NoiseModel, SimulatedGPU, ThermalModel
+
+
+@pytest.fixture()
+def thermal():
+    return ThermalModel()
+
+
+class TestRCModel:
+    def test_steady_state(self, thermal):
+        assert thermal.steady_state_c(0.0) == thermal.ambient_c
+        assert thermal.steady_state_c(500.0) == pytest.approx(30.0 + 0.13 * 500.0)
+
+    def test_time_constant(self, thermal):
+        assert thermal.time_constant_s == pytest.approx(0.13 * 400.0)
+
+    def test_evolve_approaches_steady_state(self, thermal):
+        t = thermal.evolve(30.0, 400.0, 10 * thermal.time_constant_s)
+        assert t == pytest.approx(thermal.steady_state_c(400.0), abs=0.01)
+
+    def test_evolve_one_tau_covers_63_percent(self, thermal):
+        t0, p = 30.0, 400.0
+        t_ss = thermal.steady_state_c(p)
+        t = thermal.evolve(t0, p, thermal.time_constant_s)
+        assert (t - t0) / (t_ss - t0) == pytest.approx(1 - np.exp(-1), rel=1e-6)
+
+    def test_cooling_works_too(self, thermal):
+        t = thermal.evolve(90.0, 0.0, 10 * thermal.time_constant_s)
+        assert t == pytest.approx(thermal.ambient_c, abs=0.01)
+
+    def test_time_to_reach_consistency(self, thermal):
+        """evolve(time_to_reach(target)) lands exactly on the target."""
+        t_cross = thermal.time_to_reach(30.0, 500.0, 80.0)
+        assert thermal.evolve(30.0, 500.0, t_cross) == pytest.approx(80.0, abs=1e-9)
+
+    def test_time_to_reach_unreachable(self, thermal):
+        assert thermal.time_to_reach(30.0, 10.0, 80.0) == float("inf")
+
+    def test_time_to_reach_already_there(self, thermal):
+        assert thermal.time_to_reach(85.0, 500.0, 80.0) == 0.0
+
+    def test_max_sustainable_power(self, thermal):
+        p = thermal.max_sustainable_power_w()
+        assert thermal.steady_state_c(p) == pytest.approx(thermal.throttle_limit_c)
+        assert not thermal.would_throttle(p - 1.0)
+        assert thermal.would_throttle(p + 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="resistance"):
+            ThermalModel(thermal_resistance_c_per_w=0.0)
+        with pytest.raises(ValueError, match="capacitance"):
+            ThermalModel(thermal_capacitance_j_per_c=-1.0)
+        with pytest.raises(ValueError, match="throttle_limit"):
+            ThermalModel(throttle_limit_c=20.0, ambient_c=30.0)
+        with pytest.raises(ValueError, match="power_w"):
+            ThermalModel().steady_state_c(-1.0)
+        with pytest.raises(ValueError, match="duration"):
+            ThermalModel().evolve(30.0, 100.0, -1.0)
+
+    @given(
+        t0=st.floats(20.0, 95.0),
+        power=st.floats(0.0, 600.0),
+        dt=st.floats(0.0, 1000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_evolution_bounded_by_endpoints(self, thermal, t0, power, dt):
+        t = thermal.evolve(t0, power, dt)
+        lo = min(t0, thermal.steady_state_c(power))
+        hi = max(t0, thermal.steady_state_c(power))
+        assert lo - 1e-9 <= t <= hi + 1e-9
+
+
+class TestDeviceIntegration:
+    @pytest.fixture()
+    def hot_census(self):
+        """A compute-bound census that pushes the board to ~TDP."""
+        return KernelCensus(
+            flops_fp64=2e14,  # long enough to heat through the RC constant
+            dram_bytes=1e13,
+            occupancy=0.95,
+            compute_efficiency=0.95,
+            serial_fraction=0.01,
+        )
+
+    def test_no_thermal_model_means_no_temperature(self, quiet_ga100, compute_census):
+        record = quiet_ga100.run(compute_census)
+        assert record.final_temperature_c is None
+        assert not record.throttled
+        assert quiet_ga100.temperature_c is None
+        assert quiet_ga100.cool_down(60.0) is None
+
+    def test_cool_run_does_not_throttle(self, hot_census):
+        # Generous cooling: nothing throttles.
+        device = SimulatedGPU(
+            GA100,
+            seed=0,
+            noise=NoiseModel.disabled(),
+            thermal=ThermalModel(thermal_resistance_c_per_w=0.05),
+        )
+        record = device.run(hot_census)
+        assert not record.throttled
+        assert record.final_temperature_c < 90.0
+
+    def test_sustained_tdp_load_throttles(self, hot_census):
+        """Back-to-back TDP runs heat through the RC constant and hit
+        the limit; the throttled run is slower and draws less power."""
+        device = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled(), thermal=ThermalModel())
+        record = None
+        for _ in range(40):
+            record = device.run(hot_census)
+            if record.throttled:
+                break
+        assert record is not None and record.throttled
+        assert record.exec_time_s > device.true_time(hot_census, 1410.0)
+        assert record.mean_power_w < device.true_power(hot_census, 1410.0)
+
+    def test_temperature_persists_across_runs(self, hot_census):
+        device = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled(), thermal=ThermalModel())
+        t0 = device.temperature_c
+        device.run(hot_census)
+        assert device.temperature_c > t0
+
+    def test_cool_down_lowers_temperature(self, hot_census):
+        device = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled(), thermal=ThermalModel())
+        device.run(hot_census)
+        hot = device.temperature_c
+        device.cool_down(600.0)
+        assert device.temperature_c < hot
+
+    def test_low_clock_runs_stay_cool(self, hot_census):
+        device = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled(), thermal=ThermalModel())
+        device.set_sm_clock(700.0)
+        record = device.run(hot_census)
+        assert not record.throttled
+
+    def test_throttle_clock_is_thermally_sustainable(self, hot_census):
+        device = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled(), thermal=ThermalModel())
+        f, _t, p = device._throttle_clock(hot_census, 1.0)
+        assert not device.thermal.would_throttle(p)
+        assert f in device.dvfs.usable_mhz

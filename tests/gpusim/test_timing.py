@@ -1,0 +1,176 @@
+"""Timing-model tests: roofline behaviour, knees, invariances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import GA100, KernelCensus, TimingModel
+
+
+@pytest.fixture()
+def model() -> TimingModel:
+    return TimingModel(GA100)
+
+
+class TestComputeBound:
+    def test_time_scales_inversely_with_clock(self, model, compute_census):
+        """An ideal compute kernel at half clock takes ~2x longer (GPU part)."""
+        bd_hi = model.evaluate(compute_census, 1410.0)
+        bd_lo = model.evaluate(compute_census, 705.0)
+        assert bd_lo.t_compute_fp64 == pytest.approx(2.0 * bd_hi.t_compute_fp64, rel=1e-9)
+
+    def test_compute_dominates(self, model, compute_census):
+        bd = model.evaluate(compute_census, 1410.0)
+        assert bd.t_compute > bd.t_memory
+
+    def test_fp_active_high(self, model, compute_census):
+        bd = model.evaluate(compute_census, 1410.0)
+        assert bd.fp_active > 0.7
+
+    def test_fp64_only_census_has_zero_fp32(self, model, compute_census):
+        bd = model.evaluate(compute_census, 1410.0)
+        assert bd.t_compute_fp32 == 0.0
+        assert bd.fp32_active == 0.0
+
+
+class TestMemoryBound:
+    def test_memory_dominates(self, model, memory_census):
+        bd = model.evaluate(memory_census, 1410.0)
+        assert bd.t_memory > bd.t_compute
+
+    def test_dram_active_high(self, model, memory_census):
+        bd = model.evaluate(memory_census, 1410.0)
+        assert bd.dram_active > 0.6
+
+    def test_bandwidth_saturates_above_knee(self, model, memory_census):
+        """Paper Fig. 1 (h): bandwidth flattens around ~900 MHz on GA100."""
+        bw_900 = model.memory_bandwidth(memory_census, 950.0)
+        bw_1410 = model.memory_bandwidth(memory_census, 1410.0)
+        assert bw_1410 / bw_900 < 1.10
+
+    def test_bandwidth_linear_below_knee(self, model, memory_census):
+        bw_300 = model.memory_bandwidth(memory_census, 300.0)
+        bw_600 = model.memory_bandwidth(memory_census, 600.0)
+        assert bw_600 / bw_300 == pytest.approx(2.0, rel=0.05)
+
+    def test_memory_time_flat_above_knee(self, model, memory_census):
+        t_hi = model.evaluate(memory_census, 1410.0).t_memory
+        t_mid = model.evaluate(memory_census, 1000.0).t_memory
+        assert t_mid / t_hi < 1.12
+
+
+class TestMonotonicity:
+    @given(
+        f1=st.floats(min_value=510.0, max_value=1410.0),
+        f2=st.floats(min_value=510.0, max_value=1410.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_time_nonincreasing_in_clock(self, model, f1, f2):
+        census = KernelCensus(flops_fp64=1e12, dram_bytes=2e11, serial_fraction=0.05)
+        lo, hi = min(f1, f2), max(f1, f2)
+        assert model.execution_time(census, lo) >= model.execution_time(census, hi) - 1e-12
+
+    @given(factor=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_time_scales_linearly_with_work(self, model, factor):
+        """All census components scale together, so wall time scales exactly."""
+        census = KernelCensus(
+            flops_fp64=1e12, dram_bytes=2e11, pcie_rx_bytes=1e9, serial_fraction=0.05
+        )
+        t1 = model.execution_time(census, 900.0)
+        t2 = model.execution_time(census.scaled(factor), 900.0)
+        assert t2 == pytest.approx(factor * t1, rel=1e-9)
+
+
+class TestActivityInvariance:
+    """Paper Section 4.2.2: activities barely move under DVFS."""
+
+    def test_fp_active_invariant_for_compute_bound(self, model, compute_census):
+        acts = [model.evaluate(compute_census, f).fp_active for f in (510.0, 900.0, 1410.0)]
+        assert max(acts) - min(acts) < 0.08
+
+    def test_dram_active_bounded_variation_for_memory_bound(self, model, memory_census):
+        acts = [model.evaluate(memory_census, f).dram_active for f in (510.0, 900.0, 1410.0)]
+        assert max(acts) - min(acts) < 0.20
+
+    def test_activity_scale_applied(self, model):
+        census = KernelCensus(flops_fp64=1e13, dram_bytes=1.0, compute_efficiency=0.5)
+        bd = model.evaluate(census, 1410.0)
+        # Pipe activity is capped by achieved efficiency.
+        assert bd.fp_active <= 0.5 + 1e-9
+
+
+class TestSerialAndHostOverlap:
+    def test_serial_time_constant_across_clocks(self, model):
+        census = KernelCensus(flops_fp64=1e12, dram_bytes=1e10, serial_fraction=0.2)
+        s1 = model.evaluate(census, 510.0).t_serial
+        s2 = model.evaluate(census, 1410.0).t_serial
+        assert s1 == pytest.approx(s2, rel=1e-12)
+
+    def test_serial_fraction_realised_at_fmax(self, model):
+        census = KernelCensus(flops_fp64=1e12, dram_bytes=1e10, serial_fraction=0.3)
+        bd = model.evaluate(census, 1410.0)
+        assert bd.t_serial / bd.t_total == pytest.approx(0.3, rel=0.02)
+
+    def test_host_overlap_hides_gpu_speedup(self, model):
+        """With a dominant concurrent host pipeline, wall time is flat."""
+        census = KernelCensus(
+            flops_fp64=1e12, dram_bytes=1e10, concurrent_host_fraction=2.0
+        )
+        t_hi = model.execution_time(census, 1410.0)
+        t_mid = model.execution_time(census, 800.0)
+        assert t_mid == pytest.approx(t_hi, rel=0.02)
+
+    def test_host_overlap_exposed_at_low_clock(self, model):
+        census = KernelCensus(
+            flops_fp64=1e12, dram_bytes=1e10, concurrent_host_fraction=1.2
+        )
+        t_hi = model.execution_time(census, 1410.0)
+        t_lo = model.execution_time(census, 510.0)
+        assert t_lo > 1.5 * t_hi  # GPU became the critical path
+
+
+class TestLatencyFraction:
+    def test_latency_fraction_flattens_time(self, model):
+        sensitive = KernelCensus(flops_fp64=1e12, dram_bytes=1e9, compute_latency_fraction=0.0)
+        flat = KernelCensus(flops_fp64=1e12, dram_bytes=1e9, compute_latency_fraction=0.6)
+        slow_sensitive = model.execution_time(sensitive, 510.0) / model.execution_time(sensitive, 1410.0)
+        slow_flat = model.execution_time(flat, 510.0) / model.execution_time(flat, 1410.0)
+        assert slow_flat < slow_sensitive
+
+    def test_latency_fraction_no_effect_at_fmax(self, model):
+        a = KernelCensus(flops_fp64=1e12, dram_bytes=1e9, compute_latency_fraction=0.0)
+        b = KernelCensus(flops_fp64=1e12, dram_bytes=1e9, compute_latency_fraction=0.6)
+        assert model.execution_time(a, 1410.0) == pytest.approx(model.execution_time(b, 1410.0))
+
+
+class TestValidationAndMisc:
+    def test_nonpositive_clock_rejected(self, model, compute_census):
+        with pytest.raises(ValueError, match="freq_mhz"):
+            model.evaluate(compute_census, 0.0)
+
+    def test_overlap_p_below_one_rejected(self):
+        with pytest.raises(ValueError, match="overlap_p"):
+            TimingModel(GA100, overlap_p=0.5)
+
+    def test_pcie_overlap_bounds(self):
+        with pytest.raises(ValueError, match="pcie_overlap"):
+            TimingModel(GA100, pcie_overlap=1.5)
+
+    def test_sweep_matches_pointwise(self, model, compute_census):
+        freqs = np.array([600.0, 900.0, 1200.0])
+        sweep = model.sweep(compute_census, freqs)
+        for f, bd in zip(freqs, sweep):
+            assert bd.t_total == pytest.approx(model.execution_time(compute_census, float(f)))
+
+    def test_overlap_is_between_sum_and_max(self, model):
+        census = KernelCensus(flops_fp64=5e11, dram_bytes=3e11)
+        bd = model.evaluate(census, 1410.0)
+        assert max(bd.t_compute, bd.t_memory) <= bd.t_gpu <= bd.t_compute + bd.t_memory
+
+    def test_breakdown_components_sum(self, model, compute_census):
+        bd = model.evaluate(compute_census, 1000.0)
+        assert bd.t_total == pytest.approx(
+            max(bd.t_gpu, bd.t_host_overlap) + bd.t_pcie_exposed + bd.t_serial
+        )

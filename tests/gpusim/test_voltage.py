@@ -1,0 +1,103 @@
+"""Voltage-curve tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import GA100, VoltageCurve
+
+
+@pytest.fixture()
+def curve() -> VoltageCurve:
+    return VoltageCurve(GA100)
+
+
+class TestShape:
+    def test_floor_below_knee(self, curve):
+        assert curve.volts(300.0) == pytest.approx(GA100.voltage_min)
+        assert curve.volts(curve.knee_mhz - 1.0) == pytest.approx(GA100.voltage_min)
+
+    def test_max_voltage_at_max_clock(self, curve):
+        assert curve.volts(1410.0) == pytest.approx(GA100.voltage_max)
+
+    def test_knee_location(self, curve):
+        assert curve.knee_mhz == pytest.approx(GA100.voltage_knee_fraction * 1410.0)
+
+    def test_vectorized_matches_scalar(self, curve):
+        freqs = np.array([300.0, 800.0, 1100.0, 1410.0])
+        vec = curve.volts(freqs)
+        scalars = [curve.volts(float(f)) for f in freqs]
+        assert np.allclose(vec, scalars)
+
+    @given(f1=st.floats(210.0, 1410.0), f2=st.floats(210.0, 1410.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_nondecreasing(self, curve, f1, f2):
+        lo, hi = min(f1, f2), max(f1, f2)
+        assert curve.volts(lo) <= curve.volts(hi) + 1e-12
+
+    @given(f=st.floats(210.0, 1410.0))
+    @settings(max_examples=100, deadline=None)
+    def test_within_envelope(self, curve, f):
+        v = curve.volts(f)
+        assert GA100.voltage_min - 1e-12 <= v <= GA100.voltage_max + 1e-12
+
+
+class TestDynamicPowerFactor:
+    def test_unity_at_max_clock(self, curve):
+        assert curve.dynamic_power_factor(1410.0) == pytest.approx(1.0)
+
+    def test_monotone_increasing(self, curve):
+        freqs = np.linspace(210.0, 1410.0, 50)
+        dpf = curve.dynamic_power_factor(freqs)
+        assert np.all(np.diff(dpf) > 0)
+
+    def test_superlinear_above_knee(self, curve):
+        """V rises with f above the knee, so dpf grows faster than f."""
+        f1, f2 = 1100.0, 1410.0
+        ratio_dpf = curve.dynamic_power_factor(f2) / curve.dynamic_power_factor(f1)
+        assert ratio_dpf > f2 / f1
+
+    def test_linear_below_knee(self, curve):
+        """Constant V below the knee makes dpf proportional to f."""
+        f1, f2 = 300.0, 600.0
+        ratio = curve.dynamic_power_factor(f2) / curve.dynamic_power_factor(f1)
+        assert ratio == pytest.approx(f2 / f1, rel=1e-9)
+
+
+class TestOverrides:
+    def test_override_applies_at_exact_clock(self, curve):
+        curve.set_override(1005.0, 0.75)
+        assert curve.volts(1005.0) == pytest.approx(0.75)
+
+    def test_override_does_not_leak_to_neighbours(self, curve):
+        baseline = curve.volts(1020.0)
+        curve.set_override(1005.0, 0.75)
+        assert curve.volts(1020.0) == pytest.approx(baseline)
+
+    def test_override_changes_power_factor(self, curve):
+        before = curve.dynamic_power_factor(1200.0)
+        curve.set_override(1200.0, GA100.voltage_min)
+        assert curve.dynamic_power_factor(1200.0) < before
+
+    def test_clear_overrides(self, curve):
+        baseline = curve.volts(1005.0)
+        curve.set_override(1005.0, 0.75)
+        curve.clear_overrides()
+        assert curve.volts(1005.0) == pytest.approx(baseline)
+
+    def test_nonpositive_override_rejected(self, curve):
+        with pytest.raises(ValueError, match="positive"):
+            curve.set_override(1005.0, 0.0)
+
+
+class TestValidation:
+    def test_nonpositive_gamma_rejected(self):
+        with pytest.raises(ValueError, match="gamma"):
+            VoltageCurve(GA100, gamma=0.0)
+
+    def test_mismatched_arch_power_model_rejected(self):
+        from repro.gpusim import GV100, PowerModel
+
+        with pytest.raises(ValueError, match="different architecture"):
+            PowerModel(GA100, voltage=VoltageCurve(GV100))

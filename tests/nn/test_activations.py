@@ -1,0 +1,122 @@
+"""Activation tests: values, derivatives (numerical check), registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    ELU,
+    SELU,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Softplus,
+    Softsign,
+    Tanh,
+    get_activation,
+)
+
+ELEMENTWISE = [Linear(), ReLU(), LeakyReLU(), ELU(), SELU(), Sigmoid(), Tanh(), Softplus(), Softsign()]
+
+
+@pytest.mark.parametrize("act", ELEMENTWISE, ids=lambda a: a.name)
+class TestNumericalDerivative:
+    def test_derivative_matches_finite_difference(self, act):
+        # Avoid the kink at exactly 0 for the piecewise activations.
+        x = np.array([-3.0, -1.2, -0.4, 0.3, 0.9, 2.5])
+        h = 1e-6
+        numeric = (act(x + h) - act(x - h)) / (2 * h)
+        assert np.allclose(act.derivative(x), numeric, atol=1e-5)
+
+    def test_shapes_preserved(self, act):
+        x = np.random.default_rng(0).standard_normal((4, 5))
+        assert act(x).shape == (4, 5)
+        assert act.derivative(x).shape == (4, 5)
+
+
+class TestSELU:
+    def test_paper_constants(self):
+        """Paper Eq. 2 states alpha=1.67326324, scale=1.05070098."""
+        assert SELU.ALPHA == pytest.approx(1.67326324)
+        assert SELU.SCALE == pytest.approx(1.05070098)
+
+    def test_positive_branch_linear(self):
+        x = np.array([1.0, 2.0])
+        assert np.allclose(SELU()(x), SELU.SCALE * x)
+
+    def test_negative_branch_saturates(self):
+        assert SELU()(np.array([-50.0]))[0] == pytest.approx(-SELU.SCALE * SELU.ALPHA, rel=1e-6)
+
+    def test_self_normalizing_property(self):
+        """SELU approximately preserves zero mean / unit variance."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(200_000)
+        y = SELU()(x)
+        assert abs(y.mean()) < 0.05
+        assert abs(y.std() - 1.0) < 0.1
+
+
+class TestIndividualValues:
+    def test_relu_clips(self):
+        assert np.array_equal(ReLU()(np.array([-1.0, 2.0])), np.array([0.0, 2.0]))
+
+    def test_leaky_relu_slope(self):
+        assert LeakyReLU(0.1)(np.array([-10.0]))[0] == pytest.approx(-1.0)
+
+    def test_leaky_relu_negative_slope_rejected(self):
+        with pytest.raises(ValueError, match="negative_slope"):
+            LeakyReLU(-0.1)
+
+    def test_sigmoid_bounds_and_midpoint(self):
+        s = Sigmoid()
+        assert s(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert s(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert s(np.array([-100.0]))[0] == pytest.approx(0.0)
+
+    def test_softplus_stable_at_extremes(self):
+        sp = Softplus()
+        assert np.isfinite(sp(np.array([1000.0]))[0])
+        assert sp(np.array([1000.0]))[0] == pytest.approx(1000.0)
+
+    def test_softsign_bounds(self):
+        out = Softsign()(np.array([-1e9, 1e9]))
+        assert -1.0 <= out[0] < -0.99
+        assert 0.99 < out[1] <= 1.0
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).standard_normal((3, 7))
+        rows = Softmax()(x).sum(axis=-1)
+        assert np.allclose(rows, 1.0)
+
+    def test_softmax_shift_invariant(self):
+        x = np.random.default_rng(0).standard_normal((2, 5))
+        sm = Softmax()
+        assert np.allclose(sm(x), sm(x + 100.0))
+
+
+class TestRegistry:
+    def test_all_nine_paper_activations_available(self):
+        """Paper Section 4.3 sweeps these nine."""
+        for name in ("relu", "elu", "leaky_relu", "selu", "sigmoid", "tanh", "softmax", "softplus", "softsign"):
+            assert get_activation(name).name == name
+
+    def test_case_insensitive(self):
+        assert get_activation("SELU").name == "selu"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="known"):
+            get_activation("gelu")
+
+
+@given(x=st.floats(min_value=-20, max_value=20, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_monotone_activations(x):
+    """ReLU-family and sigmoid/tanh are nondecreasing."""
+    eps = 1e-3
+    for act in (ReLU(), LeakyReLU(), ELU(), SELU(), Sigmoid(), Tanh(), Softplus(), Softsign()):
+        lo = act(np.array([x]))[0]
+        hi = act(np.array([x + eps]))[0]
+        assert hi >= lo - 1e-12, act.name

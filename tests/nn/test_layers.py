@@ -1,0 +1,114 @@
+"""Dense-layer tests, including a full numerical gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MSE, Dense
+
+
+class TestForward:
+    def test_output_shape(self):
+        layer = Dense(3, 5, "selu", rng=np.random.default_rng(0))
+        out = layer.forward(np.zeros((7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_wrong_input_width_rejected(self):
+        layer = Dense(3, 5)
+        with pytest.raises(ValueError, match="shape"):
+            layer.forward(np.zeros((7, 4)))
+
+    def test_one_d_input_rejected(self):
+        layer = Dense(3, 5)
+        with pytest.raises(ValueError, match="shape"):
+            layer.forward(np.zeros(3))
+
+    def test_linear_layer_is_affine(self):
+        layer = Dense(2, 1, "linear", rng=np.random.default_rng(0))
+        layer.params["W"] = np.array([[2.0], [3.0]])
+        layer.params["b"] = np.array([1.0])
+        out = layer.forward(np.array([[1.0, 1.0], [0.0, 2.0]]))
+        assert np.allclose(out[:, 0], [6.0, 7.0])
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError, match="in_features"):
+            Dense(0, 5)
+
+    def test_num_parameters(self):
+        assert Dense(3, 5).num_parameters() == 3 * 5 + 5
+
+
+class TestBackward:
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2)
+        with pytest.raises(RuntimeError, match="backward"):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_inference_forward_does_not_cache(self):
+        layer = Dense(2, 2)
+        layer.forward(np.zeros((1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    @pytest.mark.parametrize("activation", ["linear", "selu", "tanh", "sigmoid"])
+    def test_numerical_gradient_check(self, activation):
+        """Backprop grads must match central finite differences."""
+        rng = np.random.default_rng(3)
+        layer = Dense(4, 3, activation, rng=rng)
+        x = rng.standard_normal((8, 4))
+        y = rng.standard_normal((8, 3))
+        loss = MSE()
+
+        def compute_loss():
+            return loss(layer.forward(x, training=True), y)
+
+        base = compute_loss()
+        layer.backward(loss.gradient(layer.forward(x, training=True), y))
+        analytic_w = layer.grads["W"].copy()
+        analytic_b = layer.grads["b"].copy()
+
+        h = 1e-6
+        for idx in [(0, 0), (2, 1), (3, 2)]:
+            layer.params["W"][idx] += h
+            plus = compute_loss()
+            layer.params["W"][idx] -= 2 * h
+            minus = compute_loss()
+            layer.params["W"][idx] += h
+            numeric = (plus - minus) / (2 * h)
+            assert analytic_w[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+        for j in range(3):
+            layer.params["b"][j] += h
+            plus = compute_loss()
+            layer.params["b"][j] -= 2 * h
+            minus = compute_loss()
+            layer.params["b"][j] += h
+            numeric = (plus - minus) / (2 * h)
+            assert analytic_b[j] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+        assert base >= 0
+
+    def test_backward_returns_input_gradient_shape(self):
+        layer = Dense(4, 3)
+        x = np.random.default_rng(0).standard_normal((5, 4))
+        layer.forward(x, training=True)
+        grad_in = layer.backward(np.ones((5, 3)))
+        assert grad_in.shape == (5, 4)
+
+
+class TestInitialization:
+    def test_selu_uses_lecun_scale(self):
+        rng = np.random.default_rng(0)
+        ws = [Dense(1000, 100, "selu", rng=np.random.default_rng(s)).params["W"] for s in range(3)]
+        std = np.mean([w.std() for w in ws])
+        assert std == pytest.approx(np.sqrt(1.0 / 1000), rel=0.1)
+
+    def test_relu_uses_he_scale(self):
+        w = Dense(1000, 100, "relu", rng=np.random.default_rng(0)).params["W"]
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_bias_starts_zero(self):
+        assert np.all(Dense(3, 4).params["b"] == 0.0)
+
+    def test_seeded_layers_identical(self):
+        a = Dense(3, 4, "selu", rng=np.random.default_rng(11))
+        b = Dense(3, 4, "selu", rng=np.random.default_rng(11))
+        assert np.array_equal(a.params["W"], b.params["W"])

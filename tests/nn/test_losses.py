@@ -1,0 +1,87 @@
+"""Loss tests: values, gradients vs finite differences, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import MAE, MSE, Huber, get_loss
+
+ALL_LOSSES = [MSE(), MAE(), Huber(delta=0.7)]
+
+
+class TestValues:
+    def test_mse_zero_on_exact(self):
+        y = np.array([[1.0], [2.0]])
+        assert MSE()(y, y) == 0.0
+
+    def test_mse_known_value(self):
+        assert MSE()(np.array([[2.0]]), np.array([[0.0]])) == pytest.approx(4.0)
+
+    def test_mae_known_value(self):
+        assert MAE()(np.array([[2.0], [0.0]]), np.array([[0.0], [1.0]])) == pytest.approx(1.5)
+
+    def test_huber_quadratic_inside(self):
+        h = Huber(delta=1.0)
+        assert h(np.array([[0.5]]), np.array([[0.0]])) == pytest.approx(0.125)
+
+    def test_huber_linear_outside(self):
+        h = Huber(delta=1.0)
+        assert h(np.array([[3.0]]), np.array([[0.0]])) == pytest.approx(2.5)
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError, match="delta"):
+            Huber(delta=0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            MSE()(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+@pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: l.name)
+class TestGradients:
+    def test_gradient_matches_finite_difference(self, loss):
+        rng = np.random.default_rng(0)
+        y_pred = rng.standard_normal((6, 2))
+        y_true = rng.standard_normal((6, 2))
+        grad = loss.gradient(y_pred, y_true)
+        h = 1e-6
+        for idx in [(0, 0), (3, 1), (5, 0)]:
+            bumped = y_pred.copy()
+            bumped[idx] += h
+            plus = loss(bumped, y_true)
+            bumped[idx] -= 2 * h
+            minus = loss(bumped, y_true)
+            numeric = (plus - minus) / (2 * h)
+            assert grad[idx] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_gradient_shape(self, loss):
+        y = np.zeros((4, 3))
+        assert loss.gradient(y, y + 1.0).shape == (4, 3)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_loss("mse").name == "mse"
+        assert get_loss("MAE").name == "mae"
+        assert get_loss("huber").name == "huber"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="known"):
+            get_loss("crossentropy")
+
+
+@given(
+    preds=st.lists(st.floats(-100, 100), min_size=2, max_size=10),
+    delta=st.floats(0.1, 5.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_huber_between_scaled_mae_and_mse(preds, delta):
+    """Pointwise, huber <= 0.5 * squared error and huber <= delta * |err|."""
+    y_pred = np.array(preds)[:, None]
+    y_true = np.zeros_like(y_pred)
+    h = Huber(delta=delta)(y_pred, y_true)
+    mse_half = 0.5 * MSE()(y_pred, y_true)
+    mae_scaled = delta * MAE()(y_pred, y_true)
+    assert h <= mse_half + 1e-9
+    assert h <= mae_scaled + 1e-9

@@ -1,0 +1,94 @@
+"""Network tests: construction, forward/backward, end-to-end gradcheck."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MSE, Dense, FeedForwardNetwork, RMSprop
+
+
+class TestBuild:
+    def test_paper_architecture(self):
+        """3 hidden layers x 64 SELU neurons + linear output (Section 4.3)."""
+        net = FeedForwardNetwork.build(3, (64, 64, 64), 1, activation="selu", seed=0)
+        assert len(net.layers) == 4
+        assert net.input_dim == 3
+        assert net.output_dim == 1
+        assert all(l.activation.name == "selu" for l in net.layers[:-1])
+        assert net.layers[-1].activation.name == "linear"
+
+    def test_parameter_count(self):
+        net = FeedForwardNetwork.build(3, (64, 64, 64), 1, seed=0)
+        expected = (3 * 64 + 64) + 2 * (64 * 64 + 64) + (64 * 1 + 1)
+        assert net.num_parameters() == expected
+
+    def test_seeded_build_deterministic(self):
+        a = FeedForwardNetwork.build(3, (8,), 1, seed=7)
+        b = FeedForwardNetwork.build(3, (8,), 1, seed=7)
+        assert np.array_equal(a.layers[0].params["W"], b.layers[0].params["W"])
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            FeedForwardNetwork([])
+
+    def test_mismatched_layer_sizes_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            FeedForwardNetwork([Dense(3, 4), Dense(5, 1)])
+
+
+class TestForward:
+    def test_predict_shape(self):
+        net = FeedForwardNetwork.build(3, (8, 8), 2, seed=0)
+        assert net.predict(np.zeros((10, 3))).shape == (10, 2)
+
+    def test_deterministic_inference(self):
+        net = FeedForwardNetwork.build(3, (8,), 1, seed=0)
+        x = np.random.default_rng(0).standard_normal((5, 3))
+        assert np.array_equal(net.predict(x), net.predict(x))
+
+
+class TestEndToEndGradient:
+    def test_full_network_gradcheck(self):
+        """Backprop through the whole stack vs finite differences."""
+        rng = np.random.default_rng(0)
+        net = FeedForwardNetwork.build(3, (5, 4), 2, activation="tanh", seed=1)
+        x = rng.standard_normal((6, 3))
+        y = rng.standard_normal((6, 2))
+        loss = MSE()
+
+        pred = net.forward(x, training=True)
+        net.backward(loss.gradient(pred, y))
+
+        h = 1e-6
+        for layer_idx in (0, 1, 2):
+            layer = net.layers[layer_idx]
+            analytic = layer.grads["W"].copy()
+            for idx in [(0, 0), (1, 1)]:
+                layer.params["W"][idx] += h
+                plus = loss(net.predict(x), y)
+                layer.params["W"][idx] -= 2 * h
+                minus = loss(net.predict(x), y)
+                layer.params["W"][idx] += h
+                numeric = (plus - minus) / (2 * h)
+                assert analytic[idx] == pytest.approx(numeric, rel=1e-3, abs=1e-7), layer_idx
+
+
+class TestTrainBatch:
+    def test_loss_decreases_over_steps(self):
+        rng = np.random.default_rng(0)
+        net = FeedForwardNetwork.build(2, (16, 16), 1, activation="selu", seed=0)
+        x = rng.uniform(-1, 1, size=(256, 2))
+        y = (x[:, :1] * x[:, 1:]) * 2.0
+        opt = RMSprop(0.003)
+        loss = MSE()
+        first = net.train_batch(x, y, loss, opt)
+        for _ in range(200):
+            last = net.train_batch(x, y, loss, opt)
+        assert last < 0.2 * first
+
+    def test_evaluate_does_not_update(self):
+        net = FeedForwardNetwork.build(2, (4,), 1, seed=0)
+        x = np.zeros((3, 2))
+        y = np.ones((3, 1))
+        w_before = net.layers[0].params["W"].copy()
+        net.evaluate(x, y, MSE())
+        assert np.array_equal(net.layers[0].params["W"], w_before)

@@ -1,0 +1,128 @@
+"""Optimizer tests: each must minimise a quadratic; state handling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, AdaDelta, Adam, Adamax, Nadam, RMSprop, get_optimizer
+
+# (optimizer, steps) — AdaDelta's unit-correction makes it famously slow
+# on low-dimensional quadratics, so it gets a larger budget.
+ALL_OPTS = [
+    (SGD(0.05), 300),
+    (SGD(0.02, momentum=0.9), 300),
+    (RMSprop(0.01), 2000),
+    (Adam(0.05), 300),
+    (Adamax(0.05), 300),
+    (Nadam(0.05), 300),
+    (AdaDelta(1.0), 3000),
+]
+
+
+def minimise_quadratic(opt, steps=300):
+    """Minimise f(x) = (x - 3)^2 from x = 0."""
+    x = np.array([0.0])
+    for _ in range(steps):
+        opt.begin_step()
+        grad = 2.0 * (x - 3.0)
+        opt.update((0, "x"), x, grad)
+    return x[0]
+
+
+@pytest.mark.parametrize("opt,steps", ALL_OPTS, ids=lambda o: getattr(o, "name", ""))
+class TestConvergence:
+    def test_minimises_quadratic(self, opt, steps):
+        opt.reset()
+        assert minimise_quadratic(opt, steps) == pytest.approx(3.0, abs=0.15)
+
+    def test_update_is_in_place(self, opt, steps):
+        opt.reset()
+        x = np.array([1.0])
+        ref = x
+        opt.begin_step()
+        opt.update((0, "p"), x, np.array([0.5]))
+        assert ref is x  # same array object mutated
+
+    def test_reset_clears_state(self, opt, steps):
+        opt.reset()
+        x = np.array([0.0])
+        opt.begin_step()
+        opt.update((0, "p"), x, np.array([1.0]))
+        opt.reset()
+        assert opt._slots == {}
+        assert opt._step == 0
+
+
+class TestParameterIsolation:
+    def test_slots_keyed_per_parameter(self):
+        opt = Adam(0.1)
+        a, b = np.array([0.0]), np.array([0.0])
+        opt.begin_step()
+        opt.update((0, "a"), a, np.array([1.0]))
+        opt.update((1, "b"), b, np.array([-1.0]))
+        assert (0, "a") in opt._slots and (1, "b") in opt._slots
+        assert a[0] < 0 < b[0]
+
+
+class TestSpecificBehaviour:
+    def test_sgd_plain_step(self):
+        opt = SGD(0.1)
+        x = np.array([1.0])
+        opt.update((0, "x"), x, np.array([2.0]))
+        assert x[0] == pytest.approx(0.8)
+
+    def test_momentum_accelerates(self):
+        plain = SGD(0.01)
+        mom = SGD(0.01, momentum=0.9)
+        x1 = np.array([0.0])
+        x2 = np.array([0.0])
+        for _ in range(10):
+            plain.update((0, "x"), x1, 2.0 * (x1 - 3.0))
+            mom.update((0, "x"), x2, 2.0 * (x2 - 3.0))
+        assert abs(x2[0] - 3.0) < abs(x1[0] - 3.0)
+
+    def test_rmsprop_normalises_gradient_scale(self):
+        """RMSprop step size is insensitive to gradient magnitude."""
+        small, large = RMSprop(0.01), RMSprop(0.01)
+        xs, xl = np.array([0.0]), np.array([0.0])
+        small.update((0, "x"), xs, np.array([1e-3]))
+        large.update((0, "x"), xl, np.array([1e3]))
+        assert xs[0] == pytest.approx(xl[0], rel=1e-3)
+
+    def test_adam_bias_correction_first_step(self):
+        """First Adam step is ~learning_rate regardless of gradient size."""
+        opt = Adam(0.1)
+        x = np.array([0.0])
+        opt.begin_step()
+        opt.update((0, "x"), x, np.array([1e-4]))
+        assert abs(x[0]) == pytest.approx(0.1, rel=0.01)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            SGD(0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            SGD(0.1, momentum=1.0)
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            RMSprop(0.01, rho=1.5)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError, match="betas"):
+            Adam(0.01, beta1=1.0)
+
+
+class TestRegistry:
+    def test_paper_optimizer_sweep_available(self):
+        """Paper Section 4.3 sweeps Adam, Adamax, Nadam, RMSprop, AdaDelta."""
+        for name in ("adam", "adamax", "nadam", "rmsprop", "adadelta"):
+            assert get_optimizer(name).name == name
+
+    def test_kwargs_forwarded(self):
+        opt = get_optimizer("rmsprop", learning_rate=0.123)
+        assert opt.learning_rate == 0.123
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="known"):
+            get_optimizer("lion")

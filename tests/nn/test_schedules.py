@@ -1,0 +1,132 @@
+"""Learning-rate schedule + regularisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import FeedForwardNetwork, RMSprop, TrainConfig, train
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineAnnealing,
+    ExponentialDecay,
+    StepDecay,
+    WarmupSchedule,
+)
+
+
+class TestScheduleValues:
+    def test_constant(self):
+        s = ConstantSchedule()
+        assert s(0) == 1.0
+        assert s(100) == 1.0
+
+    def test_step_decay(self):
+        s = StepDecay(step_epochs=10, gamma=0.5)
+        assert s(0) == 1.0
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(20) == 0.25
+
+    def test_exponential_decay(self):
+        s = ExponentialDecay(rate=0.9)
+        assert s(0) == 1.0
+        assert s(2) == pytest.approx(0.81)
+
+    def test_cosine_endpoints(self):
+        s = CosineAnnealing(total_epochs=50, floor=0.02)
+        assert s(0) == pytest.approx(1.0)
+        assert s(50) == pytest.approx(0.02)
+        assert s(25) == pytest.approx(0.51, abs=1e-9)
+
+    def test_cosine_clamps_past_horizon(self):
+        s = CosineAnnealing(total_epochs=10, floor=0.1)
+        assert s(100) == pytest.approx(0.1)
+
+    def test_warmup_then_after(self):
+        s = WarmupSchedule(warmup_epochs=4, after=StepDecay(2, 0.5))
+        assert s(0) == pytest.approx(0.25)
+        assert s(3) == pytest.approx(1.0)
+        assert s(4) == pytest.approx(1.0)  # first post-warmup epoch
+        assert s(6) == pytest.approx(0.5)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError, match="epoch"):
+            ConstantSchedule()(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="step_epochs"):
+            StepDecay(0)
+        with pytest.raises(ValueError, match="gamma"):
+            StepDecay(5, gamma=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            ExponentialDecay(rate=1.5)
+        with pytest.raises(ValueError, match="total_epochs"):
+            CosineAnnealing(0)
+        with pytest.raises(ValueError, match="floor"):
+            CosineAnnealing(10, floor=0.0)
+        with pytest.raises(ValueError, match="warmup_epochs"):
+            WarmupSchedule(0)
+
+    def test_monotone_nonincreasing_decays(self):
+        for s in (StepDecay(3, 0.7), ExponentialDecay(0.95), CosineAnnealing(30)):
+            values = [s(e) for e in range(40)]
+            assert all(a >= b - 1e-12 for a, b in zip(values, values[1:])), type(s).__name__
+
+
+def _toy():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, size=(300, 3))
+    y = x[:, 0] ** 2 + 0.5 * x[:, 1]
+    return x, y
+
+
+class TestTrainingIntegration:
+    def test_schedule_restores_base_lr(self):
+        x, y = _toy()
+        net = FeedForwardNetwork.build(3, (8,), 1, seed=0)
+        opt = RMSprop(0.005)
+        train(net, x, y, optimizer=opt, config=TrainConfig(epochs=5), schedule=ExponentialDecay(0.5), seed=0)
+        assert opt.learning_rate == 0.005
+
+    def test_decayed_training_converges(self):
+        x, y = _toy()
+        net = FeedForwardNetwork.build(3, (16, 16), 1, seed=0)
+        hist = train(
+            net, x, y,
+            optimizer=RMSprop(0.005),
+            config=TrainConfig(epochs=40),
+            schedule=CosineAnnealing(40),
+            seed=0,
+        )
+        assert hist.train_loss[-1] < 0.3 * hist.train_loss[0]
+
+    def test_weight_decay_shrinks_weights(self):
+        x, y = _toy()
+        free = FeedForwardNetwork.build(3, (16,), 1, seed=1)
+        decayed = FeedForwardNetwork.build(3, (16,), 1, seed=1)
+        train(free, x, y, config=TrainConfig(epochs=20), seed=0)
+        train(decayed, x, y, config=TrainConfig(epochs=20, weight_decay=0.05), seed=0)
+        norm_free = sum(np.linalg.norm(l.params["W"]) for l in free.layers)
+        norm_decayed = sum(np.linalg.norm(l.params["W"]) for l in decayed.layers)
+        assert norm_decayed < norm_free
+
+    def test_grad_clipping_survives_extreme_targets(self):
+        """Huge targets produce huge gradients; clipping keeps training finite."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(100, 2))
+        y = 1e8 * x[:, 0]
+        net = FeedForwardNetwork.build(2, (8,), 1, seed=0)
+        hist = train(
+            net, x, y,
+            optimizer=RMSprop(0.01),
+            config=TrainConfig(epochs=5, grad_clip_norm=1.0, validation_split=0.0),
+            seed=0,
+        )
+        assert np.isfinite(hist.train_loss[-1])
+        for layer in net.layers:
+            assert np.all(np.isfinite(layer.params["W"]))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="weight_decay"):
+            TrainConfig(weight_decay=-1.0)
+        with pytest.raises(ValueError, match="grad_clip_norm"):
+            TrainConfig(grad_clip_norm=0.0)

@@ -1,0 +1,47 @@
+"""Network serialisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import FeedForwardNetwork, load_network, save_network
+
+
+class TestRoundtrip:
+    def test_predictions_identical_after_reload(self, tmp_path):
+        net = FeedForwardNetwork.build(3, (16, 8), 1, activation="selu", seed=0)
+        x = np.random.default_rng(0).standard_normal((10, 3))
+        path = save_network(net, tmp_path / "model.npz")
+        loaded = load_network(path)
+        assert np.array_equal(net.predict(x), loaded.predict(x))
+
+    def test_architecture_preserved(self, tmp_path):
+        net = FeedForwardNetwork.build(5, (7, 3), 2, activation="tanh", seed=0)
+        loaded = load_network(save_network(net, tmp_path / "m.npz"))
+        assert loaded.input_dim == 5
+        assert loaded.output_dim == 2
+        assert [l.activation.name for l in loaded.layers] == ["tanh", "tanh", "linear"]
+
+    def test_suffix_appended(self, tmp_path):
+        net = FeedForwardNetwork.build(2, (4,), 1, seed=0)
+        path = save_network(net, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_parent_dirs_created(self, tmp_path):
+        net = FeedForwardNetwork.build(2, (4,), 1, seed=0)
+        path = save_network(net, tmp_path / "a" / "b" / "model.npz")
+        assert path.exists()
+
+    def test_bad_version_rejected(self, tmp_path):
+        import json
+
+        net = FeedForwardNetwork.build(2, (4,), 1, seed=0)
+        path = save_network(net, tmp_path / "m.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        spec = json.loads(bytes(arrays["spec"]).decode())
+        spec["version"] = 999
+        arrays["spec"] = np.frombuffer(json.dumps(spec).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_network(path)

@@ -1,0 +1,108 @@
+"""Training-loop tests: splits, histories, early stopping, validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import FeedForwardNetwork, TrainConfig, train
+
+
+def toy_problem(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 3))
+    y = x[:, 0] ** 2 + 0.5 * x[:, 1] - 0.2 * x[:, 2]
+    return x, y
+
+
+class TestBasicTraining:
+    def test_history_lengths(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork.build(3, (16,), 1, seed=0)
+        hist = train(net, x, y, config=TrainConfig(epochs=7), seed=0)
+        assert hist.epochs_run == 7
+        assert len(hist.train_loss) == 7
+        assert len(hist.val_loss) == 7
+
+    def test_loss_decreases(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork.build(3, (32, 32), 1, seed=0)
+        hist = train(net, x, y, config=TrainConfig(epochs=40), seed=0)
+        assert hist.train_loss[-1] < 0.3 * hist.train_loss[0]
+
+    def test_seeded_training_reproducible(self):
+        x, y = toy_problem()
+        losses = []
+        for _ in range(2):
+            net = FeedForwardNetwork.build(3, (8,), 1, seed=3)
+            hist = train(net, x, y, config=TrainConfig(epochs=5), seed=9)
+            losses.append(hist.train_loss)
+        assert losses[0] == losses[1]
+
+    def test_one_dim_targets_accepted(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork.build(3, (8,), 1, seed=0)
+        hist = train(net, x, y.reshape(-1), config=TrainConfig(epochs=2), seed=0)
+        assert hist.epochs_run == 2
+
+    def test_string_optimizer_and_loss(self):
+        x, y = toy_problem(100)
+        net = FeedForwardNetwork.build(3, (8,), 1, seed=0)
+        hist = train(net, x, y, optimizer="adam", loss="mae", config=TrainConfig(epochs=2), seed=0)
+        assert hist.epochs_run == 2
+
+
+class TestValidationSplit:
+    def test_no_split_means_no_val_history(self):
+        x, y = toy_problem(100)
+        net = FeedForwardNetwork.build(3, (8,), 1, seed=0)
+        hist = train(net, x, y, config=TrainConfig(epochs=3, validation_split=0.0), seed=0)
+        assert hist.val_loss == []
+        assert hist.best_val_loss == float("inf")
+
+    def test_paper_default_split_is_80_20(self):
+        assert TrainConfig().validation_split == 0.2
+
+    def test_paper_default_batch_size_is_64(self):
+        assert TrainConfig().batch_size == 64
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork.build(3, (8,), 1, seed=0)
+        config = TrainConfig(epochs=200, early_stop_patience=3)
+        hist = train(net, x, y, config=config, seed=0)
+        assert hist.stopped_early
+        assert hist.epochs_run < 200
+
+    def test_no_early_stop_without_patience(self):
+        x, y = toy_problem(100)
+        net = FeedForwardNetwork.build(3, (8,), 1, seed=0)
+        hist = train(net, x, y, config=TrainConfig(epochs=10), seed=0)
+        assert not hist.stopped_early
+
+
+class TestValidationErrors:
+    def test_non_2d_x_rejected(self):
+        net = FeedForwardNetwork.build(3, (4,), 1, seed=0)
+        with pytest.raises(ValueError, match="2-D"):
+            train(net, np.zeros(3), np.zeros(1))
+
+    def test_length_mismatch_rejected(self):
+        net = FeedForwardNetwork.build(3, (4,), 1, seed=0)
+        with pytest.raises(ValueError, match="samples"):
+            train(net, np.zeros((5, 3)), np.zeros(4))
+
+    def test_too_few_samples_rejected(self):
+        net = FeedForwardNetwork.build(3, (4,), 1, seed=0)
+        with pytest.raises(ValueError, match="at least 2"):
+            train(net, np.zeros((1, 3)), np.zeros(1))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="epochs"):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ValueError, match="validation_split"):
+            TrainConfig(validation_split=1.0)
+        with pytest.raises(ValueError, match="early_stop_patience"):
+            TrainConfig(early_stop_patience=0)

@@ -1,0 +1,51 @@
+"""Clock-controller tests."""
+
+from repro.telemetry import ClockController
+
+
+class TestControl:
+    def test_set_applies_to_device(self, ga100):
+        ctl = ClockController(ga100)
+        actual = ctl.set_sm_clock(750.0)
+        assert actual == 750.0
+        assert ga100.current_sm_clock == 750.0
+
+    def test_set_snaps_and_logs_snapped(self, ga100):
+        ctl = ClockController(ga100)
+        actual = ctl.set_sm_clock(751.0)
+        assert actual == 750.0
+        assert ctl.history[-1] == ("sm", 750.0)
+
+    def test_history_accumulates(self, ga100):
+        ctl = ClockController(ga100)
+        ctl.set_sm_clock(600.0)
+        ctl.set_sm_clock(900.0)
+        ctl.reset()
+        assert ctl.history == [("sm", 600.0), ("sm", 900.0), ("sm", 1410.0), ("mem", 1597.0)]
+
+    def test_memory_clock_control(self, ga100):
+        """The control module also drives the memory clock (S4.1)."""
+        ctl = ClockController(ga100)
+        actual = ctl.set_mem_clock(500.0)
+        assert actual == 510.0  # snapped to the idle state
+        assert ctl.current_mem_clock == 510.0
+        ctl.reset()
+        assert ctl.current_mem_clock == 1597.0
+
+    def test_reset_restores_default(self, ga100):
+        ctl = ClockController(ga100)
+        ctl.set_sm_clock(510.0)
+        assert ctl.reset() == 1410.0
+        assert ga100.current_sm_clock == 1410.0
+
+    def test_current_clock_property(self, ga100):
+        ctl = ClockController(ga100)
+        ctl.set_sm_clock(1005.0)
+        assert ctl.current_clock == 1005.0
+
+    def test_sweep_snaps_without_applying(self, ga100):
+        ctl = ClockController(ga100)
+        snapped = ctl.sweep([511.0, 752.0, 2000.0])
+        assert snapped == [510.0, 750.0, 1410.0]
+        assert ga100.current_sm_clock == 1410.0  # untouched
+        assert ctl.history == []

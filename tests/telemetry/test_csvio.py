@@ -1,0 +1,67 @@
+"""CSV persistence tests, including roundtrip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import read_samples_csv, write_samples_csv
+
+
+class TestWrite:
+    def test_roundtrip_basic(self, tmp_path):
+        rows = [{"a": 1.0, "b": 2.5}, {"a": 3.0, "b": -4.25}]
+        path = write_samples_csv(tmp_path / "x.csv", rows)
+        assert read_samples_csv(path) == rows
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_samples_csv(tmp_path / "deep" / "nested" / "x.csv", [{"a": 1.0}])
+        assert path.exists()
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            write_samples_csv(tmp_path / "x.csv", [])
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="differ"):
+            write_samples_csv(tmp_path / "x.csv", [{"a": 1.0}, {"b": 2.0}])
+
+    def test_header_preserves_order(self, tmp_path):
+        rows = [{"z": 1.0, "a": 2.0, "m": 3.0}]
+        path = write_samples_csv(tmp_path / "x.csv", rows)
+        header = path.read_text().splitlines()[0]
+        assert header == "z,a,m"
+
+
+class TestRead:
+    def test_non_numeric_value_raises_with_line(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("a,b\n1.0,oops\n")
+        with pytest.raises(ValueError, match="bad.csv:2"):
+            read_samples_csv(p)
+
+    def test_empty_file_raises(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_samples_csv(p)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_samples_csv(tmp_path / "nope.csv")
+
+
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_exact_floats(tmp_path_factory, values):
+    """repr-based serialisation must round-trip doubles exactly."""
+    tmp = tmp_path_factory.mktemp("csv")
+    rows = [{"v": v, "idx": float(i)} for i, v in enumerate(values)]
+    path = write_samples_csv(tmp / "rt.csv", rows)
+    back = read_samples_csv(path)
+    assert back == rows

@@ -1,0 +1,53 @@
+"""Field-registry tests."""
+
+import pytest
+
+from repro.telemetry import FIELDS, field_by_id, field_by_name
+
+
+class TestRegistry:
+    def test_twelve_fields(self):
+        """Paper Section 4.1 collects exactly 12 metrics."""
+        assert len(FIELDS) == 12
+
+    def test_paper_names_present(self):
+        names = {f.name for f in FIELDS}
+        assert names == {
+            "fp64_active", "fp32_active", "sm_app_clock", "dram_active",
+            "gr_engine_active", "gpu_utilization", "power_usage", "sm_active",
+            "sm_occupancy", "pcie_tx_bytes", "pcie_rx_bytes", "exec_time",
+        }
+
+    def test_field_ids_unique(self):
+        ids = [f.field_id for f in FIELDS]
+        assert len(ids) == len(set(ids))
+
+    def test_dcgm_profiling_ids(self):
+        """Profiling metrics use real DCGM field-id numbering."""
+        assert field_by_name("fp64_active").field_id == 1006
+        assert field_by_name("dram_active").field_id == 1005
+        assert field_by_name("gr_engine_active").field_id == 1001
+        assert field_by_name("power_usage").field_id == 155
+        assert field_by_name("sm_app_clock").field_id == 100
+
+    def test_cumulative_flags(self):
+        assert field_by_name("pcie_tx_bytes").cumulative
+        assert field_by_name("pcie_rx_bytes").cumulative
+        assert not field_by_name("power_usage").cumulative
+
+    def test_lookup_by_id_roundtrip(self):
+        for f in FIELDS:
+            assert field_by_id(f.field_id) is f
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="known"):
+            field_by_name("nope")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="known"):
+            field_by_id(424242)
+
+    def test_units_present(self):
+        for f in FIELDS:
+            assert f.unit
+            assert f.description

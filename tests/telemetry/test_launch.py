@@ -1,0 +1,73 @@
+"""Launcher (collection campaign) tests."""
+
+import pytest
+
+from repro.telemetry import LaunchConfig, Launcher, read_samples_csv
+from repro.workloads import get_workload
+
+
+@pytest.fixture()
+def small_config():
+    return LaunchConfig(freqs_mhz=(600.0, 1005.0, 1410.0), runs_per_config=2)
+
+
+class TestLaunchConfig:
+    def test_empty_freqs_rejected(self):
+        with pytest.raises(ValueError, match="freqs"):
+            LaunchConfig(freqs_mhz=())
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ValueError, match="runs_per_config"):
+            LaunchConfig(freqs_mhz=(1410.0,), runs_per_config=0)
+
+
+class TestCampaign:
+    def test_artifact_count(self, ga100, small_config):
+        launcher = Launcher(ga100)
+        artifacts = launcher.collect([get_workload("stream"), get_workload("dgemm")], small_config)
+        assert len(artifacts) == 2 * 3 * 2  # workloads x freqs x runs
+
+    def test_artifacts_cover_grid(self, ga100, small_config):
+        launcher = Launcher(ga100)
+        artifacts = launcher.collect([get_workload("stream")], small_config)
+        assert {a.freq_mhz for a in artifacts} == {600.0, 1005.0, 1410.0}
+        assert {a.run_index for a in artifacts} == {0, 1}
+
+    def test_clock_restored_after_campaign(self, ga100, small_config):
+        launcher = Launcher(ga100)
+        launcher.collect([get_workload("stream")], small_config)
+        assert ga100.current_sm_clock == 1410.0
+
+    def test_clock_restored_on_failure(self, ga100, small_config):
+        class Boom:
+            name = "boom"
+
+            def census(self, size=None):
+                raise RuntimeError("kaboom")
+
+        launcher = Launcher(ga100)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            launcher.collect([Boom()], small_config)
+        assert ga100.current_sm_clock == 1410.0
+
+    def test_csv_output(self, ga100, tmp_path):
+        config = LaunchConfig(freqs_mhz=(1410.0,), runs_per_config=1, output_dir=tmp_path)
+        launcher = Launcher(ga100)
+        artifacts = launcher.collect([get_workload("stream")], config)
+        assert artifacts[0].csv_path is not None
+        rows = read_samples_csv(artifacts[0].csv_path)
+        assert len(rows) == len(artifacts[0].record.samples)
+        assert "power_usage" in rows[0]
+
+    def test_size_override_applies(self, ga100):
+        config = LaunchConfig(freqs_mhz=(1410.0,), runs_per_config=1, sizes={"stream": 4096})
+        launcher = Launcher(ga100)
+        small = launcher.collect([get_workload("stream")], config)[0]
+        full = launcher.collect_at_max([get_workload("stream")])[0]
+        assert small.record.exec_time_s < full.record.exec_time_s
+
+    def test_collect_at_max_uses_default_clock(self, ga100):
+        launcher = Launcher(ga100)
+        artifacts = launcher.collect_at_max([get_workload("stream")], runs=2)
+        assert len(artifacts) == 2
+        assert all(a.freq_mhz == 1410.0 for a in artifacts)

@@ -1,0 +1,42 @@
+"""Profiler tests."""
+
+import pytest
+
+from repro.telemetry import Profiler
+from repro.telemetry.fields import FIELDS
+from repro.workloads import get_workload
+
+
+class TestProfile:
+    def test_profile_runs_at_current_clock(self, ga100):
+        profiler = Profiler(ga100)
+        ga100.set_sm_clock(900.0)
+        record = profiler.profile(get_workload("stream"))
+        assert record.freq_mhz == 900.0
+        assert record.workload == "stream"
+
+    def test_profile_with_size_override(self, ga100):
+        profiler = Profiler(ga100)
+        small = profiler.profile(get_workload("stream"), size=2048)
+        large = profiler.profile(get_workload("stream"))
+        assert small.exec_time_s < large.exec_time_s
+
+    def test_rows_have_all_fields_plus_timestamp(self, ga100):
+        profiler = Profiler(ga100)
+        record = profiler.profile(get_workload("stream"))
+        rows = profiler.samples_as_rows(record)
+        assert len(rows) == len(record.samples)
+        expected = {"timestamp_s", *(f.name for f in FIELDS)}
+        assert set(rows[0]) == expected
+
+    def test_timestamps_increase(self, ga100):
+        profiler = Profiler(ga100)
+        rows = profiler.samples_as_rows(profiler.profile(get_workload("stream")))
+        stamps = [r["timestamp_s"] for r in rows]
+        assert stamps == sorted(stamps)
+        assert stamps[0] == pytest.approx(ga100.sampling_interval_s)
+
+    def test_aggregate_matches_record_metrics(self, ga100):
+        profiler = Profiler(ga100)
+        record = profiler.profile(get_workload("stream"))
+        assert profiler.aggregate(record) == record.metrics()

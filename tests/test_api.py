@@ -1,0 +1,57 @@
+"""Public API surface tests: imports, __all__ hygiene, version."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.gpusim",
+    "repro.workloads",
+    "repro.telemetry",
+    "repro.nn",
+    "repro.features",
+    "repro.baselines",
+    "repro.core",
+    "repro.experiments",
+]
+
+
+class TestImports:
+    def test_top_level(self):
+        import repro
+
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_entries_resolve(self, name):
+        """Everything in __all__ must actually exist on the module."""
+        module = importlib.import_module(name)
+        for entry in getattr(module, "__all__", []):
+            assert hasattr(module, entry), f"{name}.{entry} missing"
+
+    def test_no_duplicate_all_entries(self):
+        for name in SUBPACKAGES:
+            module = importlib.import_module(name)
+            entries = getattr(module, "__all__", [])
+            assert len(entries) == len(set(entries)), name
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_docstring(self, name):
+        assert importlib.import_module(name).__doc__
+
+    def test_every_public_symbol_documented(self):
+        """Every class/function exported from core has a docstring."""
+        import inspect
+
+        import repro.core as core
+
+        for entry in core.__all__:
+            obj = getattr(core, entry)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"repro.core.{entry} undocumented"

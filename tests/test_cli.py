@@ -1,0 +1,115 @@
+"""CLI tests: every subcommand end-to-end through main()."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestSpecs:
+    def test_ga100(self, capsys):
+        assert main(["specs", "--arch", "GA100"]) == 0
+        out = capsys.readouterr().out
+        assert "1410" in out and "500 W" in out
+        assert "61 usable of 81" in out
+
+    def test_gv100(self, capsys):
+        assert main(["specs", "--arch", "gv100"]) == 0
+        assert "117 usable of 167" in capsys.readouterr().out
+
+    def test_unknown_arch_exit_code(self, capsys):
+        assert main(["specs", "--arch", "H100"]) == 2
+        assert "unknown architecture" in capsys.readouterr().err
+
+
+class TestCollectTrainPredict:
+    """The full operational flow through the CLI."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self, tmp_path_factory):
+        data = tmp_path_factory.mktemp("campaign")
+        code = main(
+            [
+                "collect",
+                "--workloads", "dgemm,stream,spmv,lud",
+                "--freqs", "510,705,900,1095,1290,1410",
+                "--runs", "1",
+                "--max-samples", "6",
+                "--out", str(data),
+            ]
+        )
+        assert code == 0
+        return data
+
+    @pytest.fixture(scope="class")
+    def models(self, campaign, tmp_path_factory):
+        out = tmp_path_factory.mktemp("models")
+        code = main(
+            [
+                "train",
+                "--data", str(campaign),
+                "--out", str(out),
+                "--power-epochs", "20",
+                "--time-epochs", "10",
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_collect_wrote_csvs(self, campaign):
+        csvs = list(campaign.glob("*/*.csv"))
+        assert len(csvs) == 4 * 6  # workloads x clocks x 1 run
+
+    def test_train_wrote_models(self, models):
+        assert (models / "power.npz").exists()
+        assert (models / "time.npz").exists()
+        assert (models / "power.scalers.npz").exists()
+
+    def test_predict_outputs_selections(self, models, capsys):
+        code = main(["predict", "--models", str(models), "--workload", "lammps"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EDP" in out and "ED2P" in out and "MHz" in out
+
+    def test_predict_with_threshold(self, models, capsys):
+        code = main(
+            ["predict", "--models", str(models), "--workload", "resnet50", "--threshold", "0.01"]
+        )
+        assert code == 0
+        assert "MHz" in capsys.readouterr().out
+
+    def test_predict_cross_arch(self, models, capsys):
+        """GA100-trained models driving a GV100 prediction via the CLI."""
+        code = main(["predict", "--models", str(models), "--arch", "GV100", "--workload", "lstm"])
+        assert code == 0
+        assert "GV100" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_tab1(self, capsys):
+        assert main(["experiment", "tab1"]) == 0
+        assert "GA100" in capsys.readouterr().out
+
+    def test_fig1_fast(self, capsys):
+        assert main(["experiment", "fig1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "DGEMM optimal energy" in out
+
+    def test_extension_studies_listed(self):
+        from repro.cli import _EXPERIMENTS
+
+        assert {"pareto_study", "capping_study", "cluster_study", "phase_study", "gv100_savings"} <= _EXPERIMENTS
+
+    def test_cluster_study_fast(self, capsys):
+        assert main(["experiment", "cluster_study", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "model-driven" in out

@@ -1,0 +1,112 @@
+"""Cross-cutting property-based tests on the full simulator stack.
+
+These use hypothesis to generate whole kernel censuses and check the
+physical invariants the paper's method rests on: monotone power, bounded
+activities, time ordering, and selection consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ED2P, EDP, select_optimal_frequency
+from repro.gpusim import GA100, KernelCensus, NoiseModel, SimulatedGPU
+
+_DEVICE = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+
+
+@st.composite
+def censuses(draw):
+    """Random but physically plausible kernel censuses."""
+    return KernelCensus(
+        flops_fp64=draw(st.floats(0.0, 1e14)),
+        flops_fp32=draw(st.floats(1e9, 1e14)),
+        dram_bytes=draw(st.floats(1e8, 1e13)),
+        pcie_rx_bytes=draw(st.floats(0.0, 1e10)),
+        pcie_tx_bytes=draw(st.floats(0.0, 1e10)),
+        occupancy=draw(st.floats(0.1, 1.0)),
+        compute_efficiency=draw(st.floats(0.2, 1.0)),
+        memory_efficiency=draw(st.floats(0.2, 1.0)),
+        serial_fraction=draw(st.floats(0.0, 0.5)),
+        compute_latency_fraction=draw(st.floats(0.0, 0.8)),
+        concurrent_host_fraction=draw(st.floats(0.0, 2.0)),
+    )
+
+
+@given(census=censuses())
+@settings(max_examples=80, deadline=None)
+def test_time_monotone_nonincreasing_in_clock(census):
+    t_low = _DEVICE.true_time(census, 510.0)
+    t_mid = _DEVICE.true_time(census, 900.0)
+    t_high = _DEVICE.true_time(census, 1410.0)
+    assert t_low >= t_mid - 1e-12 >= t_high - 2e-12
+
+
+@given(census=censuses())
+@settings(max_examples=80, deadline=None)
+def test_power_monotone_and_bounded(census):
+    p_low = _DEVICE.true_power(census, 510.0)
+    p_high = _DEVICE.true_power(census, 1410.0)
+    assert p_low <= p_high + 1e-9
+    for p in (p_low, p_high):
+        assert GA100.idle_power_watts - 1e-9 <= p <= GA100.tdp_watts + 1e-9
+
+
+@given(census=censuses())
+@settings(max_examples=60, deadline=None)
+def test_activities_in_unit_interval_everywhere(census):
+    for f in (510.0, 1005.0, 1410.0):
+        bd = _DEVICE.timing.evaluate(census, f)
+        for name in ("fp_active", "fp64_active", "fp32_active", "dram_active", "sm_active", "gr_engine_active"):
+            value = getattr(bd, name)
+            assert 0.0 <= value <= 1.0, f"{name}={value} at {f} MHz"
+
+
+@given(census=censuses())
+@settings(max_examples=40, deadline=None)
+def test_energy_bounded_by_power_envelope(census):
+    """E(f) must lie between idle*T and TDP*T at every clock."""
+    for f in (510.0, 1005.0, 1410.0):
+        t = _DEVICE.true_time(census, f)
+        e = _DEVICE.true_energy(census, f)
+        assert GA100.idle_power_watts * t - 1e-6 <= e <= GA100.tdp_watts * t + 1e-6
+
+
+@given(census=censuses())
+@settings(max_examples=40, deadline=None)
+def test_selection_consistent_on_true_curves(census):
+    """Algorithm 1 on noise-free curves: ED2P optimum >= EDP optimum."""
+    freqs = _DEVICE.dvfs.usable_array()
+    power = np.array([_DEVICE.true_power(census, f) for f in freqs])
+    time = np.array([_DEVICE.true_time(census, f) for f in freqs])
+    energy = power * time
+    edp = select_optimal_frequency(freqs, energy, time, objective=EDP)
+    ed2p = select_optimal_frequency(freqs, energy, time, objective=ED2P)
+    assert ed2p.freq_mhz >= edp.freq_mhz - 1e-9
+    assert edp.energy_saving >= -1e-9
+
+
+@given(census=censuses(), seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_noisy_measurements_bracket_truth(census, seed):
+    """Noisy run aggregates stay within a few sigma of the true values."""
+    device = SimulatedGPU(GA100, seed=seed, max_samples_per_run=16)
+    record = device.run(census)
+    true_t = device.true_time(census, 1410.0)
+    true_p = device.true_power(census, 1410.0)
+    assert record.exec_time_s == pytest.approx(true_t, rel=0.10)
+    assert record.mean_power_w == pytest.approx(true_p, rel=0.10)
+
+
+@given(
+    census=censuses(),
+    threshold=st.floats(0.005, 0.5),
+)
+@settings(max_examples=30, deadline=None)
+def test_threshold_honored_on_arbitrary_workloads(census, threshold):
+    freqs = _DEVICE.dvfs.usable_array()
+    power = np.array([_DEVICE.true_power(census, f) for f in freqs])
+    time = np.array([_DEVICE.true_time(census, f) for f in freqs])
+    res = select_optimal_frequency(freqs, power * time, time, objective=EDP, threshold=threshold)
+    assert res.perf_degradation < threshold

@@ -1,0 +1,62 @@
+"""Workload base-class contract tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import KernelCensus
+from repro.workloads.base import Workload, WorkloadCategory
+
+
+class _Toy(Workload):
+    name = "toy"
+    category = WorkloadCategory.MICROBENCH
+    default_size = 100
+    min_size = 10
+    max_size = 1000
+
+    def census(self, size=None):
+        n = float(self.resolve_size(size))
+        return KernelCensus(flops_fp64=n, dram_bytes=n)
+
+
+class TestResolveSize:
+    def test_none_uses_default(self):
+        assert _Toy().resolve_size(None) == 100
+
+    def test_explicit_size(self):
+        assert _Toy().resolve_size(500) == 500
+
+    def test_below_min_rejected(self):
+        with pytest.raises(ValueError, match="outside supported range"):
+            _Toy().resolve_size(9)
+
+    def test_above_max_rejected(self):
+        with pytest.raises(ValueError, match="outside supported range"):
+            _Toy().resolve_size(1001)
+
+    def test_boundaries_accepted(self):
+        assert _Toy().resolve_size(10) == 10
+        assert _Toy().resolve_size(1000) == 1000
+
+
+class TestReferenceKernelContract:
+    def test_default_has_no_reference(self):
+        assert not _Toy().has_reference_kernel
+
+    def test_default_reference_raises(self):
+        with pytest.raises(NotImplementedError, match="toy"):
+            _Toy().run_reference(10, np.random.default_rng(0))
+
+    def test_subclass_with_reference_detected(self):
+        class WithRef(_Toy):
+            def run_reference(self, size, rng):
+                return {"checksum": 1.0}
+
+        assert WithRef().has_reference_kernel
+
+
+class TestCategoryEnum:
+    def test_values(self):
+        assert WorkloadCategory.MICROBENCH.value == "micro-benchmark"
+        assert WorkloadCategory.SPEC_ACCEL.value == "spec-accel"
+        assert WorkloadCategory.REAL_APP.value == "real-application"

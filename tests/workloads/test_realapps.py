@@ -1,0 +1,109 @@
+"""Real-application proxy tests: per-app character (paper Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GA100, SimulatedGPU
+from repro.gpusim.noise import NoiseModel
+from repro.workloads import evaluation_workloads, realapps
+from repro.workloads.base import WorkloadCategory
+
+
+@pytest.fixture(scope="module")
+def device():
+    return SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+
+
+ALL_APPS = [
+    realapps.LAMMPS(),
+    realapps.NAMD(),
+    realapps.GROMACS(),
+    realapps.LSTM(),
+    realapps.BERT(),
+    realapps.ResNet50(),
+]
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+class TestEveryApp:
+    def test_category(self, app):
+        assert app.category is WorkloadCategory.REAL_APP
+
+    def test_census_valid(self, app):
+        c = app.census()
+        assert c.total_flops > 0
+        assert c.dram_bytes > 0
+
+    def test_work_scales_with_steps(self, app):
+        small = app.census(app.min_size)
+        large = app.census(app.min_size * 10)
+        assert large.total_flops == pytest.approx(10.0 * small.total_flops, rel=0.01)
+
+    def test_runtime_reasonable(self, app, device):
+        t = device.true_time(app.census(), 1410.0)
+        assert 0.1 < t < 120.0
+
+
+class TestPerAppCharacter:
+    def test_bert_most_compute_dense(self, device):
+        activities = {
+            a.name: device.timing.evaluate(a.census(), 1410.0).fp_active for a in ALL_APPS
+        }
+        assert activities["bert"] == max(activities.values())
+
+    def test_lstm_low_utilization(self, device):
+        """Paper Section 7: LSTM is the low-utilization workload."""
+        bd = device.timing.evaluate(realapps.LSTM().census(), 1410.0)
+        assert bd.fp_active < 0.35
+        assert bd.sm_active < 0.75
+
+    def test_gromacs_time_dvfs_insensitive_near_top(self, device):
+        """Paper Section 5.1: GROMACS time barely moves under DVFS."""
+        c = realapps.GROMACS().census()
+        t_max = device.true_time(c, 1410.0)
+        t_1100 = device.true_time(c, 1110.0)
+        assert t_1100 / t_max < 1.05
+
+    def test_lstm_time_flat_down_to_mid_clocks(self, device):
+        c = realapps.LSTM().census()
+        t_max = device.true_time(c, 1410.0)
+        t_900 = device.true_time(c, 900.0)
+        assert t_900 / t_max < 1.10
+
+    def test_lammps_namd_compute_heavy(self, device):
+        for cls in (realapps.LAMMPS, realapps.NAMD):
+            bd = device.timing.evaluate(cls().census(), 1410.0)
+            assert bd.fp_active > 0.5, cls.__name__
+
+    def test_resnet50_mixed(self, device):
+        bd = device.timing.evaluate(realapps.ResNet50().census(), 1410.0)
+        assert 0.3 < bd.fp_active < 0.75
+        assert bd.dram_active > 0.3
+
+    def test_lammps_fp64_namd_fp32(self):
+        assert realapps.LAMMPS().census().flops_fp64 > 0
+        assert realapps.LAMMPS().census().flops_fp32 == 0
+        assert realapps.NAMD().census().flops_fp32 > 0
+        assert realapps.NAMD().census().flops_fp64 == 0
+
+    def test_real_apps_flatter_than_dgemm(self, device):
+        """Real codes slow down less at f_min than the ideal DGEMM kernel."""
+        from repro.workloads.microbench import DGEMM
+
+        dgemm_slow = device.true_time(DGEMM().census(), 510.0) / device.true_time(
+            DGEMM().census(), 1410.0
+        )
+        for app in ALL_APPS:
+            c = app.census()
+            slow = device.true_time(c, 510.0) / device.true_time(c, 1410.0)
+            assert slow < dgemm_slow, app.name
+
+
+class TestEvaluationSetIntegrity:
+    def test_registry_returns_all_six(self):
+        assert {w.name for w in evaluation_workloads()} == {a.name for a in ALL_APPS}
+
+    def test_apps_have_no_reference_kernels(self):
+        """Real apps are census-only proxies (documented substitution)."""
+        for app in ALL_APPS:
+            assert not app.has_reference_kernel

@@ -1,0 +1,83 @@
+"""Reference-kernel validation for the newly runnable proxies."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import spec_accel
+
+
+class TestNWReference:
+    def test_identical_sequences_score_maximum(self):
+        """Aligning a sequence against itself scores 2 per position."""
+        w = spec_accel.NW()
+
+        class FixedRng:
+            def __init__(self, seq):
+                self.seq = seq
+                self.calls = 0
+
+            def integers(self, lo, hi, size):
+                self.calls += 1
+                return self.seq
+
+        seq = np.tile(np.array([0, 1, 2, 3]), 16)  # length 64 (min size)
+        out = w.run_reference(64, FixedRng(seq))
+        assert out["checksum"] == 2.0 * 64
+
+    def test_random_alignment_bounded(self):
+        w = spec_accel.NW()
+        out = w.run_reference(64, np.random.default_rng(0))
+        assert -64.0 <= out["checksum"] <= 2.0 * 64
+
+    def test_reproducible(self):
+        w = spec_accel.NW()
+        a = w.run_reference(64, np.random.default_rng(3))
+        b = w.run_reference(64, np.random.default_rng(3))
+        assert a["checksum"] == b["checksum"]
+
+    def test_census_flop_rate_matches_reference(self):
+        w = spec_accel.NW(alignments=1)
+        ref = w.run_reference(128, np.random.default_rng(0))
+        assert ref["flops"] == pytest.approx(w.census(128).flops_fp32)
+
+
+class TestHotspotReference:
+    def test_uniform_field_with_no_power_is_fixed_point(self):
+        w = spec_accel.Hotspot()
+
+        class ConstRng:
+            def __init__(self):
+                self.call = 0
+
+            def uniform(self, lo, hi, size):
+                self.call += 1
+                # First call = temperature (constant), second = power (zero).
+                return np.full(size, 60.0) if self.call == 1 else np.zeros(size)
+
+        out = w.run_reference(32, ConstRng())
+        assert out["checksum"] == pytest.approx(60.0 * 32 * 32)
+
+    def test_positive_power_heats(self):
+        """With strictly positive power everywhere, total heat rises."""
+        w = spec_accel.Hotspot()
+        out = w.run_reference(32, np.random.default_rng(0))
+        g = np.random.default_rng(0)
+        temp = g.uniform(40.0, 90.0, size=(32, 32))
+        assert out["checksum"] > temp.sum() - 1e-6
+
+
+class TestTPACFReference:
+    def test_histogram_counts_all_pairs(self):
+        w = spec_accel.TPACF()
+        n = 256
+        out = w.run_reference(n, np.random.default_rng(0))
+        assert out["checksum"] == n * (n - 1) / 2
+
+    def test_size_capped_for_demo(self):
+        w = spec_accel.TPACF()
+        out = w.run_reference(100_000, np.random.default_rng(0))
+        assert out["checksum"] == 2048 * 2047 / 2
+
+    def test_reference_flag_now_set(self):
+        for cls in (spec_accel.NW, spec_accel.Hotspot, spec_accel.TPACF):
+            assert cls().has_reference_kernel, cls.__name__

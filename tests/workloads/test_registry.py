@@ -1,0 +1,91 @@
+"""Registry tests: paper Table 2 contents and grouping."""
+
+import pytest
+
+from repro.workloads import (
+    WorkloadCategory,
+    WorkloadRegistry,
+    default_registry,
+    evaluation_workloads,
+    get_workload,
+    training_workloads,
+)
+from repro.workloads.microbench import DGEMM
+
+#: Paper Table 2, SPEC ACCEL row.
+SPEC_NAMES = {
+    "tpacf", "stencil", "lbm", "fft", "spmv", "mriq", "histo", "bfs", "cutcp",
+    "kmeans", "lavamd", "cfd", "nw", "hotspot", "lud", "ge", "srad",
+    "heartwall", "bplustree",
+}
+#: Paper Table 2, real-world row.
+REAL_NAMES = {"lammps", "namd", "gromacs", "lstm", "bert", "resnet50"}
+
+
+class TestTable2Contents:
+    def test_total_workload_count(self):
+        assert len(default_registry()) == 27
+
+    def test_training_set_is_21(self):
+        assert len(training_workloads()) == 21
+
+    def test_evaluation_set_is_6(self):
+        assert len(evaluation_workloads()) == 6
+
+    def test_spec_accel_names(self):
+        reg = default_registry()
+        spec = {w.name for w in reg.by_category(WorkloadCategory.SPEC_ACCEL)}
+        assert spec == SPEC_NAMES
+
+    def test_microbench_names(self):
+        reg = default_registry()
+        micro = {w.name for w in reg.by_category(WorkloadCategory.MICROBENCH)}
+        assert micro == {"dgemm", "stream"}
+
+    def test_real_app_names(self):
+        assert {w.name for w in evaluation_workloads()} == REAL_NAMES
+
+    def test_training_and_evaluation_disjoint(self):
+        train = {w.name for w in training_workloads()}
+        evaluate = {w.name for w in evaluation_workloads()}
+        assert not (train & evaluate)
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_workload("DGEMM").name == "dgemm"
+        assert get_workload("LaMmPs").name == "lammps"
+
+    def test_unknown_raises_with_names(self):
+        with pytest.raises(KeyError, match="dgemm"):
+            get_workload("does-not-exist")
+
+    def test_contains(self):
+        reg = default_registry()
+        assert "stream" in reg
+        assert "STREAM" in reg
+        assert "nope" not in reg
+
+
+class TestCustomRegistry:
+    def test_register_and_get(self):
+        reg = WorkloadRegistry()
+        reg.register(DGEMM())
+        assert reg.get("dgemm").name == "dgemm"
+
+    def test_duplicate_rejected(self):
+        reg = WorkloadRegistry()
+        reg.register(DGEMM())
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(DGEMM())
+
+    def test_overwrite_allowed(self):
+        reg = WorkloadRegistry()
+        reg.register(DGEMM())
+        replacement = DGEMM(repetitions=2)
+        reg.register(replacement, overwrite=True)
+        assert reg.get("dgemm") is replacement
+
+    def test_names_sorted(self):
+        names = default_registry().names()
+        assert names == sorted(names)

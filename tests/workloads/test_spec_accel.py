@@ -1,0 +1,184 @@
+"""SPEC ACCEL proxy tests: census scaling laws and benchmark character."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GA100, SimulatedGPU
+from repro.gpusim.noise import NoiseModel
+from repro.workloads import spec_accel, training_workloads
+from repro.workloads.base import WorkloadCategory
+
+ALL_SPEC = [
+    spec_accel.TPACF(),
+    spec_accel.Stencil(),
+    spec_accel.LBM(),
+    spec_accel.FFT(),
+    spec_accel.SPMV(),
+    spec_accel.MRIQ(),
+    spec_accel.Histo(),
+    spec_accel.BFS(),
+    spec_accel.CUTCP(),
+    spec_accel.KMeans(),
+    spec_accel.LavaMD(),
+    spec_accel.CFD(),
+    spec_accel.NW(),
+    spec_accel.Hotspot(),
+    spec_accel.LUD(),
+    spec_accel.GE(),
+    spec_accel.SRAD(),
+    spec_accel.HeartWall(),
+    spec_accel.BPlusTree(),
+]
+
+
+@pytest.mark.parametrize("workload", ALL_SPEC, ids=lambda w: w.name)
+class TestEverySpecWorkload:
+    def test_census_valid_at_default_size(self, workload):
+        c = workload.census()
+        assert c.total_flops >= 0
+        assert c.dram_bytes > 0
+
+    def test_category(self, workload):
+        assert workload.category is WorkloadCategory.SPEC_ACCEL
+
+    def test_census_deterministic(self, workload):
+        a, b = workload.census(), workload.census()
+        assert a.total_flops == b.total_flops
+        assert a.dram_bytes == b.dram_bytes
+
+    def test_census_grows_with_size(self, workload):
+        small = workload.census(workload.min_size)
+        # Pick a bigger-but-legal size.
+        big_size = min(workload.max_size, workload.min_size * 4)
+        big = workload.census(big_size)
+        assert big.total_flops >= small.total_flops
+        assert big.dram_bytes >= small.dram_bytes
+
+    def test_size_below_min_rejected(self, workload):
+        with pytest.raises(ValueError, match="size"):
+            workload.census(workload.min_size - 1)
+
+    def test_runtime_reasonable_on_ga100(self, workload):
+        """Default sizes must run between ~0.1 s and 120 s at f_max."""
+        dev = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+        t = dev.true_time(workload.census(), 1410.0)
+        assert 0.05 < t < 120.0
+
+
+class TestScalingLaws:
+    """Each proxy's census must follow its algorithm's complexity."""
+
+    def test_tpacf_quadratic_in_points(self):
+        w = spec_accel.TPACF(datasets=1)
+        ratio = w.census(2000).flops_fp64 / w.census(1000).flops_fp64
+        assert ratio == pytest.approx(4.0, rel=0.01)
+
+    def test_stencil_cubic_in_edge(self):
+        w = spec_accel.Stencil(iterations=1)
+        ratio = w.census(64).flops_fp32 / w.census(32).flops_fp32
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+    def test_fft_nlogn(self):
+        w = spec_accel.FFT(batches=1, repetitions=1)
+        f1 = w.census(1024).flops_fp32
+        f2 = w.census(2048).flops_fp32
+        assert f2 / f1 == pytest.approx(2.0 * 11.0 / 10.0, rel=0.01)
+
+    def test_spmv_linear_in_nnz(self):
+        w = spec_accel.SPMV(repetitions=1)
+        ratio = w.census(2_000_000).flops_fp64 / w.census(1_000_000).flops_fp64
+        assert ratio == pytest.approx(2.0, rel=0.01)
+
+    def test_lud_cubic(self):
+        w = spec_accel.LUD(repetitions=1)
+        ratio = w.census(512).flops_fp32 / w.census(256).flops_fp32
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+    def test_nw_quadratic(self):
+        w = spec_accel.NW(alignments=1)
+        ratio = w.census(1024).flops_fp32 / w.census(512).flops_fp32
+        assert ratio == pytest.approx(4.0, rel=0.01)
+
+    def test_lavamd_cubic_in_grid(self):
+        w = spec_accel.LavaMD(iterations=1)
+        ratio = w.census(8).flops_fp64 / w.census(4).flops_fp64
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+
+class TestCharacterDiversity:
+    """The suite must span compute-bound to memory/latency-bound."""
+
+    @pytest.fixture(scope="class")
+    def activities(self):
+        dev = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+        out = {}
+        for w in ALL_SPEC:
+            bd = dev.timing.evaluate(w.census(), 1410.0)
+            out[w.name] = (bd.fp_active, bd.dram_active)
+        return out
+
+    def test_compute_bound_group(self, activities):
+        for name in ("tpacf", "mriq", "cutcp", "lavamd"):
+            fp, dram = activities[name]
+            assert fp > 0.5, f"{name} should be compute-bound (fp={fp:.2f})"
+
+    def test_memory_bound_group(self, activities):
+        for name in ("spmv", "lbm", "stencil", "hotspot", "srad"):
+            fp, dram = activities[name]
+            assert dram > 0.45, f"{name} should be memory-bound (dram={dram:.2f})"
+            assert fp < 0.3
+
+    def test_latency_bound_group_low_everything(self, activities):
+        for name in ("bfs", "bplustree", "histo"):
+            fp, dram = activities[name]
+            assert fp < 0.15, f"{name} should have low FP activity"
+
+    def test_activity_space_spread(self, activities):
+        """Training data must cover the feature plane, not one cluster."""
+        fps = np.array([v[0] for v in activities.values()])
+        drams = np.array([v[1] for v in activities.values()])
+        assert fps.max() - fps.min() > 0.5
+        assert drams.max() - drams.min() > 0.5
+
+
+class TestReferenceKernels:
+    def test_stencil_reference_shrinks_variance(self):
+        """A smoothing stencil must reduce the field's variance."""
+        w = spec_accel.Stencil()
+        out = w.run_reference(24, np.random.default_rng(0))
+        assert np.isfinite(out["checksum"])
+
+    def test_histo_reference_counts_all(self):
+        w = spec_accel.Histo()
+        out = w.run_reference(50_000, np.random.default_rng(0))
+        assert out["checksum"] >= 1
+
+    def test_spmv_reference_runs(self):
+        w = spec_accel.SPMV()
+        out = w.run_reference(20_000, np.random.default_rng(0))
+        assert np.isfinite(out["checksum"])
+
+    def test_kmeans_reference_assignments(self):
+        w = spec_accel.KMeans()
+        out = w.run_reference(512, np.random.default_rng(0))
+        assert 0 <= out["checksum"] <= 512 * (w.clusters - 1)
+
+    def test_bfs_reference_reaches_nodes(self):
+        w = spec_accel.BFS()
+        out = w.run_reference(4096, np.random.default_rng(0))
+        assert out["checksum"] > 0
+
+    def test_fft_reference_parseval_like(self):
+        w = spec_accel.FFT()
+        out = w.run_reference(256, np.random.default_rng(0))
+        assert out["checksum"] > 0
+
+    def test_lud_reference_runs(self):
+        w = spec_accel.LUD()
+        out = w.run_reference(64, np.random.default_rng(0))
+        assert np.isfinite(out["checksum"])
+
+    def test_training_set_includes_all_spec(self):
+        names = {w.name for w in training_workloads()}
+        for w in ALL_SPEC:
+            assert w.name in names

@@ -1,0 +1,103 @@
+"""Phase/trace workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GA100, KernelCensus, NoiseModel, SimulatedGPU
+from repro.workloads.trace import Phase, PhasedWorkload, RecommenderTraining, merge_censuses
+
+
+def phase(name, *, flops=1e12, dram=1e11, weight=1.0, **kw):
+    return Phase(name, KernelCensus(flops_fp64=flops, dram_bytes=dram, **kw), duration_weight=weight)
+
+
+class TestMerge:
+    def test_extensive_quantities_sum(self):
+        merged = merge_censuses([phase("a", flops=1e12, dram=1e11), phase("b", flops=2e12, dram=3e11)])
+        assert merged.flops_fp64 == pytest.approx(3e12)
+        assert merged.dram_bytes == pytest.approx(4e11)
+
+    def test_intensive_quantities_weighted(self):
+        a = phase("a", occupancy=0.4, weight=1.0)
+        b = phase("b", occupancy=0.8, weight=3.0)
+        merged = merge_censuses([a, b])
+        assert merged.occupancy == pytest.approx(0.4 * 0.25 + 0.8 * 0.75)
+
+    def test_single_phase_identity(self):
+        p = phase("solo", flops=5e11, dram=2e11, occupancy=0.66)
+        merged = merge_censuses([p])
+        assert merged.flops_fp64 == p.census.flops_fp64
+        assert merged.occupancy == pytest.approx(0.66)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_censuses([])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="duration_weight"):
+            phase("bad", weight=0.0)
+
+
+class TestRecommender:
+    def test_two_phases(self):
+        phases = RecommenderTraining().phases()
+        assert [p.name for p in phases] == ["embedding", "mlp"]
+
+    def test_phases_scale_with_steps(self):
+        w = RecommenderTraining()
+        small = w.phases(100)
+        large = w.phases(1000)
+        for s, l in zip(small, large):
+            assert l.census.total_flops == pytest.approx(10.0 * s.census.total_flops, rel=0.01)
+
+    def test_phases_occupy_opposite_corners(self):
+        dev = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+        phases = RecommenderTraining().phases()
+        bd = {p.name: dev.timing.evaluate(p.census, 1410.0) for p in phases}
+        assert bd["mlp"].fp_active > 0.5
+        assert bd["mlp"].dram_active < 0.2
+        assert bd["embedding"].fp_active < 0.1
+        assert bd["embedding"].dram_active > 0.3
+
+    def test_merged_census_sits_between(self):
+        dev = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+        w = RecommenderTraining()
+        merged_bd = dev.timing.evaluate(w.census(), 1410.0)
+        phases = {p.name: dev.timing.evaluate(p.census, 1410.0) for p in w.phases()}
+        assert phases["embedding"].fp_active < merged_bd.fp_active < phases["mlp"].fp_active
+
+    def test_runtime_reasonable(self):
+        dev = SimulatedGPU(GA100, seed=0, noise=NoiseModel.disabled())
+        total = sum(dev.true_time(p.census, 1410.0) for p in RecommenderTraining().phases())
+        assert 0.2 < total < 60.0
+
+    def test_base_class_requires_phases(self):
+        class Broken(PhasedWorkload):
+            name = "broken"
+            default_size = 1
+
+        with pytest.raises(NotImplementedError):
+            Broken().census()
+
+
+class TestPhasedPipeline:
+    def test_phased_online_runs(self, fast_ctx):
+        pipe = fast_ctx.pipeline("GA100")
+        result = pipe.run_online_phased(RecommenderTraining())
+        assert result.freqs_mhz.size == 61
+        assert np.all(result.power_w > 0)
+        assert np.all(result.time_s > 0)
+        assert "ED2P" in result.selections
+
+    def test_phased_time_is_sum_of_measurable_phases(self, fast_ctx):
+        pipe = fast_ctx.pipeline("GA100")
+        result = pipe.run_online_phased(RecommenderTraining())
+        # At f_max the composite prediction equals the measured total.
+        assert result.time_s[-1] == pytest.approx(result.measured_time_at_max_s, rel=0.15)
+
+    def test_unfitted_pipeline_rejected(self):
+        from repro.core import FrequencySelectionPipeline
+
+        pipe = FrequencySelectionPipeline(SimulatedGPU(GA100, seed=0))
+        with pytest.raises(RuntimeError, match="fit_offline"):
+            pipe.run_online_phased(RecommenderTraining())
