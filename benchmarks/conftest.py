@@ -52,6 +52,22 @@ def report():
     return _record
 
 
+#: Bench modules cheap enough to run on every invocation (no shared
+#: paper-profile context, no DNN training) — everything else is ``slow``.
+_FAST_BENCH_MODULES = {"test_perf_collection.py"}
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark the full-sweep paper benches ``slow``.
+
+    They train the DNNs and measure brute-force ground-truth sweeps, so
+    tier-1 and quick perf checks can deselect them with ``-m 'not slow'``.
+    """
+    for item in items:
+        if item.path.name not in _FAST_BENCH_MODULES:
+            item.add_marker(pytest.mark.slow)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Print every registered figure/table after the timing results."""
     if not _RENDERED:

@@ -21,9 +21,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.gpusim.device import SimulatedGPU
-from repro.telemetry.csvio import read_samples_csv
-from repro.telemetry.launch import LaunchConfig, Launcher, RunArtifact
+from repro.gpusim.device import METRIC_INDEX, SimulatedGPU
+from repro.telemetry.csvio import read_columns_csv
+from repro.telemetry.launch import Launcher, RunArtifact
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -71,20 +71,94 @@ class SweepSample:
 
 
 class DVFSDataset:
-    """Column-oriented view over sweep samples, ready for training."""
+    """Column-oriented view over sweep samples, ready for training.
+
+    The matrices are the primary storage; the :attr:`samples` row view is
+    materialized lazily for consumers that want one object per row.
+    Construct from row objects (``DVFSDataset(samples)``) or directly from
+    column blocks (:meth:`from_columns`) — the launcher/dataset fast path
+    uses the latter and never builds per-row Python objects at all.
+    """
 
     def __init__(self, samples: list[SweepSample]) -> None:
         if not samples:
             raise ValueError("dataset needs at least one sample")
-        self.samples = list(samples)
+        self._samples: list[SweepSample] | None = list(samples)
         self._x = np.stack([s.features.as_array() for s in samples])
         self._power = np.array([s.power_w for s in samples])
         self._time = np.array([s.time_s for s in samples])
         self._slowdown = np.array([s.slowdown for s in samples])
         self._workloads = np.array([s.workload for s in samples])
+        self._run_index = np.array([s.run_index for s in samples])
+
+    @classmethod
+    def from_columns(
+        cls,
+        *,
+        x: np.ndarray,
+        power: np.ndarray,
+        time: np.ndarray,
+        slowdown: np.ndarray,
+        workloads: np.ndarray,
+        run_index: np.ndarray,
+    ) -> "DVFSDataset":
+        """Build a dataset directly from column blocks (no row objects)."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != 3:
+            raise ValueError(f"x must be (n, 3), got {x.shape}")
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("dataset needs at least one sample")
+        power = np.asarray(power, dtype=float)
+        time = np.asarray(time, dtype=float)
+        slowdown = np.asarray(slowdown, dtype=float)
+        workloads = np.asarray(workloads)
+        run_index = np.asarray(run_index)
+        for name, col in (
+            ("power", power),
+            ("time", time),
+            ("slowdown", slowdown),
+            ("workloads", workloads),
+            ("run_index", run_index),
+        ):
+            if col.shape != (n,):
+                raise ValueError(f"{name} must be ({n},), got {col.shape}")
+        obj = cls.__new__(cls)
+        obj._samples = None
+        obj._x = x
+        obj._power = power
+        obj._time = time
+        obj._slowdown = slowdown
+        obj._workloads = workloads
+        obj._run_index = run_index
+        return obj
+
+    @property
+    def samples(self) -> list[SweepSample]:
+        """Row view (one :class:`SweepSample` per row), built lazily."""
+        if self._samples is None:
+            self._samples = [
+                SweepSample(
+                    workload=str(w),
+                    features=FeatureVector(row[0], row[1], row[2]),
+                    power_w=p,
+                    time_s=t,
+                    slowdown=s,
+                    run_index=int(r),
+                )
+                for w, row, p, t, s, r in zip(
+                    self._workloads,
+                    self._x.tolist(),
+                    self._power.tolist(),
+                    self._time.tolist(),
+                    self._slowdown.tolist(),
+                    self._run_index,
+                )
+            ]
+        return self._samples
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return int(self._x.shape[0])
 
     @property
     def x(self) -> np.ndarray:
@@ -113,10 +187,17 @@ class DVFSDataset:
 
     def for_workload(self, name: str) -> "DVFSDataset":
         """Subset containing one workload's samples."""
-        subset = [s for s in self.samples if s.workload == name]
-        if not subset:
+        mask = self._workloads == name
+        if not mask.any():
             raise KeyError(f"no samples for workload {name!r}")
-        return DVFSDataset(subset)
+        return DVFSDataset.from_columns(
+            x=self._x[mask],
+            power=self._power[mask],
+            time=self._time[mask],
+            slowdown=self._slowdown[mask],
+            workloads=self._workloads[mask],
+            run_index=self._run_index[mask],
+        )
 
     def mean_curve(self, target: str = "power") -> tuple[np.ndarray, np.ndarray]:
         """(freqs, mean target) averaged over repeated runs, ascending freq.
@@ -147,25 +228,34 @@ def _aggregate_sample(artifact: RunArtifact, t_ref: float) -> SweepSample:
     )
 
 
-def _per_sample_rows(artifact: RunArtifact, t_ref: float) -> list[SweepSample]:
-    out = []
+_FP64 = METRIC_INDEX["fp64_active"]
+_FP32 = METRIC_INDEX["fp32_active"]
+_DRAM = METRIC_INDEX["dram_active"]
+_CLOCK = METRIC_INDEX["sm_app_clock"]
+_POWER = METRIC_INDEX["power_usage"]
+
+
+def _feature_matrix(fp64, fp32, dram, clock) -> np.ndarray:
+    """(n, 3) Eq. 1 feature block from per-sample metric columns."""
+    return np.column_stack([fp64 + fp32, dram, clock])
+
+
+def _per_sample_columns(
+    artifact: RunArtifact, t_ref: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One artifact's per-sample training columns (x, power, time, slowdown,
+    workload, run_index) straight from the record's metrics block."""
+    block = artifact.record.metrics_block
+    n = block.shape[0]
     exec_time = artifact.record.exec_time_s
-    for s in artifact.record.samples:
-        out.append(
-            SweepSample(
-                workload=artifact.workload,
-                features=FeatureVector(
-                    fp_active=s.fp64_active + s.fp32_active,
-                    dram_active=s.dram_active,
-                    sm_app_clock=s.sm_app_clock,
-                ),
-                power_w=s.power_usage,
-                time_s=exec_time,
-                slowdown=exec_time / t_ref,
-                run_index=artifact.run_index,
-            )
-        )
-    return out
+    return (
+        _feature_matrix(block[:, _FP64], block[:, _FP32], block[:, _DRAM], block[:, _CLOCK]),
+        block[:, _POWER],
+        np.full(n, exec_time),
+        np.full(n, exec_time / t_ref),
+        np.full(n, artifact.workload),
+        np.full(n, artifact.run_index),
+    )
 
 
 def build_dataset(
@@ -197,10 +287,15 @@ def build_dataset(
             raise ValueError(f"workload {name!r} has no run at the reference clock {top} MHz")
         t_ref[name] = float(np.mean(ref_runs))
     if per_sample:
-        samples: list[SweepSample] = []
-        for a in artifacts:
-            samples.extend(_per_sample_rows(a, t_ref[a.workload]))
-        return DVFSDataset(samples)
+        parts = [_per_sample_columns(a, t_ref[a.workload]) for a in artifacts]
+        return DVFSDataset.from_columns(
+            x=np.concatenate([p[0] for p in parts]),
+            power=np.concatenate([p[1] for p in parts]),
+            time=np.concatenate([p[2] for p in parts]),
+            slowdown=np.concatenate([p[3] for p in parts]),
+            workloads=np.concatenate([p[4] for p in parts]),
+            run_index=np.concatenate([p[5] for p in parts]),
+        )
     return DVFSDataset([_aggregate_sample(a, t_ref[a.workload]) for a in artifacts])
 
 
@@ -240,60 +335,58 @@ def dataset_from_csv_dir(root: str | Path, *, per_sample: bool = True) -> DVFSDa
     root = Path(root)
     if not root.is_dir():
         raise FileNotFoundError(f"{root} is not a directory")
-    run_rows: list[tuple[str, float, float, list[dict[str, float]]]] = []
+    run_blocks: list[tuple[str, float, float, dict[str, np.ndarray]]] = []
     for csv_path in sorted(root.glob("*/*.csv")):
         workload = csv_path.parent.name
-        rows = read_samples_csv(csv_path)
-        if not rows:
+        header, data = read_columns_csv(csv_path)
+        if data.shape[0] == 0:
             raise ValueError(f"{csv_path}: no sample rows")
-        freq = rows[0]["sm_app_clock"]
-        exec_time = rows[0]["exec_time"]
-        run_rows.append((workload, freq, exec_time, rows))
-    if not run_rows:
+        cols = {name: data[:, j] for j, name in enumerate(header)}
+        freq = float(cols["sm_app_clock"][0])
+        exec_time = float(cols["exec_time"][0])
+        run_blocks.append((workload, freq, exec_time, cols))
+    if not run_blocks:
         raise ValueError(f"{root}: no run CSVs found (expected <workload>/<run>.csv)")
 
-    top = max(freq for _, freq, _, _ in run_rows)
+    top = max(freq for _, freq, _, _ in run_blocks)
     t_ref: dict[str, float] = {}
-    for name in {w for w, _, _, _ in run_rows}:
-        refs = [t for w, f, t, _ in run_rows if w == name and f == top]
+    for name in {w for w, _, _, _ in run_blocks}:
+        refs = [t for w, f, t, _ in run_blocks if w == name and f == top]
         if not refs:
             raise ValueError(f"workload {name!r} has no run at the reference clock {top} MHz")
         t_ref[name] = float(np.mean(refs))
 
-    samples: list[SweepSample] = []
-    for run_index, (workload, freq, exec_time, rows) in enumerate(run_rows):
+    xs, powers, times, slowdowns, workloads, run_indices = [], [], [], [], [], []
+    for run_index, (workload, freq, exec_time, cols) in enumerate(run_blocks):
         slowdown = exec_time / t_ref[workload]
         if per_sample:
-            for row in rows:
-                samples.append(
-                    SweepSample(
-                        workload=workload,
-                        features=FeatureVector(
-                            fp_active=row["fp64_active"] + row["fp32_active"],
-                            dram_active=row["dram_active"],
-                            sm_app_clock=freq,
-                        ),
-                        power_w=row["power_usage"],
-                        time_s=exec_time,
-                        slowdown=slowdown,
-                        run_index=run_index,
-                    )
-                )
-        else:
-            fp = float(np.mean([r["fp64_active"] + r["fp32_active"] for r in rows]))
-            dram = float(np.mean([r["dram_active"] for r in rows]))
-            power = float(np.mean([r["power_usage"] for r in rows]))
-            samples.append(
-                SweepSample(
-                    workload=workload,
-                    features=FeatureVector(fp, dram, freq),
-                    power_w=power,
-                    time_s=exec_time,
-                    slowdown=slowdown,
-                    run_index=run_index,
+            n = cols["power_usage"].shape[0]
+            xs.append(
+                _feature_matrix(
+                    cols["fp64_active"], cols["fp32_active"], cols["dram_active"], np.full(n, freq)
                 )
             )
-    return DVFSDataset(samples)
+            powers.append(cols["power_usage"])
+            times.append(np.full(n, exec_time))
+            slowdowns.append(np.full(n, slowdown))
+            workloads.append(np.full(n, workload))
+            run_indices.append(np.full(n, run_index))
+        else:
+            fp = float((cols["fp64_active"] + cols["fp32_active"]).mean())
+            xs.append(np.array([[fp, cols["dram_active"].mean(), freq]]))
+            powers.append(np.array([cols["power_usage"].mean()]))
+            times.append(np.array([exec_time]))
+            slowdowns.append(np.array([slowdown]))
+            workloads.append(np.array([workload]))
+            run_indices.append(np.array([run_index]))
+    return DVFSDataset.from_columns(
+        x=np.concatenate(xs),
+        power=np.concatenate(powers),
+        time=np.concatenate(times),
+        slowdown=np.concatenate(slowdowns),
+        workloads=np.concatenate(workloads),
+        run_index=np.concatenate(run_indices),
+    )
 
 
 def features_at_max(
@@ -309,12 +402,11 @@ def features_at_max(
     the prediction phase needs about an unseen application.
     """
     launcher = Launcher(device)
-    config = LaunchConfig(
-        freqs_mhz=(device.arch.default_core_freq_mhz,),
-        runs_per_config=runs,
-        sizes={} if size is None else {workload.name: size},
+    artifacts = launcher.collect_at_max(
+        [workload],
+        runs=runs,
+        sizes=None if size is None else {workload.name: size},
     )
-    artifacts = launcher.collect([workload], config)
     metrics = [a.record.metrics() for a in artifacts]
     fp = float(np.mean([m["fp64_active"] + m["fp32_active"] for m in metrics]))
     dram = float(np.mean([m["dram_active"] for m in metrics]))

@@ -83,12 +83,17 @@ class FrequencySelectionPipeline:
         runs_per_config: int = 3,
         freqs_mhz: tuple[float, ...] | None = None,
         sizes: dict[str, int] | None = None,
+        workers: int | None = None,
     ) -> DVFSDataset:
         """Collect the training sweep and train both models.
 
         Defaults follow the paper: every usable clock, three runs each.
-        Returns the assembled dataset (kept on the pipeline for
-        inspection and for the figure benches).
+        ``workers`` parallelizes the campaign over (workload, freq, run)
+        cells with deterministic per-cell RNGs (see
+        :mod:`repro.telemetry.parallel`); the resulting dataset is
+        bitwise-independent of the worker count.  Returns the assembled
+        dataset (kept on the pipeline for inspection and for the figure
+        benches).
         """
         freqs = freqs_mhz if freqs_mhz is not None else tuple(self.device.dvfs.usable_mhz)
         launcher = Launcher(self.device)
@@ -97,7 +102,7 @@ class FrequencySelectionPipeline:
             runs_per_config=runs_per_config,
             sizes=sizes if sizes is not None else {},
         )
-        artifacts = launcher.collect(training_workloads, config)
+        artifacts = launcher.collect(training_workloads, config, workers=workers)
         # Per-sample rows: every 20 ms sensor sample is a training row,
         # the paper's "statistically significant dataset" (Section 4).
         dataset = build_dataset(artifacts, max_freq_mhz=max(freqs), per_sample=True)
@@ -239,12 +244,14 @@ class FrequencySelectionPipeline:
         *,
         runs_per_config: int = 1,
         size: int | None = None,
+        workers: int | None = None,
     ) -> DVFSDataset:
         """Measure an application across the whole design space.
 
         This is the expensive brute-force path the paper's method avoids;
         the benches use it as ground truth for Figures 7-10 and Tables
-        3-6.
+        3-6.  ``workers`` parallelizes the sweep deterministically, as in
+        :meth:`fit_offline`.
         """
         launcher = Launcher(self.device)
         config = LaunchConfig(
@@ -252,5 +259,5 @@ class FrequencySelectionPipeline:
             runs_per_config=runs_per_config,
             sizes={} if size is None else {workload.name: size},
         )
-        artifacts = launcher.collect([workload], config)
+        artifacts = launcher.collect([workload], config, workers=workers)
         return build_dataset(artifacts)

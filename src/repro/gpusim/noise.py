@@ -59,5 +59,44 @@ class NoiseModel:
 
     def perturb_activity(self, rng: np.random.Generator, fraction: float, *, extra_std: float = 0.0) -> float:
         """Noisy activity fraction, clipped into [0, 1]."""
-        std = float(np.hypot(self.activity_rel_std, extra_std))
+        std = self.activity_std(extra_std=extra_std)
         return float(np.clip(self._perturb(rng, fraction, std), 0.0, 1.0))
+
+    # ------------------------------------------------------------------
+    # Vectorized (batched) sampling
+    # ------------------------------------------------------------------
+    def activity_std(self, *, extra_std: float = 0.0) -> float:
+        """Effective log-std of one activity counter (base + extra drift)."""
+        return float(np.hypot(self.activity_rel_std, extra_std))
+
+    def perturb_columns(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        bases: np.ndarray,
+        stds: np.ndarray,
+    ) -> np.ndarray:
+        """``(n, k)`` block of noisy samples: column j is ``bases[j]`` under
+        log-normal noise of log-std ``stds[j]``.
+
+        Randomness is consumed as one row-major ``(n, k_active)`` block over
+        the columns with non-zero std — draw-for-draw the same stream order
+        as calling the scalar ``perturb_*`` methods metric-by-metric inside
+        a per-sample loop, so vectorized and scalar collection are bitwise
+        identical.  Zero-std columns consume no randomness, exactly like the
+        scalar short-circuit.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        bases = np.asarray(bases, dtype=float)
+        stds = np.asarray(stds, dtype=float)
+        if bases.shape != stds.shape or bases.ndim != 1:
+            raise ValueError("bases and stds must be 1-D arrays of equal length")
+        if np.any(stds < 0):
+            raise ValueError("stds must be non-negative")
+        out = np.repeat(bases[None, :], n, axis=0)
+        active = np.flatnonzero(stds > 0.0)
+        if active.size and n:
+            z = rng.standard_normal((n, active.size))
+            out[:, active] = bases[active] * np.exp(stds[active] * z)
+        return out

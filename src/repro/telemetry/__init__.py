@@ -11,6 +11,8 @@ package mirrors it against the simulated device:
   metrics on a fixed interval throughout execution ("profile module"),
 * :mod:`~repro.telemetry.launch` — orchestrates DVFS sweeps x workloads x
   repeats and persists one CSV per run ("launch module"),
+* :mod:`~repro.telemetry.parallel` — deterministic parallel campaign
+  execution (independent per-cell RNG streams, any worker count),
 * :mod:`~repro.telemetry.csvio` — the CSV persistence format.
 
 No compiling or linking is needed to profile a new workload — exactly the
@@ -19,14 +21,22 @@ Python objects implementing :class:`repro.workloads.Workload`.
 """
 
 from repro.telemetry.control import ClockController
-from repro.telemetry.csvio import read_samples_csv, write_samples_csv
+from repro.telemetry.csvio import (
+    read_columns_csv,
+    read_samples_csv,
+    write_columns_csv,
+    write_samples_csv,
+)
 from repro.telemetry.fields import FIELDS, FieldDef, field_by_id, field_by_name
 from repro.telemetry.launch import LaunchConfig, Launcher, RunArtifact
-from repro.telemetry.profile import Profiler
+from repro.telemetry.parallel import CampaignCell, plan_cells, run_campaign
+from repro.telemetry.profile import Profiler, record_as_rows, record_columns
 
 __all__ = [
     "ClockController",
+    "read_columns_csv",
     "read_samples_csv",
+    "write_columns_csv",
     "write_samples_csv",
     "FIELDS",
     "FieldDef",
@@ -35,5 +45,10 @@ __all__ = [
     "LaunchConfig",
     "Launcher",
     "RunArtifact",
+    "CampaignCell",
+    "plan_cells",
+    "run_campaign",
     "Profiler",
+    "record_as_rows",
+    "record_columns",
 ]

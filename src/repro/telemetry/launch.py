@@ -14,8 +14,8 @@ from pathlib import Path
 
 from repro.gpusim.device import RunRecord, SimulatedGPU
 from repro.telemetry.control import ClockController
-from repro.telemetry.csvio import write_samples_csv
-from repro.telemetry.profile import Profiler
+from repro.telemetry.csvio import write_columns_csv
+from repro.telemetry.profile import Profiler, record_columns
 from repro.workloads.base import Workload
 
 __all__ = ["LaunchConfig", "RunArtifact", "Launcher"]
@@ -63,13 +63,31 @@ class Launcher:
         self.controller = ClockController(device)
         self.profiler = Profiler(device)
 
-    def collect(self, workloads: list[Workload], config: LaunchConfig) -> list[RunArtifact]:
+    def collect(
+        self,
+        workloads: list[Workload],
+        config: LaunchConfig,
+        *,
+        workers: int | None = None,
+    ) -> list[RunArtifact]:
         """Run the campaign; returns one artifact per (workload, freq, run).
+
+        With ``workers=None`` (the default) the campaign runs sequentially
+        through the device's own clock and RNG — the historical behaviour,
+        where each run's noise continues the device stream.  Any integer
+        ``workers`` (including 1) switches to the deterministic campaign
+        scheme of :mod:`repro.telemetry.parallel`: every cell gets an
+        independent child RNG spawned from the device seed, so results are
+        bitwise-identical for any worker count.
 
         The device clock is always restored to the default afterwards,
         even if a workload raises — leaving a shared node at a throttled
         clock is the classic data-collection footgun.
         """
+        if workers is not None:
+            from repro.telemetry.parallel import run_campaign
+
+            return run_campaign(self.device, workloads, config, workers=workers)
         artifacts: list[RunArtifact] = []
         try:
             for workload in workloads:
@@ -85,7 +103,8 @@ class Launcher:
                                 / workload.name
                                 / f"{workload.name}_{int(round(actual))}mhz_run{run_idx}.csv"
                             )
-                            write_samples_csv(csv_path, self.profiler.samples_as_rows(record))
+                            header, columns = record_columns(record)
+                            write_columns_csv(csv_path, header, columns)
                         artifacts.append(
                             RunArtifact(
                                 workload=workload.name,
@@ -99,12 +118,25 @@ class Launcher:
             self.controller.reset()
         return artifacts
 
-    def collect_at_max(self, workloads: list[Workload], *, runs: int = 1) -> list[RunArtifact]:
+    def collect_at_max(
+        self,
+        workloads: list[Workload],
+        *,
+        runs: int = 1,
+        sizes: dict[str, int] | None = None,
+        workers: int | None = None,
+    ) -> list[RunArtifact]:
         """Collect only at the default/maximum clock.
 
         This is the *online phase* acquisition: the paper measures an
         unseen application once at the default clock and predicts the rest
-        of the DVFS space from those features.
+        of the DVFS space from those features.  ``sizes`` carries
+        per-workload size overrides through to the profiler, exactly as
+        :meth:`collect` honours them.
         """
-        config = LaunchConfig(freqs_mhz=(self.device.arch.default_core_freq_mhz,), runs_per_config=runs)
-        return self.collect(workloads, config)
+        config = LaunchConfig(
+            freqs_mhz=(self.device.arch.default_core_freq_mhz,),
+            runs_per_config=runs,
+            sizes=dict(sizes) if sizes else {},
+        )
+        return self.collect(workloads, config, workers=workers)

@@ -1,0 +1,132 @@
+"""Deterministic parallel collection campaigns.
+
+A campaign is an embarrassingly parallel grid of (workload, freq, run)
+cells — the paper's offline sweep is 21 x 61 x 3 of them — but the naive
+parallelization is wrong twice over: a shared device RNG makes every
+cell's noise depend on execution order, and a shared applied clock makes
+concurrent cells race on device state.
+
+This module fixes both by construction:
+
+* the campaign plan enumerates cells in one canonical order (workload,
+  then freq, then run — the same nesting the serial launcher uses), and
+* every cell gets its own child RNG spawned from the device's root
+  :class:`numpy.random.SeedSequence` at the cell's plan position, and is
+  executed via :meth:`SimulatedGPU.run_cell`, which takes the clock
+  explicitly and touches no mutable device state.
+
+Noise therefore depends only on (device seed, cell position), never on
+worker count, scheduling, or completion order: ``workers=1`` and
+``workers=N`` produce bitwise-identical artifacts.  Thermal models are
+inherently order-dependent (junction temperature carries across runs),
+so thermally modelled devices must use the serial launcher path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import repeat
+from pathlib import Path
+
+import numpy as np
+
+from repro.gpusim.device import SimulatedGPU
+from repro.telemetry.csvio import write_columns_csv
+from repro.telemetry.launch import LaunchConfig, RunArtifact
+from repro.telemetry.profile import record_columns
+from repro.workloads.base import Workload
+
+__all__ = ["CampaignCell", "plan_cells", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (workload, freq, run) grid point of a collection campaign."""
+
+    #: Position in the canonical campaign plan; pins the cell's RNG.
+    index: int
+    workload: Workload
+    #: Per-workload size override (None = workload default).
+    size: int | None
+    #: Requested clock; snapped by the device at execution time.
+    freq_mhz: float
+    run_index: int
+
+
+def plan_cells(workloads: list[Workload], config: LaunchConfig) -> list[CampaignCell]:
+    """Enumerate the campaign grid in canonical (workload, freq, run) order.
+
+    The order matches the serial launcher's loop nesting, so artifact
+    lists from both paths line up cell-for-cell.
+    """
+    cells: list[CampaignCell] = []
+    for workload in workloads:
+        size = config.sizes.get(workload.name)
+        for freq in config.freqs_mhz:
+            for run_idx in range(config.runs_per_config):
+                cells.append(
+                    CampaignCell(
+                        index=len(cells),
+                        workload=workload,
+                        size=size,
+                        freq_mhz=freq,
+                        run_index=run_idx,
+                    )
+                )
+    return cells
+
+
+def _execute_cell(
+    device: SimulatedGPU,
+    cell: CampaignCell,
+    rng: np.random.Generator,
+    output_dir: Path | None,
+) -> RunArtifact:
+    census = cell.workload.census(cell.size)
+    record = device.run_cell(census, cell.freq_mhz, rng, workload_name=cell.workload.name)
+    csv_path: Path | None = None
+    if output_dir is not None:
+        csv_path = (
+            output_dir
+            / cell.workload.name
+            / f"{cell.workload.name}_{int(round(record.freq_mhz))}mhz_run{cell.run_index}.csv"
+        )
+        header, columns = record_columns(record)
+        write_columns_csv(csv_path, header, columns)
+    return RunArtifact(
+        workload=cell.workload.name,
+        freq_mhz=record.freq_mhz,
+        run_index=cell.run_index,
+        record=record,
+        csv_path=csv_path,
+    )
+
+
+def run_campaign(
+    device: SimulatedGPU,
+    workloads: list[Workload],
+    config: LaunchConfig,
+    *,
+    workers: int = 1,
+) -> list[RunArtifact]:
+    """Execute a collection campaign with ``workers`` concurrent cells.
+
+    Returns artifacts in canonical plan order regardless of completion
+    order, with values bitwise independent of ``workers``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if device.thermal is not None:
+        raise ValueError(
+            "parallel campaigns need order-independent cells, but a thermal "
+            "model carries junction temperature across runs; collect "
+            "sequentially (workers=None) on thermally modelled devices"
+        )
+    cells = plan_cells(workloads, config)
+    rngs = device.spawn_cell_rngs(len(cells))
+    output_dir = Path(config.output_dir) if config.output_dir is not None else None
+    if workers == 1:
+        return [_execute_cell(device, c, r, output_dir) for c, r in zip(cells, rngs)]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_cell, repeat(device), cells, rngs, repeat(output_dir)))

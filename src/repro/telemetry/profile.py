@@ -10,11 +10,40 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.gpusim.device import RunRecord, SimulatedGPU
+import numpy as np
+
+from repro.gpusim.device import METRIC_INDEX, RunRecord, SimulatedGPU
 from repro.telemetry.fields import FIELDS
 from repro.workloads.base import Workload
 
-__all__ = ["Profiler"]
+__all__ = ["Profiler", "record_columns", "record_as_rows"]
+
+#: CSV header: timestamp plus the 12 fields in registry order.
+CSV_HEADER: list[str] = ["timestamp_s", *(f.name for f in FIELDS)]
+
+#: Metric-block column index for each field, in registry order.
+_FIELD_COLUMNS: tuple[int, ...] = tuple(METRIC_INDEX[f.name] for f in FIELDS)
+
+
+def record_columns(record: RunRecord) -> tuple[list[str], np.ndarray]:
+    """``(header, (n_samples, 13) block)`` for one run, CSV column order.
+
+    The persistence format the launch module writes: ``timestamp_s``
+    followed by the 12 fields in registry order.  Pure column shuffling —
+    no per-row Python objects.
+    """
+    data = np.column_stack([record.timestamps_s, record.metrics_block[:, _FIELD_COLUMNS]])
+    return list(CSV_HEADER), data
+
+
+def record_as_rows(record: RunRecord) -> list[dict[str, float]]:
+    """Per-sample rows keyed by field name (plus ``timestamp_s``).
+
+    Row-oriented view of :func:`record_columns`, for consumers that want
+    one dict per 20 ms sample.
+    """
+    header, data = record_columns(record)
+    return [dict(zip(header, row)) for row in data.tolist()]
 
 
 @dataclass
@@ -34,13 +63,7 @@ class Profiler:
         This is the row format the CSV writer persists — one row per 20 ms
         sample, mirroring the paper's framework output.
         """
-        rows: list[dict[str, float]] = []
-        for sample in record.samples:
-            row: dict[str, float] = {"timestamp_s": sample.timestamp_s}
-            for f in FIELDS:
-                row[f.name] = float(getattr(sample, f.name))
-            rows.append(row)
-        return rows
+        return record_as_rows(record)
 
     def aggregate(self, record: RunRecord) -> dict[str, float]:
         """Run-level aggregates (means; sums for traffic counters)."""

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.gpusim import GA100, NoiseModel, SimulatedGPU
-from repro.gpusim.device import METRIC_NAMES
+from repro.gpusim.device import METRIC_INDEX, METRIC_NAMES
 
 
 class TestClockControl:
@@ -70,6 +70,60 @@ class TestRunRecords:
         d = sample.as_dict()
         assert set(d) == set(METRIC_NAMES)
         assert d["power_usage"] == sample.power_usage
+
+
+class TestColumnLayout:
+    """The record's primary storage is the (n_samples, 12) metric block."""
+
+    def test_block_shape_and_timestamps(self, ga100, compute_census):
+        record = ga100.run(compute_census)
+        assert record.metrics_block.shape == (record.n_samples, len(METRIC_NAMES))
+        assert record.timestamps_s.shape == (record.n_samples,)
+
+    def test_samples_view_mirrors_block(self, ga100, compute_census):
+        record = ga100.run(compute_census)
+        for name in ("fp64_active", "power_usage", "sm_occupancy"):
+            column = record.metrics_block[:, METRIC_INDEX[name]]
+            assert [getattr(s, name) for s in record.samples] == column.tolist()
+
+    def test_samples_view_is_cached(self, ga100, compute_census):
+        record = ga100.run(compute_census)
+        assert record.samples is record.samples
+
+    def test_metric_column_by_name(self, ga100, compute_census):
+        record = ga100.run(compute_census)
+        assert np.array_equal(
+            record.metric_column("dram_active"),
+            record.metrics_block[:, METRIC_INDEX["dram_active"]],
+        )
+
+    def test_metrics_cached_and_copy_safe(self, ga100, compute_census):
+        record = ga100.run(compute_census)
+        first = record.metrics()
+        first["power_usage"] = -1.0  # mutating the returned dict ...
+        assert record.metrics()["power_usage"] != -1.0  # ... must not poison the cache
+
+
+class TestRunCell:
+    def test_run_cell_matches_spawned_stream(self, compute_census):
+        """Same child seed, same cell -> identical records, independent of
+        whatever the device's own stream did in between."""
+        dev_a = SimulatedGPU(GA100, seed=5)
+        dev_b = SimulatedGPU(GA100, seed=5)
+        dev_b.run(compute_census)  # advance the device stream on one of them
+        rec_a = dev_a.run_cell(compute_census, 900.0, dev_a.spawn_cell_rngs(1)[0])
+        rec_b = dev_b.run_cell(compute_census, 900.0, dev_b.spawn_cell_rngs(1)[0])
+        assert rec_a.exec_time_s == rec_b.exec_time_s
+        assert np.array_equal(rec_a.metrics_block, rec_b.metrics_block)
+
+    def test_run_cell_snaps_clock_without_applying_it(self, ga100, compute_census):
+        record = ga100.run_cell(compute_census, 1001.0, np.random.default_rng(0))
+        assert record.freq_mhz == 1005.0
+        assert ga100.current_sm_clock == 1410.0
+
+    def test_run_cell_rejects_nonpositive_clock(self, ga100, compute_census):
+        with pytest.raises(ValueError, match="freq_mhz"):
+            ga100.run_cell(compute_census, 0.0, np.random.default_rng(0))
 
 
 class TestDeterminism:

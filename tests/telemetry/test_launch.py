@@ -71,3 +71,11 @@ class TestCampaign:
         artifacts = launcher.collect_at_max([get_workload("stream")], runs=2)
         assert len(artifacts) == 2
         assert all(a.freq_mhz == 1410.0 for a in artifacts)
+
+    def test_collect_at_max_forwards_sizes(self, ga100):
+        """Regression: size overrides must reach the profiler through the
+        online-phase path, not silently fall back to default sizes."""
+        launcher = Launcher(ga100)
+        small = launcher.collect_at_max([get_workload("stream")], sizes={"stream": 4096})[0]
+        full = launcher.collect_at_max([get_workload("stream")])[0]
+        assert small.record.exec_time_s < full.record.exec_time_s

@@ -1,0 +1,79 @@
+"""Parallel collection campaign tests: planning, execution, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GA100, SimulatedGPU
+from repro.gpusim.thermal import ThermalModel
+from repro.telemetry import LaunchConfig, Launcher, plan_cells, read_columns_csv, run_campaign
+from repro.workloads import get_workload
+
+
+@pytest.fixture()
+def small_config():
+    return LaunchConfig(freqs_mhz=(600.0, 1005.0, 1410.0), runs_per_config=2)
+
+
+class TestPlan:
+    def test_canonical_cell_order_matches_serial_nesting(self, small_config):
+        cells = plan_cells([get_workload("stream"), get_workload("dgemm")], small_config)
+        assert len(cells) == 2 * 3 * 2
+        assert [c.index for c in cells] == list(range(12))
+        # workload-major, then freq, then run — the serial loop order.
+        assert [c.workload.name for c in cells[:6]] == ["stream"] * 6
+        assert [c.freq_mhz for c in cells[:6]] == [600.0, 600.0, 1005.0, 1005.0, 1410.0, 1410.0]
+        assert [c.run_index for c in cells[:2]] == [0, 1]
+
+    def test_sizes_reach_cells(self):
+        config = LaunchConfig(freqs_mhz=(1410.0,), runs_per_config=1, sizes={"stream": 4096})
+        cells = plan_cells([get_workload("stream"), get_workload("dgemm")], config)
+        assert cells[0].size == 4096
+        assert cells[1].size is None
+
+
+class TestRunCampaign:
+    def test_artifacts_in_plan_order_any_worker_count(self, ga100, small_config):
+        workloads = [get_workload("stream"), get_workload("dgemm")]
+        arts = run_campaign(ga100, workloads, small_config, workers=4)
+        keys = [(a.workload, a.freq_mhz, a.run_index) for a in arts]
+        expected = [
+            (c.workload.name, c.freq_mhz, c.run_index)
+            for c in plan_cells(workloads, small_config)
+        ]
+        assert keys == expected
+
+    def test_device_clock_and_rng_untouched(self, ga100, small_config):
+        before_clock = ga100.current_sm_clock
+        baseline = SimulatedGPU(GA100, seed=ga100.seed)
+        run_campaign(ga100, [get_workload("stream")], small_config, workers=2)
+        assert ga100.current_sm_clock == before_clock
+        # The device's own stream is untouched: a sequential run after the
+        # campaign matches the same run on a fresh device.
+        census = get_workload("stream").census(None)
+        assert ga100.run(census).exec_time_s == baseline.run(census).exec_time_s
+
+    def test_invalid_worker_count_rejected(self, ga100, small_config):
+        with pytest.raises(ValueError, match="workers"):
+            run_campaign(ga100, [get_workload("stream")], small_config, workers=0)
+
+    def test_thermal_device_rejected(self, small_config):
+        device = SimulatedGPU(GA100, seed=0, thermal=ThermalModel())
+        with pytest.raises(ValueError, match="thermal"):
+            run_campaign(device, [get_workload("stream")], small_config, workers=2)
+
+    def test_csv_output_matches_serial_format(self, ga100, tmp_path):
+        config = LaunchConfig(freqs_mhz=(1410.0,), runs_per_config=1, output_dir=tmp_path)
+        arts = run_campaign(ga100, [get_workload("stream")], config, workers=2)
+        assert arts[0].csv_path is not None
+        assert arts[0].csv_path.name == "stream_1410mhz_run0.csv"
+        header, data = read_columns_csv(arts[0].csv_path)
+        assert header[0] == "timestamp_s"
+        assert data.shape == (arts[0].record.n_samples, 13)
+        assert np.array_equal(data[:, header.index("power_usage")],
+                              arts[0].record.metric_column("power_usage"))
+
+    def test_launcher_collect_workers_delegates(self, ga100, small_config):
+        launcher = Launcher(ga100)
+        arts = launcher.collect([get_workload("stream")], small_config, workers=3)
+        assert len(arts) == 3 * 2
+        assert {a.freq_mhz for a in arts} == {600.0, 1005.0, 1410.0}

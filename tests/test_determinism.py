@@ -7,7 +7,10 @@ models, predictions, and selections.
 
 import numpy as np
 
+from repro.core.dataset import build_dataset
 from repro.experiments import ExperimentContext, ExperimentSettings
+from repro.gpusim import GA100, SimulatedGPU
+from repro.telemetry import LaunchConfig, Launcher
 from repro.workloads import get_workload
 
 
@@ -39,3 +42,48 @@ class TestEndToEndDeterminism:
         assert res_a.measured_time_at_max_s != res_b.measured_time_at_max_s
         # ...but the selected clock is stable to within a few grid bins.
         assert abs(res_a.selection("ED2P").freq_mhz - res_b.selection("ED2P").freq_mhz) <= 150.0
+
+
+def _campaign_dataset(workers: int, *, per_sample: bool = True):
+    device = SimulatedGPU(GA100, seed=42, max_samples_per_run=8)
+    launcher = Launcher(device)
+    config = LaunchConfig(freqs_mhz=(600.0, 1005.0, 1410.0), runs_per_config=2)
+    artifacts = launcher.collect(
+        [get_workload("stream"), get_workload("dgemm")], config, workers=workers
+    )
+    return build_dataset(artifacts, per_sample=per_sample)
+
+
+class TestParallelCampaignDeterminism:
+    """Serial and parallel collection must be the same campaign, bitwise.
+
+    Every (workload, freq, run) cell draws from its own SeedSequence
+    child pinned to the cell's plan position, so neither worker count nor
+    completion order can leak into the data.
+    """
+
+    def test_workers_1_and_4_produce_identical_datasets(self):
+        a = _campaign_dataset(workers=1)
+        b = _campaign_dataset(workers=4)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y_power, b.y_power)
+        assert np.array_equal(a.y_time, b.y_time)
+        assert np.array_equal(a.y_slowdown, b.y_slowdown)
+
+    def test_workers_invariance_holds_for_aggregate_rows(self):
+        a = _campaign_dataset(workers=1, per_sample=False)
+        b = _campaign_dataset(workers=4, per_sample=False)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y_power, b.y_power)
+        assert np.array_equal(a.y_time, b.y_time)
+        assert np.array_equal(a.y_slowdown, b.y_slowdown)
+
+    def test_repeated_campaigns_on_one_device_differ(self):
+        """Successive campaigns must not replay the same noise (the spawn
+        counter advances), mirroring how serial reruns differ."""
+        device = SimulatedGPU(GA100, seed=42, max_samples_per_run=8)
+        launcher = Launcher(device)
+        config = LaunchConfig(freqs_mhz=(1410.0,), runs_per_config=1)
+        first = launcher.collect([get_workload("stream")], config, workers=2)
+        second = launcher.collect([get_workload("stream")], config, workers=2)
+        assert first[0].record.exec_time_s != second[0].record.exec_time_s
