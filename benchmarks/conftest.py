@@ -53,8 +53,9 @@ def report():
 
 
 #: Bench modules cheap enough to run on every invocation (no shared
-#: paper-profile context, no DNN training) — everything else is ``slow``.
-_FAST_BENCH_MODULES = {"test_perf_collection.py"}
+#: paper-profile context; at most seconds of tiny-model training) —
+#: everything else is ``slow``.
+_FAST_BENCH_MODULES = {"test_perf_collection.py", "test_perf_serving.py"}
 
 
 def pytest_collection_modifyitems(config, items):

@@ -13,6 +13,13 @@ Mirrors how the paper's framework is operated:
 ``repro predict``
     Online phase: profile one application at the default clock with
     saved models and print the selected frequencies.
+``repro select``
+    Batched online phase: decide many applications through the
+    :mod:`repro.serving` selection service (one stacked DNN pass per
+    micro-batch, memoized curves for repeats).
+``repro serve``
+    Service loop: read JSON-lines requests from a file or stdin, answer
+    each with the selected frequencies, print service stats at the end.
 ``repro experiment``
     Regenerate one paper figure/table and print it.
 
@@ -81,6 +88,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--threshold", type=float, default=None, help="perf degradation bound (fraction)")
     p_predict.add_argument("--seed", type=int, default=0)
 
+    p_select = sub.add_parser("select", help="batched online phase for many applications")
+    p_select.add_argument("--models", required=True, help="directory from 'train'")
+    p_select.add_argument("--arch", default="GA100")
+    p_select.add_argument(
+        "--workloads", required=True, help="comma-separated names, or 'training'/'evaluation'"
+    )
+    p_select.add_argument("--batch", type=int, default=64, help="requests per service flush")
+    p_select.add_argument("--threshold", type=float, default=None, help="perf degradation bound (fraction)")
+    p_select.add_argument("--seed", type=int, default=0)
+    p_select.add_argument("--stats", action="store_true", help="print service stats afterwards")
+
+    p_serve = sub.add_parser("serve", help="JSONL frequency-selection service loop")
+    p_serve.add_argument("--models", required=True, help="directory from 'train'")
+    p_serve.add_argument("--arch", default="GA100")
+    p_serve.add_argument(
+        "--input", default="-", help="JSONL request file, or '-' for stdin (default)"
+    )
+    p_serve.add_argument("--batch", type=int, default=64, help="requests per service flush")
+    p_serve.add_argument("--threshold", type=float, default=None, help="perf degradation bound (fraction)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--stats", action="store_true", help="print service stats to stderr")
+
     p_exp = sub.add_parser("experiment", help="regenerate one paper figure/table")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
     p_exp.add_argument("--fast", action="store_true", help="cheap profile (seconds, noisier)")
@@ -116,8 +145,22 @@ def _resolve_workloads(spec: str):
     registry = default_registry()
     if spec == "training":
         return registry.training_set()
+    if spec == "evaluation":
+        return registry.evaluation_set()
     names = [n.strip() for n in spec.split(",") if n.strip()]
     return [registry.get(n) for n in names]
+
+
+def _load_pipeline(models_dir: str | Path, arch_name: str, seed: int) -> FrequencySelectionPipeline:
+    """Fitted pipeline from a 'train' output directory (TDP-normalised)."""
+    arch = get_architecture(arch_name)
+    device = SimulatedGPU(arch, seed=seed, max_samples_per_run=16)
+    models = Path(models_dir)
+    power = PowerModel(reference_power_w=arch.tdp_watts)
+    power.load(models / "power.npz")
+    time_model = TimeModel()
+    time_model.load(models / "time.npz")
+    return FrequencySelectionPipeline(device, power_model=power, time_model=time_model)
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
@@ -161,17 +204,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     arch = get_architecture(args.arch)
-    device = SimulatedGPU(arch, seed=args.seed, max_samples_per_run=16)
-    models = Path(args.models)
-
     # Models are trained TDP-normalised; the reference is rescaled onto
     # this device's envelope by the pipeline.
-    power = PowerModel(reference_power_w=arch.tdp_watts)
-    power.load(models / "power.npz")
-    time_model = TimeModel()
-    time_model.load(models / "time.npz")
-
-    pipeline = FrequencySelectionPipeline(device, power_model=power, time_model=time_model)
+    pipeline = _load_pipeline(args.models, args.arch, args.seed)
     workload = default_registry().get(args.workload)
     result = pipeline.run_online(workload, objectives=(EDP, ED2P), threshold=args.threshold)
 
@@ -186,6 +221,143 @@ def _cmd_predict(args: argparse.Namespace) -> int:
               f"energy {100 * sel.energy_saving:+.1f}%  "
               f"time {-100 * sel.perf_degradation:+.1f}%")
     return 0
+
+
+def _print_service_stats(stats, stream) -> None:
+    print(
+        f"service: {stats.requests} requests in {stats.batches} batches "
+        f"(mean {stats.mean_batch_size:.1f}, max {stats.max_batch_size}); "
+        f"cache {stats.cache_hits} hits / {stats.cache_misses} misses "
+        f"(hit rate {100 * stats.hit_rate:.0f}%), {stats.curves_computed} curves computed",
+        file=stream,
+    )
+    print(
+        f"latency: measure {1e3 * stats.measure_s:.1f} ms, lookup {1e3 * stats.lookup_s:.1f} ms, "
+        f"predict {1e3 * stats.predict_s:.1f} ms, select {1e3 * stats.select_s:.1f} ms",
+        file=stream,
+    )
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.serving import SelectionRequest, SelectionService
+
+    if args.batch < 1:
+        print("--batch must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        workloads = _resolve_workloads(args.workloads)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    pipeline = _load_pipeline(args.models, args.arch, args.seed)
+    service = SelectionService(pipeline, threshold=args.threshold, max_batch_size=args.batch)
+
+    print(f"{len(workloads)} applications on {pipeline.device.arch.name}:")
+    for start in range(0, len(workloads), args.batch):
+        chunk = workloads[start : start + args.batch]
+        responses = service.select_many([SelectionRequest.from_workload(w) for w in chunk])
+        for response in responses:
+            parts = [
+                f"{name} {sel.freq_mhz:.0f} MHz (energy {100 * sel.energy_saving:+.1f}%, "
+                f"time {-100 * sel.perf_degradation:+.1f}%)"
+                for name, sel in response.selections.items()
+            ]
+            suffix = "  [cached]" if response.from_cache else ""
+            print(f"  {response.name:12s} {'  '.join(parts)}{suffix}")
+    if args.stats:
+        _print_service_stats(service.stats(), sys.stdout)
+    return 0
+
+
+def _parse_serve_line(line: str, registry):
+    """One JSONL request -> SelectionRequest (raises ValueError on bad input)."""
+    import json
+
+    from repro.core.dataset import FeatureVector
+    from repro.serving import SelectionRequest
+
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError("request must be a JSON object")
+    if "workload" in payload:
+        workload = registry.get(payload["workload"])
+        return SelectionRequest.from_workload(workload, size=payload.get("size"))
+    try:
+        features = FeatureVector(
+            float(payload["fp_active"]), float(payload["dram_active"]), 0.0
+        )
+        time_at_max = float(payload["time_at_max_s"])
+    except KeyError as missing:
+        raise ValueError(f"request needs 'workload' or fp_active/dram_active/time_at_max_s ({missing} missing)")
+    return SelectionRequest.from_features(
+        features,
+        time_at_max,
+        power_at_max_w=float(payload.get("power_at_max_w", 0.0)),
+        name=str(payload.get("name", "request")),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving import SelectionService
+
+    if args.batch < 1:
+        print("--batch must be >= 1", file=sys.stderr)
+        return 2
+    pipeline = _load_pipeline(args.models, args.arch, args.seed)
+    registry = default_registry()
+    service = SelectionService(pipeline, threshold=args.threshold, max_batch_size=args.batch)
+
+    stream = sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
+    served = failed = 0
+    try:
+        pending: list = []
+
+        def flush() -> None:
+            nonlocal served
+            if not pending:
+                return
+            for response in service.select_many(pending):
+                print(
+                    json.dumps(
+                        {
+                            "name": response.name,
+                            "cached": response.from_cache,
+                            "selections": {
+                                name: {
+                                    "freq_mhz": sel.freq_mhz,
+                                    "energy_saving": sel.energy_saving,
+                                    "perf_degradation": sel.perf_degradation,
+                                }
+                                for name, sel in response.selections.items()
+                            },
+                        }
+                    )
+                )
+                served += 1
+            pending.clear()
+
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                pending.append(_parse_serve_line(line, registry))
+            except (ValueError, KeyError) as exc:
+                print(json.dumps({"error": str(exc)}))
+                failed += 1
+                continue
+            if len(pending) >= args.batch:
+                flush()
+        flush()
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    if args.stats:
+        _print_service_stats(service.stats(), sys.stderr)
+        print(f"served {served} requests, {failed} invalid", file=sys.stderr)
+    return 0 if failed == 0 else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -214,6 +386,8 @@ _DISPATCH = {
     "collect": _cmd_collect,
     "train": _cmd_train,
     "predict": _cmd_predict,
+    "select": _cmd_select,
+    "serve": _cmd_serve,
     "experiment": _cmd_experiment,
 }
 

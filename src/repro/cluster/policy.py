@@ -7,7 +7,11 @@ three built-ins cover the operational spectrum:
 * :class:`StaticClockPolicy` — one site-wide cap (the blunt instrument),
 * :class:`ModelDrivenPolicy` — the paper's method: per-job ED2P/EDP
   selection from the trained DNNs, with decisions memoised per workload
-  (an application's clock is decided once, as a site would).
+  (an application's clock is decided once, as a site would),
+* :class:`ServiceDrivenPolicy` — the same decisions asked of a shared
+  :class:`~repro.serving.service.SelectionService`: the scheduler's
+  ``prepare`` hook batches every distinct application into one service
+  flush instead of running one pipeline prediction per first-job.
 """
 
 from __future__ import annotations
@@ -19,13 +23,27 @@ from repro.core.pipeline import FrequencySelectionPipeline
 from repro.cluster.job import Job
 from repro.gpusim.device import SimulatedGPU
 
-__all__ = ["ClockPolicy", "DefaultClockPolicy", "StaticClockPolicy", "ModelDrivenPolicy"]
+__all__ = [
+    "ClockPolicy",
+    "DefaultClockPolicy",
+    "StaticClockPolicy",
+    "ModelDrivenPolicy",
+    "ServiceDrivenPolicy",
+]
 
 
 class ClockPolicy(ABC):
     """Chooses the SM clock a job runs at."""
 
     name: str = "abstract"
+
+    def prepare(self, jobs: list[Job]) -> None:
+        """Optional batch warm-up before placement starts.
+
+        The scheduler calls this once with the jobs in placement order;
+        policies that can decide many applications at once (the serving
+        layer) override it.  The default is a no-op.
+        """
 
     @abstractmethod
     def clock_for(self, job: Job, device: SimulatedGPU) -> float:
@@ -90,6 +108,76 @@ class ModelDrivenPolicy(ClockPolicy):
                 size=job.size,
             )
             self._decisions[key] = result.selection(self.objective.name).freq_mhz
+        return device.dvfs.snap(self._decisions[key])
+
+    @property
+    def decisions(self) -> dict[str, float]:
+        """Memoised per-application clock decisions (MHz)."""
+        return dict(self._decisions)
+
+
+class ServiceDrivenPolicy(ClockPolicy):
+    """Clock decisions served by a shared :class:`SelectionService`.
+
+    Operationally identical to :class:`ModelDrivenPolicy` — one decision
+    per application, memoised — but the decision path goes through the
+    serving layer: :meth:`prepare` profiles every distinct application
+    in placement order and predicts all of them in one batched flush,
+    and any application first seen mid-run falls back to a single-request
+    flush.  Several schedulers (or nodes) can share one service and its
+    warm curve cache.
+    """
+
+    name = "service-driven"
+
+    def __init__(
+        self,
+        service,
+        *,
+        objective: ObjectiveFunction = ED2P,
+        threshold: float | None = None,
+    ) -> None:
+        self.service = service
+        self.objective = objective
+        self.threshold = threshold
+        self._decisions: dict[str, float] = {}
+
+    def _request_for(self, job: Job):
+        from repro.serving.service import SelectionRequest
+
+        return SelectionRequest.from_workload(job.workload, size=job.size)
+
+    def prepare(self, jobs: list[Job]) -> None:
+        """Batch-decide every distinct application before placement.
+
+        Uses each application's *first* job (mirroring
+        :class:`ModelDrivenPolicy`, which decides on first arrival), so
+        measurement order on the service's device — and therefore every
+        decision — matches the sequential policy exactly.
+        """
+        first_jobs: dict[str, Job] = {}
+        for job in jobs:
+            first_jobs.setdefault(job.workload.name, job)
+        pending = [job for name, job in first_jobs.items() if name not in self._decisions]
+        if not pending:
+            return
+        responses = self.service.select_many(
+            [self._request_for(job) for job in pending],
+            objectives=(self.objective,),
+            threshold=self.threshold,
+        )
+        for job, response in zip(pending, responses):
+            self._decisions[job.workload.name] = response.selection(self.objective.name).freq_mhz
+
+    def clock_for(self, job: Job, device: SimulatedGPU) -> float:
+        key = job.workload.name
+        if key not in self._decisions:
+            response = self.service.select_one(
+                self._request_for(job),
+                objectives=(self.objective,),
+                threshold=self.threshold,
+            )
+            self._decisions[key] = response.selection(self.objective.name).freq_mhz
         return device.dvfs.snap(self._decisions[key])
 
     @property

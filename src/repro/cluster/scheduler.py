@@ -41,8 +41,14 @@ class FIFOScheduler:
         ]
         heapq.heapify(heap)
 
+        ordered = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
+        # Batch-capable policies (the serving layer) decide every distinct
+        # application up front in one flush instead of stalling the first
+        # job of each application on a model prediction.
+        self.policy.prepare(ordered)
+
         records: list[JobRecord] = []
-        for job in sorted(jobs, key=lambda j: (j.arrival_s, j.job_id)):
+        for job in ordered:
             free_at, node_idx, gpu_idx = heapq.heappop(heap)
             node = self.nodes[node_idx]
             device = node.gpu(gpu_idx)

@@ -165,6 +165,43 @@ class FrequencySelectionPipeline:
             selections=selections,
         )
 
+    def run_online_many(
+        self,
+        workloads: list[Workload],
+        *,
+        objectives: tuple[ObjectiveFunction, ...] = (EDP, ED2P),
+        threshold: float | None = None,
+        runs: int = 1,
+        sizes: dict[str, int] | None = None,
+        service=None,
+    ) -> list[OnlineResult]:
+        """Online phase for many applications via the serving layer.
+
+        Each workload is still profiled once at f_max (in list order, so
+        device noise matches a sequential ``run_online`` loop exactly),
+        but the prediction stage runs as one batched forward pass per
+        model and repeated applications reuse memoized curves — see
+        :class:`~repro.serving.service.SelectionService`.  Results are
+        bitwise-identical to calling :meth:`run_online` in a loop.
+
+        Pass ``service`` to reuse a long-lived service (and its warm
+        cache) across calls; otherwise a private one is built per call.
+        """
+        from repro.serving.service import SelectionRequest, SelectionService
+
+        if service is None:
+            service = SelectionService(self)
+        elif service.pipeline is not self:
+            raise ValueError("service is bound to a different pipeline")
+        requests = [
+            SelectionRequest.from_workload(
+                w, size=None if sizes is None else sizes.get(w.name), runs=runs
+            )
+            for w in workloads
+        ]
+        responses = service.select_many(requests, objectives=objectives, threshold=threshold)
+        return [response.to_online_result() for response in responses]
+
     def run_online_phased(
         self,
         workload,

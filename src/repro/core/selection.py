@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.energy import EDP, ObjectiveFunction
 
-__all__ = ["SelectionResult", "select_optimal_frequency"]
+__all__ = ["SelectionResult", "select_optimal_frequency", "select_optimal_frequency_many"]
 
 
 @dataclass(frozen=True)
@@ -91,18 +91,21 @@ def select_optimal_frequency(
     degradation = 1.0 - t_max / time  # positive where slower than f_max
 
     index = k
-    threshold_applied = False
     if threshold is not None and degradation[k] >= threshold:
         # Walk upward in frequency until degradation is acceptable; the
-        # maximum frequency always satisfies (degradation there is 0).
+        # maximum frequency always satisfies a positive threshold
+        # (degradation there is 0), and a zero threshold falls through to
+        # f_max itself.
         for i in range(k + 1, freqs.size):
             if degradation[i] < threshold:
                 index = i
-                threshold_applied = True
                 break
-        else:  # pragma: no cover - unreachable, kept as a guard
+        else:
             index = freqs.size - 1
-            threshold_applied = True
+    # The flag records whether the walk actually *moved* the selection;
+    # a walk that lands back on the minimiser (threshold=0 with the
+    # minimiser already at f_max) applied nothing.
+    threshold_applied = index != k
 
     return SelectionResult(
         freq_mhz=float(freqs[index]),
@@ -113,3 +116,29 @@ def select_optimal_frequency(
         energy_saving=float(1.0 - energy[index] / e_max) if e_max > 0 else 0.0,
         threshold_applied=threshold_applied,
     )
+
+
+def select_optimal_frequency_many(
+    freqs_mhz: np.ndarray,
+    energy_j: np.ndarray,
+    time_s: np.ndarray,
+    *,
+    objective: ObjectiveFunction = EDP,
+    threshold: float | None = None,
+) -> list[SelectionResult]:
+    """Algorithm 1 over a batch of applications sharing one clock grid.
+
+    ``energy_j`` and ``time_s`` are ``(n_apps, n_freqs)`` matrices; each
+    row is scored exactly as :func:`select_optimal_frequency` would score
+    it (the per-row call *is* the implementation — Algorithm 1 is O(f)
+    and never the batch bottleneck, and reusing it keeps batched results
+    bitwise-identical to the sequential loop by construction).
+    """
+    energy = np.asarray(energy_j, dtype=float)
+    time = np.asarray(time_s, dtype=float)
+    if energy.ndim != 2 or energy.shape != time.shape:
+        raise ValueError(f"energy and time must be matching (n, f) matrices, got {energy.shape} vs {time.shape}")
+    return [
+        select_optimal_frequency(freqs_mhz, energy[i], time[i], objective=objective, threshold=threshold)
+        for i in range(energy.shape[0])
+    ]

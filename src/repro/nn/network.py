@@ -78,6 +78,21 @@ class FeedForwardNetwork:
         """Inference-mode forward pass."""
         return self.forward(x, training=False)
 
+    def predict_blocked(self, x: np.ndarray, block_rows: int) -> np.ndarray:
+        """Inference over a stack of fixed-size row blocks.
+
+        Bitwise-identical to calling :meth:`predict` on each
+        ``block_rows``-row slice separately (see
+        :meth:`~repro.nn.layers.Dense.forward_blocked` for why a single
+        full-stack gemm is not), while keeping every elementwise stage
+        vectorized across the whole stack.  This is the serving layer's
+        batched-inference primitive.
+        """
+        out = np.asarray(x, dtype=float)
+        for layer in self.layers:
+            out = layer.forward_blocked(out, block_rows)
+        return out
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop through all layers; returns dL/dinput."""
         grad = grad_out

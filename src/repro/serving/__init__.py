@@ -1,0 +1,26 @@
+"""Online frequency-selection serving layer.
+
+Production-facing frontend over the paper's online phase: a thread-safe
+:class:`~repro.serving.service.SelectionService` that micro-batches many
+concurrent requests into single stacked DNN forward passes and memoizes
+prediction curves in a bounded LRU, with per-stage service stats.  See
+DESIGN.md §9 for the batching/caching contracts.
+"""
+
+from repro.serving.cache import LRUCache
+from repro.serving.microbatch import MicroBatcher
+from repro.serving.service import (
+    SelectionRequest,
+    SelectionService,
+    ServiceResponse,
+    ServiceStats,
+)
+
+__all__ = [
+    "LRUCache",
+    "MicroBatcher",
+    "SelectionRequest",
+    "SelectionService",
+    "ServiceResponse",
+    "ServiceStats",
+]

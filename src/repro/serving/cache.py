@@ -1,0 +1,67 @@
+"""Bounded LRU cache for memoized prediction curves.
+
+The online phase is deterministic given (features, clock grid, trained
+weights): two requests whose quantized feature vectors agree get the
+same power/time curves, so the second one never needs a DNN forward
+pass.  The cache is the service's second throughput lever (the first is
+batching); see DESIGN.md §9 for the key-quantization contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Thread-safe least-recently-used mapping with a hard size bound.
+
+    A plain ``OrderedDict`` under a lock: gets refresh recency, puts
+    evict the oldest entry once ``maxsize`` is reached.  Hit/miss and
+    eviction counters feed the service stats.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Any | None:
+        """Value for ``key`` (refreshing recency), or None on a miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            if len(self._data) >= self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            self._data[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are lifetime stats)."""
+        with self._lock:
+            self._data.clear()

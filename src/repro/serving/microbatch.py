@@ -1,0 +1,76 @@
+"""Background micro-batcher: turns concurrent submissions into flushes.
+
+Callers on many threads ``submit()`` single requests and get futures;
+one dispatcher thread coalesces everything that arrives within a short
+window (or until the batch is full) into a single
+:meth:`~repro.serving.service.SelectionService.select_many` flush.  This
+is the piece that converts *concurrency* into *batch size* — the service
+itself only batches what it is handed.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Window-and-size micro-batching front for a selection service."""
+
+    def __init__(self, service, *, max_batch_size: int = 64, batch_window_s: float = 0.002) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        self.service = service
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self._pending: list[tuple[object, Future]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread = threading.Thread(target=self._run, name="repro-microbatch", daemon=True)
+        self._thread.start()
+
+    def submit(self, request) -> Future:
+        """Enqueue one request; the returned future resolves to its response."""
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("micro-batcher is closed")
+            self._pending.append((request, future))
+            self._cond.notify()
+        return future
+
+    def close(self) -> None:
+        """Flush whatever is pending and stop the dispatcher thread."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify()
+        self._thread.join()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending and self._closed:
+                    return
+                # Hold the window open for stragglers unless already full.
+                if len(self._pending) < self.max_batch_size and not self._closed:
+                    self._cond.wait(timeout=self.batch_window_s)
+                batch = self._pending[: self.max_batch_size]
+                del self._pending[: self.max_batch_size]
+            requests = [request for request, _ in batch]
+            try:
+                responses = self.service.select_many(requests)
+            except Exception as exc:  # pragma: no cover - defensive fan-out
+                for _, future in batch:
+                    future.set_exception(exc)
+            else:
+                for (_, future), response in zip(batch, responses):
+                    future.set_result(response)

@@ -12,6 +12,7 @@ from repro.cluster import (
     StaticClockPolicy,
     summarize,
 )
+from repro.cluster.policy import ServiceDrivenPolicy
 from repro.cluster.metrics import power_series
 from repro.gpusim import GA100
 from repro.workloads import get_workload
@@ -95,6 +96,53 @@ class TestPolicies:
         policy = ModelDrivenPolicy(fast_ctx.pipeline("GA100"))
         clock = policy.clock_for(jobs[0], nodes[0].gpu(0))
         assert clock < 1410.0
+
+
+class TestServicePolicy:
+    """ServiceDrivenPolicy must reproduce ModelDrivenPolicy exactly.
+
+    The serving layer changes *how* decisions are computed (one batched
+    flush in ``prepare``), never *what* is decided — so two schedulers
+    over identically-seeded nodes and pipelines must emit identical
+    JobRecords.
+    """
+
+    @pytest.fixture()
+    def service_setup(self, tiny_models):
+        from repro.serving import SelectionService
+
+        from tests.golden.tiny_pipeline import make_tiny_pipeline
+
+        pipe_a = make_tiny_pipeline(tiny_models, device_seed=11)
+        pipe_b = make_tiny_pipeline(tiny_models, device_seed=11)
+        return ModelDrivenPolicy(pipe_a), ServiceDrivenPolicy(SelectionService(pipe_b))
+
+    def test_records_match_model_driven(self, service_setup, jobs):
+        model_policy, service_policy = service_setup
+        nodes_a = [GPUNode(i, GA100, gpus_per_node=2, seed=1) for i in range(2)]
+        nodes_b = [GPUNode(i, GA100, gpus_per_node=2, seed=1) for i in range(2)]
+        records_a = FIFOScheduler(nodes_a, model_policy).run(jobs)
+        records_b = FIFOScheduler(nodes_b, service_policy).run(jobs)
+        assert records_a == records_b
+        assert service_policy.decisions == model_policy.decisions
+
+    def test_prepare_batches_distinct_apps_in_one_flush(self, service_setup, jobs):
+        _, service_policy = service_setup
+        nodes = [GPUNode(i, GA100, gpus_per_node=2, seed=1) for i in range(2)]
+        FIFOScheduler(nodes, service_policy).run(jobs)
+        stats = service_policy.service.stats()
+        # Two distinct applications in the stream → one flush of two.
+        assert stats.batches == 1
+        assert stats.requests == 2
+        assert set(service_policy.decisions) == {"dgemm", "stream"}
+
+    def test_unseen_app_falls_back_to_single_flush(self, service_setup, nodes, jobs):
+        _, service_policy = service_setup
+        device = nodes[0].gpu(0)
+        clock = service_policy.clock_for(Job(9, get_workload("lstm"), arrival_s=0.0), device)
+        assert clock in nodes[0].gpu(0).dvfs.usable_mhz
+        assert "lstm" in service_policy.decisions
+        assert service_policy.service.stats().requests == 1
 
 
 class TestScheduler:

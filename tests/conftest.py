@@ -26,6 +26,29 @@ hypothesis_settings.register_profile(
 hypothesis_settings.load_profile("repro")
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Every test not marked ``slow`` is tier-1.
+
+    This makes ``-m tier1`` a fast-suite alias (the complement of
+    ``-m "not slow"`` stays stable even if more tiers appear later).
+    """
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture(scope="session")
+def tiny_models():
+    """Session-trained tiny model pair (see ``tests/golden/tiny_pipeline.py``).
+
+    Shared by the golden suite, the serving equivalence tests, and the
+    phased-prediction tests so the ~2 s training cost is paid once.
+    """
+    from tests.golden.tiny_pipeline import train_tiny_models
+
+    return train_tiny_models()
+
+
 @pytest.fixture(scope="session")
 def fast_ctx() -> ExperimentContext:
     """Shared fast-profile experiment context (trains models once)."""

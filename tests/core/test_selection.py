@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ED2P, EDP, select_optimal_frequency
+from repro.core.selection import select_optimal_frequency_many
 
 
 def synthetic_curves(n=61):
@@ -130,3 +131,125 @@ class TestPropertyGrid:
         res = select_optimal_frequency(freqs, energy, time, objective=ED2P)
         assert res.freq_mhz in freqs
         assert 0 <= res.index < n
+
+
+def fuzzed_curves(seed, monotone):
+    """Random (freqs, energy, time) curves, optionally DVFS-shaped.
+
+    ``monotone`` produces the physically typical shape — time strictly
+    decreasing with clock (so degradation vs f_max is non-negative and
+    decreasing) and U-ish energy.  The non-monotone variant draws both
+    curves freely, which is what noisy model predictions can look like.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 40))
+    freqs = np.sort(rng.uniform(100, 2000, size=n)) + np.arange(n) * 1e-3
+    if monotone:
+        time = np.sort(rng.uniform(0.1, 10, size=n))[::-1].copy()
+        x = freqs / freqs[-1]
+        power = rng.uniform(20, 80) + rng.uniform(100, 500) * x ** rng.uniform(1.5, 4.0)
+        energy = power * time
+    else:
+        time = rng.uniform(0.1, 10, size=n)
+        energy = rng.uniform(10, 1000, size=n)
+    return freqs, energy, time
+
+
+class TestAlgorithm1Properties:
+    """Invariants of the threshold walk over fuzzed curves.
+
+    These are the Algorithm 1 contracts the serving layer (and Table 6)
+    lean on: the walk only ever moves *upward* from the raw minimiser,
+    it ends either under the threshold or at f_max, and the
+    ``threshold_applied`` flag records exactly whether it moved.
+    """
+
+    @given(
+        seed=st.integers(0, 10_000),
+        monotone=st.booleans(),
+        objective=st.sampled_from([EDP, ED2P]),
+        threshold=st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_walk_invariants(self, seed, monotone, objective, threshold):
+        freqs, energy, time = fuzzed_curves(seed, monotone)
+        res = select_optimal_frequency(
+            freqs, energy, time, objective=objective, threshold=threshold
+        )
+        raw = int(np.argmin(objective(energy, time)))
+
+        if threshold is None:
+            assert res.index == raw
+            assert not res.threshold_applied
+        else:
+            # The walk never moves below the raw minimiser.
+            assert res.index >= raw
+            # It terminates under the threshold, or at f_max when no
+            # clock above the minimiser satisfies it.
+            degradation = 1.0 - time[-1] / time
+            if res.perf_degradation >= threshold:
+                assert res.index == len(freqs) - 1
+                assert not np.any(degradation[raw:] < threshold)
+        # The flag records movement, exactly.
+        assert res.threshold_applied == (res.index != raw)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_time_threshold_always_satisfiable(self, seed):
+        """With time decreasing in clock, a positive threshold is always met."""
+        freqs, energy, time = fuzzed_curves(seed, monotone=True)
+        res = select_optimal_frequency(freqs, energy, time, objective=EDP, threshold=0.05)
+        assert res.perf_degradation < 0.05
+
+    def test_zero_threshold_minimiser_at_fmax_flag_clear(self):
+        """threshold=0 with the minimiser already at f_max must not flag.
+
+        Regression test: the walk loop is empty here (k == n-1) and the
+        for-else used to land on f_max with ``threshold_applied=True``
+        despite not moving.
+        """
+        freqs = np.array([500.0, 600.0, 700.0])
+        time = np.array([3.0, 2.0, 1.0])
+        energy = np.array([9.0, 6.0, 1.0])  # minimiser at f_max
+        res = select_optimal_frequency(freqs, energy, time, objective=EDP, threshold=0.0)
+        assert res.index == 2
+        assert res.freq_mhz == 700.0
+        assert not res.threshold_applied
+        assert res.perf_degradation == 0.0
+
+
+class TestSelectMany:
+    @given(
+        seed=st.integers(0, 2_000),
+        objective=st.sampled_from([EDP, ED2P]),
+        threshold=st.one_of(st.none(), st.floats(min_value=0.0, max_value=0.5)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_per_row_calls(self, seed, objective, threshold):
+        rng = np.random.default_rng(seed)
+        n_apps, n_freqs = int(rng.integers(1, 8)), int(rng.integers(3, 30))
+        freqs = np.sort(rng.uniform(100, 2000, size=n_freqs)) + np.arange(n_freqs) * 1e-3
+        energy = rng.uniform(10, 1000, size=(n_apps, n_freqs))
+        time = rng.uniform(0.1, 10, size=(n_apps, n_freqs))
+        batched = select_optimal_frequency_many(
+            freqs, energy, time, objective=objective, threshold=threshold
+        )
+        assert len(batched) == n_apps
+        for i, got in enumerate(batched):
+            want = select_optimal_frequency(
+                freqs, energy[i], time[i], objective=objective, threshold=threshold
+            )
+            assert got.index == want.index
+            assert got.freq_mhz == want.freq_mhz
+            assert got.energy_saving == want.energy_saving
+            assert got.perf_degradation == want.perf_degradation
+            assert got.threshold_applied == want.threshold_applied
+            assert np.array_equal(got.scores, want.scores)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            select_optimal_frequency_many(np.zeros(3), np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            select_optimal_frequency_many(np.zeros(3), np.zeros(3), np.zeros(3))

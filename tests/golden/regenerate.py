@@ -1,0 +1,23 @@
+"""Regenerate the golden file for the tiny pipeline.
+
+Run after an *intentional* change to model maths, the simulator, or the
+selection algorithm::
+
+    PYTHONPATH=src:. python tests/golden/regenerate.py
+
+then review the diff of ``golden_tiny_pipeline.json`` — every changed
+value is a behaviour change you are signing off on.
+"""
+
+from __future__ import annotations
+
+from tests.golden.tiny_pipeline import golden_payload, write_golden
+
+
+def main() -> None:
+    path = write_golden(golden_payload())
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

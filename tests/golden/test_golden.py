@@ -1,0 +1,84 @@
+"""Golden regression test for the tiny end-to-end pipeline.
+
+Pins the online-phase outputs (selected clock, index, threshold flag,
+energy saving, perf degradation) of a fixed-seed collect → train →
+select run.  Any drift in the simulator, dataset assembly, DNN training,
+prediction, or Algorithm 1 shows up here as a precise diff.
+
+If the change is intentional, regenerate with::
+
+    PYTHONPATH=src:. python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from tests.golden.tiny_pipeline import GOLDEN_PATH, golden_payload
+
+# Exact-match fields vs. float fields: discrete decisions must not move
+# at all; derived percentages get a tight tolerance so the golden file
+# stays portable across BLAS builds.
+EXACT_FIELDS = ("freq_mhz", "index", "threshold_applied")
+FLOAT_FIELDS = ("energy_saving", "perf_degradation")
+FLOAT_RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def current(tiny_models):
+    return golden_payload(tiny_models)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH.name}; generate it with "
+        "`PYTHONPATH=src:. python tests/golden/regenerate.py`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_config_unchanged(golden, current):
+    """A config drift means the golden file no longer tests what it says."""
+    assert current["config"] == golden["config"]
+
+
+def test_selections_match_golden(golden, current):
+    mismatches = []
+    for variant, apps in golden["results"].items():
+        for app, objectives in apps.items():
+            for objective, expected in objectives.items():
+                got = current["results"][variant][app][objective]
+                for field in EXACT_FIELDS:
+                    if got[field] != expected[field]:
+                        mismatches.append(
+                            f"{variant}/{app}/{objective}/{field}: "
+                            f"golden={expected[field]!r} current={got[field]!r}"
+                        )
+                for field in FLOAT_FIELDS:
+                    if not math.isclose(
+                        got[field], expected[field], rel_tol=FLOAT_RTOL, abs_tol=1e-12
+                    ):
+                        mismatches.append(
+                            f"{variant}/{app}/{objective}/{field}: "
+                            f"golden={expected[field]!r} current={got[field]!r}"
+                        )
+    assert not mismatches, "golden drift:\n" + "\n".join(mismatches)
+
+
+def test_golden_covers_every_cell(golden, current):
+    """The two payloads enumerate identical (variant, app, objective) cells."""
+
+    def cells(payload):
+        return {
+            (variant, app, objective)
+            for variant, apps in payload["results"].items()
+            for app, objectives in apps.items()
+            for objective in objectives
+        }
+
+    assert cells(current) == cells(golden)
+    assert len(cells(golden)) > 0

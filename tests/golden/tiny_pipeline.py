@@ -1,0 +1,133 @@
+"""Tiny fixed-seed pipeline config shared by the golden suite and tests.
+
+One deliberately small but fully end-to-end configuration — 4 training
+workloads, a strided clock grid, short training — that exercises
+collection, training, and the online phase in a couple of seconds.  The
+golden file in this directory pins its outputs; the serving and phased
+tests reuse the trained models so they don't retrain per module.
+
+Everything here is deterministic: fixed seeds, fixed workload order,
+fresh devices for the online phase (decoupled from the training device's
+RNG stream position, so golden values survive changes to collection
+internals that don't change the maths).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.models import PowerModel, TimeModel
+from repro.core.pipeline import FrequencySelectionPipeline
+from repro.gpusim import GA100, SimulatedGPU
+from repro.workloads import get_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden_tiny_pipeline.json"
+
+TRAINING_WORKLOADS = ("dgemm", "stream", "spmv", "lud")
+EVAL_WORKLOADS = ("lammps", "lstm", "resnet50")
+OBJECTIVE_NAMES = ("EDP", "ED2P")
+THRESHOLDS = (None, 0.03)
+
+MODEL_SEED = 0
+TRAIN_DEVICE_SEED = 7
+EVAL_DEVICE_SEED = 123
+MAX_SAMPLES_PER_RUN = 4
+POWER_EPOCHS = 12
+TIME_EPOCHS = 8
+CLOCK_STRIDE = 10
+
+
+def tiny_freqs(device: SimulatedGPU) -> tuple[float, ...]:
+    """Strided clock grid that always includes the reference (max) clock."""
+    usable = tuple(device.dvfs.usable_mhz)
+    freqs = usable[::CLOCK_STRIDE]
+    if freqs[-1] != usable[-1]:
+        freqs = freqs + (usable[-1],)
+    return freqs
+
+
+def train_tiny_models() -> tuple[PowerModel, TimeModel]:
+    """Train the tiny model pair (TDP-normalised power, relative time)."""
+    device = SimulatedGPU(GA100, seed=TRAIN_DEVICE_SEED, max_samples_per_run=MAX_SAMPLES_PER_RUN)
+    pipe = FrequencySelectionPipeline(
+        device,
+        power_model=PowerModel(reference_power_w=device.arch.tdp_watts, seed=MODEL_SEED),
+        time_model=TimeModel(seed=MODEL_SEED),
+    )
+    pipe.power_model.epochs = POWER_EPOCHS
+    pipe.time_model.epochs = TIME_EPOCHS
+    pipe.fit_offline(
+        [get_workload(name) for name in TRAINING_WORKLOADS],
+        runs_per_config=1,
+        freqs_mhz=tiny_freqs(device),
+    )
+    return pipe.power_model, pipe.time_model
+
+
+def make_tiny_pipeline(
+    models: tuple[PowerModel, TimeModel],
+    *,
+    device_seed: int = EVAL_DEVICE_SEED,
+    device: SimulatedGPU | None = None,
+) -> FrequencySelectionPipeline:
+    """Fitted pipeline around a fresh device sharing the tiny models."""
+    power_model, time_model = models
+    if device is None:
+        device = SimulatedGPU(GA100, seed=device_seed, max_samples_per_run=MAX_SAMPLES_PER_RUN)
+    return FrequencySelectionPipeline(device, power_model=power_model, time_model=time_model)
+
+
+def golden_payload(models: tuple[PowerModel, TimeModel] | None = None) -> dict:
+    """The pinned end-to-end outputs for the tiny config.
+
+    Selected frequency / index / threshold flag are exact-match fields;
+    energy saving and perf degradation are float fields compared with a
+    tight tolerance by the golden test.
+    """
+    if models is None:
+        models = train_tiny_models()
+    pipe = make_tiny_pipeline(models)
+    results = {}
+    # One fresh device per threshold variant so each block is independent
+    # of how many measurements the previous block drew.
+    for threshold in THRESHOLDS:
+        variant = make_tiny_pipeline(models)
+        key = "unconstrained" if threshold is None else f"threshold_{threshold}"
+        block: dict[str, dict] = {}
+        for name in EVAL_WORKLOADS:
+            res = variant.run_online(get_workload(name), threshold=threshold)
+            block[name] = {
+                objective: {
+                    "freq_mhz": res.selection(objective).freq_mhz,
+                    "index": res.selection(objective).index,
+                    "energy_saving": res.selection(objective).energy_saving,
+                    "perf_degradation": res.selection(objective).perf_degradation,
+                    "threshold_applied": res.selection(objective).threshold_applied,
+                }
+                for objective in OBJECTIVE_NAMES
+            }
+        results[key] = block
+    return {
+        "config": {
+            "arch": "GA100",
+            "training_workloads": list(TRAINING_WORKLOADS),
+            "eval_workloads": list(EVAL_WORKLOADS),
+            "model_seed": MODEL_SEED,
+            "train_device_seed": TRAIN_DEVICE_SEED,
+            "eval_device_seed": EVAL_DEVICE_SEED,
+            "max_samples_per_run": MAX_SAMPLES_PER_RUN,
+            "power_epochs": POWER_EPOCHS,
+            "time_epochs": TIME_EPOCHS,
+            "clock_stride": CLOCK_STRIDE,
+            "n_clocks": len(tiny_freqs(pipe.device)),
+        },
+        "results": results,
+    }
+
+
+def write_golden(payload: dict | None = None) -> Path:
+    """Write (or refresh) the checked-in golden file."""
+    payload = payload if payload is not None else golden_payload()
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return GOLDEN_PATH

@@ -1,0 +1,44 @@
+"""Bitwise comparison helpers for serving equivalence tests.
+
+``SelectionResult``/``OnlineResult`` are frozen dataclasses holding
+ndarrays, so ``==`` either raises or returns elementwise arrays; these
+helpers compare field-by-field with ``np.array_equal`` (exact — the
+serving layer's contract is *bitwise* identity, not closeness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assert_selections_identical(got, want, context: str = "") -> None:
+    """Field-by-field bitwise equality of two SelectionResults."""
+    prefix = f"{context}: " if context else ""
+    assert got.freq_mhz == want.freq_mhz, f"{prefix}freq {got.freq_mhz} != {want.freq_mhz}"
+    assert got.index == want.index, f"{prefix}index"
+    assert got.objective_name == want.objective_name, f"{prefix}objective"
+    assert got.perf_degradation == want.perf_degradation, f"{prefix}perf_degradation"
+    assert got.energy_saving == want.energy_saving, f"{prefix}energy_saving"
+    assert got.threshold_applied == want.threshold_applied, f"{prefix}threshold_applied"
+    assert np.array_equal(got.scores, want.scores), f"{prefix}scores differ"
+
+
+def assert_online_results_identical(got, want) -> None:
+    """Field-by-field bitwise equality of two OnlineResults.
+
+    ``got`` may also be a ServiceResponse converted via
+    ``to_online_result()`` upstream; only OnlineResult fields are
+    compared here.
+    """
+    ctx = want.workload
+    assert got.workload == want.workload
+    assert np.array_equal(got.freqs_mhz, want.freqs_mhz), f"{ctx}: freq grid differs"
+    assert got.features == want.features, f"{ctx}: features differ"
+    assert got.measured_power_at_max_w == want.measured_power_at_max_w, f"{ctx}: power@max"
+    assert got.measured_time_at_max_s == want.measured_time_at_max_s, f"{ctx}: time@max"
+    assert np.array_equal(got.power_w, want.power_w), f"{ctx}: power curve differs"
+    assert np.array_equal(got.time_s, want.time_s), f"{ctx}: time curve differs"
+    assert np.array_equal(got.energy_j, want.energy_j), f"{ctx}: energy curve differs"
+    assert set(got.selections) == set(want.selections), f"{ctx}: objective sets differ"
+    for name in want.selections:
+        assert_selections_identical(got.selections[name], want.selections[name], f"{ctx}/{name}")

@@ -1,0 +1,37 @@
+"""Serving-layer fixtures.
+
+The equivalence tests need *two* pipelines that behave identically —
+same architecture, same device seed, same trained weights — so one can
+drive a sequential ``run_online`` loop while the other serves the same
+request stream through :class:`SelectionService`.  Training cost is paid
+once per session via the ``tiny_models`` fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import GA100, NoiseModel, SimulatedGPU
+
+from tests.golden.tiny_pipeline import EVAL_DEVICE_SEED, MAX_SAMPLES_PER_RUN, make_tiny_pipeline
+
+
+@pytest.fixture()
+def pipeline_pair(tiny_models):
+    """Two bitwise-identical fresh pipelines sharing the tiny models."""
+    return (
+        make_tiny_pipeline(tiny_models, device_seed=EVAL_DEVICE_SEED),
+        make_tiny_pipeline(tiny_models, device_seed=EVAL_DEVICE_SEED),
+    )
+
+
+@pytest.fixture()
+def quiet_pipeline(tiny_models):
+    """Pipeline on a noise-free device — repeat measurements are identical."""
+    device = SimulatedGPU(
+        GA100,
+        seed=0,
+        noise=NoiseModel.disabled(),
+        max_samples_per_run=MAX_SAMPLES_PER_RUN,
+    )
+    return make_tiny_pipeline(tiny_models, device=device)

@@ -1,0 +1,107 @@
+"""LRUCache unit tests."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.cache import LRUCache
+
+
+class TestBasics:
+    def test_miss_returns_none(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_put_then_get(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_put_refreshes_value(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_clear_keeps_lifetime_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            LRUCache(0)
+
+
+class TestEviction:
+    def test_oldest_evicted_at_capacity(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # now "b" is the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_size_never_exceeds_maxsize(self):
+        cache = LRUCache(3)
+        for i in range(50):
+            cache.put(i, i)
+            assert len(cache) <= 3
+        assert cache.evictions == 47
+
+
+class TestConcurrency:
+    def test_parallel_put_get_stays_bounded(self):
+        cache = LRUCache(16)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    key = (base * 200 + i) % 64
+                    cache.put(key, key)
+                    got = cache.get(key)
+                    assert got is None or got == key
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        assert cache.hits + cache.misses == 8 * 200

@@ -1,0 +1,135 @@
+"""MicroBatcher / concurrent-submission tests.
+
+Concurrency note: submission *order* is nondeterministic under a thread
+pool, so these tests use pre-profiled feature requests — each response
+depends only on its own request (curves are pure functions of the
+profile), which is exactly why cross-thread serving can still meet the
+bitwise bar per request.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.dataset import features_at_max
+from repro.serving import MicroBatcher, SelectionRequest, SelectionService
+from repro.workloads import get_workload
+
+from tests.serving.asserts import assert_online_results_identical
+
+
+@pytest.fixture()
+def profiled_requests(quiet_pipeline):
+    """Feature-vector requests profiled once on the quiet device."""
+    requests = []
+    for name in ("lammps", "lstm", "resnet50"):
+        fv, p_max, t_max = features_at_max(quiet_pipeline.device, get_workload(name))
+        requests.append(
+            SelectionRequest.from_features(fv, t_max, power_at_max_w=p_max, name=name)
+        )
+    return requests
+
+
+class TestSubmit:
+    @pytest.mark.parametrize("n_workers", [1, 2, 8])
+    def test_threaded_submit_matches_direct_flush(
+        self, quiet_pipeline, profiled_requests, n_workers
+    ):
+        """Every future resolves to the same response a direct flush gives."""
+        expected = {
+            req.name: SelectionService(quiet_pipeline).select_one(req)
+            for req in profiled_requests
+        }
+        stream = profiled_requests * 8  # 24 submissions
+        with SelectionService(quiet_pipeline, batch_window_s=0.01) as service:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = list(pool.map(service.submit, stream))
+            responses = [f.result(timeout=30) for f in futures]
+        for req, response in zip(stream, responses):
+            assert response.name == req.name
+            assert_online_results_identical(
+                response.to_online_result(), expected[req.name].to_online_result()
+            )
+
+    def test_submissions_coalesce_into_batches(self, quiet_pipeline, profiled_requests):
+        """Requests landing inside one window share a flush."""
+        with SelectionService(quiet_pipeline, batch_window_s=0.25) as service:
+            futures = [service.submit(req) for req in profiled_requests * 4]
+            for f in futures:
+                f.result(timeout=30)
+            stats = service.stats()
+        assert stats.requests == 12
+        # The dispatcher may split the stream, but a per-request flush
+        # pattern would mean the window never coalesced anything.
+        assert stats.batches < stats.requests
+        assert stats.max_batch_size > 1
+
+    def test_max_batch_size_respected(self, quiet_pipeline, profiled_requests):
+        with SelectionService(
+            quiet_pipeline, max_batch_size=2, batch_window_s=0.25
+        ) as service:
+            futures = [service.submit(req) for req in profiled_requests * 4]
+            for f in futures:
+                f.result(timeout=30)
+            assert service.stats().max_batch_size <= 2
+
+    def test_concurrent_select_many_is_serialized(self, quiet_pipeline, profiled_requests):
+        """Racing synchronous flushes never corrupt responses or counters."""
+        service = SelectionService(quiet_pipeline)
+        expected = {
+            req.name: service.select_one(req) for req in profiled_requests
+        }
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    for req, resp in zip(
+                        profiled_requests, service.select_many(profiled_requests)
+                    ):
+                        assert_online_results_identical(
+                            resp.to_online_result(), expected[req.name].to_online_result()
+                        )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # 3 initial + 6 threads * 5 rounds * 3 requests
+        assert service.stats().requests == 3 + 6 * 5 * 3
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, quiet_pipeline, profiled_requests):
+        batcher = MicroBatcher(SelectionService(quiet_pipeline))
+        batcher.submit(profiled_requests[0]).result(timeout=30)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(profiled_requests[0])
+
+    def test_close_drains_pending(self, quiet_pipeline, profiled_requests):
+        service = SelectionService(quiet_pipeline, batch_window_s=0.5)
+        futures = [service.submit(req) for req in profiled_requests]
+        service.close()  # must flush the open window, not drop it
+        for f in futures:
+            assert f.result(timeout=5) is not None
+
+    def test_service_reusable_after_close(self, quiet_pipeline, profiled_requests):
+        service = SelectionService(quiet_pipeline)
+        service.submit(profiled_requests[0]).result(timeout=30)
+        service.close()
+        # A new dispatcher spins up lazily on the next submit.
+        assert service.submit(profiled_requests[1]).result(timeout=30).name == "lstm"
+        service.close()
+
+    def test_close_idempotent(self, quiet_pipeline):
+        service = SelectionService(quiet_pipeline)
+        service.close()
+        service.close()

@@ -12,6 +12,8 @@ SUBPACKAGES = [
     "repro.features",
     "repro.baselines",
     "repro.core",
+    "repro.serving",
+    "repro.cluster",
     "repro.experiments",
 ]
 

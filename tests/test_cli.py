@@ -31,39 +31,41 @@ class TestSpecs:
         assert "unknown architecture" in capsys.readouterr().err
 
 
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    data = tmp_path_factory.mktemp("campaign")
+    code = main(
+        [
+            "collect",
+            "--workloads", "dgemm,stream,spmv,lud",
+            "--freqs", "510,705,900,1095,1290,1410",
+            "--runs", "1",
+            "--max-samples", "6",
+            "--out", str(data),
+        ]
+    )
+    assert code == 0
+    return data
+
+
+@pytest.fixture(scope="module")
+def models(campaign, tmp_path_factory):
+    out = tmp_path_factory.mktemp("models")
+    code = main(
+        [
+            "train",
+            "--data", str(campaign),
+            "--out", str(out),
+            "--power-epochs", "20",
+            "--time-epochs", "10",
+        ]
+    )
+    assert code == 0
+    return out
+
+
 class TestCollectTrainPredict:
     """The full operational flow through the CLI."""
-
-    @pytest.fixture(scope="class")
-    def campaign(self, tmp_path_factory):
-        data = tmp_path_factory.mktemp("campaign")
-        code = main(
-            [
-                "collect",
-                "--workloads", "dgemm,stream,spmv,lud",
-                "--freqs", "510,705,900,1095,1290,1410",
-                "--runs", "1",
-                "--max-samples", "6",
-                "--out", str(data),
-            ]
-        )
-        assert code == 0
-        return data
-
-    @pytest.fixture(scope="class")
-    def models(self, campaign, tmp_path_factory):
-        out = tmp_path_factory.mktemp("models")
-        code = main(
-            [
-                "train",
-                "--data", str(campaign),
-                "--out", str(out),
-                "--power-epochs", "20",
-                "--time-epochs", "10",
-            ]
-        )
-        assert code == 0
-        return out
 
     def test_collect_wrote_csvs(self, campaign):
         csvs = list(campaign.glob("*/*.csv"))
@@ -92,6 +94,96 @@ class TestCollectTrainPredict:
         code = main(["predict", "--models", str(models), "--arch", "GV100", "--workload", "lstm"])
         assert code == 0
         assert "GV100" in capsys.readouterr().out
+
+
+class TestSelect:
+    def test_batched_selection_output(self, models, capsys):
+        code = main(
+            ["select", "--models", str(models), "--workloads", "lammps,lstm,lammps", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 applications on GA100" in out
+        assert out.count("lammps") >= 2
+        assert "MHz" in out
+        assert "service: 3 requests" in out
+
+    def test_named_suites_resolve(self, models, capsys):
+        assert main(["select", "--models", str(models), "--workloads", "training"]) == 0
+        out = capsys.readouterr().out
+        assert "dgemm" in out and "stream" in out
+
+    def test_chunked_flushes(self, models, capsys):
+        code = main(
+            ["select", "--models", str(models), "--workloads", "evaluation", "--batch", "2", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max 2" in out
+
+    def test_bad_batch_rejected(self, models, capsys):
+        assert main(["select", "--models", str(models), "--workloads", "lstm", "--batch", "0"]) == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_unknown_workload_exit_code(self, models, capsys):
+        assert main(["select", "--models", str(models), "--workloads", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestServe:
+    def _request_file(self, tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_workload_and_feature_requests(self, models, tmp_path, capsys):
+        import json
+
+        path = self._request_file(
+            tmp_path,
+            [
+                '{"workload": "lammps"}',
+                '{"fp_active": 0.6, "dram_active": 0.3, "time_at_max_s": 2.5, "name": "custom"}',
+                "",  # blank lines are skipped
+                '{"workload": "lammps"}',
+            ],
+        )
+        code = main(["serve", "--models", str(models), "--input", str(path), "--stats"])
+        assert code == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["name"] for r in responses] == ["lammps", "custom", "lammps"]
+        for r in responses:
+            assert {"EDP", "ED2P"} == set(r["selections"])
+            for sel in r["selections"].values():
+                assert sel["freq_mhz"] > 0
+        assert "service: 3 requests" in captured.err
+
+    def test_invalid_lines_reported_and_exit_nonzero(self, models, tmp_path, capsys):
+        import json
+
+        path = self._request_file(
+            tmp_path,
+            ['{"fp_active": 0.5}', '{"workload": "lammps"}'],
+        )
+        code = main(["serve", "--models", str(models), "--input", str(path)])
+        assert code == 1
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert "error" in lines[0]
+        assert lines[1]["name"] == "lammps"
+
+    def test_feature_repeats_hit_cache(self, models, tmp_path, capsys):
+        import json
+
+        request = '{"fp_active": 0.6, "dram_active": 0.3, "time_at_max_s": 2.5}'
+        path = self._request_file(tmp_path, [request, request])
+        # --batch 1 forces two flushes, so the repeat comes from the LRU.
+        code = main(["serve", "--models", str(models), "--input", str(path), "--batch", "1"])
+        assert code == 0
+        first, second = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert not first["cached"]
+        assert second["cached"]
+        assert first["selections"] == second["selections"]
 
 
 class TestExperiment:

@@ -80,6 +80,99 @@ class TestRecommender:
             Broken().census()
 
 
+class _SinglePhase(PhasedWorkload):
+    """One-phase wrapper: phased prediction should collapse to run_online."""
+
+    name = "single-phase"
+    default_size = 1
+
+    def __init__(self, census: KernelCensus) -> None:
+        self._census = census
+
+    def phases(self, size=None):
+        return [Phase("only", self._census)]
+
+
+class _NoPhases(PhasedWorkload):
+    name = "no-phases"
+    default_size = 1
+
+    def phases(self, size=None):
+        return []
+
+
+class TestPhasedComposition:
+    """run_online_phased composes per-phase curves exactly (satellite tests).
+
+    All comparisons run on noise-free devices so per-phase measurements
+    are reproducible and the composition law can be checked bitwise.
+    """
+
+    @pytest.fixture()
+    def quiet_pipe(self, tiny_models):
+        from tests.golden.tiny_pipeline import MAX_SAMPLES_PER_RUN, make_tiny_pipeline
+
+        device = SimulatedGPU(
+            GA100, seed=0, noise=NoiseModel.disabled(), max_samples_per_run=MAX_SAMPLES_PER_RUN
+        )
+        return make_tiny_pipeline(tiny_models, device=device)
+
+    def test_composite_curves_are_sums_over_phases(self, quiet_pipe, tiny_models):
+        from repro.core.dataset import measure_census_at_max
+
+        workload = RecommenderTraining()
+        result = quiet_pipe.run_online_phased(workload)
+
+        # Rebuild the expected composition phase by phase, in phase order,
+        # with the same accumulation (+=) the pipeline uses.
+        from tests.golden.tiny_pipeline import MAX_SAMPLES_PER_RUN, make_tiny_pipeline
+
+        ref = make_tiny_pipeline(
+            tiny_models,
+            device=SimulatedGPU(
+                GA100, seed=0, noise=NoiseModel.disabled(), max_samples_per_run=MAX_SAMPLES_PER_RUN
+            ),
+        )
+        freqs = ref.device.dvfs.usable_array()
+        scale = ref.device.arch.tdp_watts
+        total_time = np.zeros(freqs.size)
+        total_energy = np.zeros(freqs.size)
+        for p in workload.phases():
+            fv, _, t_max = measure_census_at_max(
+                ref.device, p.census, name=f"{workload.name}:{p.name}"
+            )
+            p_curve = ref.power_model.predict_power(fv, freqs, target_power_scale_w=scale)
+            t_curve = ref.time_model.predict_time(fv, freqs, time_at_max_s=t_max)
+            total_time += t_curve
+            total_energy += p_curve * t_curve
+
+        assert np.array_equal(result.time_s, total_time)
+        assert np.array_equal(result.energy_j, total_energy)
+        assert np.array_equal(result.power_w, total_energy / total_time)
+
+    def test_single_phase_matches_run_online(self, quiet_pipe, compute_census):
+        """With one phase, composition must collapse to the plain path."""
+        workload = _SinglePhase(compute_census)
+        plain = quiet_pipe.run_online(workload)
+        phased = quiet_pipe.run_online_phased(workload)
+        assert np.array_equal(phased.time_s, plain.time_s)
+        assert np.array_equal(phased.energy_j, plain.energy_j)
+        for name in plain.selections:
+            assert phased.selection(name).freq_mhz == plain.selection(name).freq_mhz
+            assert phased.selection(name).index == plain.selection(name).index
+            assert phased.selection(name).energy_saving == plain.selection(name).energy_saving
+        # Scalar summaries go through a weighted mean (x*t/t), which is a
+        # no-op only up to rounding — compare tightly, not bitwise.
+        assert phased.measured_time_at_max_s == pytest.approx(plain.measured_time_at_max_s)
+        assert phased.measured_power_at_max_w == pytest.approx(plain.measured_power_at_max_w)
+        assert phased.features.fp_active == pytest.approx(plain.features.fp_active)
+        assert phased.features.dram_active == pytest.approx(plain.features.dram_active)
+
+    def test_zero_phases_rejected(self, quiet_pipe):
+        with pytest.raises(ValueError, match="reports no phases"):
+            quiet_pipe.run_online_phased(_NoPhases())
+
+
 class TestPhasedPipeline:
     def test_phased_online_runs(self, fast_ctx):
         pipe = fast_ctx.pipeline("GA100")
