@@ -55,7 +55,7 @@ def report():
 #: Bench modules cheap enough to run on every invocation (no shared
 #: paper-profile context; at most seconds of tiny-model training) —
 #: everything else is ``slow``.
-_FAST_BENCH_MODULES = {"test_perf_collection.py", "test_perf_serving.py"}
+_FAST_BENCH_MODULES = {"test_perf_collection.py", "test_perf_serving.py", "test_perf_obs.py"}
 
 
 def pytest_collection_modifyitems(config, items):

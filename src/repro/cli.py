@@ -22,6 +22,17 @@ Mirrors how the paper's framework is operated:
     each with the selected frequencies, print service stats at the end.
 ``repro experiment``
     Regenerate one paper figure/table and print it.
+``repro obs``
+    Observability utilities: ``summarize`` a trace JSONL into per-span
+    latency percentiles, ``export`` the process metrics registry as
+    Prometheus text or JSON.
+
+Two global flags (they go *before* the subcommand) apply to every
+command: ``--trace PATH`` streams span/event records from all
+instrumented layers (see :mod:`repro.obs`) to a JSONL file, and
+``--manifest PATH`` writes a run manifest.  ``collect`` and ``train``
+also drop a ``run_manifest.json`` alongside their outputs
+automatically.
 
 Every subcommand runs against the simulator, so the whole flow works on
 a laptop with no GPU.
@@ -33,6 +44,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core.dataset import dataset_from_csv_dir
 from repro.core.energy import ED2P, EDP
 from repro.core.models import PowerModel, TimeModel
@@ -56,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DNN-based GPU DVFS frequency selection (ICPP 2023 reproduction)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL span trace of this invocation (global; before the subcommand)",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="write a run manifest to PATH (collect/train always write one next to --out)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -115,6 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--fast", action="store_true", help="cheap profile (seconds, noisier)")
     p_exp.add_argument("--seed", type=int, default=0)
 
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    # dest must not collide with the global --trace flag (both would
+    # land on args.trace and the summarize target would get traced).
+    p_sum = obs_sub.add_parser("summarize", help="per-span latency report from a trace JSONL")
+    p_sum.add_argument("trace_file", metavar="trace", help="trace file written via --trace")
+    p_sum.add_argument("--top", type=int, default=None, help="show only the N largest spans")
+    p_exp_reg = obs_sub.add_parser("export", help="export the process metrics registry")
+    p_exp_reg.add_argument(
+        "--format", choices=("prom", "json"), default="prom", help="exposition format"
+    )
+
     return parser
 
 
@@ -160,6 +196,9 @@ def _load_pipeline(models_dir: str | Path, arch_name: str, seed: int) -> Frequen
     power.load(models / "power.npz")
     time_model = TimeModel()
     time_model.load(models / "time.npz")
+    obs.annotate(
+        model_fingerprints={"power": power.fingerprint(), "time": time_model.fingerprint()}
+    )
     return FrequencySelectionPipeline(device, power_model=power, time_model=time_model)
 
 
@@ -198,6 +237,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     out.mkdir(parents=True, exist_ok=True)
     power.save(out / "power.npz")
     time_model.save(out / "time.npz")
+    obs.annotate(
+        model_fingerprints={"power": power.fingerprint(), "time": time_model.fingerprint()}
+    )
     print(f"saved models -> {out}")
     return 0
 
@@ -236,6 +278,13 @@ def _print_service_stats(stats, stream) -> None:
         f"predict {1e3 * stats.predict_s:.1f} ms, select {1e3 * stats.select_s:.1f} ms",
         file=stream,
     )
+    if stats.batches:
+        per_stage = ", ".join(
+            f"{stage} p50 {1e3 * stats.percentile(stage, 50):.2f}/p99 "
+            f"{1e3 * stats.percentile(stage, 99):.2f} ms"
+            for stage in ("predict", "select")
+        )
+        print(f"per-flush: {per_stage}", file=stream)
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
@@ -250,7 +299,12 @@ def _cmd_select(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
     pipeline = _load_pipeline(args.models, args.arch, args.seed)
-    service = SelectionService(pipeline, threshold=args.threshold, max_batch_size=args.batch)
+    service = SelectionService(
+        pipeline,
+        threshold=args.threshold,
+        max_batch_size=args.batch,
+        registry=obs.get_registry(),
+    )
 
     print(f"{len(workloads)} applications on {pipeline.device.arch.name}:")
     for start in range(0, len(workloads), args.batch):
@@ -307,7 +361,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     pipeline = _load_pipeline(args.models, args.arch, args.seed)
     registry = default_registry()
-    service = SelectionService(pipeline, threshold=args.threshold, max_batch_size=args.batch)
+    service = SelectionService(
+        pipeline,
+        threshold=args.threshold,
+        max_batch_size=args.batch,
+        registry=obs.get_registry(),
+    )
 
     stream = sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
     served = failed = 0
@@ -381,6 +440,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "summarize":
+        trace_path = Path(args.trace_file)
+        if not trace_path.exists():
+            print(f"no such trace file: {trace_path}", file=sys.stderr)
+            return 2
+        summary = obs.summarize_file(trace_path)
+        print(obs.render_summary(summary, top=args.top))
+        return 0
+    # export
+    registry = obs.get_registry()
+    if args.format == "json":
+        print(registry.to_json())
+    else:
+        print(registry.to_prometheus_text(), end="")
+    return 0
+
+
 _DISPATCH = {
     "specs": _cmd_specs,
     "collect": _cmd_collect,
@@ -389,13 +466,54 @@ _DISPATCH = {
     "select": _cmd_select,
     "serve": _cmd_serve,
     "experiment": _cmd_experiment,
+    "obs": _cmd_obs,
 }
+
+#: Subcommands whose ``--out`` directory gets a run manifest automatically.
+_MANIFEST_COMMANDS = {"collect": "out", "train": "out"}
+
+
+def _manifest_config(args: argparse.Namespace) -> dict:
+    """The invocation's full argument set, minus dispatch plumbing."""
+    return {
+        key: str(value) if isinstance(value, Path) else value
+        for key, value in vars(args).items()
+        if key not in ("command", "obs_command")
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every invocation runs inside a manifest context (commands annotate
+    it with e.g. model fingerprints); ``--trace`` installs the global
+    tracer for the duration of the command.
+    """
     args = build_parser().parse_args(argv)
-    return _DISPATCH[args.command](args)
+    run = obs.start_run(
+        args.command,
+        list(argv) if argv is not None else sys.argv[1:],
+        config=_manifest_config(args),
+    )
+    run.annotate(seed=getattr(args, "seed", None), trace_path=args.trace)
+    if args.trace:
+        obs.configure(args.trace)
+    try:
+        code = _DISPATCH[args.command](args)
+    finally:
+        if args.trace:
+            obs.disable()
+    targets = []
+    if args.manifest:
+        targets.append(Path(args.manifest))
+    out_attr = _MANIFEST_COMMANDS.get(args.command)
+    if out_attr is not None and code == 0:
+        targets.append(Path(getattr(args, out_attr)))
+    if targets:
+        manifest = run.finish(exit_code=code, registry=obs.get_registry())
+        for target in targets:
+            obs.write_manifest(manifest, target)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()

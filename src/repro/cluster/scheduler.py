@@ -9,7 +9,9 @@ a 500-job campaign costs 500 device runs, not a timestep loop.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 
+from repro import obs
 from repro.cluster.job import Job, JobRecord
 from repro.cluster.node import GPUNode
 from repro.cluster.policy import ClockPolicy
@@ -25,6 +27,11 @@ class FIFOScheduler:
             raise ValueError("need at least one node")
         self.nodes = nodes
         self.policy = policy
+        registry = obs.get_registry()
+        self._m_jobs = registry.counter("cluster_jobs_total", "jobs scheduled")
+        self._m_decide = registry.histogram(
+            "cluster_decide_seconds", "per-job clock-policy decision latency"
+        )
 
     def run(self, jobs: list[Job]) -> list[JobRecord]:
         """Schedule all jobs; returns completion records in finish order.
@@ -45,7 +52,8 @@ class FIFOScheduler:
         # Batch-capable policies (the serving layer) decide every distinct
         # application up front in one flush instead of stalling the first
         # job of each application on a model prediction.
-        self.policy.prepare(ordered)
+        with obs.span("cluster.prepare", jobs=len(ordered), policy=self.policy.name):
+            self.policy.prepare(ordered)
 
         records: list[JobRecord] = []
         for job in ordered:
@@ -53,10 +61,23 @@ class FIFOScheduler:
             node = self.nodes[node_idx]
             device = node.gpu(gpu_idx)
 
-            clock = self.policy.clock_for(job, device)
-            device.set_sm_clock(clock)
-            record = device.run(job.workload.census(job.size), workload_name=job.workload.name)
-            device.reset_clocks()
+            t_decide = perf_counter()
+            with obs.span(
+                "cluster.decide", job=job.job_id, workload=job.workload.name
+            ):
+                clock = self.policy.clock_for(job, device)
+            self._m_decide.observe(perf_counter() - t_decide)
+            with obs.span(
+                "cluster.place",
+                job=job.job_id,
+                node=node.node_id,
+                gpu=gpu_idx,
+                clock_mhz=clock,
+            ):
+                device.set_sm_clock(clock)
+                record = device.run(job.workload.census(job.size), workload_name=job.workload.name)
+                device.reset_clocks()
+            self._m_jobs.inc()
 
             start = max(free_at, job.arrival_s)
             end = start + record.exec_time_s

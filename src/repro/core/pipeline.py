@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.dataset import (
     DVFSDataset,
     FeatureVector,
@@ -102,12 +103,22 @@ class FrequencySelectionPipeline:
             runs_per_config=runs_per_config,
             sizes=sizes if sizes is not None else {},
         )
-        artifacts = launcher.collect(training_workloads, config, workers=workers)
-        # Per-sample rows: every 20 ms sensor sample is a training row,
-        # the paper's "statistically significant dataset" (Section 4).
-        dataset = build_dataset(artifacts, max_freq_mhz=max(freqs), per_sample=True)
-        self.power_model.fit(dataset)
-        self.time_model.fit(dataset)
+        with obs.span(
+            "pipeline.fit_offline",
+            workloads=len(training_workloads),
+            freqs=len(freqs),
+            runs=runs_per_config,
+        ):
+            with obs.span("pipeline.collect"):
+                artifacts = launcher.collect(training_workloads, config, workers=workers)
+            # Per-sample rows: every 20 ms sensor sample is a training row,
+            # the paper's "statistically significant dataset" (Section 4).
+            with obs.span("pipeline.build_dataset"):
+                dataset = build_dataset(artifacts, max_freq_mhz=max(freqs), per_sample=True)
+            with obs.span("pipeline.fit_power_model", rows=len(dataset)):
+                self.power_model.fit(dataset)
+            with obs.span("pipeline.fit_time_model", rows=len(dataset)):
+                self.time_model.fit(dataset)
         self.training_dataset = dataset
         return dataset
 
@@ -141,18 +152,26 @@ class FrequencySelectionPipeline:
         """
         if not self.is_fitted:
             raise RuntimeError("pipeline used before fit_offline()/fit_from_dataset()")
-        features, power_max, time_max = features_at_max(self.device, workload, runs=runs, size=size)
-        freqs = self.device.dvfs.usable_array()
-        # TDP-normalised models are rescaled onto *this* device's envelope,
-        # which is what lets GA100-trained weights serve a GV100 pipeline.
-        scale = self.device.arch.tdp_watts if self.power_model.reference_power_w is not None else None
-        power = self.power_model.predict_power(features, freqs, target_power_scale_w=scale)
-        time = self.time_model.predict_time(features, freqs, time_at_max_s=time_max)
-        energy = energy_from_power_time(power, time)
-        selections = {
-            obj.name: select_optimal_frequency(freqs, energy, time, objective=obj, threshold=threshold)
-            for obj in objectives
-        }
+        with obs.span("pipeline.run_online", workload=workload.name):
+            with obs.span("pipeline.measure_at_max", workload=workload.name):
+                features, power_max, time_max = features_at_max(
+                    self.device, workload, runs=runs, size=size
+                )
+            freqs = self.device.dvfs.usable_array()
+            # TDP-normalised models are rescaled onto *this* device's envelope,
+            # which is what lets GA100-trained weights serve a GV100 pipeline.
+            scale = self.device.arch.tdp_watts if self.power_model.reference_power_w is not None else None
+            with obs.span("pipeline.predict_curves", freqs=int(freqs.size)):
+                power = self.power_model.predict_power(features, freqs, target_power_scale_w=scale)
+                time = self.time_model.predict_time(features, freqs, time_at_max_s=time_max)
+                energy = energy_from_power_time(power, time)
+            with obs.span("pipeline.select"):
+                selections = {
+                    obj.name: select_optimal_frequency(
+                        freqs, energy, time, objective=obj, threshold=threshold
+                    )
+                    for obj in objectives
+                }
         return OnlineResult(
             workload=workload.name,
             freqs_mhz=freqs,

@@ -9,16 +9,23 @@ to avoid overfitting" decision for the time model.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.nn.losses import Loss, get_loss
 from repro.nn.network import FeedForwardNetwork
 from repro.nn.optimizers import Optimizer, get_optimizer
 from repro.nn.schedules import Schedule
 
-__all__ = ["TrainConfig", "History", "train"]
+__all__ = ["TrainConfig", "History", "EpochCallback", "train"]
+
+#: Per-epoch hook: ``(epoch, train_loss, val_loss, duration_s)``.
+#: ``val_loss`` is None when training without a validation split.
+EpochCallback = Callable[[int, float, "float | None", float], None]
 
 
 @dataclass(frozen=True)
@@ -61,12 +68,19 @@ class History:
 
     train_loss: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
+    #: Wall time of each epoch (same length as ``train_loss``).
+    epoch_s: list[float] = field(default_factory=list)
     stopped_early: bool = False
 
     @property
     def epochs_run(self) -> int:
         """How many epochs actually executed."""
         return len(self.train_loss)
+
+    @property
+    def total_time_s(self) -> float:
+        """Wall time across all executed epochs."""
+        return sum(self.epoch_s)
 
     @property
     def best_val_loss(self) -> float:
@@ -84,6 +98,7 @@ def train(
     config: TrainConfig | None = None,
     schedule: Schedule | None = None,
     seed: int | None = None,
+    on_epoch_end: EpochCallback | None = None,
 ) -> History:
     """Train ``network`` in place and return the loss history.
 
@@ -91,7 +106,10 @@ def train(
     The validation split is taken from the *end* of a seeded shuffle, so
     repeated runs with the same seed see identical splits.  ``schedule``
     scales the optimizer's learning rate per epoch (base rate restored on
-    exit).
+    exit).  ``on_epoch_end`` is called after every completed epoch with
+    ``(epoch, train_loss, val_loss, duration_s)``; each epoch is also a
+    ``nn.epoch`` trace span, and a patience-triggered stop emits an
+    ``nn.early_stop`` trace event (see :mod:`repro.obs`).
     """
     config = config if config is not None else TrainConfig()
     optimizer = get_optimizer(optimizer) if isinstance(optimizer, str) else optimizer
@@ -129,29 +147,44 @@ def train(
     base_lr = optimizer.learning_rate
     try:
         for epoch in range(config.epochs):
-            if schedule is not None:
-                optimizer.learning_rate = base_lr * schedule(epoch)
-            idx = rng.permutation(n) if config.shuffle else np.arange(n)
-            epoch_losses = []
-            for start in range(0, n, config.batch_size):
-                batch = idx[start : start + config.batch_size]
-                epoch_losses.append(
-                    _train_batch(network, x_train[batch], y_train[batch], loss, optimizer, config)
-                )
-            history.train_loss.append(float(np.mean(epoch_losses)))
+            t_epoch = _time.perf_counter()
+            with obs.span("nn.epoch", epoch=epoch) as sp:
+                if schedule is not None:
+                    optimizer.learning_rate = base_lr * schedule(epoch)
+                idx = rng.permutation(n) if config.shuffle else np.arange(n)
+                epoch_losses = []
+                for start in range(0, n, config.batch_size):
+                    batch = idx[start : start + config.batch_size]
+                    epoch_losses.append(
+                        _train_batch(network, x_train[batch], y_train[batch], loss, optimizer, config)
+                    )
+                history.train_loss.append(float(np.mean(epoch_losses)))
 
-            if x_val is not None:
-                val = network.evaluate(x_val, y_val, loss)
-                history.val_loss.append(val)
-                if config.early_stop_patience is not None:
-                    if val < best_val * (1.0 - config.early_stop_min_delta):
-                        best_val = val
-                        patience_left = config.early_stop_patience
-                    else:
-                        patience_left -= 1  # type: ignore[operator]
-                        if patience_left <= 0:
-                            history.stopped_early = True
-                            break
+                val = None
+                if x_val is not None:
+                    val = network.evaluate(x_val, y_val, loss)
+                    history.val_loss.append(val)
+                    if config.early_stop_patience is not None:
+                        if val < best_val * (1.0 - config.early_stop_min_delta):
+                            best_val = val
+                            patience_left = config.early_stop_patience
+                        else:
+                            patience_left -= 1  # type: ignore[operator]
+                            if patience_left <= 0:
+                                history.stopped_early = True
+                sp.set(train_loss=history.train_loss[-1], val_loss=val)
+            duration = _time.perf_counter() - t_epoch
+            history.epoch_s.append(duration)
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, history.train_loss[-1], val, duration)
+            if history.stopped_early:
+                obs.event(
+                    "nn.early_stop",
+                    epoch=epoch,
+                    best_val_loss=best_val,
+                    patience=config.early_stop_patience,
+                )
+                break
     finally:
         optimizer.learning_rate = base_lr
     return history

@@ -1,0 +1,91 @@
+"""Unified observability layer: metrics, tracing, and run manifests.
+
+Three orthogonal pieces share this package (see DESIGN.md §10):
+
+* :mod:`repro.obs.metrics` — process-local typed metrics
+  (Counter / Gauge / Histogram) behind a named registry, exported as
+  Prometheus text or round-trippable JSON.
+* :mod:`repro.obs.trace` — span tracer with parent/child nesting, a
+  JSONL sink plus bounded ring buffer, and a no-op fast path that makes
+  permanent instrumentation of hot loops free when tracing is off.
+* :mod:`repro.obs.manifest` — one structured provenance record per CLI
+  invocation (config hash, seed, model fingerprints, git state, wall
+  time, metric snapshot).
+
+The instrumentation contract for the rest of the codebase: importing
+and calling into ``repro.obs`` must never perturb numerics, RNG
+streams, or public APIs — the golden suite runs fully traced and is
+asserted bitwise-identical to the untraced run.
+"""
+
+from repro.obs.manifest import (
+    RunContext,
+    RunManifest,
+    annotate,
+    config_hash,
+    current_run,
+    git_describe,
+    start_run,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    get_registry,
+    registry_from_json,
+)
+from repro.obs.summarize import (
+    load_events,
+    render_summary,
+    summarize_events,
+    summarize_file,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    configure,
+    disable,
+    event,
+    get_tracer,
+    is_enabled,
+    span,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "get_registry",
+    "registry_from_json",
+    # trace
+    "Span",
+    "Tracer",
+    "span",
+    "event",
+    "configure",
+    "disable",
+    "get_tracer",
+    "is_enabled",
+    # manifest
+    "RunManifest",
+    "RunContext",
+    "start_run",
+    "current_run",
+    "annotate",
+    "config_hash",
+    "git_describe",
+    "write_manifest",
+    # summaries
+    "load_events",
+    "summarize_events",
+    "summarize_file",
+    "render_summary",
+]

@@ -1,0 +1,171 @@
+"""Run manifests: one structured record per CLI invocation.
+
+A manifest answers "what exactly produced this output directory?" months
+later: the command and its full argument set, a stable hash of that
+configuration, the seed, the model fingerprints involved, the git state
+of the checkout, wall time, and a snapshot of every metric the process
+emitted.  ``repro collect`` and ``repro train`` write one alongside
+their outputs automatically; any command accepts a global
+``--manifest PATH`` to force one.
+
+Commands annotate the manifest through a process-local run context
+(:func:`start_run` / :func:`annotate`) instead of threading a handle
+through every call — e.g. ``repro train`` attaches the fingerprints of
+the models it just saved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "RunManifest",
+    "RunContext",
+    "start_run",
+    "current_run",
+    "annotate",
+    "config_hash",
+    "git_describe",
+    "write_manifest",
+]
+
+MANIFEST_FILENAME = "run_manifest.json"
+
+
+def config_hash(config: dict) -> str:
+    """Stable SHA-256 over a canonical JSON encoding of ``config``."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_describe(cwd: str | Path | None = None) -> str | None:
+    """``git describe --always --dirty`` of the checkout, or None."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything needed to audit one invocation's provenance."""
+
+    schema: int
+    command: str
+    argv: list[str]
+    config: dict
+    config_hash: str
+    seed: int | None
+    git: str | None
+    python: str
+    numpy: str
+    started_unix: float
+    wall_time_s: float
+    exit_code: int | None
+    trace_path: str | None
+    model_fingerprints: dict[str, str]
+    metrics: dict[str, dict]
+    extras: dict = field(default_factory=dict)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(asdict(self), indent=indent, default=str)
+
+
+class RunContext:
+    """Mutable accumulator for one run, finalized into a :class:`RunManifest`."""
+
+    def __init__(self, command: str, argv: list[str], config: dict | None = None) -> None:
+        self.command = command
+        self.argv = list(argv)
+        self.config = dict(config) if config else {}
+        self.started_unix = time.time()
+        self._t0 = time.perf_counter()
+        self.seed: int | None = None
+        self.trace_path: str | None = None
+        self.model_fingerprints: dict[str, str] = {}
+        self.extras: dict = {}
+
+    def annotate(self, **kw) -> None:
+        """Attach fields: known names bind directly, the rest land in extras."""
+        for key, value in kw.items():
+            if key == "model_fingerprints":
+                self.model_fingerprints.update(value)
+            elif key in ("seed", "trace_path"):
+                setattr(self, key, value)
+            else:
+                self.extras[key] = value
+
+    def finish(
+        self,
+        *,
+        exit_code: int | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> RunManifest:
+        """Freeze the context into a manifest (metrics snapshotted now)."""
+        return RunManifest(
+            schema=1,
+            command=self.command,
+            argv=self.argv,
+            config=self.config,
+            config_hash=config_hash(self.config),
+            seed=self.seed,
+            git=git_describe(Path(__file__).parent),
+            python=platform.python_version(),
+            numpy=np.__version__,
+            started_unix=self.started_unix,
+            wall_time_s=time.perf_counter() - self._t0,
+            exit_code=exit_code,
+            trace_path=self.trace_path,
+            model_fingerprints=dict(self.model_fingerprints),
+            metrics=registry.snapshot() if registry is not None else {},
+            extras=dict(self.extras),
+        )
+
+
+#: Process-local current run (set by the CLI entry point).
+_CURRENT: RunContext | None = None
+
+
+def start_run(command: str, argv: list[str], config: dict | None = None) -> RunContext:
+    """Open a new run context and make it the process-current one."""
+    global _CURRENT
+    _CURRENT = RunContext(command, argv, config)
+    return _CURRENT
+
+
+def current_run() -> RunContext | None:
+    """The process-current run context, or None outside the CLI."""
+    return _CURRENT
+
+
+def annotate(**kw) -> None:
+    """Annotate the current run, if any (no-op outside the CLI)."""
+    if _CURRENT is not None:
+        _CURRENT.annotate(**kw)
+
+
+def write_manifest(manifest: RunManifest, target: str | Path) -> Path:
+    """Write ``manifest`` to ``target`` (a directory gets the default name)."""
+    target = Path(target)
+    path = target / MANIFEST_FILENAME if target.is_dir() else target
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(manifest.to_json() + "\n")
+    return path

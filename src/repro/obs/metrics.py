@@ -1,0 +1,411 @@
+"""Process-local metrics registry: typed Counter / Gauge / Histogram.
+
+The serving, telemetry, and cluster layers each used to keep private
+float accumulators (``ServiceStats`` stage sums, ad-hoc per-campaign
+counts).  This module centralises them behind three lock-protected
+primitives registered by name in a :class:`MetricsRegistry`:
+
+* :class:`Counter` — monotonically increasing float (requests served,
+  cells collected).
+* :class:`Gauge` — settable value with ``set_max`` for high-water marks
+  (largest batch seen).
+* :class:`Histogram` — fixed upper-bound buckets (Prometheus-style
+  cumulative export) plus exact sum/count/min/max, with linear
+  within-bucket :meth:`~Histogram.percentile` interpolation.
+  ``observe_many`` takes a numpy array and bins it in one
+  ``searchsorted`` pass.
+
+Registries are cheap, process-local objects: the module-level default
+(:func:`get_registry`) is what CLI commands and campaign instrumentation
+share; a :class:`~repro.serving.service.SelectionService` defaults to a
+private registry so two services never mix their stage histograms.
+
+Exporters: :meth:`MetricsRegistry.to_prometheus_text` (text exposition
+format) and :meth:`MetricsRegistry.to_json` /
+:func:`registry_from_json`, which round-trip exactly (asserted by the
+``repro obs export`` smoke test).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "get_registry",
+    "registry_from_json",
+]
+
+#: Geometric 1-2.5-5 ladder from 1 µs to 10 s — wide enough for a no-op
+#: span (~100 ns rounds into the first bucket) and a full campaign cell.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-6, 1) for m in (1.0, 2.5, 5.0)
+) + (10.0,)
+
+
+class Counter:
+    """Monotonically increasing value (floats allowed, decrements not)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for signed values")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        return {"kind": self.kind, "help": self.help, "value": self._value}
+
+    def _restore(self, state: dict) -> None:
+        self._value = float(state["value"])
+
+
+class Gauge:
+    """Last-set value, with helpers for deltas and high-water marks."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_max(self, value: float) -> None:
+        """Keep the larger of the current value and ``value``."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        return {"kind": self.kind, "help": self.help, "value": self._value}
+
+    def _restore(self, state: dict) -> None:
+        self._value = float(state["value"])
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable histogram state with percentile/mean accessors.
+
+    ``bounds`` are the finite upper bucket edges; ``counts`` has one
+    extra trailing entry for the overflow (+inf) bucket.
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int
+    sum: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (p in [0, 100]).
+
+        Linear interpolation inside the bucket that crosses the target
+        rank, clamped to the exact observed min/max so single-value
+        histograms report that value, not a bucket edge.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("p must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = (p / 100.0) * self.count
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            lo = self.bounds[i - 1] if i > 0 else self.min
+            hi = self.bounds[i] if i < len(self.bounds) else self.max
+            if cum + n >= target:
+                frac = (target - cum) / n
+                value = lo + frac * (hi - lo) if hi > lo else hi
+                return float(min(max(value, self.min), self.max))
+            cum += n
+        return float(self.max)
+
+
+class Histogram:
+    """Fixed-bucket distribution tracker.
+
+    Buckets are cumulative-exported (Prometheus ``le`` semantics) but
+    stored as per-bucket counts; the trailing implicit bucket catches
+    everything above the last finite bound.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> None:
+        if not buckets:
+            raise ValueError("need at least one bucket bound")
+        bounds = tuple(float(b) for b in buckets)
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._bounds = np.asarray(bounds)
+        self._counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return tuple(self._bounds.tolist())
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        idx = int(np.searchsorted(self._bounds, value, side="left"))
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Record a whole array in one binning pass."""
+        arr = np.asarray(values, dtype=float).reshape(-1)
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self._bounds, arr, side="left")
+        binned = np.bincount(idx, minlength=self._counts.size)
+        with self._lock:
+            self._counts += binned
+            self._sum += float(arr.sum())
+            self._count += arr.size
+            self._min = min(self._min, float(arr.min()))
+            self._max = max(self._max, float(arr.max()))
+
+    def percentile(self, p: float) -> float:
+        """Estimated percentile over everything observed so far."""
+        return self.snapshot().percentile(p)
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Consistent immutable copy of the current state."""
+        with self._lock:
+            return HistogramSnapshot(
+                bounds=self.bounds,
+                counts=tuple(int(c) for c in self._counts),
+                count=self._count,
+                sum=self._sum,
+                min=self._min if self._count else 0.0,
+                max=self._max if self._count else 0.0,
+            )
+
+    def _restore(self, state: dict) -> None:
+        self._counts = np.asarray(state["counts"], dtype=np.int64)
+        self._sum = float(state["sum"])
+        self._count = int(state["count"])
+        self._min = float(state["min"]) if self._count else float("inf")
+        self._max = float(state["max"]) if self._count else float("-inf")
+
+
+class MetricsRegistry:
+    """Named get-or-create store of metric instruments.
+
+    Asking twice for the same name returns the same instrument (so
+    modules can look instruments up where they use them, without a
+    central wiring point); asking for the same name with a different
+    kind is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}, "
+                        f"requested {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Instrument by name, or None."""
+        return self._metrics.get(name)
+
+    def clear(self) -> None:
+        """Drop every instrument (tests and long-lived processes)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-ready state of every instrument, keyed by name."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                snap = metric.snapshot()
+                out[name] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "bounds": list(snap.bounds),
+                    "counts": list(snap.counts),
+                    "count": snap.count,
+                    "sum": snap.sum,
+                    "min": snap.min,
+                    "max": snap.max,
+                }
+            else:
+                out[name] = metric.snapshot()
+        return out
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize the registry (schema-versioned, round-trippable)."""
+        return json.dumps({"schema": 1, "metrics": self.snapshot()}, indent=indent)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (cumulative ``le`` buckets)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                snap = metric.snapshot()
+                cum = 0
+                for bound, count in zip(snap.bounds, snap.counts):
+                    cum += count
+                    lines.append(f'{name}_bucket{{le="{bound:g}"}} {cum}')
+                lines.append(f'{name}_bucket{{le="+Inf"}} {snap.count}')
+                lines.append(f"{name}_sum {snap.sum:.9g}")
+                lines.append(f"{name}_count {snap.count}")
+            else:
+                lines.append(f"{name} {metric.value:.9g}")
+        return "\n".join(lines) + "\n"
+
+
+def registry_from_json(text: str) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.to_json` output.
+
+    The reconstruction is exact: ``registry_from_json(r.to_json()).to_json()
+    == r.to_json()``.
+    """
+    payload = json.loads(text)
+    if payload.get("schema") != 1:
+        raise ValueError(f"unsupported metrics schema: {payload.get('schema')!r}")
+    registry = MetricsRegistry()
+    for name, state in payload["metrics"].items():
+        kind = state.get("kind")
+        if kind == "counter":
+            registry.counter(name, state.get("help", ""))._restore(state)
+        elif kind == "gauge":
+            registry.gauge(name, state.get("help", ""))._restore(state)
+        elif kind == "histogram":
+            hist = registry.histogram(
+                name, state.get("help", ""), buckets=tuple(state["bounds"])
+            )
+            hist._restore(state)
+        else:
+            raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+    return registry
+
+
+#: Process-wide default registry: what the CLI exports and what campaign
+#: instrumentation (telemetry cells, cluster scheduling) publishes to.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

@@ -1,0 +1,109 @@
+"""Trace-file analysis: per-span-name counts and latency percentiles.
+
+``repro obs summarize trace.jsonl`` renders what this module computes:
+every span name seen in a trace, how often it ran, and where its
+latency mass sits (total / mean / p50 / p90 / p99 / max), plus instant
+events (early stops, cache clears) by name.  Works on any JSONL trace
+written by :class:`repro.obs.trace.Tracer` — including one produced by
+several instrumented phases in a single process (collection, training,
+serving, cluster scheduling).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load_events", "summarize_events", "summarize_file", "render_summary"]
+
+
+def load_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace; tolerates a truncated final line (crash tail)."""
+    events: list[dict] = []
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # interrupted mid-write; everything before is good
+            raise
+    return events
+
+
+def summarize_events(events: list[dict]) -> dict:
+    """Aggregate span durations and event counts by name."""
+    durations: dict[str, list[float]] = {}
+    event_counts: dict[str, int] = {}
+    threads: set[str] = set()
+    for record in events:
+        threads.add(record.get("thread", "?"))
+        name = record.get("name", "?")
+        if record.get("type") == "span":
+            durations.setdefault(name, []).append(float(record.get("dur_s", 0.0)))
+        else:
+            event_counts[name] = event_counts.get(name, 0) + 1
+
+    spans: dict[str, dict] = {}
+    for name, durs in durations.items():
+        arr = np.asarray(durs)
+        spans[name] = {
+            "count": int(arr.size),
+            "total_s": float(arr.sum()),
+            "mean_s": float(arr.mean()),
+            "p50_s": float(np.percentile(arr, 50)),
+            "p90_s": float(np.percentile(arr, 90)),
+            "p99_s": float(np.percentile(arr, 99)),
+            "max_s": float(arr.max()),
+        }
+    return {
+        "records": len(events),
+        "threads": len(threads),
+        "spans": spans,
+        "events": event_counts,
+    }
+
+
+def summarize_file(path: str | Path) -> dict:
+    """Load + summarize in one call."""
+    return summarize_events(load_events(path))
+
+
+def _fmt_s(seconds: float) -> str:
+    """Human latency: µs under 1 ms, ms under 1 s, else seconds."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds:8.3f}s "
+
+
+def render_summary(summary: dict, *, top: int | None = None) -> str:
+    """Fixed-width table, spans sorted by total time descending."""
+    lines = [
+        f"{summary['records']} records across {summary['threads']} thread(s)",
+        "",
+        f"{'span':32s} {'count':>7s} {'total':>10s} {'mean':>10s} "
+        f"{'p50':>10s} {'p90':>10s} {'p99':>10s} {'max':>10s}",
+    ]
+    ranked = sorted(summary["spans"].items(), key=lambda kv: -kv[1]["total_s"])
+    if top is not None:
+        ranked = ranked[:top]
+    for name, row in ranked:
+        lines.append(
+            f"{name:32s} {row['count']:7d} {_fmt_s(row['total_s'])} "
+            f"{_fmt_s(row['mean_s'])} {_fmt_s(row['p50_s'])} "
+            f"{_fmt_s(row['p90_s'])} {_fmt_s(row['p99_s'])} {_fmt_s(row['max_s'])}"
+        )
+    if summary["events"]:
+        lines.append("")
+        lines.append("events:")
+        for name in sorted(summary["events"]):
+            lines.append(f"  {name:30s} x{summary['events'][name]}")
+    return "\n".join(lines)

@@ -26,19 +26,21 @@ from __future__ import annotations
 
 import threading
 import time as _time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.dataset import FeatureVector, features_at_max
 from repro.core.energy import ED2P, EDP, ObjectiveFunction, energy_from_power_time
 from repro.core.pipeline import FrequencySelectionPipeline, OnlineResult
 from repro.core.selection import SelectionResult, select_optimal_frequency
+from repro.obs.metrics import HistogramSnapshot, MetricsRegistry
 from repro.serving.cache import LRUCache
 from repro.workloads.base import Workload
 
-__all__ = ["SelectionRequest", "ServiceResponse", "ServiceStats", "SelectionService"]
+__all__ = ["SelectionRequest", "ServiceResponse", "ServiceStats", "SelectionService", "STAGES"]
 
 #: Sentinel distinguishing "no threshold override" from "override to None".
 _UNSET = object()
@@ -138,9 +140,51 @@ class ServiceResponse:
         )
 
 
+#: Flush stages in execution order (also the stage-histogram keys).
+STAGES = ("measure", "lookup", "predict", "select")
+
+
+class _Fanout:
+    """One service instrument mirrored onto one or more registries.
+
+    The first target is the service's private instrument (the source of
+    truth for :meth:`SelectionService.stats`); any further targets are
+    shared registries that aggregate across services.
+    """
+
+    __slots__ = ("_targets",)
+
+    def __init__(self, targets) -> None:
+        self._targets = tuple(targets)
+
+    @property
+    def primary(self):
+        return self._targets[0]
+
+    def inc(self, amount: float = 1.0) -> None:
+        for target in self._targets:
+            target.inc(amount)
+
+    def observe(self, value: float) -> None:
+        for target in self._targets:
+            target.observe(value)
+
+    def set_max(self, value: float) -> None:
+        for target in self._targets:
+            target.set_max(value)
+
+
 @dataclass(frozen=True)
 class ServiceStats:
-    """Lifetime service counters plus per-stage wall time."""
+    """Lifetime service counters plus per-stage wall time.
+
+    The per-stage floats (``measure_s`` ...) keep their historical
+    meaning — total wall time across all flushes — but are now the sums
+    of per-flush :class:`~repro.obs.metrics.Histogram` observations, so
+    the snapshot also carries full latency distributions in
+    ``stage_latency`` (one histogram snapshot per stage, keyed
+    "measure"/"lookup"/"predict"/"select").
+    """
 
     requests: int
     batches: int
@@ -156,6 +200,8 @@ class ServiceStats:
     lookup_s: float
     predict_s: float
     select_s: float
+    #: Per-flush latency distribution per stage.
+    stage_latency: dict[str, HistogramSnapshot] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -172,6 +218,14 @@ class ServiceStats:
     def total_s(self) -> float:
         """Wall time across all service stages."""
         return self.measure_s + self.lookup_s + self.predict_s + self.select_s
+
+    def percentile(self, stage: str, p: float) -> float:
+        """Per-flush latency percentile for one stage (p in [0, 100])."""
+        try:
+            snap = self.stage_latency[stage]
+        except KeyError:
+            raise KeyError(f"unknown stage {stage!r}; available: {STAGES}") from None
+        return snap.percentile(p)
 
 
 class SelectionService:
@@ -206,6 +260,7 @@ class SelectionService:
         quantize_decimals: int = 12,
         max_batch_size: int = 64,
         batch_window_s: float = 0.002,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if not pipeline.is_fitted:
             raise ValueError("pipeline must be fitted before serving")
@@ -224,16 +279,41 @@ class SelectionService:
         self._batcher = None
         self._key_static: tuple = ()
         self.refresh_models()
-        # Mutable counters behind the lock; ServiceStats snapshots them.
-        self._requests = 0
-        self._batches = 0
-        self._max_batch = 0
-        self._measured = 0
-        self._curves_computed = 0
-        self._measure_s = 0.0
-        self._lookup_s = 0.0
-        self._predict_s = 0.0
-        self._select_s = 0.0
+        # Counters and stage histograms live on a private metrics
+        # registry, so ``stats()`` always describes *this* service.  An
+        # external ``registry`` (e.g. ``obs.get_registry()``, as the CLI
+        # passes) additionally receives every update under the same
+        # metric names — there the numbers aggregate across services and
+        # process lifetime, which is what an exporter wants.
+        self.metrics = MetricsRegistry()
+        registries = (self.metrics,) if registry is None else (self.metrics, registry)
+
+        def counter(name: str, help: str) -> _Fanout:
+            return _Fanout([r.counter(name, help) for r in registries])
+
+        self._m_requests = counter("serving_requests_total", "selection requests served")
+        self._m_batches = counter("serving_batches_total", "flushes executed")
+        self._m_measured = counter(
+            "serving_measured_requests_total", "requests profiled on-device at f_max"
+        )
+        self._m_curves = counter(
+            "serving_curves_computed_total", "unique curve computations through the DNNs"
+        )
+        self._m_max_batch = _Fanout(
+            [r.gauge("serving_max_batch_size", "largest flush seen") for r in registries]
+        )
+        self._m_stage = {
+            stage: _Fanout(
+                [
+                    r.histogram(
+                        f"serving_flush_{stage}_seconds",
+                        f"per-flush wall time of the {stage} stage",
+                    )
+                    for r in registries
+                ]
+            )
+            for stage in STAGES
+        }
 
     # ------------------------------------------------------------------
     # Cache keys and invalidation
@@ -299,98 +379,124 @@ class SelectionService:
         power_model, time_model = self.pipeline.power_model, self.pipeline.time_model
         scale = device.arch.tdp_watts if power_model.reference_power_w is not None else None
 
+        with obs.span("serving.flush", batch=len(requests)) as flush_span:
+            return self._flush_traced(
+                flush_span, requests, objectives, threshold, device, freqs,
+                power_model, time_model, scale
+            )
+
+    def _flush_traced(
+        self,
+        flush_span,
+        requests: list[SelectionRequest],
+        objectives: tuple[ObjectiveFunction, ...],
+        threshold: float | None,
+        device,
+        freqs,
+        power_model,
+        time_model,
+        scale,
+    ) -> list[ServiceResponse]:
+        measured = 0
+
         # Stage 1 — acquire per-request profiles (measure workload handles).
         t0 = _time.perf_counter()
-        profiles: list[tuple[FeatureVector, float, float | None]] = []
-        for req in requests:
-            if req.workload is not None:
-                fv, p_max, t_max = features_at_max(
-                    device, req.workload, runs=req.runs, size=req.size
-                )
-                self._measured += 1
-            else:
-                fv, p_max, t_max = req.features, req.power_at_max_w, req.time_at_max_s
-            profiles.append((fv, p_max, t_max))
+        with obs.span("serving.measure"):
+            profiles: list[tuple[FeatureVector, float, float | None]] = []
+            for req in requests:
+                if req.workload is not None:
+                    fv, p_max, t_max = features_at_max(
+                        device, req.workload, runs=req.runs, size=req.size
+                    )
+                    measured += 1
+                else:
+                    fv, p_max, t_max = req.features, req.power_at_max_w, req.time_at_max_s
+                profiles.append((fv, p_max, t_max))
         t1 = _time.perf_counter()
 
         # Stage 2 — cache probe with intra-flush dedup.
-        keys = [self._curve_key(fv) for fv, _, _ in profiles]
-        curves: dict[tuple, tuple[np.ndarray, np.ndarray] | None] = {}
-        hit_keys: set[tuple] = set()
-        miss_keys: list[tuple] = []
-        miss_features: list[FeatureVector] = []
-        for key, (fv, _, _) in zip(keys, profiles):
-            if key in curves:
-                continue
-            cached = self._cache.get(key)
-            if cached is not None:
-                curves[key] = cached
-                hit_keys.add(key)
-            else:
-                curves[key] = None
-                miss_keys.append(key)
-                miss_features.append(fv)
+        with obs.span("serving.lookup"):
+            keys = [self._curve_key(fv) for fv, _, _ in profiles]
+            curves: dict[tuple, tuple[np.ndarray, np.ndarray] | None] = {}
+            hit_keys: set[tuple] = set()
+            miss_keys: list[tuple] = []
+            miss_features: list[FeatureVector] = []
+            for key, (fv, _, _) in zip(keys, profiles):
+                if key in curves:
+                    continue
+                cached = self._cache.get(key)
+                if cached is not None:
+                    curves[key] = cached
+                    hit_keys.add(key)
+                else:
+                    curves[key] = None
+                    miss_keys.append(key)
+                    miss_features.append(fv)
         t2 = _time.perf_counter()
 
         # Stage 3 — one stacked forward pass per model for all misses.
-        if miss_keys:
-            power_matrix = power_model.predict_power_many(
-                miss_features, freqs, target_power_scale_w=scale
-            )
-            unit_time_matrix = time_model.predict_unit_time_many(miss_features, freqs)
-            # Responses and cache entries share these rows; freeze them so
-            # no consumer can corrupt a curve another request will reuse.
-            power_matrix.flags.writeable = False
-            unit_time_matrix.flags.writeable = False
-            for i, key in enumerate(miss_keys):
-                entry = (power_matrix[i], unit_time_matrix[i])
-                curves[key] = entry
-                self._cache.put(key, entry)
-            self._curves_computed += len(miss_keys)
+        with obs.span("serving.predict", misses=len(miss_keys)):
+            if miss_keys:
+                power_matrix = power_model.predict_power_many(
+                    miss_features, freqs, target_power_scale_w=scale
+                )
+                unit_time_matrix = time_model.predict_unit_time_many(miss_features, freqs)
+                # Responses and cache entries share these rows; freeze them so
+                # no consumer can corrupt a curve another request will reuse.
+                power_matrix.flags.writeable = False
+                unit_time_matrix.flags.writeable = False
+                for i, key in enumerate(miss_keys):
+                    entry = (power_matrix[i], unit_time_matrix[i])
+                    curves[key] = entry
+                    self._cache.put(key, entry)
         t3 = _time.perf_counter()
 
         # Stage 4 — energy + Algorithm 1, memoized per identical request.
-        objective_names = tuple(obj.name for obj in objectives)
-        memo: dict[tuple, ServiceResponse] = {}
-        responses: list[ServiceResponse] = []
-        for req, key, (fv, p_max, t_max) in zip(requests, keys, profiles):
-            memo_key = (key, p_max, t_max, threshold, objective_names)
-            prior = memo.get(memo_key)
-            if prior is not None:
-                responses.append(replace(prior, name=req.name, features=fv))
-                continue
-            power_curve, unit_time = curves[key]
-            time_curve = time_model.time_from_unit(unit_time, t_max)
-            energy_curve = energy_from_power_time(power_curve, time_curve)
-            selections = {
-                obj.name: select_optimal_frequency(
-                    freqs, energy_curve, time_curve, objective=obj, threshold=threshold
+        with obs.span("serving.select"):
+            objective_names = tuple(obj.name for obj in objectives)
+            memo: dict[tuple, ServiceResponse] = {}
+            responses: list[ServiceResponse] = []
+            for req, key, (fv, p_max, t_max) in zip(requests, keys, profiles):
+                memo_key = (key, p_max, t_max, threshold, objective_names)
+                prior = memo.get(memo_key)
+                if prior is not None:
+                    responses.append(replace(prior, name=req.name, features=fv))
+                    continue
+                power_curve, unit_time = curves[key]
+                time_curve = time_model.time_from_unit(unit_time, t_max)
+                energy_curve = energy_from_power_time(power_curve, time_curve)
+                selections = {
+                    obj.name: select_optimal_frequency(
+                        freqs, energy_curve, time_curve, objective=obj, threshold=threshold
+                    )
+                    for obj in objectives
+                }
+                response = ServiceResponse(
+                    name=req.name,
+                    freqs_mhz=freqs,
+                    features=fv,
+                    measured_power_at_max_w=p_max,
+                    measured_time_at_max_s=t_max if t_max is not None else 0.0,
+                    power_w=power_curve,
+                    time_s=time_curve,
+                    energy_j=energy_curve,
+                    selections=selections,
+                    from_cache=key in hit_keys,
                 )
-                for obj in objectives
-            }
-            response = ServiceResponse(
-                name=req.name,
-                freqs_mhz=freqs,
-                features=fv,
-                measured_power_at_max_w=p_max,
-                measured_time_at_max_s=t_max if t_max is not None else 0.0,
-                power_w=power_curve,
-                time_s=time_curve,
-                energy_j=energy_curve,
-                selections=selections,
-                from_cache=key in hit_keys,
-            )
-            memo[memo_key] = response
-            responses.append(response)
+                memo[memo_key] = response
+                responses.append(response)
         t4 = _time.perf_counter()
 
-        self._requests += len(requests)
-        self._batches += 1
-        self._max_batch = max(self._max_batch, len(requests))
-        self._measure_s += t1 - t0
-        self._lookup_s += t2 - t1
-        self._predict_s += t3 - t2
-        self._select_s += t4 - t3
+        self._m_requests.inc(len(requests))
+        self._m_batches.inc()
+        self._m_measured.inc(measured)
+        self._m_curves.inc(len(miss_keys))
+        self._m_max_batch.set_max(len(requests))
+        self._m_stage["measure"].observe(t1 - t0)
+        self._m_stage["lookup"].observe(t2 - t1)
+        self._m_stage["predict"].observe(t3 - t2)
+        self._m_stage["select"].observe(t4 - t3)
+        flush_span.set(hits=len(hit_keys), curves_computed=len(miss_keys))
         return responses
 
     # ------------------------------------------------------------------
@@ -431,20 +537,29 @@ class SelectionService:
 
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
-        """Immutable snapshot of the lifetime service counters."""
+        """Immutable snapshot of the lifetime service counters.
+
+        Always reads this service's private instruments — a shared
+        export ``registry`` passed at construction receives mirrored
+        updates but never feeds back into ``stats()``.
+        """
         with self._lock:
+            stage_latency = {
+                stage: hist.primary.snapshot() for stage, hist in self._m_stage.items()
+            }
             return ServiceStats(
-                requests=self._requests,
-                batches=self._batches,
-                max_batch_size=self._max_batch,
-                measured_requests=self._measured,
+                requests=int(self._m_requests.primary.value),
+                batches=int(self._m_batches.primary.value),
+                max_batch_size=int(self._m_max_batch.primary.value),
+                measured_requests=int(self._m_measured.primary.value),
                 cache_hits=self._cache.hits,
                 cache_misses=self._cache.misses,
                 cache_evictions=self._cache.evictions,
                 cache_entries=len(self._cache),
-                curves_computed=self._curves_computed,
-                measure_s=self._measure_s,
-                lookup_s=self._lookup_s,
-                predict_s=self._predict_s,
-                select_s=self._select_s,
+                curves_computed=int(self._m_curves.primary.value),
+                measure_s=stage_latency["measure"].sum,
+                lookup_s=stage_latency["lookup"].sum,
+                predict_s=stage_latency["predict"].sum,
+                select_s=stage_latency["select"].sum,
+                stage_latency=stage_latency,
             )

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 
+from repro import obs
 from repro.gpusim.device import RunRecord, SimulatedGPU
 from repro.telemetry.control import ClockController
 from repro.telemetry.csvio import write_columns_csv
@@ -88,6 +90,9 @@ class Launcher:
             from repro.telemetry.parallel import run_campaign
 
             return run_campaign(self.device, workloads, config, workers=workers)
+        from repro.telemetry.parallel import _cell_instruments
+
+        cells_total, cell_seconds = _cell_instruments()
         artifacts: list[RunArtifact] = []
         try:
             for workload in workloads:
@@ -95,7 +100,16 @@ class Launcher:
                 for freq in config.freqs_mhz:
                     actual = self.controller.set_sm_clock(freq)
                     for run_idx in range(config.runs_per_config):
-                        record = self.profiler.profile(workload, size=size)
+                        t0 = perf_counter()
+                        with obs.span(
+                            "telemetry.cell",
+                            workload=workload.name,
+                            freq_mhz=actual,
+                            run=run_idx,
+                        ):
+                            record = self.profiler.profile(workload, size=size)
+                        cells_total.inc()
+                        cell_seconds.observe(perf_counter() - t0)
                         csv_path: Path | None = None
                         if config.output_dir is not None:
                             csv_path = (

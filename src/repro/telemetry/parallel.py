@@ -28,9 +28,11 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import repeat
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.gpusim.device import SimulatedGPU
 from repro.telemetry.csvio import write_columns_csv
 from repro.telemetry.launch import LaunchConfig, RunArtifact
@@ -77,14 +79,34 @@ def plan_cells(workloads: list[Workload], config: LaunchConfig) -> list[Campaign
     return cells
 
 
+def _cell_instruments():
+    """Campaign counters/timings on the process-wide registry."""
+    registry = obs.get_registry()
+    return (
+        registry.counter("telemetry_cells_total", "collection campaign cells executed"),
+        registry.histogram("telemetry_cell_seconds", "wall time per campaign cell"),
+    )
+
+
 def _execute_cell(
     device: SimulatedGPU,
     cell: CampaignCell,
     rng: np.random.Generator,
     output_dir: Path | None,
 ) -> RunArtifact:
-    census = cell.workload.census(cell.size)
-    record = device.run_cell(census, cell.freq_mhz, rng, workload_name=cell.workload.name)
+    cells_total, cell_seconds = _cell_instruments()
+    t0 = perf_counter()
+    with obs.span(
+        "telemetry.cell",
+        workload=cell.workload.name,
+        freq_mhz=cell.freq_mhz,
+        run=cell.run_index,
+        index=cell.index,
+    ):
+        census = cell.workload.census(cell.size)
+        record = device.run_cell(census, cell.freq_mhz, rng, workload_name=cell.workload.name)
+    cells_total.inc()
+    cell_seconds.observe(perf_counter() - t0)
     csv_path: Path | None = None
     if output_dir is not None:
         csv_path = (

@@ -1,0 +1,72 @@
+"""Golden guard: tracing must never perturb numerics or RNG draws.
+
+The observability layer only reads clocks and copies values — it must be
+invisible to the maths.  This test reruns the full tiny pipeline
+(collect → train → select) with a tracer installed and requires the
+payload to be *bitwise* identical to the untraced run from the session
+fixture, and to still match the checked-in golden file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+
+from tests.golden.test_golden import EXACT_FIELDS, FLOAT_FIELDS, FLOAT_RTOL
+from tests.golden.tiny_pipeline import GOLDEN_PATH, golden_payload, train_tiny_models
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """Payload + trace from a fully traced end-to-end tiny pipeline."""
+    tracer = obs.configure(ring_size=65536)
+    try:
+        payload = golden_payload(train_tiny_models())
+        events = tracer.events()
+    finally:
+        obs.disable()
+    return payload, events
+
+
+def test_traced_payload_bitwise_equals_untraced(traced_run, tiny_models):
+    payload, _ = traced_run
+    untraced = golden_payload(tiny_models)
+    # Dict equality on floats is bitwise — no tolerance anywhere.
+    assert payload == untraced
+
+
+def test_traced_payload_matches_golden_file(traced_run):
+    payload, _ = traced_run
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert payload["config"] == golden["config"]
+    for variant, apps in golden["results"].items():
+        for app, objectives in apps.items():
+            for objective, expected in objectives.items():
+                got = payload["results"][variant][app][objective]
+                for field in EXACT_FIELDS:
+                    assert got[field] == expected[field], (
+                        f"{variant}/{app}/{objective}/{field} drifted under tracing"
+                    )
+                for field in FLOAT_FIELDS:
+                    assert math.isclose(
+                        got[field], expected[field], rel_tol=FLOAT_RTOL, abs_tol=1e-12
+                    ), f"{variant}/{app}/{objective}/{field} drifted under tracing"
+
+
+def test_traced_run_actually_traced(traced_run):
+    """The guard is vacuous unless the run emitted real spans."""
+    _, events = traced_run
+    names = {e["name"] for e in events}
+    assert {
+        "pipeline.fit_offline",
+        "pipeline.collect",
+        "nn.epoch",
+        "pipeline.run_online",
+        "pipeline.select",
+        "telemetry.cell",
+    } <= names
+    assert len(events) > 50

@@ -1,0 +1,22 @@
+"""Obs-suite fixtures: every test leaves the global tracer disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture()
+def ring_tracer():
+    """Fresh global tracer (ring only), torn down unconditionally."""
+    tracer = obs.configure()
+    yield tracer
+    obs.disable()
+
+
+@pytest.fixture(autouse=True)
+def _tracer_hygiene():
+    """No obs test may leak an enabled tracer into the rest of the suite."""
+    yield
+    obs.disable()

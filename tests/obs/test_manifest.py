@@ -1,0 +1,82 @@
+"""Run manifests: hashing stability, annotation channel, file output."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs.manifest import (
+    MANIFEST_FILENAME,
+    RunContext,
+    config_hash,
+    git_describe,
+    start_run,
+    write_manifest,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestConfigHash:
+    def test_stable_under_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_changes_with_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_tolerates_non_json_values(self):
+        config_hash({"path": object()})  # stringified, not an error
+
+
+class TestRunContext:
+    def test_finish_captures_environment(self):
+        ctx = RunContext("train", ["train", "--out", "x"], {"out": "x", "seed": 3})
+        ctx.annotate(seed=3, model_fingerprints={"power": "abc"})
+        ctx.annotate(model_fingerprints={"time": "def"}, note="extra")
+        manifest = ctx.finish(exit_code=0)
+        assert manifest.command == "train"
+        assert manifest.seed == 3
+        assert manifest.config_hash == config_hash({"out": "x", "seed": 3})
+        assert manifest.model_fingerprints == {"power": "abc", "time": "def"}
+        assert manifest.extras == {"note": "extra"}
+        assert manifest.wall_time_s >= 0.0
+        assert manifest.exit_code == 0
+        assert manifest.python and manifest.numpy
+
+    def test_metrics_snapshot_included(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(4)
+        manifest = RunContext("x", []).finish(registry=registry)
+        assert manifest.metrics["jobs_total"]["value"] == 4
+
+    def test_to_json_parses(self):
+        payload = json.loads(RunContext("x", ["x"]).finish().to_json())
+        assert payload["schema"] == 1
+        assert payload["command"] == "x"
+
+    def test_process_current_run_channel(self):
+        ctx = start_run("select", ["select"])
+        obs.annotate(model_fingerprints={"power": "p"})
+        assert obs.current_run() is ctx
+        assert ctx.model_fingerprints == {"power": "p"}
+
+
+class TestWriteManifest:
+    def test_directory_target_gets_default_name(self, tmp_path):
+        manifest = RunContext("x", []).finish()
+        path = write_manifest(manifest, tmp_path)
+        assert path == tmp_path / MANIFEST_FILENAME
+        assert json.loads(path.read_text())["command"] == "x"
+
+    def test_file_target_used_verbatim(self, tmp_path):
+        manifest = RunContext("x", []).finish()
+        target = tmp_path / "sub" / "custom.json"
+        path = write_manifest(manifest, target)
+        assert path == target and target.exists()
+
+
+def test_git_describe_in_this_checkout():
+    # The repo under test is a git checkout, so this should resolve; a
+    # non-repo cwd must degrade to None, never raise.
+    described = git_describe()
+    assert described is None or isinstance(described, str)
+    assert git_describe("/") is None or isinstance(git_describe("/"), str)

@@ -1,0 +1,182 @@
+"""Metrics primitives: semantics, percentiles, exporters, thread safety."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    registry_from_json,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_thread_safe(self):
+        c = Counter("c")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_set_max_is_high_water_mark(self):
+        g = Gauge("g")
+        g.set_max(4)
+        g.set_max(2)
+        g.set_max(9)
+        assert g.value == 9
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        h = Histogram("h")
+        for v in (0.001, 0.002, 0.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.503)
+        snap = h.snapshot()
+        assert snap.min == 0.001
+        assert snap.max == 0.5
+        assert snap.mean == pytest.approx(0.503 / 3)
+
+    def test_observe_many_matches_scalar_loop(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(1e-6, 2.0, size=500)
+        one = Histogram("a")
+        many = Histogram("b")
+        for v in values:
+            one.observe(v)
+        many.observe_many(values)
+        a, b = one.snapshot(), many.snapshot()
+        assert a.counts == b.counts
+        assert a.count == b.count
+        assert (a.min, a.max) == (b.min, b.max)
+        # Sums differ only by float summation order (numpy is pairwise).
+        assert a.sum == pytest.approx(b.sum, rel=1e-12)
+
+    def test_overflow_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(100.0)
+        snap = h.snapshot()
+        assert snap.counts == (0, 0, 1)
+        assert snap.percentile(50) == 100.0
+
+    def test_percentile_tracks_numpy_within_bucket_resolution(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(1e-5, 1.0, size=2000)
+        h = Histogram("h")
+        h.observe_many(values)
+        snap = h.snapshot()
+        for p in (50, 90, 99):
+            exact = float(np.percentile(values, p))
+            estimate = snap.percentile(p)
+            # Bucket edges follow a 1-2.5-5 ladder, so the estimate can
+            # be off by at most one bucket span (2.5x).
+            assert exact / 2.6 <= estimate <= exact * 2.6
+
+    def test_percentile_bounds(self):
+        h = Histogram("h")
+        assert h.percentile(50) == 0.0  # empty
+        h.observe(0.42)
+        assert h.snapshot().percentile(0) == pytest.approx(0.42)
+        assert h.snapshot().percentile(100) == pytest.approx(0.42)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("x")
+
+    def test_names_sorted_and_contains(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.gauge("a")
+        assert r.names() == ["a", "b"]
+        assert "a" in r and "zzz" not in r
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_json_round_trip_exact(self):
+        r = MetricsRegistry()
+        r.counter("req_total", "requests").inc(7)
+        r.gauge("depth").set(3.5)
+        h = r.histogram("lat_seconds", "latency", buckets=(0.01, 0.1, 1.0))
+        h.observe_many(np.array([0.005, 0.05, 0.5, 5.0]))
+        restored = registry_from_json(r.to_json())
+        assert restored.to_json() == r.to_json()
+        # The restored histogram keeps working (percentiles, more observes).
+        restored.histogram("lat_seconds", buckets=(0.01, 0.1, 1.0)).observe(0.02)
+        assert restored.get("lat_seconds").count == 5
+
+    def test_json_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            registry_from_json(json.dumps({"schema": 99, "metrics": {}}))
+
+    def test_prometheus_text_format(self):
+        r = MetricsRegistry()
+        r.counter("req_total", "requests served").inc(3)
+        h = r.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = r.to_prometheus_text()
+        assert "# HELP req_total requests served" in text
+        assert "# TYPE req_total counter" in text
+        assert "req_total 3" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_count 2" in text
+
+    def test_default_buckets_cover_spans_to_campaigns(self):
+        assert DEFAULT_LATENCY_BUCKETS_S[0] <= 1e-6
+        assert DEFAULT_LATENCY_BUCKETS_S[-1] >= 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(DEFAULT_LATENCY_BUCKETS_S)

@@ -1,0 +1,87 @@
+"""Property tests: arbitrary span nestings close LIFO with sane timings."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.trace import Tracer
+
+#: Arbitrary span trees: each node is a list of children, up to depth ~5.
+span_trees = st.recursive(
+    st.just([]), lambda children: st.lists(children, max_size=3), max_leaves=12
+)
+
+
+def _run_tree(tree: list, prefix: str = "s") -> None:
+    for i, child in enumerate(tree):
+        with obs.span(f"{prefix}.{i}", depth=prefix.count(".")):
+            _run_tree(child, f"{prefix}.{i}")
+
+
+@given(tree=st.lists(span_trees, max_size=3))
+def test_nested_spans_close_lifo_with_nonnegative_durations(tree):
+    tracer = obs.configure()
+    try:
+        _run_tree(tree)
+        events = tracer.events()
+        by_id = {e["span_id"]: e for e in events}
+        order = {e["span_id"]: i for i, e in enumerate(events)}
+        for event in events:
+            # Durations come from a monotonic clock.
+            assert event["dur_s"] >= 0.0
+            parent_id = event["parent_id"]
+            if parent_id is None:
+                continue
+            parent = by_id[parent_id]
+            # LIFO closing: every child's record is emitted before its
+            # parent's, and its interval nests inside the parent's.
+            assert order[event["span_id"]] < order[parent_id]
+            assert parent["dur_s"] >= event["dur_s"]
+            # Span ids are assigned at entry, so children are newer.
+            assert event["span_id"] > parent_id
+        # Every span opened was closed: the thread-local stack is empty.
+        assert tracer.active_depth() == 0
+    finally:
+        obs.disable()
+
+
+@given(tree=st.lists(span_trees, max_size=3), data=st.data())
+def test_exceptions_anywhere_keep_stack_consistent(tree, data):
+    """Aborting the walk at an arbitrary span still unwinds cleanly."""
+    flat_count = [0]
+
+    def count(nodes):
+        for child in nodes:
+            flat_count[0] += 1
+            count(child)
+
+    count(tree)
+    if flat_count[0] == 0:
+        return
+    boom_at = data.draw(st.integers(min_value=0, max_value=flat_count[0] - 1))
+
+    tracer = Tracer()
+    seen = [0]
+
+    class Abort(Exception):
+        pass
+
+    def run(nodes, prefix="s"):
+        for i, child in enumerate(nodes):
+            with tracer.span(f"{prefix}.{i}"):
+                if seen[0] == boom_at:
+                    seen[0] += 1
+                    raise Abort()
+                seen[0] += 1
+                run(child, f"{prefix}.{i}")
+
+    try:
+        run(tree)
+    except Abort:
+        pass
+    # Unwinding closed every opened span, in LIFO order.
+    assert tracer.active_depth() == 0
+    for event in tracer.events():
+        assert event["dur_s"] >= 0.0

@@ -1,0 +1,136 @@
+"""Trace summarizer: aggregation, rendering, corrupt-tail tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.summarize import load_events, render_summary, summarize_events, summarize_file
+
+
+def _span(name, dur, thread="MainThread"):
+    return {"type": "span", "name": name, "dur_s": dur, "thread": thread}
+
+
+class TestSummarize:
+    def test_groups_spans_by_name(self):
+        events = [_span("a", 0.1), _span("a", 0.3), _span("b", 0.2)]
+        summary = summarize_events(events)
+        assert summary["spans"]["a"]["count"] == 2
+        assert summary["spans"]["a"]["total_s"] == pytest.approx(0.4)
+        assert summary["spans"]["a"]["mean_s"] == pytest.approx(0.2)
+        assert summary["spans"]["a"]["max_s"] == pytest.approx(0.3)
+        assert summary["spans"]["b"]["count"] == 1
+
+    def test_percentiles_from_durations(self):
+        events = [_span("a", d) for d in (0.1, 0.2, 0.3, 0.4, 0.5)]
+        row = summarize_events(events)["spans"]["a"]
+        assert row["p50_s"] == pytest.approx(0.3)
+        assert row["p90_s"] == pytest.approx(0.46)
+        assert row["p99_s"] <= row["max_s"]
+
+    def test_counts_instant_events_and_threads(self):
+        events = [
+            _span("a", 0.1, thread="w-0"),
+            _span("a", 0.1, thread="w-1"),
+            {"type": "event", "name": "early_stop", "thread": "w-0"},
+        ]
+        summary = summarize_events(events)
+        assert summary["events"] == {"early_stop": 1}
+        assert summary["threads"] == 2
+        assert summary["records"] == 3
+
+    def test_render_orders_by_total_and_honours_top(self):
+        events = [_span("small", 0.001), _span("big", 1.0), _span("big", 1.0)]
+        summary = summarize_events(events)
+        text = render_summary(summary)
+        assert text.index("big") < text.index("small")
+        assert "small" not in render_summary(summary, top=1)
+
+
+class TestLoadEvents:
+    def test_round_trip_from_tracer(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with obs.span("x"):
+            obs.event("tick")
+        obs.disable()
+        events = load_events(path)
+        assert [e["name"] for e in events] == ["tick", "x"]
+        assert summarize_file(path)["spans"]["x"]["count"] == 1
+
+    def test_tolerates_truncated_final_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(_span("a", 0.1)) + "\n" + '{"type": "sp')
+        assert [e["name"] for e in load_events(path)] == ["a"]
+
+    def test_rejects_corruption_mid_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('garbage\n' + json.dumps(_span("a", 0.1)) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_events(path)
+
+
+class TestEndToEndTrace:
+    """One traced process covering collection, training, serving, and
+    scheduling must summarize with all four span families present —
+    the ISSUE's acceptance shape for ``repro obs summarize``."""
+
+    def test_all_phases_visible_in_one_summary(self, tmp_path, tiny_models):
+        from repro.cluster import FIFOScheduler, GPUNode, Job
+        from repro.cluster.policy import StaticClockPolicy
+        from repro.gpusim import GA100
+        from repro.nn.network import FeedForwardNetwork
+        from repro.nn.training import TrainConfig, train
+        from repro.serving import SelectionService
+        from repro.workloads import get_workload
+        from tests.golden.tiny_pipeline import make_tiny_pipeline
+
+        import numpy as np
+
+        path = tmp_path / "trace.jsonl"
+        obs.configure(path)
+        try:
+            # Training epochs.
+            rng = np.random.default_rng(0)
+            net = FeedForwardNetwork.build(3, (8,), 1, seed=0)
+            train(net, rng.normal(size=(64, 3)), rng.normal(size=64),
+                  config=TrainConfig(epochs=3, validation_split=0.25), seed=0)
+            # Telemetry sampling + serving flush stages (workload-handle
+            # requests profile on-device inside the flush).
+            pipeline = make_tiny_pipeline(tiny_models)
+            service = SelectionService(pipeline)
+            from repro.serving import SelectionRequest
+
+            service.select_many(
+                [SelectionRequest.from_workload(get_workload("lammps"))]
+            )
+            # Scheduler decisions.
+            node = GPUNode(0, GA100, gpus_per_node=1, seed=5, max_samples_per_run=4)
+            jobs = [Job(job_id=i, workload=get_workload("dgemm"), arrival_s=0.0) for i in range(2)]
+            FIFOScheduler([node], StaticClockPolicy(1000.0)).run(jobs)
+        finally:
+            obs.disable()
+
+        summary = summarize_file(path)
+        spans = summary["spans"]
+        for family in (
+            "telemetry.cell",      # telemetry sampling
+            "nn.epoch",            # training epochs
+            "serving.flush",       # serving flush...
+            "serving.measure",     # ...and its stages
+            "serving.predict",
+            "serving.select",
+            "cluster.decide",      # scheduler decisions
+            "cluster.place",
+        ):
+            assert family in spans, f"missing span family {family}"
+            row = spans[family]
+            assert row["count"] >= 1
+            assert 0.0 <= row["p50_s"] <= row["p99_s"] <= row["max_s"]
+        assert spans["nn.epoch"]["count"] == 3
+        assert spans["cluster.decide"]["count"] == 2
+        text = render_summary(summary)
+        assert "nn.epoch" in text and "cluster.decide" in text

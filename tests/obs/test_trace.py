@@ -1,0 +1,147 @@
+"""Tracer behaviour: nesting, sinks, ring bounds, error paths, no-op."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import Tracer, _NOOP
+
+
+class TestEnabledTracer:
+    def test_span_records_duration_and_attrs(self, ring_tracer):
+        with obs.span("work", items=3) as sp:
+            sp.set(done=True)
+        (event,) = ring_tracer.events()
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["dur_s"] >= 0.0
+        assert event["attrs"] == {"items": 3, "done": True}
+        assert event["parent_id"] is None
+
+    def test_nesting_assigns_parent_ids(self, ring_tracer):
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        inner, recorded_outer = ring_tracer.events()
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer.span_id
+        assert recorded_outer["parent_id"] is None
+
+    def test_children_close_before_parents(self, ring_tracer):
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+        names = [e["name"] for e in ring_tracer.events()]
+        assert names == ["c", "b", "a"]
+
+    def test_instant_event_binds_to_enclosing_span(self, ring_tracer):
+        with obs.span("outer") as sp:
+            obs.event("tick", n=1)
+        tick, _ = ring_tracer.events()
+        assert tick["type"] == "event"
+        assert tick["parent_id"] == sp.span_id
+        assert tick["attrs"] == {"n": 1}
+
+    def test_exception_closes_span_and_marks_error(self, ring_tracer):
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = ring_tracer.events()
+        assert event["attrs"]["error"] == "RuntimeError"
+        # Stack must be clean: the next span is a root again.
+        with obs.span("next"):
+            pass
+        assert ring_tracer.events()[-1]["parent_id"] is None
+
+    def test_ring_buffer_is_bounded(self):
+        tracer = obs.configure(ring_size=8)
+        for i in range(20):
+            with obs.span(f"s{i}"):
+                pass
+        events = tracer.events()
+        assert len(events) == 8
+        assert events[0]["name"] == "s12"
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.configure(path)
+        with obs.span("a", x=1):
+            obs.event("e")
+        obs.disable()
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["e", "a"]
+        assert records[1]["attrs"] == {"x": 1}
+
+    def test_configure_appends_across_sessions(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            obs.configure(path)
+            with obs.span("s"):
+                pass
+            obs.disable()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_non_serializable_attrs_are_stringified(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs.configure(path)
+        with obs.span("s", payload=object()):
+            pass
+        obs.disable()
+        record = json.loads(path.read_text().strip())
+        assert "object object" in record["attrs"]["payload"]
+
+    def test_threads_nest_independently(self, ring_tracer):
+        done = threading.Event()
+
+        def worker():
+            with obs.span("worker-root"):
+                pass
+            done.set()
+
+        with obs.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        by_name = {e["name"]: e for e in ring_tracer.events()}
+        # The worker's span is a root in its own thread, not a child of
+        # the main thread's open span.
+        assert by_name["worker-root"]["parent_id"] is None
+
+    def test_active_depth(self, ring_tracer):
+        assert ring_tracer.active_depth() == 0
+        with obs.span("a"):
+            with obs.span("b"):
+                assert ring_tracer.active_depth() == 2
+        assert ring_tracer.active_depth() == 0
+
+
+class TestDisabledTracer:
+    def test_span_is_shared_noop_singleton(self):
+        assert obs.get_tracer() is None
+        assert obs.span("x") is _NOOP
+        assert obs.span("y", attr=1) is obs.span("z")
+
+    def test_noop_supports_full_span_api(self):
+        with obs.span("x") as sp:
+            sp.set(anything="goes")
+
+    def test_event_is_noop(self):
+        obs.event("nothing", n=1)  # must not raise
+
+    def test_is_enabled_flag(self):
+        assert not obs.is_enabled()
+        obs.configure()
+        assert obs.is_enabled()
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_bad_ring_size_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(ring_size=0)

@@ -186,6 +186,113 @@ class TestServe:
         assert first["selections"] == second["selections"]
 
 
+class TestObsCli:
+    """Global --trace/--manifest flags and the obs subcommand."""
+
+    def test_trace_flag_writes_spans_and_summarize_reads_them(self, models, tmp_path, capsys):
+        trace = tmp_path / "select.jsonl"
+        code = main(
+            ["--trace", str(trace), "select", "--models", str(models), "--workloads", "lammps,lstm"]
+        )
+        assert code == 0
+        assert trace.exists()
+        capsys.readouterr()  # drop the selection output
+
+        assert main(["obs", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        # Per-stage span rows with counts and percentiles.
+        for name in ("serving.flush", "serving.predict", "serving.select", "telemetry.cell"):
+            assert name in out
+        assert "p50" in out and "p99" in out
+
+    def test_summarize_top_limits_rows(self, models, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["--trace", str(trace), "select", "--models", str(models), "--workloads", "lstm"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(trace), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert len([l for l in out.splitlines() if "." in l and "p50" not in l]) <= 3
+
+    def test_summarize_missing_file_exit_code(self, tmp_path, capsys):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_export_json_round_trips_registry(self, models, capsys):
+        import json
+
+        from repro.obs import registry_from_json
+
+        # A select run populates the process-global registry.
+        assert main(["select", "--models", str(models), "--workloads", "lammps"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "export", "--format", "json"]) == 0
+        payload = capsys.readouterr().out
+        restored = registry_from_json(payload)
+        assert {"serving_requests_total", "serving_flush_predict_seconds"} <= set(restored.names())
+        # Round trip is lossless: re-export matches byte for byte.
+        assert restored.to_json() == payload.rstrip("\n")
+        assert json.loads(payload)["schema"] == 1
+
+    def test_export_prometheus_text(self, models, capsys):
+        assert main(["select", "--models", str(models), "--workloads", "lstm"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "export"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE serving_requests_total counter" in out
+        assert "serving_flush_select_seconds_bucket" in out
+        assert 'le="+Inf"' in out
+
+    def test_train_drops_manifest_next_to_models(self, models):
+        import json
+
+        manifest = json.loads((models / "run_manifest.json").read_text())
+        assert manifest["command"] == "train"
+        assert manifest["exit_code"] == 0
+        assert set(manifest["model_fingerprints"]) == {"power", "time"}
+        assert manifest["config"]["power_epochs"] == 20
+        assert len(manifest["config_hash"]) == 64
+        assert manifest["wall_time_s"] > 0
+
+    def test_collect_drops_manifest_next_to_campaign(self, campaign):
+        import json
+
+        manifest = json.loads((campaign / "run_manifest.json").read_text())
+        assert manifest["command"] == "collect"
+        assert manifest["seed"] == 0
+
+    def test_explicit_manifest_path(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "manifest.json"
+        assert main(["--manifest", str(target), "specs", "--arch", "GA100"]) == 0
+        capsys.readouterr()
+        manifest = json.loads(target.read_text())
+        assert manifest["command"] == "specs"
+        assert manifest["argv"][0] == "--manifest"
+
+    def test_trace_records_training_epochs(self, campaign, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "train.jsonl"
+        out = tmp_path / "models"
+        code = main(
+            [
+                "--trace", str(trace),
+                "train",
+                "--data", str(campaign),
+                "--out", str(out),
+                "--power-epochs", "4",
+                "--time-epochs", "3",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        records = [json.loads(l) for l in trace.read_text().splitlines()]
+        epochs = [r for r in records if r["name"] == "nn.epoch"]
+        assert len(epochs) == 4 + 3
+        assert all(r["dur_s"] >= 0 for r in epochs)
+
+
 class TestExperiment:
     def test_tab1(self, capsys):
         assert main(["experiment", "tab1"]) == 0
