@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Full static-check pass: ruff -> mypy -> repro check.
+#
+# ruff and mypy are optional (install with `pip install -e .[lint]`);
+# when a tool is missing it is reported and skipped, not failed — the
+# base image ships only the runtime deps.  `repro check` (the project's
+# own AST invariant checker) is stdlib-only and always runs; its exit
+# code gates the script together with whichever optional tools ran.
+set -u
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root" || exit 2
+
+status=0
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests || status=1
+else
+    echo "== ruff == (not installed; pip install -e .[lint] — skipped)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy || status=1
+else
+    echo "== mypy == (not installed; pip install -e .[lint] — skipped)"
+fi
+
+echo "== repro check =="
+PYTHONPATH="$repo_root/src" python -m repro.cli check "$@" || status=1
+
+exit "$status"

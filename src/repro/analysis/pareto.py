@@ -63,7 +63,7 @@ def knee_point(energy: np.ndarray, time: np.ndarray) -> int:
     p2 = np.array([t_norm[-1], e_norm[-1]])
     chord = p2 - p1
     norm = np.linalg.norm(chord)
-    if norm == 0:
+    if norm <= 0.0:
         return int(front[0])
     points = np.column_stack([t_norm, e_norm]) - p1
     distances = np.abs(points[:, 0] * chord[1] - points[:, 1] * chord[0]) / norm

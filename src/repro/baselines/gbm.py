@@ -84,7 +84,7 @@ class GradientBoostingRegressor:
         self, tree: DecisionTreeRegressor, x: np.ndarray, residual: np.ndarray
     ) -> None:
         """Replace leaf means with XGBoost leaf weights sum(r)/(n + lambda)."""
-        if self.reg_lambda == 0.0:
+        if self.reg_lambda == 0.0:  # repro: noqa[NUM001] — 0.0 exactly disables regularisation (config contract)
             return
         # Locate every training sample's leaf, then recompute leaf values.
         feature = np.asarray(tree._feature)

@@ -51,7 +51,7 @@ class MultipleLinearRegression:
         pred = self.predict(x)
         ss_res = float(np.sum((y - pred) ** 2))
         ss_tot = float(np.sum((y - y.mean()) ** 2))
-        if ss_tot == 0.0:
+        if ss_tot <= 0.0:
             # Constant target: perfect up to float noise, else undefined -> 0.
             return 1.0 if ss_res <= 1e-10 * max(1.0, float(np.sum(y**2))) else 0.0
         return 1.0 - ss_res / ss_tot

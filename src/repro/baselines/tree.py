@@ -57,7 +57,9 @@ class DecisionTreeRegressor:
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Fixed-seed default: feature subsampling must be reproducible
+        # even when the forest/GBM wrapper does not thread an rng.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         # Flat tree arrays, filled by fit().
         self._feature: list[int] = []
         self._threshold: list[float] = []
@@ -94,7 +96,7 @@ class DecisionTreeRegressor:
         if (
             idx.size < self.min_samples_split
             or (self.max_depth is not None and depth >= self.max_depth)
-            or np.ptp(y_node) == 0.0
+            or np.ptp(y_node) <= 0.0
         ):
             return node
         split = self._best_split(x, y, idx)

@@ -26,6 +26,11 @@ Mirrors how the paper's framework is operated:
     Observability utilities: ``summarize`` a trace JSONL into per-span
     latency percentiles, ``export`` the process metrics registry as
     Prometheus text or JSON.
+``repro check``
+    Static invariant checker (see :mod:`repro.devtools`): AST rules for
+    determinism, lock discipline, float comparisons and observability
+    hygiene over the whole source tree.  Exit 0 when clean, 1 on
+    violations.
 
 Two global flags (they go *before* the subcommand) apply to every
 command: ``--trace PATH`` streams span/event records from all
@@ -149,6 +154,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp_reg = obs_sub.add_parser("export", help="export the process metrics registry")
     p_exp_reg.add_argument(
         "--format", choices=("prom", "json"), default="prom", help="exposition format"
+    )
+
+    p_check = sub.add_parser(
+        "check", help="static invariant checker (determinism, locking, numerics)"
+    )
+    p_check.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    p_check.add_argument(
+        "--root",
+        default=None,
+        help="directory containing the 'repro' package (default: the installed tree)",
+    )
+    p_check.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file (default: the committed baseline.json)",
+    )
+    p_check.add_argument(
+        "--no-baseline", action="store_true", help="report baselined findings as live"
+    )
+    p_check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with every current finding (justifications required before commit)",
+    )
+    p_check.add_argument(
+        "--rules", default=None, help="comma-separated rule ids to run (default: all)"
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
     )
 
     return parser
@@ -458,6 +495,63 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.devtools import (
+        Baseline,
+        all_rules,
+        default_baseline_path,
+        render_text,
+        rule_ids,
+        run_check,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id} [{rule.severity}] {rule.summary}")
+        return 0
+
+    selected = None
+    if args.rules is not None:
+        selected = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(set(selected) - set(rule_ids()))
+        if unknown:
+            print(
+                f"unknown rule ids: {', '.join(unknown)}; known: {', '.join(rule_ids())}",
+                file=sys.stderr,
+            )
+            return 2
+
+    root = Path(args.root) if args.root is not None else None
+    baseline_path = (
+        Path(args.baseline) if args.baseline is not None else default_baseline_path(root)
+    )
+    if args.baseline is not None and not baseline_path.exists():
+        print(f"no such baseline file: {baseline_path}", file=sys.stderr)
+        return 2
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+
+    try:
+        report = run_check(root, rules=selected, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        updated = Baseline.from_findings(
+            report.all_current,
+            justification="recorded by --update-baseline; replace with a real justification",
+        )
+        updated.save(baseline_path)
+        print(f"baseline: {len(updated.entries)} entries -> {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 _DISPATCH = {
     "specs": _cmd_specs,
     "collect": _cmd_collect,
@@ -467,6 +561,7 @@ _DISPATCH = {
     "serve": _cmd_serve,
     "experiment": _cmd_experiment,
     "obs": _cmd_obs,
+    "check": _cmd_check,
 }
 
 #: Subcommands whose ``--out`` directory gets a run manifest automatically.

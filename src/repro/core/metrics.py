@@ -29,7 +29,7 @@ def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     time are strictly positive, so a zero signals an upstream bug.
     """
     y_true, y_pred = _check(y_true, y_pred)
-    if np.any(y_true == 0.0):
+    if np.any(y_true == 0.0):  # repro: noqa[NUM001] — exact zero screen: any zero true value is an upstream bug
         raise ValueError("MAPE undefined for zero true values")
     return float(100.0 * np.mean(np.abs((y_pred - y_true) / y_true)))
 
@@ -50,6 +50,6 @@ def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     y_true, y_pred = _check(y_true, y_pred)
     ss_res = float(np.sum((y_true - y_pred) ** 2))
     ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
-    if ss_tot == 0.0:
-        return 1.0 if ss_res == 0.0 else 0.0
+    if ss_tot <= 0.0:
+        return 1.0 if ss_res <= 0.0 else 0.0
     return 1.0 - ss_res / ss_tot

@@ -1,0 +1,50 @@
+"""Repo-specific static analysis (``repro check``).
+
+The reproduction's headline numbers — 89-98 % model accuracy, bitwise
+identical batched serving, worker-count-invariant parallel collection —
+rest on invariants that runtime golden tests can only catch *after* a
+regression lands.  This package enforces them before the code runs, with
+a stdlib-``ast`` rule engine:
+
+* **DET001** — no ambient entropy (module-level ``np.random``, stdlib
+  ``random``, wall clocks, ``os.urandom``) inside seeded packages.
+* **DET002** — functions holding an ``rng``/``seed`` parameter must
+  thread it; never construct fresh unseeded generators.
+* **THR001** — lock-owning classes mutate their shared attributes only
+  under the lock.
+* **NUM001** — no ``==``/``!=`` between float-typed expressions.
+* **OBS001** — no ``print()``/ad-hoc wall timing in library code; route
+  through :mod:`repro.obs`.
+
+Findings can be silenced inline (``# repro: noqa[RULE]``) or
+grandfathered in a committed baseline file with a justification; the
+tier-1 gate (``tests/devtools/test_gate.py``) fails on anything else.
+See DESIGN.md §11 for the workflow.
+"""
+
+from repro.devtools.baseline import Baseline, BaselineEntry
+from repro.devtools.engine import (
+    CheckReport,
+    check_source,
+    default_baseline_path,
+    default_root,
+    render_text,
+    run_check,
+)
+from repro.devtools.findings import Finding
+from repro.devtools.rules import all_rules, get_rule, rule_ids
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CheckReport",
+    "Finding",
+    "all_rules",
+    "check_source",
+    "default_baseline_path",
+    "default_root",
+    "get_rule",
+    "render_text",
+    "rule_ids",
+    "run_check",
+]

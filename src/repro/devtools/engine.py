@@ -1,0 +1,225 @@
+"""Check engine: discover sources, run rules, apply noqa + baseline.
+
+The engine is deliberately boring: parse every file under
+``<root>/repro`` once, hand each :class:`ModuleContext` to every rule,
+subtract inline suppressions, partition the rest against the baseline.
+The full ~100-file tree checks in well under a second (the tier-1 gate
+asserts < 5 s), so it runs on every ``pytest`` invocation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+
+from repro.devtools.baseline import Baseline, BaselineEntry
+from repro.devtools.context import ModuleContext, build_context, context_from_source
+from repro.devtools.findings import Finding
+from repro.devtools.rules import Rule, all_rules, get_rule
+
+__all__ = [
+    "CheckReport",
+    "check_source",
+    "default_baseline_path",
+    "default_root",
+    "render_text",
+    "run_check",
+]
+
+_REPORT_SCHEMA = 1
+
+
+def default_root() -> Path:
+    """The directory containing the importable ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[1]
+
+
+def default_baseline_path(root: Path | None = None) -> Path:
+    """The committed baseline shipped inside the package."""
+    root = default_root() if root is None else Path(root)
+    return root / "repro" / "devtools" / "baseline.json"
+
+
+def iter_source_files(root: Path) -> list[Path]:
+    """Every checked source file under ``root/repro``, deterministic order."""
+    package_dir = root / "repro"
+    if not package_dir.is_dir():
+        raise FileNotFoundError(f"no 'repro' package under {root}")
+    return sorted(
+        p for p in package_dir.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one full check run."""
+
+    findings: list[Finding]
+    baselined: list[Finding]
+    stale_baseline: list[BaselineEntry]
+    suppressed: int
+    files_checked: int
+    rules_run: tuple[str, ...]
+    duration_s: float
+    root: str = ""
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the tree is clean (live findings gate the exit code)."""
+        return not self.findings and not self.parse_errors
+
+    @property
+    def all_current(self) -> list[Finding]:
+        """Live + baselined findings — what ``--update-baseline`` records."""
+        return sorted(self.findings + self.baselined)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": _REPORT_SCHEMA,
+            "ok": self.ok,
+            "root": self.root,
+            "files_checked": self.files_checked,
+            "rules": [
+                {
+                    "id": rule.rule_id,
+                    "severity": rule.severity,
+                    "summary": rule.summary,
+                }
+                for rule in all_rules()
+                if rule.rule_id in self.rules_run
+            ],
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": [entry.to_dict() for entry in self.stale_baseline],
+            "parse_errors": [f.to_dict() for f in self.parse_errors],
+            "suppressed": self.suppressed,
+            "duration_s": self.duration_s,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _resolve_rules(rules: list[str] | tuple[str, ...] | None) -> list[Rule]:
+    if rules is None:
+        return all_rules()
+    return [get_rule(rule_id.strip().upper()) for rule_id in rules if rule_id.strip()]
+
+
+def _check_context(ctx: ModuleContext, active: list[Rule]) -> tuple[list[Finding], int]:
+    """(unsuppressed findings, suppressed count) for one module."""
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in active:
+        for finding in rule.check(ctx):
+            if ctx.suppressed(finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def check_source(
+    source: str,
+    *,
+    module: str = "repro._fixture",
+    rules: list[str] | tuple[str, ...] | None = None,
+) -> list[Finding]:
+    """Run rules over an in-memory source string (noqa applied, no baseline).
+
+    ``module`` places the fixture for package-scoped rules — e.g. use
+    ``"repro.gpusim.fixture"`` to land inside DET001's seeded set.
+    """
+    ctx = context_from_source(source, module=module)
+    kept, _ = _check_context(ctx, _resolve_rules(rules))
+    return sorted(kept)
+
+
+def run_check(
+    root: Path | str | None = None,
+    *,
+    rules: list[str] | tuple[str, ...] | None = None,
+    baseline: Baseline | None = None,
+) -> CheckReport:
+    """Check every source file under ``root/repro`` (default: the installed tree).
+
+    ``baseline=None`` loads the committed ``baseline.json`` next to this
+    package; pass an empty :class:`Baseline` to check without one.
+    """
+    root = default_root() if root is None else Path(root)
+    if baseline is None:
+        baseline = Baseline.load(default_baseline_path(root))
+    active = _resolve_rules(rules)
+    t0 = perf_counter()
+    findings: list[Finding] = []
+    parse_errors: list[Finding] = []
+    suppressed = 0
+    files = iter_source_files(root)
+    for path in files:
+        try:
+            ctx = build_context(path, root)
+        except SyntaxError as exc:
+            parse_errors.append(
+                Finding(
+                    path=path.relative_to(root).as_posix(),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule_id="SYNTAX",
+                    severity="error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        kept, n_suppressed = _check_context(ctx, active)
+        findings.extend(kept)
+        suppressed += n_suppressed
+    live, baselined, stale = baseline.partition(sorted(findings))
+    return CheckReport(
+        findings=live,
+        baselined=baselined,
+        stale_baseline=stale,
+        suppressed=suppressed,
+        files_checked=len(files),
+        rules_run=tuple(rule.rule_id for rule in active),
+        duration_s=perf_counter() - t0,
+        root=str(root),
+        parse_errors=parse_errors,
+    )
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-readable report (editor-clickable locations, summary line)."""
+    lines: list[str] = []
+    for finding in report.parse_errors + report.findings:
+        lines.append(finding.render())
+    if report.stale_baseline:
+        lines.append("")
+        lines.append("stale baseline entries (no longer match anything — remove them):")
+        for entry in report.stale_baseline:
+            lines.append(f"  {entry.path}: {entry.rule} {entry.message!r}")
+    summary = (
+        f"checked {report.files_checked} files with {len(report.rules_run)} rules "
+        f"in {report.duration_s:.2f}s: "
+    )
+    if report.ok:
+        summary += "no violations"
+        extras = []
+        if report.baselined:
+            extras.append(f"{len(report.baselined)} baselined")
+        if report.suppressed:
+            extras.append(f"{report.suppressed} suppressed inline")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+    else:
+        n = len(report.findings) + len(report.parse_errors)
+        summary += (
+            f"{n} violation{'s' if n != 1 else ''} "
+            f"({len(report.baselined)} baselined, {report.suppressed} suppressed inline)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""The unit of checker output: one violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Allowed severities, strongest first (order matters for text output).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is posix-relative to the scan root (e.g.
+    ``"repro/core/selection.py"``), which keeps findings stable across
+    checkouts — the baseline file matches on ``(rule_id, path, message)``
+    so line drift never invalidates a grandfathered entry.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers drift)."""
+        return (self.rule_id, self.path, self.message)
+
+    def render(self) -> str:
+        """One-line human-readable form (editor-clickable location)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (schema asserted by tests/devtools)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }

@@ -29,7 +29,7 @@ class FeatureRanking:
     def normalized(self) -> tuple[float, ...]:
         """Scores divided by the maximum (Fig. 3 style, in [0, 1])."""
         top = max(self.scores)
-        if top == 0.0:
+        if top <= 0.0:
             return tuple(0.0 for _ in self.scores)
         return tuple(s / top for s in self.scores)
 

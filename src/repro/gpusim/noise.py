@@ -45,7 +45,9 @@ class NoiseModel:
 
     # ------------------------------------------------------------------
     def _perturb(self, rng: np.random.Generator, value: float, rel_std: float) -> float:
-        if rel_std == 0.0:
+        # Complement of the vectorized path's `stds > 0.0` active mask, so
+        # scalar and batched collection short-circuit identically.
+        if rel_std <= 0.0:
             return float(value)
         return float(value * np.exp(rng.normal(0.0, rel_std)))
 

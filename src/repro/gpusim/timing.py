@@ -228,9 +228,9 @@ class TimingModel:
         return t_base * ((1.0 - lam) / f_norm + lam)
 
     def _overlap(self, t_compute: float, t_memory: float) -> float:
-        if t_compute == 0.0:
+        if t_compute <= 0.0:
             return t_memory
-        if t_memory == 0.0:
+        if t_memory <= 0.0:
             return t_compute
         p = self.overlap_p
         return float((t_compute**p + t_memory**p) ** (1.0 / p))

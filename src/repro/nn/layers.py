@@ -35,7 +35,9 @@ class Dense:
         self.in_features = in_features
         self.out_features = out_features
         self.activation = get_activation(activation) if isinstance(activation, str) else activation
-        rng = rng if rng is not None else np.random.default_rng()
+        # A fixed-seed default keeps standalone layers reproducible; the
+        # network builder always threads its own SeedSequence-derived rng.
+        rng = rng if rng is not None else np.random.default_rng(0)
         init = for_activation(self.activation.name)
         self.params: dict[str, np.ndarray] = {
             "W": init(rng, in_features, out_features),

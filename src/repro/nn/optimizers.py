@@ -60,7 +60,7 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
 
     def update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
-        if self.momentum == 0.0:
+        if self.momentum == 0.0:  # repro: noqa[NUM001] — 0.0 exactly selects the momentum-free update (config contract)
             param -= self.learning_rate * grad
             return
         slot = self._slot(key, ("v",), param)

@@ -199,7 +199,7 @@ def _train_batch(
     config: TrainConfig,
 ) -> float:
     """One step with optional gradient clipping and decoupled decay."""
-    if config.grad_clip_norm is None and config.weight_decay == 0.0:
+    if config.grad_clip_norm is None and config.weight_decay == 0.0:  # repro: noqa[NUM001] — 0.0 exactly selects the fast path (config contract)
         return network.train_batch(x, y, loss, optimizer)
 
     y_pred = network.forward(x, training=True)

@@ -79,7 +79,8 @@ class Counter:
         return {"kind": self.kind, "help": self.help, "value": self._value}
 
     def _restore(self, state: dict) -> None:
-        self._value = float(state["value"])
+        with self._lock:
+            self._value = float(state["value"])
 
 
 class Gauge:
@@ -119,7 +120,8 @@ class Gauge:
         return {"kind": self.kind, "help": self.help, "value": self._value}
 
     def _restore(self, state: dict) -> None:
-        self._value = float(state["value"])
+        with self._lock:
+            self._value = float(state["value"])
 
 
 @dataclass(frozen=True)
@@ -255,11 +257,12 @@ class Histogram:
             )
 
     def _restore(self, state: dict) -> None:
-        self._counts = np.asarray(state["counts"], dtype=np.int64)
-        self._sum = float(state["sum"])
-        self._count = int(state["count"])
-        self._min = float(state["min"]) if self._count else float("inf")
-        self._max = float(state["max"]) if self._count else float("-inf")
+        with self._lock:
+            self._counts = np.asarray(state["counts"], dtype=np.int64)
+            self._sum = float(state["sum"])
+            self._count = int(state["count"])
+            self._min = float(state["min"]) if self._count else float("inf")
+            self._max = float(state["max"]) if self._count else float("-inf")
 
 
 class MetricsRegistry:

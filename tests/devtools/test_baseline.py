@@ -1,0 +1,148 @@
+"""Baseline persistence, multiset matching, and engine integration."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools import Baseline, BaselineEntry, Finding, run_check
+
+
+def _finding(rule="NUM001", path="repro/x.py", line=3, message="m") -> Finding:
+    return Finding(path=path, line=line, col=0, rule_id=rule, severity="error", message=message)
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+def test_save_load_round_trip(tmp_path):
+    baseline = Baseline.from_findings(
+        [_finding(line=3), _finding(rule="DET002", path="repro/y.py", message="other")],
+        justification="because",
+    )
+    target = tmp_path / "baseline.json"
+    baseline.save(target)
+    loaded = Baseline.load(target)
+    assert sorted(e.key() for e in loaded.entries) == sorted(e.key() for e in baseline.entries)
+    assert all(e.justification == "because" for e in loaded.entries)
+
+
+def test_save_writes_schema_and_stable_order(tmp_path):
+    baseline = Baseline(
+        [
+            BaselineEntry("NUM001", "repro/b.py", "m2", line=9),
+            BaselineEntry("NUM001", "repro/a.py", "m1", line=1),
+        ]
+    )
+    target = tmp_path / "baseline.json"
+    baseline.save(target)
+    payload = json.loads(target.read_text())
+    assert payload["schema"] == 1
+    assert [e["path"] for e in payload["entries"]] == ["repro/a.py", "repro/b.py"]
+
+
+def test_load_missing_file_is_empty():
+    assert len(Baseline.load("/nonexistent/baseline.json")) == 0
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps({"schema": 99, "entries": []}))
+    with pytest.raises(ValueError, match="schema"):
+        Baseline.load(target)
+
+
+# ----------------------------------------------------------------------
+# Multiset partition
+# ----------------------------------------------------------------------
+def test_partition_matches_on_rule_path_message_not_line():
+    baseline = Baseline([BaselineEntry("NUM001", "repro/x.py", "m", line=3)])
+    live, baselined, stale = baseline.partition([_finding(line=99)])
+    assert live == [] and stale == []
+    assert len(baselined) == 1
+
+
+def test_partition_multiset_budget():
+    # One entry grandfathers exactly one of two identical findings.
+    baseline = Baseline([BaselineEntry("NUM001", "repro/x.py", "m")])
+    live, baselined, _ = baseline.partition([_finding(line=3), _finding(line=7)])
+    assert len(baselined) == 1
+    assert len(live) == 1
+
+
+def test_partition_reports_stale_entries():
+    baseline = Baseline(
+        [
+            BaselineEntry("NUM001", "repro/x.py", "m"),
+            BaselineEntry("DET001", "repro/gone.py", "deleted long ago"),
+        ]
+    )
+    live, baselined, stale = baseline.partition([_finding()])
+    assert live == []
+    assert len(baselined) == 1
+    assert [e.path for e in stale] == ["repro/gone.py"]
+
+
+def test_justification_lookup():
+    baseline = Baseline([BaselineEntry("NUM001", "repro/x.py", "m", justification="why")])
+    assert baseline.justification_for(_finding()) == "why"
+    assert baseline.justification_for(_finding(rule="DET001")) is None
+
+
+# ----------------------------------------------------------------------
+# Engine integration over a temporary tree
+# ----------------------------------------------------------------------
+_VIOLATING_MODULE = textwrap.dedent(
+    """
+    def f(x):
+        return x == 1.5
+    """
+)
+
+
+def _make_tree(tmp_path):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(_VIOLATING_MODULE)
+    return tmp_path
+
+
+def test_run_check_on_tmp_tree_finds_violation(tmp_path):
+    report = run_check(_make_tree(tmp_path), baseline=Baseline())
+    assert not report.ok
+    assert [f.rule_id for f in report.findings] == ["NUM001"]
+    assert report.findings[0].path == "repro/mod.py"
+
+
+def test_run_check_baseline_grandfathers_tmp_tree(tmp_path):
+    root = _make_tree(tmp_path)
+    first = run_check(root, baseline=Baseline())
+    baseline = Baseline.from_findings(first.findings, justification="fixture")
+    second = run_check(root, baseline=baseline)
+    assert second.ok
+    assert len(second.baselined) == 1
+    assert second.stale_baseline == []
+
+
+def test_run_check_default_baseline_loads_committed_file(tmp_path):
+    # baseline=None must pick up <root>/repro/devtools/baseline.json.
+    root = _make_tree(tmp_path)
+    devtools = root / "repro" / "devtools"
+    first = run_check(root, baseline=Baseline())
+    Baseline.from_findings(first.findings, justification="fixture").save(
+        devtools / "baseline.json"
+    )
+    report = run_check(root)
+    assert report.ok
+    assert len(report.baselined) == 1
+
+
+def test_run_check_reports_parse_errors(tmp_path):
+    root = _make_tree(tmp_path)
+    (root / "repro" / "broken.py").write_text("def oops(:\n")
+    report = run_check(root, baseline=Baseline())
+    assert not report.ok
+    assert any(f.rule_id == "SYNTAX" for f in report.parse_errors)

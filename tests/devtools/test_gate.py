@@ -1,0 +1,46 @@
+"""Tier-1 gate: the shipped tree must pass its own invariant checker.
+
+This is the enforcement point — every non-slow pytest run re-checks the
+whole source tree.  A new violation fails CI here; the fix is to repair
+the code, add a justified ``# repro: noqa[RULE]``, or (rarely) a
+justified baseline entry.
+"""
+
+from __future__ import annotations
+
+from repro.devtools import default_baseline_path, default_root, rule_ids, run_check
+
+_REPORT = run_check()
+
+
+def test_tree_has_zero_live_violations():
+    details = "\n".join(f.render() for f in _REPORT.findings + _REPORT.parse_errors)
+    assert _REPORT.ok, f"repro check found live violations:\n{details}"
+
+
+def test_no_stale_baseline_entries():
+    stale = "\n".join(f"{e.path}: {e.rule} {e.message!r}" for e in _REPORT.stale_baseline)
+    assert not _REPORT.stale_baseline, f"stale baseline entries to remove:\n{stale}"
+
+
+def test_every_baseline_entry_is_justified():
+    from repro.devtools import Baseline
+
+    baseline = Baseline.load(default_baseline_path())
+    unjustified = [e for e in baseline.entries if not e.justification.strip()]
+    assert not unjustified, f"baseline entries without justification: {unjustified}"
+
+
+def test_at_least_five_rules_ran():
+    assert len(_REPORT.rules_run) >= 5
+    assert set(_REPORT.rules_run) == set(rule_ids())
+
+
+def test_full_tree_check_is_fast():
+    # The gate runs on every pytest invocation; keep it well under 5 s.
+    assert _REPORT.duration_s < 5.0, f"check took {_REPORT.duration_s:.2f}s"
+
+
+def test_checked_the_real_tree():
+    assert _REPORT.files_checked > 50
+    assert (default_root() / "repro" / "__init__.py").exists()

@@ -1,0 +1,103 @@
+"""Report rendering: JSON schema, text format, and the CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import Baseline, render_text, run_check
+
+_REPORT_KEYS = {
+    "schema",
+    "ok",
+    "root",
+    "files_checked",
+    "rules",
+    "findings",
+    "baselined",
+    "stale_baseline",
+    "parse_errors",
+    "suppressed",
+    "duration_s",
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_check()
+
+
+def test_json_schema_keys(report):
+    payload = json.loads(report.to_json())
+    assert set(payload) == _REPORT_KEYS
+    assert payload["schema"] == 1
+    assert isinstance(payload["files_checked"], int)
+    for rule in payload["rules"]:
+        assert set(rule) == {"id", "severity", "summary"}
+    for finding in payload["findings"] + payload["baselined"]:
+        assert set(finding) == {"path", "line", "col", "rule", "severity", "message"}
+
+
+def test_render_text_has_summary_line(report):
+    text = render_text(report)
+    last = text.splitlines()[-1]
+    assert last.startswith(f"checked {report.files_checked} files")
+    assert "rules" in last
+
+
+def test_render_text_lists_findings():
+    findings_report = run_check(baseline=Baseline())
+    text = render_text(findings_report)
+    for finding in findings_report.findings:
+        assert finding.render() in text
+        # path:line:col prefix keeps locations editor-clickable.
+        assert finding.render().startswith(f"{finding.path}:{finding.line}:")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_check_exits_zero_on_shipped_tree(capsys):
+    assert main(["check"]) == 0
+    out = capsys.readouterr().out
+    assert "no violations" in out
+
+
+def test_cli_check_json_parses(capsys):
+    assert main(["check", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+
+
+def test_cli_check_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "THR001", "NUM001", "OBS001"):
+        assert rule_id in out
+
+
+def test_cli_check_rule_subset(capsys):
+    assert main(["check", "--rules", "obs001"]) == 0
+    payload_ok = capsys.readouterr().out
+    assert "1 rules" in payload_ok
+
+
+def test_cli_check_unknown_rule_is_usage_error(capsys):
+    assert main(["check", "--rules", "NOPE01"]) == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_cli_check_no_baseline_reports_grandfathered(capsys):
+    # The shipped tree has baselined entries; without the baseline they
+    # surface as live findings and the exit code flips to 1.
+    code = main(["check", "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "violation" in out
+
+
+def test_cli_check_missing_baseline_path_is_usage_error(capsys):
+    assert main(["check", "--baseline", "/nonexistent/b.json"]) == 2
+    assert "no such baseline" in capsys.readouterr().err

@@ -1,0 +1,359 @@
+"""Positive and negative fixtures for every shipped rule.
+
+Each rule gets at least one source fragment that must fire and one that
+must stay silent — the registry-level contract the tier-1 gate depends
+on.  Fixtures are placed in scope (or out of scope) via the ``module``
+argument of :func:`repro.devtools.check_source`.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools import all_rules, check_source, get_rule, rule_ids
+
+
+def _check(source: str, module: str, rules: list[str]) -> list:
+    return check_source(textwrap.dedent(source), module=module, rules=rules)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_has_at_least_five_rules():
+    assert len(rule_ids()) >= 5
+    assert {"DET001", "DET002", "THR001", "NUM001", "OBS001"} <= set(rule_ids())
+
+
+def test_rules_have_metadata():
+    for rule in all_rules():
+        assert rule.summary
+        assert rule.rationale
+        assert rule.severity in ("error", "warning")
+
+
+def test_get_rule_unknown_raises():
+    import pytest
+
+    with pytest.raises(KeyError):
+        get_rule("ZZZ999")
+
+
+# ----------------------------------------------------------------------
+# DET001 — ambient entropy in seeded packages
+# ----------------------------------------------------------------------
+def test_det001_flags_module_level_numpy_rng_in_seeded_package():
+    findings = _check(
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.rand(3)
+        """,
+        "repro.gpusim.fixture",
+        ["DET001"],
+    )
+    assert [f.rule_id for f in findings] == ["DET001"]
+    assert "numpy.random.rand" in findings[0].message
+
+
+def test_det001_flags_wall_clock_and_stdlib_random():
+    findings = _check(
+        """
+        import random
+        import time
+
+        def stamp():
+            return time.time(), random.random()
+        """,
+        "repro.nn.fixture",
+        ["DET001"],
+    )
+    assert sorted(f.rule_id for f in findings) == ["DET001", "DET001"]
+
+
+def test_det001_silent_outside_seeded_packages():
+    findings = _check(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        "repro.analysis.fixture",
+        ["DET001"],
+    )
+    assert findings == []
+
+
+def test_det001_allows_generator_construction_apis():
+    findings = _check(
+        """
+        import numpy as np
+
+        def make(seed):
+            return np.random.default_rng(np.random.SeedSequence(seed))
+        """,
+        "repro.gpusim.fixture",
+        ["DET001"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — rng threading
+# ----------------------------------------------------------------------
+def test_det002_flags_zero_arg_default_rng():
+    findings = _check(
+        """
+        import numpy as np
+
+        def fresh():
+            return np.random.default_rng()
+        """,
+        "repro.analysis.fixture",
+        ["DET002"],
+    )
+    assert [f.rule_id for f in findings] == ["DET002"]
+    assert "OS entropy" in findings[0].message
+
+
+def test_det002_flags_reseed_despite_rng_param():
+    findings = _check(
+        """
+        import numpy as np
+
+        def shuffle(data, rng):
+            local = np.random.default_rng(1234)
+            return local.permutation(data)
+        """,
+        "repro.analysis.fixture",
+        ["DET002"],
+    )
+    assert [f.rule_id for f in findings] == ["DET002"]
+    assert "shuffle" in findings[0].message
+
+
+def test_det002_allows_child_derivation_and_none_fallback():
+    findings = _check(
+        """
+        import numpy as np
+
+        def child(rng):
+            return np.random.default_rng(rng.integers(2**63))
+
+        def fallback(rng=None):
+            rng = rng if rng is not None else np.random.default_rng(0)
+            return rng
+
+        def fallback_stmt(rng=None):
+            if rng is None:
+                rng = np.random.default_rng(7)
+            return rng
+        """,
+        "repro.analysis.fixture",
+        ["DET002"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# THR001 — lock discipline
+# ----------------------------------------------------------------------
+_LOCKED_CLASS = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = []
+
+        def add(self, item):
+            with self._lock:
+                self._items.append(item)
+
+        def sneak(self, item):
+            {sneak_body}
+"""
+
+
+def test_thr001_flags_unlocked_mutation_of_guarded_attr():
+    findings = _check(
+        _LOCKED_CLASS.format(sneak_body="self._items.append(item)"),
+        "repro.serving.fixture",
+        ["THR001"],
+    )
+    assert [f.rule_id for f in findings] == ["THR001"]
+    assert "_items" in findings[0].message
+
+
+def test_thr001_silent_when_all_mutations_locked():
+    findings = _check(
+        _LOCKED_CLASS.format(
+            sneak_body="with self._lock:\n                self._items.append(item)"
+        ),
+        "repro.serving.fixture",
+        ["THR001"],
+    )
+    assert findings == []
+
+
+def test_thr001_init_may_initialise_without_lock():
+    # Construction happens before the object is shared; __init__ writes
+    # must not count as unlocked mutations.
+    findings = _check(
+        """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+                self._items.append(0)
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+        """,
+        "repro.serving.fixture",
+        ["THR001"],
+    )
+    assert findings == []
+
+
+def test_thr001_seeded_attrs_guarded_even_if_never_seen_under_lock():
+    # repro.obs.metrics Counter._value is in the seeded registry, so an
+    # unlocked mutation fires even when no locked mutation exists.
+    findings = _check(
+        """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._value = 0.0
+
+            def inc(self, amount=1.0):
+                self._value += amount
+        """,
+        "repro.obs.metrics",
+        ["THR001"],
+    )
+    assert [f.rule_id for f in findings] == ["THR001"]
+
+
+# ----------------------------------------------------------------------
+# NUM001 — float equality
+# ----------------------------------------------------------------------
+def test_num001_flags_float_equality():
+    findings = _check(
+        """
+        def f(x):
+            if x == 1.5:
+                return 0
+            return 1
+        """,
+        "repro.core.fixture",
+        ["NUM001"],
+    )
+    assert [f.rule_id for f in findings] == ["NUM001"]
+
+
+def test_num001_flags_tracked_float_variable():
+    findings = _check(
+        """
+        def f(a, b):
+            ratio = a / b
+            return ratio != 0.25
+        """,
+        "repro.core.fixture",
+        ["NUM001"],
+    )
+    assert len(findings) == 1
+
+
+def test_num001_silent_on_integer_comparison():
+    findings = _check(
+        """
+        def f(items):
+            n = len(items)
+            if n == 0:
+                return None
+            return items[0] == "name"
+        """,
+        "repro.core.fixture",
+        ["NUM001"],
+    )
+    assert findings == []
+
+
+def test_num001_silent_on_ordered_guard():
+    findings = _check(
+        """
+        def f(x):
+            return x <= 0.0
+        """,
+        "repro.core.fixture",
+        ["NUM001"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# OBS001 — observability hygiene
+# ----------------------------------------------------------------------
+def test_obs001_flags_print_in_library_code():
+    findings = _check(
+        """
+        def report(x):
+            print(x)
+        """,
+        "repro.core.fixture",
+        ["OBS001"],
+    )
+    assert [f.rule_id for f in findings] == ["OBS001"]
+    assert findings[0].severity == "warning"
+
+
+def test_obs001_flags_adhoc_timing_without_obs():
+    findings = _check(
+        """
+        import time
+
+        def timed(fn):
+            t0 = time.perf_counter()
+            fn()
+            return time.perf_counter() - t0
+        """,
+        "repro.core.fixture",
+        ["OBS001"],
+    )
+    assert len(findings) == 2
+
+
+def test_obs001_allows_timing_when_module_uses_obs():
+    findings = _check(
+        """
+        import time
+
+        from repro import obs
+
+        def timed(fn):
+            t0 = time.perf_counter()
+            with obs.span("fixture.timed"):
+                fn()
+            return time.perf_counter() - t0
+        """,
+        "repro.core.fixture",
+        ["OBS001"],
+    )
+    assert findings == []
+
+
+def test_obs001_exempts_cli_and_experiments():
+    source = """
+        def report(x):
+            print(x)
+    """
+    assert _check(source, "repro.cli", ["OBS001"]) == []
+    assert _check(source, "repro.experiments.fixture", ["OBS001"]) == []
