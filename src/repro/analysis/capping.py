@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.units import MHz, MHzArray, Watts, WattsArray, SecondsArray
+
 __all__ = ["clock_for_power_cap", "CapDecision", "power_cap_policy"]
 
 
@@ -20,9 +22,9 @@ __all__ = ["clock_for_power_cap", "CapDecision", "power_cap_policy"]
 class CapDecision:
     """Outcome of applying one power cap to one application."""
 
-    cap_w: float
-    freq_mhz: float
-    power_w: float
+    cap_w: Watts
+    freq_mhz: MHz
+    power_w: Watts
     #: Predicted slowdown factor vs the maximum clock (>= 1).
     slowdown: float
     #: True when even the lowest clock exceeds the cap.
@@ -30,9 +32,9 @@ class CapDecision:
 
 
 def clock_for_power_cap(
-    freqs_mhz: np.ndarray,
-    power_w: np.ndarray,
-    cap_w: float,
+    freqs_mhz: MHzArray,
+    power_w: WattsArray,
+    cap_w: Watts,
 ) -> int:
     """Index of the fastest clock with power <= cap.
 
@@ -58,10 +60,10 @@ def clock_for_power_cap(
 
 
 def power_cap_policy(
-    freqs_mhz: np.ndarray,
-    power_w: np.ndarray,
-    time_s: np.ndarray,
-    caps_w: list[float],
+    freqs_mhz: MHzArray,
+    power_w: WattsArray,
+    time_s: SecondsArray,
+    caps_w: list[Watts],
 ) -> list[CapDecision]:
     """Per-cap clock decisions over predicted power/time curves."""
     freqs = np.asarray(freqs_mhz, dtype=float)

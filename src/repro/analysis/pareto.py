@@ -8,10 +8,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.units import JoulesArray, SecondsArray
+
 __all__ = ["pareto_front", "knee_point", "hypervolume_2d"]
 
 
-def _check_objectives(energy: np.ndarray, time: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _check_objectives(energy: JoulesArray, time: SecondsArray) -> tuple[JoulesArray, SecondsArray]:
     energy = np.asarray(energy, dtype=float).reshape(-1)
     time = np.asarray(time, dtype=float).reshape(-1)
     if energy.size != time.size:
@@ -23,7 +25,7 @@ def _check_objectives(energy: np.ndarray, time: np.ndarray) -> tuple[np.ndarray,
     return energy, time
 
 
-def pareto_front(energy: np.ndarray, time: np.ndarray) -> np.ndarray:
+def pareto_front(energy: JoulesArray, time: SecondsArray) -> np.ndarray:
     """Indices of the non-dominated configurations, sorted by time.
 
     O(n log n): sweep by ascending time (ties broken by energy) and keep
@@ -40,7 +42,7 @@ def pareto_front(energy: np.ndarray, time: np.ndarray) -> np.ndarray:
     return np.asarray(front, dtype=int)
 
 
-def knee_point(energy: np.ndarray, time: np.ndarray) -> int:
+def knee_point(energy: JoulesArray, time: SecondsArray) -> int:
     """Index of the front's knee: maximum distance to the extreme chord.
 
     The classic "best trade-off" heuristic: normalise both objectives
@@ -71,8 +73,8 @@ def knee_point(energy: np.ndarray, time: np.ndarray) -> int:
 
 
 def hypervolume_2d(
-    energy: np.ndarray,
-    time: np.ndarray,
+    energy: JoulesArray,
+    time: SecondsArray,
     *,
     reference: tuple[float, float] | None = None,
 ) -> float:

@@ -146,8 +146,10 @@ class SVR:
         # quadratic; optimise each epsilon-sign piece and keep the best.
         best_obj = -np.inf
         best_bi = beta[i]
-        for sign_i in (-1.0, 0.0, 1.0):
-            for sign_j in (-1.0, 0.0, 1.0):
+        # Integer sign flags: the sentinel tests below stay exact (== on
+        # ints) and the epsilon term multiplies identically.
+        for sign_i in (-1, 0, 1):
+            for sign_j in (-1, 0, 1):
                 # Unconstrained optimum of the piece.
                 numer = g_i - g_j - s * (k[i, j] - k[j, j]) - self.epsilon * (sign_i - sign_j)
                 bi = numer / eta
@@ -156,10 +158,10 @@ class SVR:
                 bi = float(np.clip(bi, lo, hi))
                 # Verify the sign assumption holds on this piece (0 means
                 # "at the kink", always admissible).
-                if sign_i != 0.0 and np.sign(bi) not in (0.0, sign_i):
+                if sign_i != 0 and np.sign(bi) not in (0.0, sign_i):
                     continue
                 bj = s - bi
-                if sign_j != 0.0 and np.sign(bj) not in (0.0, sign_j):
+                if sign_j != 0 and np.sign(bj) not in (0.0, sign_j):
                     continue
                 obj = self._pair_objective(bi, bj, i, j, g_i, g_j, k)
                 if obj > best_obj:

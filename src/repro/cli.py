@@ -28,9 +28,13 @@ Mirrors how the paper's framework is operated:
     Prometheus text or JSON.
 ``repro check``
     Static invariant checker (see :mod:`repro.devtools`): AST rules for
-    determinism, lock discipline, float comparisons and observability
-    hygiene over the whole source tree.  Exit 0 when clean, 1 on
-    violations.
+    determinism, lock discipline, float comparisons, observability
+    hygiene, physical units and seed lineage over the whole source
+    tree.  Exit 0 when clean, 1 on violations.
+``repro graph``
+    Dump the interprocedural project index: the call graph as JSON or
+    Graphviz DOT (``--format``), or the declared physical-unit table
+    (``--units``).
 
 Two global flags (they go *before* the subcommand) apply to every
 command: ``--trace PATH`` streams span/event records from all
@@ -160,7 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="static invariant checker (determinism, locking, numerics)"
     )
     p_check.add_argument(
-        "--format", choices=("text", "json"), default="text", help="report format"
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format ('github' emits ::error workflow annotations)",
     )
     p_check.add_argument(
         "--root",
@@ -186,6 +193,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+
+    p_graph = sub.add_parser(
+        "graph", help="dump the project call graph / unit table (repro.devtools)"
+    )
+    p_graph.add_argument(
+        "--format", choices=("json", "dot"), default="json", help="call-graph format"
+    )
+    p_graph.add_argument(
+        "--root",
+        default=None,
+        help="directory containing the 'repro' package (default: the installed tree)",
+    )
+    p_graph.add_argument(
+        "--units",
+        action="store_true",
+        help="dump the declared physical-unit table instead of the call graph",
+    )
+    p_graph.add_argument(
+        "--include-external",
+        action="store_true",
+        help="include external (stdlib/numpy) call sites in the JSON dump",
     )
 
     return parser
@@ -500,6 +529,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         Baseline,
         all_rules,
         default_baseline_path,
+        render_github,
         render_text,
         rule_ids,
         run_check,
@@ -547,9 +577,36 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "github":
+        print(render_github(report))
     else:
         print(render_text(report))
     return 0 if report.ok else 1
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.devtools import default_root, index_from_root
+    from repro.devtools.units import unit_table
+
+    root = Path(args.root) if args.root is not None else default_root()
+    try:
+        contexts, index, skipped = index_from_root(root)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for path, exc in skipped:
+        print(f"skipped unparseable {path}: {exc}", file=sys.stderr)
+    if args.units:
+        print(json.dumps(unit_table(index), indent=2))
+        return 0
+    graph = index.call_graph()
+    if args.format == "dot":
+        print(graph.to_dot())
+    else:
+        print(json.dumps(graph.to_dict(include_external=args.include_external), indent=2))
+    return 0
 
 
 _DISPATCH = {
@@ -562,6 +619,7 @@ _DISPATCH = {
     "experiment": _cmd_experiment,
     "obs": _cmd_obs,
     "check": _cmd_check,
+    "graph": _cmd_graph,
 }
 
 #: Subcommands whose ``--out`` directory gets a run manifest automatically.

@@ -24,6 +24,7 @@ import numpy as np
 from repro.gpusim.device import METRIC_INDEX, SimulatedGPU
 from repro.telemetry.csvio import read_columns_csv
 from repro.telemetry.launch import Launcher, RunArtifact
+from repro.units import Seconds, Watts
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -64,8 +65,8 @@ class SweepSample:
 
     workload: str
     features: FeatureVector
-    power_w: float
-    time_s: float
+    power_w: Watts
+    time_s: Seconds
     slowdown: float
     run_index: int
 

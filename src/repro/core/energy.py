@@ -14,10 +14,12 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.units import JoulesArray, SecondsArray, WattsArray
+
 __all__ = ["energy_from_power_time", "ObjectiveFunction", "EDnP", "EDP", "ED2P"]
 
 
-def energy_from_power_time(power_w: np.ndarray, time_s: np.ndarray) -> np.ndarray:
+def energy_from_power_time(power_w: WattsArray, time_s: SecondsArray) -> JoulesArray:
     """``E_f = P_f x T_f`` elementwise (paper Eq. 8)."""
     power_w = np.asarray(power_w, dtype=float)
     time_s = np.asarray(time_s, dtype=float)
@@ -34,7 +36,7 @@ class ObjectiveFunction(Protocol):
 
     name: str
 
-    def __call__(self, energy_j: np.ndarray, time_s: np.ndarray) -> np.ndarray:
+    def __call__(self, energy_j: JoulesArray, time_s: SecondsArray) -> np.ndarray:
         """Score per configuration; the minimiser is the optimum."""
         ...
 
@@ -49,7 +51,7 @@ class EDnP:
         suffix = {1.0: "EDP", 2.0: "ED2P"}.get(self.n)
         self.name = suffix if suffix is not None else f"ED{self.n:g}P"
 
-    def __call__(self, energy_j: np.ndarray, time_s: np.ndarray) -> np.ndarray:
+    def __call__(self, energy_j: JoulesArray, time_s: SecondsArray) -> np.ndarray:
         energy_j = np.asarray(energy_j, dtype=float)
         time_s = np.asarray(time_s, dtype=float)
         if energy_j.shape != time_s.shape:

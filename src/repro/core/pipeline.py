@@ -27,6 +27,7 @@ from repro.core.selection import SelectionResult, select_optimal_frequency
 from repro.gpusim.device import SimulatedGPU
 from repro.telemetry.launch import LaunchConfig, Launcher
 from repro.workloads.base import Workload
+from repro.units import JoulesArray, MHzArray, Seconds, SecondsArray, Watts, WattsArray
 
 __all__ = ["OnlineResult", "FrequencySelectionPipeline"]
 
@@ -36,15 +37,15 @@ class OnlineResult:
     """Everything the online phase produces for one application."""
 
     workload: str
-    freqs_mhz: np.ndarray
+    freqs_mhz: MHzArray
     features: FeatureVector
     #: Measurement at the default clock (the only measurement taken).
-    measured_power_at_max_w: float
-    measured_time_at_max_s: float
+    measured_power_at_max_w: Watts
+    measured_time_at_max_s: Seconds
     #: Predicted curves across the design space.
-    power_w: np.ndarray
-    time_s: np.ndarray
-    energy_j: np.ndarray
+    power_w: WattsArray
+    time_s: SecondsArray
+    energy_j: JoulesArray
     #: Selection per objective name (e.g. "EDP", "ED2P").
     selections: dict[str, SelectionResult]
 

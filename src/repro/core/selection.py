@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.energy import EDP, ObjectiveFunction
+from repro.units import Fraction, JoulesArray, MHz, MHzArray, SecondsArray
 
 __all__ = ["SelectionResult", "select_optimal_frequency", "select_optimal_frequency_many"]
 
@@ -32,28 +33,28 @@ __all__ = ["SelectionResult", "select_optimal_frequency", "select_optimal_freque
 class SelectionResult:
     """Outcome of Algorithm 1 for one application."""
 
-    freq_mhz: float
+    freq_mhz: MHz
     index: int
     objective_name: str
     scores: np.ndarray
     #: Performance degradation at the selected clock vs f_max (fraction;
     #: positive = slower).
-    perf_degradation: float
+    perf_degradation: Fraction
     #: Energy change at the selected clock vs f_max (fraction; positive =
     #: saving).
-    energy_saving: float
+    energy_saving: Fraction
     #: Whether the threshold walk moved the selection above the raw
     #: objective minimiser.
     threshold_applied: bool
 
 
 def select_optimal_frequency(
-    freqs_mhz: np.ndarray,
-    energy_j: np.ndarray,
-    time_s: np.ndarray,
+    freqs_mhz: MHzArray,
+    energy_j: JoulesArray,
+    time_s: SecondsArray,
     *,
     objective: ObjectiveFunction = EDP,
-    threshold: float | None = None,
+    threshold: Fraction | None = None,
 ) -> SelectionResult:
     """Run Algorithm 1 over per-configuration energy/time curves.
 
@@ -119,12 +120,12 @@ def select_optimal_frequency(
 
 
 def select_optimal_frequency_many(
-    freqs_mhz: np.ndarray,
-    energy_j: np.ndarray,
-    time_s: np.ndarray,
+    freqs_mhz: MHzArray,
+    energy_j: JoulesArray,
+    time_s: SecondsArray,
     *,
     objective: ObjectiveFunction = EDP,
-    threshold: float | None = None,
+    threshold: Fraction | None = None,
 ) -> list[SelectionResult]:
     """Algorithm 1 over a batch of applications sharing one clock grid.
 

@@ -16,10 +16,22 @@ a stdlib-``ast`` rule engine:
 * **OBS001** — no ``print()``/ad-hoc wall timing in library code; route
   through :mod:`repro.obs`.
 
-Findings can be silenced inline (``# repro: noqa[RULE]``) or
+On top of the per-file rules sits an **interprocedural layer**
+(:mod:`repro.devtools.graph`): a project-wide call graph with
+module-qualified resolution, and rules that reason along its edges:
+
+* **UNIT001/UNIT002** — physical-units inference (W x s -> J, EDP,
+  ED²P; see :mod:`repro.devtools.units` and :mod:`repro.units`).
+* **DET003** — seed-lineage taint analysis: every Generator inside a
+  seeded package must derive from a caller-supplied root.
+* **PARSE001** — unparseable files are reported as findings, not
+  crashes.
+
+``repro graph`` dumps the call graph (JSON/DOT) and the declared unit
+table.  Findings can be silenced inline (``# repro: noqa[RULE]``) or
 grandfathered in a committed baseline file with a justification; the
 tier-1 gate (``tests/devtools/test_gate.py``) fails on anything else.
-See DESIGN.md §11 for the workflow.
+See DESIGN.md §11-§12 for the workflow.
 """
 
 from repro.devtools.baseline import Baseline, BaselineEntry
@@ -28,22 +40,28 @@ from repro.devtools.engine import (
     check_source,
     default_baseline_path,
     default_root,
+    render_github,
     render_text,
     run_check,
 )
 from repro.devtools.findings import Finding
+from repro.devtools.graph import CallGraph, ProjectIndex, index_from_root
 from repro.devtools.rules import all_rules, get_rule, rule_ids
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "CheckReport",
     "Finding",
+    "ProjectIndex",
     "all_rules",
     "check_source",
     "default_baseline_path",
     "default_root",
     "get_rule",
+    "index_from_root",
+    "render_github",
     "render_text",
     "rule_ids",
     "run_check",

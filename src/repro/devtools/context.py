@@ -100,6 +100,10 @@ class ModuleContext:
     #: Every dotted module/name this file imports (for "does it use X" checks).
     imported: frozenset[str] = field(repr=False)
     noqa: dict[int, frozenset[str] | None] = field(repr=False)
+    #: Shared :class:`repro.devtools.graph.ProjectIndex` for rules that set
+    #: ``needs_project`` — attached by the engine, ``None`` for purely
+    #: per-file runs.
+    project: object | None = field(default=None, repr=False)
 
     @property
     def is_package(self) -> bool:

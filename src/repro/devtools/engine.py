@@ -24,6 +24,7 @@ __all__ = [
     "check_source",
     "default_baseline_path",
     "default_root",
+    "render_github",
     "render_text",
     "run_check",
 ]
@@ -129,14 +130,27 @@ def check_source(
     *,
     module: str = "repro._fixture",
     rules: list[str] | tuple[str, ...] | None = None,
+    extra_sources: dict[str, str] | None = None,
 ) -> list[Finding]:
     """Run rules over an in-memory source string (noqa applied, no baseline).
 
     ``module`` places the fixture for package-scoped rules — e.g. use
     ``"repro.gpusim.fixture"`` to land inside DET001's seeded set.
+    ``extra_sources`` maps additional dotted module names to source text;
+    they are indexed (for interprocedural rules) but not checked.
     """
+    active = _resolve_rules(rules)
     ctx = context_from_source(source, module=module)
-    kept, _ = _check_context(ctx, _resolve_rules(rules))
+    if any(rule.needs_project for rule in active):
+        from repro.devtools.graph import ProjectIndex
+
+        contexts = [ctx]
+        for extra_module, text in (extra_sources or {}).items():
+            contexts.append(context_from_source(text, module=extra_module))
+        index = ProjectIndex.from_contexts(contexts)
+        for c in contexts:
+            c.project = index
+    kept, _ = _check_context(ctx, active)
     return sorted(kept)
 
 
@@ -160,21 +174,36 @@ def run_check(
     parse_errors: list[Finding] = []
     suppressed = 0
     files = iter_source_files(root)
+    # Phase 1: parse everything.  Unparseable files become PARSE001
+    # findings (the rest of the tree still gets checked).
+    contexts: list[ModuleContext] = []
     for path in files:
+        rel = path.relative_to(root).as_posix()
         try:
-            ctx = build_context(path, root)
-        except SyntaxError as exc:
+            contexts.append(build_context(path, root))
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            col = getattr(exc, "offset", None) or 0
+            msg = getattr(exc, "msg", None) or str(exc)
             parse_errors.append(
                 Finding(
-                    path=path.relative_to(root).as_posix(),
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    rule_id="SYNTAX",
+                    path=rel,
+                    line=line,
+                    col=col,
+                    rule_id="PARSE001",
                     severity="error",
-                    message=f"file does not parse: {exc.msg}",
+                    message=f"file does not parse: {msg}",
                 )
             )
-            continue
+    # Phase 2: interprocedural rules get one shared project index.
+    if any(rule.needs_project for rule in active):
+        from repro.devtools.graph import ProjectIndex
+
+        index = ProjectIndex.from_contexts(contexts)
+        for ctx in contexts:
+            ctx.project = index
+    # Phase 3: run the rules per module.
+    for ctx in contexts:
         kept, n_suppressed = _check_context(ctx, active)
         findings.extend(kept)
         suppressed += n_suppressed
@@ -222,4 +251,33 @@ def render_text(report: CheckReport) -> str:
             f"({len(report.baselined)} baselined, {report.suppressed} suppressed inline)"
         )
     lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_github(report: CheckReport) -> str:
+    """GitHub Actions workflow annotations (``::error file=...``).
+
+    Paths are emitted relative to the current working directory when the
+    scan root lives under it (so annotations land on the right files in
+    a checkout); otherwise the in-repo relative path is used as-is.
+    """
+    root = Path(report.root) if report.root else None
+    try:
+        prefix = root.resolve().relative_to(Path.cwd().resolve()).as_posix() if root else ""
+    except ValueError:
+        prefix = ""
+    lines: list[str] = []
+    for finding in report.parse_errors + report.findings:
+        path = f"{prefix}/{finding.path}" if prefix and prefix != "." else finding.path
+        level = "error" if finding.severity == "error" else "warning"
+        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::{level} file={path},line={finding.line},col={finding.col + 1},"
+            f"title={finding.rule_id}::{message}"
+        )
+    if not lines:
+        lines.append(
+            f"::notice title=repro check::checked {report.files_checked} files with "
+            f"{len(report.rules_run)} rules: no violations"
+        )
     return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Rule base class and the process-wide rule registry.
 
-A rule is a stateless object with an id (``^[A-Z]{3}\\d{3}$``), a
+A rule is a stateless object with an id (``^[A-Z]{3,5}\\d{3}$``), a
 severity, a one-line summary, a rationale paragraph, and a ``check``
 method producing findings for one :class:`ModuleContext`.  Registration
 happens at import time via the :func:`register` decorator; the engine
@@ -17,7 +17,7 @@ from repro.devtools.findings import SEVERITIES, Finding
 
 __all__ = ["Rule", "register", "all_rules", "get_rule", "rule_ids"]
 
-_RULE_ID_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+_RULE_ID_RE = re.compile(r"^[A-Z]{3,5}\d{3}$")
 
 _REGISTRY: dict[str, "Rule"] = {}
 
@@ -29,6 +29,10 @@ class Rule:
     severity: str = "error"
     summary: str = ""
     rationale: str = ""
+    #: Interprocedural rules set this; the engine then builds one shared
+    #: :class:`repro.devtools.graph.ProjectIndex` per run and exposes it
+    #: as ``ctx.project`` before ``check`` is called.
+    needs_project: bool = False
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         """Findings for one module (empty iterable when clean)."""

@@ -1,0 +1,40 @@
+"""PARSE001: unparseable source files are findings, not crashes.
+
+A file that fails to parse (syntax error, bad encoding, NUL bytes)
+cannot be analysed by any rule, so every other check silently skips it —
+the most dangerous kind of clean report.  The engine therefore converts
+parse failures into PARSE001 findings itself (it is the only component
+that sees the raw file); this rule class exists so the id is
+registered, documented by ``--list-rules``, selectable via ``--rules``
+and counted by the gate like any other rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import Rule, register
+
+__all__ = ["PARSE001Unparseable"]
+
+
+@register
+class PARSE001Unparseable(Rule):
+    """Source file failed to parse (emitted by the engine, not per-AST)."""
+
+    rule_id = "PARSE001"
+    severity = "error"
+    summary = "source file fails to parse (syntax error or undecodable bytes)"
+    rationale = (
+        "An unparseable file is invisible to every AST rule, so a broken "
+        "file would otherwise make the tree look cleaner, not dirtier. The "
+        "engine reports the parse failure at its location and keeps checking "
+        "the rest of the tree instead of crashing."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        # A ModuleContext only exists for files that parsed; the engine
+        # emits PARSE001 findings directly for the ones that did not.
+        return []

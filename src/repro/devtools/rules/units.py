@@ -1,0 +1,70 @@
+"""Physical-units rules over the project call graph (UNIT001/UNIT002).
+
+The selection chain multiplies power by time into energy, energy by
+time into EDP/ED²P, and threads MHz clocks throughout.  These rules run
+the :mod:`repro.devtools.units` inference pass — seeded by
+:mod:`repro.units` annotations and the ``*_mhz``/``*_w``/``power``/
+``energy_j`` naming conventions, propagated through assignments,
+arithmetic and resolved call edges — over the packages where a unit
+mix-up corrupts the paper's numbers silently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import Rule, register
+from repro.devtools.units import analyze_module
+
+__all__ = ["UNIT001IncompatibleUnits", "UNIT002UndeclaredDerivedUnit"]
+
+#: Packages carrying physical quantities end to end.
+UNIT_PACKAGES = ("repro.gpusim", "repro.core", "repro.analysis", "repro.serving")
+
+
+class _UnitRule(Rule):
+    """Shared driver: run the inference pass once per module, filter by id."""
+
+    needs_project = True
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.project is None or not ctx.in_package(*UNIT_PACKAGES):
+            return []
+        return [
+            self.finding(ctx, uf.node, uf.message)
+            for uf in analyze_module(ctx, ctx.project)
+            if uf.rule == self.rule_id
+        ]
+
+
+@register
+class UNIT001IncompatibleUnits(_UnitRule):
+    """Add/subtract/compare of provably different physical units."""
+
+    rule_id = "UNIT001"
+    severity = "error"
+    summary = "add/subtract/compare mixes incompatible physical units"
+    rationale = (
+        "freq_mhz + power_w or `exec_time_s > power` type-checks as float "
+        "and runs without error, but the number it produces is physically "
+        "meaningless — exactly the silent corruption a units system exists "
+        "to catch. Both operands must carry the same inferred dimension "
+        "(dimensionless constants mix freely)."
+    )
+
+
+@register
+class UNIT002UndeclaredDerivedUnit(_UnitRule):
+    """Multiply/divide whose derived unit contradicts the target's declared unit."""
+
+    rule_id = "UNIT002"
+    severity = "error"
+    summary = "multiply/divide result bound to a name declaring a different unit"
+    rationale = (
+        "`energy = power * clock` produces W*MHz, not joules; binding it to a "
+        "name (or return) declared as J hides a wrong formula behind a "
+        "plausible variable name. The derived dimension of every */ / "
+        "expression must match the declared unit of what it is assigned to."
+    )

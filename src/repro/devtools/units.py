@@ -1,0 +1,602 @@
+"""Units-of-measure inference over the project call graph.
+
+The physical chain the paper rests on — power (W) x time (s) ->
+energy (J), EDP (J·s), ED²P (J·s²), clocks in MHz — flows through
+``gpusim -> core -> serving`` as plain floats and ndarrays.  This pass
+gives those values dimensions and propagates them through assignments,
+arithmetic and call edges, so a silent ``energy = power * clock`` is a
+static error (UNIT002) and ``freq_mhz + power_w`` never compiles past
+the gate (UNIT001).
+
+Units are **dimension vectors** over the base dimensions ``Hz``, ``W``
+and ``s`` (scale prefixes like the M in MHz are irrelevant to
+dimensional consistency).  A unit is seeded three ways, in priority
+order:
+
+1. an explicit entry in :data:`RETURN_UNITS` (the declaration table);
+2. a :mod:`repro.units` ``Annotated`` alias on a parameter, return or
+   dataclass field (``-> Watts``, ``power_w: WattsArray``);
+3. the naming conventions in :data:`SUFFIX_UNITS`/:data:`EXACT_UNITS`
+   (``*_mhz``, ``*_w``, ``power``, ``energy_j``, ``edp``, ``ed2p``, …).
+
+Inference is deliberately conservative: an expression whose unit cannot
+be proven stays *unknown* and produces no finding.  Dimensionless
+constants multiply/compare freely (``1.0 - t_max / time`` is fine).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.devtools.context import ModuleContext
+from repro.devtools.graph import ProjectIndex
+
+__all__ = [
+    "DIMENSIONLESS",
+    "Dims",
+    "UnitFinding",
+    "analyze_module",
+    "dims_of_name",
+    "format_dims",
+    "function_return_dims",
+    "unit_table",
+]
+
+# ----------------------------------------------------------------------
+# Dimension algebra
+# ----------------------------------------------------------------------
+#: A unit as a sorted tuple of (base dimension, exponent) pairs.
+Dims = tuple  # tuple[tuple[str, int], ...]
+
+DIMENSIONLESS: Dims = ()
+HZ: Dims = (("Hz", 1),)
+W: Dims = (("W", 1),)
+S: Dims = (("s", 1),)
+J: Dims = (("W", 1), ("s", 1))
+EDP_DIMS: Dims = (("W", 1), ("s", 2))
+ED2P_DIMS: Dims = (("W", 1), ("s", 3))
+
+
+def mul_dims(a: Dims, b: Dims) -> Dims:
+    out: dict[str, int] = dict(a)
+    for dim, exp in b:
+        out[dim] = out.get(dim, 0) + exp
+    return tuple(sorted((d, e) for d, e in out.items() if e != 0))
+
+
+def div_dims(a: Dims, b: Dims) -> Dims:
+    return mul_dims(a, tuple((d, -e) for d, e in b))
+
+
+def pow_dims(a: Dims, n: int) -> Dims:
+    return tuple(sorted((d, e * n) for d, e in a)) if n != 0 else DIMENSIONLESS
+
+
+#: Pretty names for the dimension vectors the project actually uses.
+_NAMED: dict[Dims, str] = {
+    DIMENSIONLESS: "1",
+    HZ: "MHz",
+    W: "W",
+    S: "s",
+    J: "J",
+    EDP_DIMS: "J*s (EDP)",
+    ED2P_DIMS: "J*s^2 (ED2P)",
+}
+
+
+def format_dims(dims: Dims) -> str:
+    """Human name of a dimension vector (``J``, ``MHz*W``, ``s^-1`` …)."""
+    if dims in _NAMED:
+        return _NAMED[dims]
+    parts = []
+    for dim, exp in dims:
+        label = "MHz" if dim == "Hz" else dim
+        parts.append(label if exp == 1 else f"{label}^{exp}")
+    return "*".join(parts) if parts else "1"
+
+
+#: Spelled unit name (used by :class:`repro.units.UnitTag` strings and
+#: the declaration table) -> dimension vector.
+NAMED_DIMS: dict[str, Dims] = {
+    "MHz": HZ,
+    "Hz": HZ,
+    "W": W,
+    "s": S,
+    "J": J,
+    "J*s": EDP_DIMS,
+    "J*s^2": ED2P_DIMS,
+    "1": DIMENSIONLESS,
+}
+
+#: ``repro.units`` alias name -> dimension vector.
+ALIAS_UNITS: dict[str, Dims] = {
+    "MHz": HZ,
+    "MHzArray": HZ,
+    "Watts": W,
+    "WattsArray": W,
+    "Seconds": S,
+    "SecondsArray": S,
+    "Joules": J,
+    "JoulesArray": J,
+    "EDPScore": EDP_DIMS,
+    "EDPArray": EDP_DIMS,
+    "ED2PScore": ED2P_DIMS,
+    "ED2PArray": ED2P_DIMS,
+    "Fraction": DIMENSIONLESS,
+    "FractionArray": DIMENSIONLESS,
+}
+
+#: Name-suffix conventions (the token after the last underscore).
+SUFFIX_UNITS: dict[str, Dims] = {
+    "mhz": HZ,
+    "hz": HZ,
+    "w": W,
+    "watts": W,
+    "s": S,
+    "ms": S,
+    "sec": S,
+    "seconds": S,
+    "j": J,
+    "joules": J,
+    "fraction": DIMENSIONLESS,
+    "ratio": DIMENSIONLESS,
+}
+
+#: Whole-name conventions.
+EXACT_UNITS: dict[str, Dims] = {
+    "power": W,
+    "energy": J,
+    "edp": EDP_DIMS,
+    "ed2p": ED2P_DIMS,
+}
+
+#: Declaration table for qualified functions whose signatures cannot (or
+#: should not) carry a :mod:`repro.units` annotation.  Extend here when a
+#: producer lives outside the annotated set.
+RETURN_UNITS: dict[str, Dims] = {
+    "repro.core.energy.energy_from_power_time": J,
+}
+
+#: External calls that return their first argument's unit unchanged.
+_PASSTHROUGH_CALLS = frozenset(
+    {
+        "numpy.asarray",
+        "numpy.array",
+        "numpy.ascontiguousarray",
+        "numpy.atleast_1d",
+        "numpy.atleast_2d",
+        "numpy.abs",
+        "numpy.absolute",
+        "numpy.clip",
+        "numpy.diff",
+        "numpy.sort",
+        "numpy.copy",
+        "numpy.minimum",
+        "numpy.maximum",
+        "numpy.float64",
+        "numpy.sum",
+        "numpy.mean",
+        "numpy.median",
+        "numpy.min",
+        "numpy.max",
+        "numpy.amin",
+        "numpy.amax",
+        "numpy.interp",
+        "numpy.full",
+        "numpy.full_like",
+        "builtins.float",
+        "builtins.abs",
+        "builtins.max",
+        "builtins.min",
+        "builtins.sum",
+        "builtins.sorted",
+    }
+)
+
+#: Method names that preserve the receiver's unit.
+_PASSTHROUGH_METHODS = frozenset(
+    {"sum", "mean", "min", "max", "copy", "reshape", "astype", "ravel",
+     "flatten", "item", "squeeze", "clip", "round", "tolist", "take"}
+)
+
+
+def dims_of_name(name: str) -> Dims | None:
+    """Unit declared by a variable/parameter/attribute *name*, if any.
+
+    Single-token names never match a suffix (a bare loop index ``j`` is
+    not joules); only ``EXACT_UNITS`` covers whole names.
+    """
+    lowered = name.lower()
+    if lowered in EXACT_UNITS:
+        return EXACT_UNITS[lowered]
+    tokens = lowered.split("_")
+    tokens = [t for t in tokens if t]  # leading-underscore names
+    if len(tokens) >= 2 and tokens[-1] in SUFFIX_UNITS:
+        return SUFFIX_UNITS[tokens[-1]]
+    return None
+
+
+# ----------------------------------------------------------------------
+# Annotation reading
+# ----------------------------------------------------------------------
+def annotation_dims(ann: ast.expr | None, ctx: ModuleContext) -> Dims | None:
+    """Dimension vector declared by an annotation expression, if any."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            return annotation_dims(ast.parse(ann.value, mode="eval").body, ctx)
+        except SyntaxError:
+            return None
+    if isinstance(ann, (ast.Name, ast.Attribute)):
+        dotted = ctx.resolve(ann)
+        if dotted is not None and dotted.startswith("repro.units."):
+            return ALIAS_UNITS.get(dotted.rsplit(".", 1)[1])
+        return None
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return annotation_dims(ann.left, ctx) or annotation_dims(ann.right, ctx)
+    if isinstance(ann, ast.Subscript):
+        dotted = ctx.resolve(ann.value) or ""
+        if dotted.endswith("Annotated") and isinstance(ann.slice, ast.Tuple):
+            for extra in ann.slice.elts[1:]:
+                if (
+                    isinstance(extra, ast.Call)
+                    and isinstance(extra.args[0] if extra.args else None, ast.Constant)
+                    and (ctx.resolve(extra.func) or "").endswith("UnitTag")
+                ):
+                    return NAMED_DIMS.get(str(extra.args[0].value))
+        if dotted.endswith("Optional"):
+            return annotation_dims(ann.slice, ctx)
+        return None
+    return None
+
+
+def function_return_dims(fn, ctx: ModuleContext) -> Dims | None:
+    """Declared return unit of an indexed function (table > annotation > name)."""
+    if fn.qualname in RETURN_UNITS:
+        return RETURN_UNITS[fn.qualname]
+    dims = annotation_dims(fn.returns, ctx)
+    if dims is not None:
+        return dims
+    return dims_of_name(fn.name)
+
+
+def _param_dims(fn, ctx: ModuleContext) -> dict[str, Dims]:
+    """Declared units of one function's parameters."""
+    out: dict[str, Dims] = {}
+    args = fn.node.args
+    for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        dims = annotation_dims(a.annotation, ctx)
+        if dims is None:
+            dims = dims_of_name(a.arg)
+        if dims is not None:
+            out[a.arg] = dims
+    return out
+
+
+# ----------------------------------------------------------------------
+# Per-module inference
+# ----------------------------------------------------------------------
+@dataclass
+class UnitFinding:
+    """One unit violation found by the inference pass."""
+
+    rule: str  # "UNIT001" or "UNIT002"
+    node: ast.AST
+    message: str
+
+
+class _FunctionUnits:
+    """In-order inference over one function body."""
+
+    def __init__(self, fn, ctx: ModuleContext, index: ProjectIndex) -> None:
+        self.fn = fn
+        self.ctx = ctx
+        self.index = index
+        self.findings: list[UnitFinding] = []
+        #: Inferred units of local names (seeded from parameter declarations).
+        self.env: dict[str, Dims] = dict(_param_dims(fn, ctx))
+        #: Type scope for receiver/call resolution (mirrors the call graph).
+        self.tscope = index._scope_for(fn, ctx)
+        self.return_dims = function_return_dims(fn, ctx)
+
+    # -- lookup ---------------------------------------------------------
+    def _name_dims(self, name: str) -> Dims | None:
+        if name in self.env:
+            return self.env[name]
+        return dims_of_name(name)
+
+    # -- inference ------------------------------------------------------
+    def infer(self, expr: ast.expr) -> Dims | None:
+        if isinstance(expr, ast.Constant):
+            return DIMENSIONLESS if isinstance(expr.value, (int, float)) else None
+        if isinstance(expr, ast.Name):
+            return self._name_dims(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self._attribute_dims(expr)
+        if isinstance(expr, ast.Subscript):
+            return self.infer(expr.value)
+        if isinstance(expr, ast.UnaryOp):
+            return self.infer(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self._binop_dims(expr)
+        if isinstance(expr, ast.Compare):
+            self._check_compare(expr)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_dims(expr)
+        if isinstance(expr, ast.IfExp):
+            body = self.infer(expr.body)
+            orelse = self.infer(expr.orelse)
+            return body if body is not None and body == orelse else None
+        return None
+
+    def _attribute_dims(self, expr: ast.Attribute) -> Dims | None:
+        # A typed receiver can expose an annotated property/field unit.
+        btype = self.index.value_type(expr.value, self.tscope, self.ctx)
+        if btype is not None and btype[0] == "class":
+            prop = self.index.lookup_method(btype[1], expr.attr)
+            if prop is not None and prop.is_property:
+                owner_ctx = self.index.modules.get(prop.module, self.ctx)
+                dims = function_return_dims(prop, owner_ctx)
+                if dims is not None:
+                    return dims
+            cinfo = self.index.classes.get(btype[1])
+            if cinfo is not None and expr.attr in cinfo.attr_annotations:
+                owner_ctx = self.index.modules.get(cinfo.module, self.ctx)
+                dims = annotation_dims(cinfo.attr_annotations[expr.attr], owner_ctx)
+                if dims is not None:
+                    return dims
+        return dims_of_name(expr.attr)
+
+    def _binop_dims(self, expr: ast.BinOp) -> Dims | None:
+        left = self.infer(expr.left)
+        right = self.infer(expr.right)
+        if isinstance(expr.op, ast.Mult):
+            if left is None or right is None:
+                return None
+            return mul_dims(left, right)
+        if isinstance(expr.op, ast.Div):
+            if left is None or right is None:
+                return None
+            return div_dims(left, right)
+        if isinstance(expr.op, ast.Pow):
+            if (
+                left is not None
+                and isinstance(expr.right, ast.Constant)
+                and isinstance(expr.right.value, int)
+            ):
+                return pow_dims(left, expr.right.value)
+            return None
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            if (
+                left is not None
+                and right is not None
+                and left != right
+                and left != DIMENSIONLESS
+                and right != DIMENSIONLESS
+            ):
+                op = "+" if isinstance(expr.op, ast.Add) else "-"
+                self.findings.append(
+                    UnitFinding(
+                        "UNIT001",
+                        expr,
+                        f"incompatible units in '{op}': {format_dims(left)} vs "
+                        f"{format_dims(right)}",
+                    )
+                )
+                return None
+            if left is not None and right is not None and left == right:
+                return left
+            return None
+        return None
+
+    def _check_compare(self, expr: ast.Compare) -> None:
+        operands = [expr.left, *expr.comparators]
+        for op, lhs, rhs in zip(expr.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)):
+                continue
+            left = self.infer(lhs)
+            right = self.infer(rhs)
+            if (
+                left is not None
+                and right is not None
+                and left != right
+                and left != DIMENSIONLESS
+                and right != DIMENSIONLESS
+            ):
+                self.findings.append(
+                    UnitFinding(
+                        "UNIT001",
+                        expr,
+                        f"comparison between incompatible units: {format_dims(left)} vs "
+                        f"{format_dims(right)}",
+                    )
+                )
+                return
+
+    def _call_dims(self, expr: ast.Call) -> Dims | None:
+        site = self.index.classify_call(
+            expr, self.tscope, self.ctx, caller=self.fn.qualname
+        )
+        if site.kind == "resolved" and site.target is not None:
+            callee = self.index.functions.get(site.target)
+            if callee is not None and callee.name != "__init__":
+                owner_ctx = self.index.modules.get(callee.module, self.ctx)
+                return function_return_dims(callee, owner_ctx)
+            return None
+        if site.kind == "external" and site.target is not None:
+            if site.target in _PASSTHROUGH_CALLS and expr.args:
+                return self.infer(expr.args[0])
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in _PASSTHROUGH_METHODS
+            ):
+                return self.infer(expr.func.value)
+        return None
+
+    # -- statement walk -------------------------------------------------
+    def run(self) -> list[UnitFinding]:
+        for stmt in self.fn.node.body:
+            self._stmt(stmt)
+        return self.findings
+
+    def _unwrap(self, expr: ast.expr) -> ast.expr:
+        """Peel passthrough wrappers (``float(...)``, ``np.asarray(...)``)."""
+        while True:
+            if isinstance(expr, ast.UnaryOp):
+                expr = expr.operand
+                continue
+            if isinstance(expr, ast.Call) and expr.args:
+                site_name = None
+                if isinstance(expr.func, ast.Name):
+                    if expr.func.id in ("float", "abs") and "float" not in self.ctx.imports:
+                        site_name = expr.func.id
+                dotted = self.ctx.resolve(expr.func)
+                if dotted in _PASSTHROUGH_CALLS or site_name is not None:
+                    expr = expr.args[0]
+                    continue
+            return expr
+
+    def _check_derived_assignment(
+        self, target_name: str, declared: Dims | None, value: ast.expr, node: ast.AST
+    ) -> None:
+        """UNIT002: mul/div result bound to a name with a different declared unit."""
+        if declared is None:
+            return
+        core = self._unwrap(value)
+        if not (isinstance(core, ast.BinOp) and isinstance(core.op, (ast.Mult, ast.Div, ast.Pow))):
+            return
+        derived = self.infer(core)
+        if derived is None or derived == declared:
+            return
+        self.findings.append(
+            UnitFinding(
+                "UNIT002",
+                node,
+                f"multiply/divide produces {format_dims(derived)} but "
+                f"{target_name!r} is declared {format_dims(declared)}",
+            )
+        )
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            value_dims = self.infer(stmt.value)  # also surfaces UNIT001 inside
+            typ = self.index.value_type(stmt.value, self.tscope, self.ctx)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    declared = dims_of_name(target.id)
+                    self._check_derived_assignment(target.id, declared, stmt.value, stmt)
+                    if value_dims is not None:
+                        self.env[target.id] = value_dims
+                    elif declared is not None:
+                        self.env[target.id] = declared
+                    else:
+                        self.env.pop(target.id, None)
+                    if typ is not None:
+                        self.tscope[target.id] = typ
+                elif isinstance(target, ast.Attribute):
+                    declared = dims_of_name(target.attr)
+                    self._check_derived_assignment(target.attr, declared, stmt.value, stmt)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                return
+            value_dims = self.infer(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                declared = annotation_dims(stmt.annotation, self.ctx)
+                if declared is None:
+                    declared = dims_of_name(stmt.target.id)
+                self._check_derived_assignment(stmt.target.id, declared, stmt.value, stmt)
+                if declared is not None:
+                    self.env[stmt.target.id] = declared
+                elif value_dims is not None:
+                    self.env[stmt.target.id] = value_dims
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self.infer(stmt.value)
+            if isinstance(stmt.op, (ast.Mult, ast.Div)) and isinstance(stmt.target, ast.Name):
+                target_dims = self._name_dims(stmt.target.id)
+                value_dims = self.infer(stmt.value)
+                if target_dims is not None and value_dims not in (None, DIMENSIONLESS):
+                    combine = mul_dims if isinstance(stmt.op, ast.Mult) else div_dims
+                    derived = combine(target_dims, value_dims)
+                    declared = dims_of_name(stmt.target.id)
+                    if declared is not None and derived != declared:
+                        self.findings.append(
+                            UnitFinding(
+                                "UNIT002",
+                                stmt,
+                                f"augmented multiply/divide produces {format_dims(derived)} "
+                                f"but {stmt.target.id!r} is declared {format_dims(declared)}",
+                            )
+                        )
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.infer(stmt.value)
+                if self.return_dims is not None:
+                    self._check_derived_assignment(
+                        f"return of {self.fn.name}()", self.return_dims, stmt.value, stmt
+                    )
+            return
+        # Generic traversal: infer every expression child (surfacing
+        # UNIT001 in conditions, calls, subscripts), recurse into blocks.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._stmt(child)
+            elif isinstance(child, ast.expr):
+                self.infer(child)
+            elif isinstance(child, (ast.withitem, ast.excepthandler)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self._stmt(sub)
+                    elif isinstance(sub, ast.expr):
+                        self.infer(sub)
+
+
+def analyze_module(ctx: ModuleContext, index: ProjectIndex) -> list[UnitFinding]:
+    """All unit findings for one module (both rules; cached per context)."""
+    cached = getattr(ctx, "_unit_findings", None)
+    if cached is not None:
+        return cached
+    findings: list[UnitFinding] = []
+    for fn in index.functions.values():
+        if fn.module != ctx.module:
+            continue
+        findings.extend(_FunctionUnits(fn, ctx, index).run())
+    ctx._unit_findings = findings  # type: ignore[attr-defined]
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Unit table (for ``repro graph --units``)
+# ----------------------------------------------------------------------
+def unit_table(index: ProjectIndex) -> dict:
+    """Declared units across the project, JSON-ready."""
+    functions: dict[str, str] = {}
+    parameters: dict[str, dict[str, str]] = {}
+    for qualname, fn in sorted(index.functions.items()):
+        ctx = index.modules.get(fn.module)
+        if ctx is None:
+            continue
+        ret = function_return_dims(fn, ctx)
+        if ret is not None:
+            functions[qualname] = format_dims(ret)
+        params = {name: format_dims(d) for name, d in _param_dims(fn, ctx).items()}
+        if params:
+            parameters[qualname] = params
+    return {
+        "schema": 1,
+        "conventions": {
+            "suffixes": {k: format_dims(v) for k, v in sorted(SUFFIX_UNITS.items())},
+            "exact": {k: format_dims(v) for k, v in sorted(EXACT_UNITS.items())},
+        },
+        "aliases": {k: format_dims(v) for k, v in sorted(ALIAS_UNITS.items())},
+        "declaration_table": {k: format_dims(v) for k, v in sorted(RETURN_UNITS.items())},
+        "functions": functions,
+        "parameters": parameters,
+    }

@@ -26,6 +26,7 @@ from repro.gpusim.power import PowerModel
 from repro.gpusim.thermal import ThermalModel
 from repro.gpusim.timing import TimingModel
 from repro.gpusim.voltage import VoltageCurve
+from repro.units import Joules, MHz, Seconds, Watts
 
 __all__ = ["SampleRecord", "RunRecord", "SimulatedGPU"]
 
@@ -54,14 +55,14 @@ METRIC_INDEX: dict[str, int] = {name: i for i, name in enumerate(METRIC_NAMES)}
 class SampleRecord:
     """One periodic sensor sample (one CSV row of the paper's framework)."""
 
-    timestamp_s: float
+    timestamp_s: Seconds
     fp64_active: float
     fp32_active: float
     sm_app_clock: float
     dram_active: float
     gr_engine_active: float
     gpu_utilization: float
-    power_usage: float
+    power_usage: Watts
     sm_active: float
     sm_occupancy: float
     pcie_tx_bytes: float
@@ -87,9 +88,9 @@ class RunRecord:
 
     workload: str
     arch: str
-    freq_mhz: float
-    exec_time_s: float
-    mean_power_w: float
+    freq_mhz: MHz
+    exec_time_s: Seconds
+    mean_power_w: Watts
     timestamps_s: np.ndarray = field(repr=False)
     #: (n_samples, 12) per-sample metric values, METRIC_NAMES column order.
     metrics_block: np.ndarray = field(repr=False)
@@ -117,7 +118,7 @@ class RunRecord:
         return cached
 
     @property
-    def energy_j(self) -> float:
+    def energy_j(self) -> Joules:
         """Measured energy = mean power x wall time."""
         return self.mean_power_w * self.exec_time_s
 
@@ -194,12 +195,12 @@ class SimulatedGPU:
     # Clock control (the paper's "control module" talks to this)
     # ------------------------------------------------------------------
     @property
-    def current_sm_clock(self) -> float:
+    def current_sm_clock(self) -> MHz:
         """The applied SM application clock, MHz."""
         return self._sm_clock
 
     @property
-    def current_mem_clock(self) -> float:
+    def current_mem_clock(self) -> MHz:
         """The applied memory clock, MHz."""
         return self._mem_clock
 
@@ -208,14 +209,14 @@ class SimulatedGPU:
         """Applied memory clock relative to the default."""
         return self._mem_clock / self.arch.memory_freq_mhz
 
-    def set_sm_clock(self, freq_mhz: float) -> float:
+    def set_sm_clock(self, freq_mhz: MHz) -> MHz:
         """Apply an application clock; returns the snapped actual clock."""
         if freq_mhz <= 0:
             raise ValueError("freq_mhz must be positive")
         self._sm_clock = self.dvfs.snap(freq_mhz)
         return self._sm_clock
 
-    def set_mem_clock(self, freq_mhz: float) -> float:
+    def set_mem_clock(self, freq_mhz: MHz) -> MHz:
         """Apply a memory clock; snaps to the nearest supported state.
 
         Datacenter GPUs expose only a handful of memory clocks (the
@@ -228,7 +229,7 @@ class SimulatedGPU:
         self._mem_clock = float(clocks[np.argmin(np.abs(clocks - freq_mhz))])
         return self._mem_clock
 
-    def reset_clocks(self) -> float:
+    def reset_clocks(self) -> MHz:
         """Restore default core and memory clocks (``nvidia-smi -rac``)."""
         self._sm_clock = self.arch.default_core_freq_mhz
         self._mem_clock = self.arch.memory_freq_mhz
@@ -253,7 +254,7 @@ class SimulatedGPU:
     def run_cell(
         self,
         census: KernelCensus,
-        freq_mhz: float,
+        freq_mhz: MHz,
         rng: np.random.Generator,
         *,
         workload_name: str = "anonymous",
@@ -453,7 +454,7 @@ class SimulatedGPU:
         self._temperature_c = thermal.evolve(temp_at_cross, p_safe, t_rest)
         return total_time, mean_power, True
 
-    def run_at(self, census: KernelCensus, freq_mhz: float, *, workload_name: str = "anonymous") -> RunRecord:
+    def run_at(self, census: KernelCensus, freq_mhz: MHz, *, workload_name: str = "anonymous") -> RunRecord:
         """Convenience: set the clock, run, restore the previous clock."""
         previous = self._sm_clock
         try:
@@ -465,16 +466,16 @@ class SimulatedGPU:
     # ------------------------------------------------------------------
     # Noise-free ground truth (for validation and plotting)
     # ------------------------------------------------------------------
-    def true_time(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+    def true_time(self, census: KernelCensus, freq_mhz: MHz, *, mem_ratio: float = 1.0) -> Seconds:
         """Noise-free wall time at a clock (not necessarily the current)."""
         return self.timing.execution_time(census, self.dvfs.snap(freq_mhz), mem_ratio=mem_ratio)
 
-    def true_power(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+    def true_power(self, census: KernelCensus, freq_mhz: MHz, *, mem_ratio: float = 1.0) -> Watts:
         """Noise-free board power at a clock."""
         breakdown = self.timing.evaluate(census, self.dvfs.snap(freq_mhz), mem_ratio=mem_ratio)
         return self.power.power_from_breakdown(breakdown, mem_ratio=mem_ratio)
 
-    def true_energy(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+    def true_energy(self, census: KernelCensus, freq_mhz: MHz, *, mem_ratio: float = 1.0) -> Joules:
         """Noise-free energy at a clock."""
         f = self.dvfs.snap(freq_mhz)
         return self.true_power(census, f, mem_ratio=mem_ratio) * self.true_time(

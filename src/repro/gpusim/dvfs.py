@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpusim.arch import GPUArchitecture
+from repro.units import MHz, MHzArray
 
 __all__ = ["DVFSConfigSpace"]
 
@@ -35,8 +36,8 @@ class DVFSConfigSpace:
     """
 
     arch: GPUArchitecture
-    supported_mhz: tuple[float, ...]
-    usable_mhz: tuple[float, ...]
+    supported_mhz: tuple[MHz, ...]
+    usable_mhz: tuple[MHz, ...]
 
     @classmethod
     def for_architecture(cls, arch: GPUArchitecture) -> "DVFSConfigSpace":
@@ -58,21 +59,21 @@ class DVFSConfigSpace:
         return len(self.supported_mhz)
 
     @property
-    def max_mhz(self) -> float:
+    def max_mhz(self) -> MHz:
         """The maximum (default/boost) clock."""
         return self.supported_mhz[-1]
 
     @property
-    def min_usable_mhz(self) -> float:
+    def min_usable_mhz(self) -> MHz:
         """The lowest clock in the paper's design space."""
         return self.usable_mhz[0]
 
-    def is_supported(self, freq_mhz: float, *, tol: float = 1e-6) -> bool:
+    def is_supported(self, freq_mhz: MHz, *, tol: float = 1e-6) -> bool:
         """Whether ``freq_mhz`` is exactly a hardware clock state."""
         arr = np.asarray(self.supported_mhz)
         return bool(np.any(np.abs(arr - freq_mhz) <= tol))
 
-    def snap(self, freq_mhz: float) -> float:
+    def snap(self, freq_mhz: MHz) -> MHz:
         """Nearest supported clock to ``freq_mhz`` (ties resolve upward).
 
         Mirrors driver behaviour: any requested application clock is
@@ -85,15 +86,15 @@ class DVFSConfigSpace:
             idx += 1
         return float(arr[idx])
 
-    def usable_array(self) -> np.ndarray:
+    def usable_array(self) -> MHzArray:
         """Usable clocks as a float ndarray (ascending)."""
         return np.asarray(self.usable_mhz, dtype=float)
 
-    def normalized(self, freq_mhz: float | np.ndarray) -> np.ndarray | float:
+    def normalized(self, freq_mhz: MHz | MHzArray) -> np.ndarray | float:
         """Clock expressed as a fraction of the maximum clock."""
         return np.asarray(freq_mhz, dtype=float) / self.max_mhz
 
-    def index_of(self, freq_mhz: float) -> int:
+    def index_of(self, freq_mhz: MHz) -> int:
         """Index of ``freq_mhz`` within the usable grid.
 
         Raises :class:`ValueError` if the clock is not a usable state; call

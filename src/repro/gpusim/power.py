@@ -25,6 +25,7 @@ import numpy as np
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.timing import TimingBreakdown
 from repro.gpusim.voltage import VoltageCurve
+from repro.units import MHz, MHzArray, Watts, WattsArray
 
 __all__ = ["PowerCoefficients", "PowerModel"]
 
@@ -40,9 +41,9 @@ _MEMORY_ANCHOR = (0.08, 0.87, 0.85)
 class PowerCoefficients:
     """Watts contributed per unit at full activity and maximum clock."""
 
-    c_fp_watts: float
-    c_dram_watts: float
-    c_sm_watts: float
+    c_fp_watts: Watts
+    c_dram_watts: Watts
+    c_sm_watts: Watts
 
     def __post_init__(self) -> None:
         for name in ("c_fp_watts", "c_dram_watts", "c_sm_watts"):
@@ -115,13 +116,13 @@ class PowerModel:
 
     def power(
         self,
-        freq_mhz: float | np.ndarray,
+        freq_mhz: MHz | MHzArray,
         *,
         fp_active: float | np.ndarray,
         dram_active: float | np.ndarray,
         sm_active: float | np.ndarray,
         mem_ratio: float = 1.0,
-    ) -> np.ndarray | float:
+    ) -> WattsArray | Watts:
         """Board power in watts, clamped to the TDP power cap.
 
         Accepts scalars or broadcastable arrays, so a full DVFS sweep is a
@@ -142,7 +143,7 @@ class PowerModel:
         total = np.minimum(idle + dyn, self.arch.tdp_watts)
         return float(total) if total.ndim == 0 else total
 
-    def power_from_breakdown(self, breakdown: TimingBreakdown, *, mem_ratio: float = 1.0) -> float:
+    def power_from_breakdown(self, breakdown: TimingBreakdown, *, mem_ratio: float = 1.0) -> Watts:
         """Board power for one timing breakdown (activities read from it)."""
         return float(
             self.power(
@@ -154,6 +155,6 @@ class PowerModel:
             )
         )
 
-    def idle_power(self) -> float:
+    def idle_power(self) -> Watts:
         """Power with no work resident (static + uncore)."""
         return self.arch.idle_power_watts

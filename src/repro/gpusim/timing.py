@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.kernel import KernelCensus
+from repro.units import MHz, MHzArray, Seconds
 
 __all__ = ["TimingBreakdown", "TimingModel"]
 
@@ -48,26 +49,26 @@ class TimingBreakdown:
     census's compute/memory efficiencies.
     """
 
-    freq_mhz: float
-    t_compute_fp64: float
-    t_compute_fp32: float
-    t_memory: float
-    t_gpu: float
-    t_pcie_exposed: float
-    t_serial: float
+    freq_mhz: MHz
+    t_compute_fp64: Seconds
+    t_compute_fp32: Seconds
+    t_memory: Seconds
+    t_gpu: Seconds
+    t_pcie_exposed: Seconds
+    t_serial: Seconds
     #: Concurrent host pipeline time; overlaps t_gpu, so only the longer of
     #: the two reaches the wall clock.
-    t_host_overlap: float = 0.0
+    t_host_overlap: Seconds = 0.0
     compute_activity_scale: float = 1.0
     memory_activity_scale: float = 1.0
 
     @property
-    def t_compute(self) -> float:
+    def t_compute(self) -> Seconds:
         """Total FP pipe busy time."""
         return self.t_compute_fp64 + self.t_compute_fp32
 
     @property
-    def t_total(self) -> float:
+    def t_total(self) -> Seconds:
         """Wall-clock execution time."""
         return max(self.t_gpu, self.t_host_overlap) + self.t_pcie_exposed + self.t_serial
 
@@ -144,13 +145,13 @@ class TimingModel:
     # ------------------------------------------------------------------
     # Rate curves
     # ------------------------------------------------------------------
-    def compute_rate(self, census: KernelCensus, freq_mhz: float, *, fp64: bool) -> float:
+    def compute_rate(self, census: KernelCensus, freq_mhz: MHz, *, fp64: bool) -> float:
         """Achievable FLOP rate (FLOP/s) for one precision at one clock."""
         peak = self.arch.peak_flops_fp64 if fp64 else self.arch.peak_flops_fp32
         f_norm = freq_mhz / self.arch.core_freq_max_mhz
         return peak * census.compute_efficiency * f_norm
 
-    def memory_bandwidth(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+    def memory_bandwidth(self, census: KernelCensus, freq_mhz: MHz, *, mem_ratio: float = 1.0) -> float:
         """Achievable DRAM bandwidth (bytes/s) at one clock.
 
         Uses a smooth saturating curve: linear in the SM clock well below
@@ -171,7 +172,7 @@ class TimingModel:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> TimingBreakdown:
+    def evaluate(self, census: KernelCensus, freq_mhz: MHz, *, mem_ratio: float = 1.0) -> TimingBreakdown:
         """Time breakdown of one execution of ``census`` at ``freq_mhz``.
 
         ``mem_ratio`` is the applied memory clock relative to the default
@@ -200,18 +201,18 @@ class TimingModel:
             memory_activity_scale=census.memory_efficiency,
         )
 
-    def execution_time(self, census: KernelCensus, freq_mhz: float, *, mem_ratio: float = 1.0) -> float:
+    def execution_time(self, census: KernelCensus, freq_mhz: MHz, *, mem_ratio: float = 1.0) -> Seconds:
         """Wall-clock seconds for one execution (noise-free)."""
         return self.evaluate(census, freq_mhz, mem_ratio=mem_ratio).t_total
 
-    def sweep(self, census: KernelCensus, freqs_mhz: np.ndarray) -> list[TimingBreakdown]:
+    def sweep(self, census: KernelCensus, freqs_mhz: MHzArray) -> list[TimingBreakdown]:
         """Breakdowns across a clock grid (ascending or arbitrary order)."""
         return [self.evaluate(census, float(f)) for f in np.asarray(freqs_mhz, dtype=float)]
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _compute_time(self, census: KernelCensus, freq_mhz: float, *, fp64: bool) -> float:
+    def _compute_time(self, census: KernelCensus, freq_mhz: MHz, *, fp64: bool) -> Seconds:
         """Compute-pipe busy time with a clock-insensitive latency share.
 
         The clock-scaled share (1 - lambda) stretches as 1/f; the latency
@@ -227,7 +228,7 @@ class TimingModel:
         f_norm = freq_mhz / self.arch.core_freq_max_mhz
         return t_base * ((1.0 - lam) / f_norm + lam)
 
-    def _overlap(self, t_compute: float, t_memory: float) -> float:
+    def _overlap(self, t_compute: Seconds, t_memory: Seconds) -> Seconds:
         if t_compute <= 0.0:
             return t_memory
         if t_memory <= 0.0:

@@ -34,6 +34,7 @@ import numpy as np
 from repro import obs
 from repro.core.dataset import FeatureVector, features_at_max
 from repro.core.energy import ED2P, EDP, ObjectiveFunction, energy_from_power_time
+from repro.units import JoulesArray, MHzArray, Seconds, SecondsArray, Watts, WattsArray
 from repro.core.pipeline import FrequencySelectionPipeline, OnlineResult
 from repro.core.selection import SelectionResult, select_optimal_frequency
 from repro.obs.metrics import HistogramSnapshot, MetricsRegistry
@@ -59,9 +60,9 @@ class SelectionRequest:
     name: str
     workload: Workload | None = None
     features: FeatureVector | None = None
-    time_at_max_s: float | None = None
+    time_at_max_s: Seconds | None = None
     #: Measured power at f_max; reporting-only (0.0 when unknown).
-    power_at_max_w: float = 0.0
+    power_at_max_w: Watts = 0.0
     size: int | None = None
     runs: int = 1
 
@@ -82,9 +83,9 @@ class SelectionRequest:
     def from_features(
         cls,
         features: FeatureVector,
-        time_at_max_s: float,
+        time_at_max_s: Seconds,
         *,
-        power_at_max_w: float = 0.0,
+        power_at_max_w: Watts = 0.0,
         name: str = "request",
     ) -> "SelectionRequest":
         """Request for an application already profiled at the default clock."""
@@ -105,13 +106,13 @@ class ServiceResponse:
     """
 
     name: str
-    freqs_mhz: np.ndarray
+    freqs_mhz: MHzArray
     features: FeatureVector
-    measured_power_at_max_w: float
-    measured_time_at_max_s: float
-    power_w: np.ndarray
-    time_s: np.ndarray
-    energy_j: np.ndarray
+    measured_power_at_max_w: Watts
+    measured_time_at_max_s: Seconds
+    power_w: WattsArray
+    time_s: SecondsArray
+    energy_j: JoulesArray
     selections: dict[str, SelectionResult]
     #: Whether the curves came out of the LRU (no DNN forward this flush).
     from_cache: bool

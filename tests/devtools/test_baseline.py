@@ -145,4 +145,46 @@ def test_run_check_reports_parse_errors(tmp_path):
     (root / "repro" / "broken.py").write_text("def oops(:\n")
     report = run_check(root, baseline=Baseline())
     assert not report.ok
-    assert any(f.rule_id == "SYNTAX" for f in report.parse_errors)
+    assert any(f.rule_id == "PARSE001" for f in report.parse_errors)
+
+
+def test_parse_error_is_a_finding_not_a_crash(tmp_path):
+    # The rest of the tree must still be checked around the broken file.
+    root = _make_tree(tmp_path)
+    (root / "repro" / "broken.py").write_text("def oops(:\n")
+    report = run_check(root, baseline=Baseline())
+    parse = [f for f in report.parse_errors if f.path == "repro/broken.py"]
+    assert len(parse) == 1
+    assert parse[0].rule_id == "PARSE001"
+    assert parse[0].line >= 1
+    # mod.py's NUM001 still surfaced — one bad file never hides the rest.
+    assert any(f.rule_id == "NUM001" for f in report.findings)
+
+
+def test_non_utf8_file_becomes_parse_finding(tmp_path):
+    root = _make_tree(tmp_path)
+    (root / "repro" / "binary.py").write_bytes(b"\xff\xfe\x00junk\x80\x81")
+    report = run_check(root, baseline=Baseline())
+    assert not report.ok
+    parse = [f for f in report.parse_errors if f.path == "repro/binary.py"]
+    assert len(parse) == 1
+    assert parse[0].rule_id == "PARSE001"
+
+
+def test_null_byte_file_becomes_parse_finding(tmp_path):
+    # ast.parse raises ValueError (not SyntaxError) on NUL bytes.
+    root = _make_tree(tmp_path)
+    (root / "repro" / "nulls.py").write_text("x = 1\x00\n")
+    report = run_check(root, baseline=Baseline())
+    parse = [f for f in report.parse_errors if f.path == "repro/nulls.py"]
+    assert len(parse) == 1
+    assert parse[0].rule_id == "PARSE001"
+
+
+def test_parse_error_rule_is_registered_and_listed():
+    from repro.devtools import get_rule, rule_ids
+
+    assert "PARSE001" in rule_ids()
+    rule = get_rule("PARSE001")
+    assert rule.summary
+    assert rule.severity == "error"

@@ -89,15 +89,93 @@ def test_cli_check_unknown_rule_is_usage_error(capsys):
     assert "unknown rule ids" in capsys.readouterr().err
 
 
-def test_cli_check_no_baseline_reports_grandfathered(capsys):
-    # The shipped tree has baselined entries; without the baseline they
-    # surface as live findings and the exit code flips to 1.
+def test_cli_check_no_baseline_is_clean(capsys):
+    # The committed baseline is empty (all grandfathered findings have
+    # been fixed), so the tree must be clean even without it.
     code = main(["check", "--no-baseline"])
     out = capsys.readouterr().out
-    assert code == 1
-    assert "violation" in out
+    assert code == 0
+    assert "no violations" in out
 
 
 def test_cli_check_missing_baseline_path_is_usage_error(capsys):
     assert main(["check", "--baseline", "/nonexistent/b.json"]) == 2
     assert "no such baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# GitHub annotations format
+# ----------------------------------------------------------------------
+def test_render_github_clean_tree_emits_notice(report):
+    from repro.devtools import render_github
+
+    out = render_github(report)
+    assert out.startswith("::notice title=repro check::")
+    assert "no violations" in out
+
+
+def test_render_github_findings_become_error_annotations(tmp_path):
+    from repro.devtools import render_github
+
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("def f(x):\n    return x == 0.25\n")
+    findings_report = run_check(tmp_path, baseline=Baseline())
+    out = render_github(findings_report)
+    lines = out.splitlines()
+    assert lines  # the fixture violates NUM001
+    for line in lines:
+        assert line.startswith("::error file=")
+        assert "title=NUM001" in line
+    # col is 1-based in annotations (findings store 0-based).
+    assert ",col=" in lines[0]
+
+
+def test_render_github_escapes_percent_and_newlines():
+    from repro.devtools.engine import render_github, CheckReport
+    from repro.devtools.findings import Finding
+
+    finding = Finding(
+        path="repro/mod.py", line=3, col=0, rule_id="NUM001",
+        severity="error", message="100% broken\nsecond line",
+    )
+    report = CheckReport(
+        root="/nonexistent", files_checked=1, rules_run=["NUM001"],
+        findings=[finding], baselined=[], stale_baseline=[],
+        parse_errors=[], suppressed=0, duration_s=0.0,
+    )
+    out = render_github(report)
+    assert "100%25 broken%0Asecond line" in out
+
+
+def test_cli_check_github_format(capsys):
+    assert main(["check", "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("::notice")
+
+
+# ----------------------------------------------------------------------
+# repro graph CLI
+# ----------------------------------------------------------------------
+def test_cli_graph_json(capsys):
+    assert main(["graph"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == 1
+    assert payload["stats"]["resolution_rate"] >= 0.90
+    assert payload["edges"]
+
+
+def test_cli_graph_dot(capsys):
+    assert main(["graph", "--format", "dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph callgraph {")
+    assert "->" in out
+
+
+def test_cli_graph_units_table(capsys):
+    assert main(["graph", "--units"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == 1
+    # the annotated library surface is in the table
+    assert any("power" in key for key in payload["functions"])

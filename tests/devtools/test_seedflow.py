@@ -1,0 +1,222 @@
+"""DET003 fixtures: conjured roots (part A) and tainted edges (part B).
+
+Fixtures land in ``repro.gpusim.*`` (one of ``SEEDED_PACKAGES``); the
+out-of-scope test uses ``repro.workloads``.  DET003 needs the project
+index, so cross-module cases thread ``extra_sources`` through
+:func:`repro.devtools.check_source`.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _check(source: str, module: str = "repro.gpusim.fixture", **kwargs) -> list:
+    return check_source(textwrap.dedent(source), module=module, rules=["DET003"], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Part A — conjured roots at the definition site
+# ----------------------------------------------------------------------
+def test_det003_flags_module_level_seeded_rng():
+    findings = _check(
+        """
+        import numpy as np
+
+        RNG = np.random.default_rng(42)
+        """
+    )
+    assert [f.rule_id for f in findings] == ["DET003"]
+    assert "module-level RNG construction" in findings[0].message
+
+
+def test_det003_flags_function_conjuring_seeded_rng():
+    findings = _check(
+        """
+        import numpy as np
+
+        def sample(n):
+            rng_local = np.random.default_rng(1234)
+            return rng_local.normal(size=n)
+        """
+    )
+    assert [f.rule_id for f in findings] == ["DET003"]
+    assert "conjures an RNG root" in findings[0].message
+
+
+def test_det003_rng_derived_from_seed_parameter_is_clean():
+    findings = _check(
+        """
+        import numpy as np
+
+        def sample(seed, n):
+            rng = np.random.default_rng(seed)
+            return rng.normal(size=n)
+        """
+    )
+    assert findings == []
+
+
+def test_det003_taint_flows_through_spawn_comprehension():
+    findings = _check(
+        """
+        import numpy as np
+
+        class Device:
+            def __init__(self, seed_seq):
+                self._seed_seq = seed_seq
+
+            def spawn_rngs(self, n):
+                return [np.random.default_rng(child) for child in self._seed_seq.spawn(n)]
+        """
+    )
+    assert findings == []
+
+
+def test_det003_none_guarded_fallback_is_clean():
+    findings = _check(
+        """
+        import numpy as np
+
+        def sample(n, seed=None):
+            if seed is None:
+                return np.random.default_rng(7).normal(size=n)
+            return np.random.default_rng(seed).normal(size=n)
+        """
+    )
+    assert findings == []
+
+
+def test_det003_out_of_scope_package_is_silent():
+    findings = _check(
+        """
+        import numpy as np
+
+        RNG = np.random.default_rng(42)
+        """,
+        module="repro.workloads.fixture",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Part B — conjured values crossing a resolved call edge
+# ----------------------------------------------------------------------
+def test_det003_flags_literal_seed_bound_to_seed_parameter():
+    findings = _check(
+        """
+        import numpy as np
+
+        def consume(seed):
+            return np.random.default_rng(seed)
+
+        def caller():
+            return consume(42)
+        """
+    )
+    assert [f.rule_id for f in findings] == ["DET003"]
+    assert "hard-coded seed 42" in findings[0].message
+    assert "'seed'" in findings[0].message
+
+
+def test_det003_caller_derived_seed_crossing_edge_is_clean():
+    findings = _check(
+        """
+        import numpy as np
+
+        def consume(seed):
+            return np.random.default_rng(seed)
+
+        def caller(seed):
+            return consume(seed + 1)
+        """
+    )
+    assert findings == []
+
+
+def test_det003_literal_bound_to_non_rng_parameter_is_clean():
+    findings = _check(
+        """
+        def consume(n):
+            return list(range(n))
+
+        def caller():
+            return consume(42)
+        """
+    )
+    assert findings == []
+
+
+def test_det003_flags_conjured_factory_crossing_edge():
+    findings = _check(
+        """
+        import numpy as np
+
+        def consume(rng):
+            return rng.normal()
+
+        def caller():
+            return consume(np.random.default_rng(5))
+        """
+    )
+    messages = [f.message for f in findings]
+    # Part A flags the conjured factory itself; part B flags the edge.
+    assert any("freshly constructed default_rng(...)" in m for m in messages)
+    assert all(f.rule_id == "DET003" for f in findings)
+
+
+def test_det003_derived_factory_crossing_edge_is_clean():
+    findings = _check(
+        """
+        import numpy as np
+
+        def consume(rng):
+            return rng.normal()
+
+        def caller(seed):
+            return consume(np.random.default_rng(seed))
+        """
+    )
+    assert findings == []
+
+
+def test_det003_cross_module_edge_via_extra_sources():
+    findings = _check(
+        """
+        from repro.gpusim.fix_device import make_device
+
+        def build():
+            return make_device(seed=1234)
+        """,
+        extra_sources={
+            "repro.gpusim.fix_device": textwrap.dedent(
+                """
+                import numpy as np
+
+                def make_device(seed):
+                    return np.random.default_rng(seed)
+                """
+            )
+        },
+    )
+    assert [f.rule_id for f in findings] == ["DET003"]
+    assert "make_device" in findings[0].message
+
+
+def test_det003_none_literal_selects_callee_fallback_and_is_clean():
+    findings = _check(
+        """
+        import numpy as np
+
+        def consume(n, seed=None):
+            if seed is None:
+                return np.random.default_rng(0).normal(size=n)
+            return np.random.default_rng(seed).normal(size=n)
+
+        def caller(n):
+            return consume(n, seed=None)
+        """
+    )
+    assert findings == []

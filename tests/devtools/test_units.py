@@ -1,0 +1,242 @@
+"""UNIT001/UNIT002 fixtures: the physical-units inference pass.
+
+Every fixture lands in ``repro.core.*`` (one of ``UNIT_PACKAGES``) so
+the rules are in scope; the out-of-scope test uses ``repro.workloads``.
+Units are seeded two ways — naming conventions (``power_w``, ``time_s``,
+``freq_mhz``, ``energy_j``) and :mod:`repro.units` annotations — and
+both paths get positive and negative coverage.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _check(source: str, rules: list[str], module: str = "repro.core.fixture") -> list:
+    return check_source(textwrap.dedent(source), module=module, rules=rules)
+
+
+# ----------------------------------------------------------------------
+# UNIT001 — incompatible add/subtract/compare
+# ----------------------------------------------------------------------
+def test_unit001_flags_add_of_watts_and_seconds():
+    findings = _check(
+        """
+        def broken(power_w, time_s):
+            return power_w + time_s
+        """,
+        ["UNIT001"],
+    )
+    assert [f.rule_id for f in findings] == ["UNIT001"]
+    assert "W" in findings[0].message and "s" in findings[0].message
+
+
+def test_unit001_flags_comparison_of_mhz_and_watts():
+    findings = _check(
+        """
+        def broken(freq_mhz, power_w):
+            if freq_mhz > power_w:
+                return 1
+            return 0
+        """,
+        ["UNIT001"],
+    )
+    assert [f.rule_id for f in findings] == ["UNIT001"]
+    assert "comparison" in findings[0].message
+
+
+def test_unit001_reads_repro_units_annotations():
+    findings = _check(
+        """
+        from repro.units import Seconds, Watts
+
+        def broken(p: Watts, t: Seconds):
+            return p - t
+        """,
+        ["UNIT001"],
+    )
+    assert [f.rule_id for f in findings] == ["UNIT001"]
+
+
+def test_unit001_same_unit_add_is_clean():
+    findings = _check(
+        """
+        def fine(t_compute_s, t_memory_s):
+            return t_compute_s + t_memory_s
+        """,
+        ["UNIT001"],
+    )
+    assert findings == []
+
+
+def test_unit001_dimensionless_constants_mix_freely():
+    findings = _check(
+        """
+        def fine(power_w):
+            return power_w + 0.0, power_w > 0
+        """,
+        ["UNIT001"],
+    )
+    assert findings == []
+
+
+def test_unit001_unknown_units_stay_silent():
+    findings = _check(
+        """
+        def fine(a, b):
+            return a + b
+        """,
+        ["UNIT001"],
+    )
+    assert findings == []
+
+
+def test_unit001_units_propagate_through_locals():
+    findings = _check(
+        """
+        def broken(power_w, time_s):
+            p = power_w
+            t = time_s
+            return p + t
+        """,
+        ["UNIT001"],
+    )
+    assert [f.rule_id for f in findings] == ["UNIT001"]
+
+
+def test_unit001_out_of_scope_package_is_silent():
+    findings = _check(
+        """
+        def broken(power_w, time_s):
+            return power_w + time_s
+        """,
+        ["UNIT001"],
+        module="repro.workloads.fixture",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# UNIT002 — derived unit contradicts the declared name/annotation
+# ----------------------------------------------------------------------
+def test_unit002_flags_product_bound_to_wrong_suffix():
+    findings = _check(
+        """
+        def broken(power_w, time_s):
+            energy_s = power_w * time_s
+            return energy_s
+        """,
+        ["UNIT002"],
+    )
+    assert [f.rule_id for f in findings] == ["UNIT002"]
+    assert "'energy_s'" in findings[0].message
+
+
+def test_unit002_energy_product_bound_to_energy_name_is_clean():
+    findings = _check(
+        """
+        def fine(power_w, time_s):
+            energy_j = power_w * time_s
+            edp = energy_j * time_s
+            ed2p = edp * time_s
+            return ed2p
+        """,
+        ["UNIT001", "UNIT002"],
+    )
+    assert findings == []
+
+
+def test_unit002_checks_declared_return_unit():
+    findings = _check(
+        """
+        from repro.units import Seconds, Watts
+
+        def broken(p: Watts, t: Seconds) -> Watts:
+            return p * t
+        """,
+        ["UNIT002"],
+    )
+    assert [f.rule_id for f in findings] == ["UNIT002"]
+    assert "return of broken()" in findings[0].message
+
+
+def test_unit002_ratio_of_same_units_is_dimensionless_and_clean():
+    findings = _check(
+        """
+        def fine(t_fast_s, t_slow_s):
+            slowdown = t_slow_s / t_fast_s
+            return slowdown
+        """,
+        ["UNIT001", "UNIT002"],
+    )
+    assert findings == []
+
+
+def test_unit002_sees_through_float_and_asarray_wrappers():
+    findings = _check(
+        """
+        import numpy as np
+
+        def broken(power_w, time_s):
+            energy_w = float(np.asarray(power_w * time_s))
+            return energy_w
+        """,
+        ["UNIT002"],
+    )
+    assert [f.rule_id for f in findings] == ["UNIT002"]
+
+
+def test_unit002_respects_inline_suppression():
+    findings = _check(
+        """
+        def grandfathered(power_w, time_s):
+            energy_s = power_w * time_s  # repro: noqa[UNIT002]
+            return energy_s
+        """,
+        ["UNIT002"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Interprocedural: units cross resolved call edges
+# ----------------------------------------------------------------------
+def _check_with_helper(helper: str) -> list:
+    return check_source(
+        textwrap.dedent(
+            """
+            from repro.core.helpers import measured
+
+            def maybe_broken(time_s):
+                return measured() + time_s
+            """
+        ),
+        module="repro.core.fixture",
+        rules=["UNIT001"],
+        extra_sources={"repro.core.helpers": textwrap.dedent(helper)},
+    )
+
+
+def test_units_flow_through_annotated_call_returns():
+    findings = _check_with_helper(
+        """
+        from repro.units import Watts
+
+        def measured() -> Watts:
+            return 250.0
+        """
+    )
+    assert [f.rule_id for f in findings] == ["UNIT001"]
+
+
+def test_units_unannotated_helper_return_stays_silent():
+    findings = _check_with_helper(
+        """
+        def measured():
+            return 250.0
+        """
+    )
+    # helper has no declared unit -> nothing provable, stays silent
+    assert findings == []
