@@ -1,26 +1,35 @@
-"""Serving-layer throughput micro-benchmark.
+"""Serving-layer throughput benchmark.
 
-Times one flush of 64 selection requests through
+Times flushes of ``N_REQUESTS`` selection requests through
 :class:`repro.serving.SelectionService` against the pre-PR path — a
 sequential per-request predict+select loop (what ``run_online`` does per
-application) — and records selections/sec per scenario in
+application) — and records per-scenario throughput in
 ``BENCH_serving.json`` at the repo root.
 
-Scenarios:
+Scenarios (every service is long-lived; "cold" means an empty curve
+cache via :meth:`~repro.serving.SelectionService.clear_cache`, not a
+fresh process):
 
-* **cold** — 64 unique profiles, empty cache: measures pure batching.
-* **hot** — 8 distinct applications x 8 repeats in one flush: intra-flush
-  dedup computes 8 curves and memoizes 8 Algorithm 1 passes for 64
-  responses.  This is the realistic datacenter mix (most submissions are
-  re-runs of known applications) and the PR's >= 5x acceptance bar.
-* **cached** — the hot flush again on a warm service: every curve comes
-  out of the LRU, no DNN forward at all.
+* **cold** — 2048 distinct profiles, empty cache, fused engine: the
+  packed fast path doing 2048 * 2 full DNN curves per flush.  Carries
+  the PR's >= 3x acceptance bar against the sequential loop.
+* **cold_exact** — same flush through the default bitwise-exact engine.
+* **hot / hot_d64 / hot_d256** — 2048 requests with 8 / 64 / 256
+  distinct applications, cache cleared per flush: intra-flush dedup
+  computes only the distinct curves.  ``hot`` (8 distinct, the
+  realistic datacenter mix — most submissions are re-runs) carries the
+  >= 60k selections/s acceptance bar.
+* **cached** — the hot mix again on a warm LRU: no DNN forward at all.
+* **fused** — engine-only microbench: one
+  :meth:`~repro.serving.engine.FusedInferenceEngine.infer` pass over
+  2048 distinct profiles (both models), no service stages around it.
 
-On this machine BLAS matmul cost is linear in rows (no batching economy
-of scale), so the speedup comes from dedup + caching; batching still buys
-one lock acquisition and one Python dispatch per *flush* instead of per
-request.  Throughput numbers are machine-dependent; the recorded file
-also guards against regressions via ``REGRESSION_FACTOR``.
+Each scenario keeps a ``best`` record (highest selections/s ever
+committed for the current config) next to ``current``;
+``scripts/bench_gate.py`` fails CI when a committed ``current`` drops
+more than 10% below its ``best``.  Throughput numbers are
+machine-dependent; the in-test ``REGRESSION_FACTOR`` guard is
+deliberately looser so the benchmark stays runnable on slower hosts.
 """
 
 from __future__ import annotations
@@ -46,9 +55,13 @@ from tests.golden.tiny_pipeline import make_tiny_pipeline, train_tiny_models
 
 BENCH_PATH = _REPO_ROOT / "BENCH_serving.json"
 
-N_REQUESTS = 64
+N_REQUESTS = 2048
 N_DISTINCT_HOT = 8
-#: The PR's acceptance bar: hot-mix serving vs the sequential loop.
+HOT_SWEEP = (64, 256)
+#: Acceptance bars: fused cold flush vs the sequential loop, and
+#: absolute hot-mix throughput.
+COLD_SPEEDUP_BAR = 3.0
+HOT_SELECTIONS_PER_S_BAR = 60_000.0
 SPEEDUP_BAR = 5.0
 #: Fail when throughput drops more than this factor below the best record.
 REGRESSION_FACTOR = 3.0
@@ -73,6 +86,12 @@ def _profiles(n_distinct: int) -> list[SelectionRequest]:
             )
         )
     return requests
+
+
+def _mix(n_distinct: int) -> list[SelectionRequest]:
+    """N_REQUESTS requests drawn from ``n_distinct`` distinct profiles."""
+    distinct = _profiles(n_distinct)
+    return (distinct * (N_REQUESTS // n_distinct + 1))[:N_REQUESTS]
 
 
 def _sequential_select(pipeline, requests) -> list[dict]:
@@ -113,85 +132,119 @@ def _throughput(seconds: float) -> float:
 
 def _measure_all(pipeline) -> dict:
     cold_requests = _profiles(N_REQUESTS)
-    hot_requests = (_profiles(N_DISTINCT_HOT) * (N_REQUESTS // N_DISTINCT_HOT))[:N_REQUESTS]
+    hot_requests = _mix(N_DISTINCT_HOT)
 
-    seq_s = _best_of(lambda: _sequential_select(pipeline, hot_requests))
+    seq_s = _best_of(lambda: _sequential_select(pipeline, hot_requests), repeats=3)
 
-    def cold():
-        SelectionService(pipeline, max_batch_size=N_REQUESTS).select_many(cold_requests)
+    fused_svc = SelectionService(pipeline, max_batch_size=N_REQUESTS, fused=True)
+    exact_svc = SelectionService(pipeline, max_batch_size=N_REQUESTS)
 
-    def hot():
-        SelectionService(pipeline, max_batch_size=N_REQUESTS).select_many(hot_requests)
+    def timed_flush(svc, requests):
+        def run():
+            svc.clear_cache()
+            svc.select_many(requests)
 
-    cold_s = _best_of(cold)
-    hot_s = _best_of(hot)
+        return _best_of(run)
 
-    warm = SelectionService(pipeline, max_batch_size=N_REQUESTS)
-    warm.select_many(hot_requests)  # prime the LRU
-    cached_s = _best_of(lambda: warm.select_many(hot_requests))
+    elapsed = {
+        "cold": timed_flush(fused_svc, cold_requests),
+        "cold_exact": timed_flush(exact_svc, cold_requests),
+        "hot": timed_flush(fused_svc, hot_requests),
+    }
+    for n_distinct in HOT_SWEEP:
+        elapsed[f"hot_d{n_distinct}"] = timed_flush(fused_svc, _mix(n_distinct))
+
+    fused_svc.clear_cache()
+    fused_svc.select_many(hot_requests)  # prime the LRU
+    elapsed["cached"] = _best_of(lambda: fused_svc.select_many(hot_requests))
+
+    # Engine-only: both packed DNNs over 2048 distinct profiles, no
+    # service stages (lookup/select/response construction) around them.
+    engine = fused_svc._engine
+    fp = np.array([r.features.fp_active for r in cold_requests])
+    dram = np.array([r.features.dram_active for r in cold_requests])
+    elapsed["fused"] = _best_of(lambda: engine.infer(fp, dram))
 
     sequential = {"seconds": round(seq_s, 6), "selections_per_s": _throughput(seq_s)}
     scenarios = {}
-    for name, elapsed in (("cold", cold_s), ("hot", hot_s), ("cached", cached_s)):
+    for name, secs in elapsed.items():
         scenarios[name] = {
-            "seconds": round(elapsed, 6),
-            "selections_per_s": _throughput(elapsed),
-            "speedup_vs_sequential": round(seq_s / elapsed, 2),
+            "seconds": round(secs, 6),
+            "selections_per_s": _throughput(secs),
+            "speedup_vs_sequential": round(seq_s / secs, 2),
         }
     return {"sequential": sequential, "scenarios": scenarios}
 
 
 def test_serving_throughput_tracked(pipeline):
-    """Record the serving perf trajectory and enforce the 5x bar."""
-    # Correctness sanity before timing: the hot flush must agree with the
-    # sequential loop decision-for-decision (the full bitwise contract is
-    # asserted in tests/serving).
-    hot_requests = (_profiles(N_DISTINCT_HOT) * (N_REQUESTS // N_DISTINCT_HOT))[:N_REQUESTS]
+    """Record the serving perf trajectory and enforce the acceptance bars."""
+    # Correctness sanity before timing: the batched flush must agree with
+    # the sequential loop decision-for-decision (the full bitwise and
+    # 1e-9 fused contracts are asserted in tests/serving).
+    hot_requests = _mix(N_DISTINCT_HOT)
     expected = _sequential_select(pipeline, hot_requests)
-    responses = SelectionService(pipeline, max_batch_size=N_REQUESTS).select_many(hot_requests)
+    responses = SelectionService(pipeline, max_batch_size=N_REQUESTS).select_many(
+        hot_requests
+    )
     for response, want in zip(responses, expected):
         for obj_name, sel in want.items():
             assert response.selection(obj_name).freq_mhz == sel.freq_mhz
             assert response.selection(obj_name).index == sel.index
 
     previous = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
-    measured = _measure_all(pipeline)
-    current = measured["scenarios"]["hot"]
+    config = {
+        "n_requests": N_REQUESTS,
+        "n_distinct_hot": N_DISTINCT_HOT,
+        "hot_sweep": list(HOT_SWEEP),
+        "objectives": ["EDP", "ED2P"],
+        "cold_speedup_bar": COLD_SPEEDUP_BAR,
+        "hot_selections_per_s_bar": HOT_SELECTIONS_PER_S_BAR,
+    }
+    # Best records only carry forward within one benchmark config — a
+    # changed flush size/mix resets the trajectory.
+    same_config = previous.get("config") == config
+    previous_scenarios = previous.get("scenarios", {}) if same_config else {}
 
-    best = previous.get("best")
-    if best is None or current["selections_per_s"] > best["selections_per_s"]:
-        best = current
+    measured = _measure_all(pipeline)
+    scenarios = {}
+    for name, current in measured["scenarios"].items():
+        best = previous_scenarios.get(name, {}).get("best")
+        if best is None or current["selections_per_s"] > best["selections_per_s"]:
+            best = {k: current[k] for k in ("seconds", "selections_per_s")}
+        scenarios[name] = {**current, "best": best}
 
     payload = {
         "bench": "serving-batch-throughput",
-        "config": {
-            "n_requests": N_REQUESTS,
-            "n_distinct_hot": N_DISTINCT_HOT,
-            "objectives": ["EDP", "ED2P"],
-            "speedup_bar": SPEEDUP_BAR,
-        },
+        "config": config,
         # The pre-PR path is the sequential per-request loop itself.
-        "pre_pr_baseline": previous.get("pre_pr_baseline") or measured["sequential"],
+        "pre_pr_baseline": (previous.get("pre_pr_baseline") if same_config else None)
+        or measured["sequential"],
         "sequential": measured["sequential"],
-        "scenarios": measured["scenarios"],
-        "best": best,
-        "current": current,
+        "scenarios": scenarios,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
-    assert current["speedup_vs_sequential"] >= SPEEDUP_BAR, (
-        f"hot-mix serving speedup {current['speedup_vs_sequential']:.1f}x is below the "
-        f"{SPEEDUP_BAR:.0f}x acceptance bar (sequential "
-        f"{measured['sequential']['selections_per_s']:.0f} vs batched "
-        f"{current['selections_per_s']:.0f} selections/s)"
+    cold = scenarios["cold"]
+    assert cold["speedup_vs_sequential"] >= COLD_SPEEDUP_BAR, (
+        f"fused cold-flush speedup {cold['speedup_vs_sequential']:.2f}x is below the "
+        f"{COLD_SPEEDUP_BAR:.0f}x acceptance bar (sequential "
+        f"{measured['sequential']['selections_per_s']:.0f} vs cold "
+        f"{cold['selections_per_s']:.0f} selections/s)"
     )
+    hot = scenarios["hot"]
+    assert hot["selections_per_s"] >= HOT_SELECTIONS_PER_S_BAR, (
+        f"hot-mix throughput {hot['selections_per_s']:.0f} selections/s is below "
+        f"the {HOT_SELECTIONS_PER_S_BAR:.0f}/s acceptance bar"
+    )
+    assert hot["speedup_vs_sequential"] >= SPEEDUP_BAR
 
-    floor = best["selections_per_s"] / REGRESSION_FACTOR
-    assert current["selections_per_s"] >= floor, (
-        f"serving throughput regressed: {current['selections_per_s']:.0f} selections/s "
-        f"is below the {floor:.0f} floor ({REGRESSION_FACTOR}x under the best recorded "
-        f"{best['selections_per_s']:.0f})"
-    )
+    for name, record in scenarios.items():
+        floor = record["best"]["selections_per_s"] / REGRESSION_FACTOR
+        assert record["selections_per_s"] >= floor, (
+            f"{name} throughput regressed: {record['selections_per_s']:.0f} "
+            f"selections/s is below the {floor:.0f} floor ({REGRESSION_FACTOR}x "
+            f"under the best recorded {record['best']['selections_per_s']:.0f})"
+        )
 
 
 def test_cached_flush_is_fastest_path(pipeline):

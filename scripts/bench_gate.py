@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Gate on the committed serving-benchmark trajectory.
+
+Reads ``BENCH_serving.json`` (written by
+``benchmarks/test_perf_serving.py`` and committed alongside perf
+changes) and fails when any scenario's committed ``current``
+throughput has dropped more than ``--tolerance`` (default 10%) below
+that scenario's ``best`` record.  This is a *trajectory* check on the
+committed file — it never runs the benchmark itself, so it is
+machine-independent and cheap enough for every CI run.
+
+Exit codes: 0 ok, 1 regression, 2 unusable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(payload: dict, tolerance: float) -> list[str]:
+    """Return one message per scenario whose current lags its best."""
+    failures = []
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        return ["no scenarios recorded — regenerate BENCH_serving.json"]
+    for name, record in sorted(scenarios.items()):
+        try:
+            current = float(record["selections_per_s"])
+            best = float(record["best"]["selections_per_s"])
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"{name}: malformed record (needs selections_per_s and best)")
+            continue
+        floor = (1.0 - tolerance) * best
+        if current < floor:
+            failures.append(
+                f"{name}: committed {current:.0f} selections/s is "
+                f"{100 * (1 - current / best):.1f}% below the best record "
+                f"{best:.0f} (floor {floor:.0f})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "bench_file",
+        nargs="?",
+        default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
+        type=Path,
+        help="path to BENCH_serving.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional drop below each scenario's best (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print("--tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    try:
+        payload = json.loads(args.bench_file.read_text())
+    except FileNotFoundError:
+        print(f"{args.bench_file}: not found — run benchmarks/test_perf_serving.py", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"{args.bench_file}: invalid JSON ({exc})", file=sys.stderr)
+        return 2
+
+    failures = check(payload, args.tolerance)
+    if failures:
+        for message in failures:
+            print(f"bench gate: {message}", file=sys.stderr)
+        return 1
+    scenarios = payload["scenarios"]
+    print(
+        f"bench gate: {len(scenarios)} scenarios within {100 * args.tolerance:.0f}% of "
+        f"their best records ({', '.join(sorted(scenarios))})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Sequence
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -24,10 +25,32 @@ from repro.nn.optimizers import RMSprop
 from repro.nn.serialize import load_network, save_network
 from repro.nn.training import History, TrainConfig, train
 
-__all__ = ["PAPER_FEATURES", "PowerModel", "TimeModel"]
+__all__ = ["PAPER_FEATURES", "InferenceSpec", "PowerModel", "TimeModel"]
 
 #: The paper's Eq. 1 feature names, in canonical column order.
 PAPER_FEATURES: tuple[str, ...] = ("fp_active", "dram_active", "sm_app_clock")
+
+
+@dataclass(frozen=True)
+class InferenceSpec:
+    """Everything an external engine needs to run one model's forward pass.
+
+    A self-contained snapshot — scaler affines, per-layer weight/bias
+    copies with activation names, the target transform flag, and the
+    weight fingerprint — so :mod:`repro.serving.engine` can pack and fold
+    the stack without reaching into model internals, and so shard-pool
+    workers can rebuild the forward pass from shared memory alone.
+    """
+
+    x_mean: np.ndarray
+    x_scale: np.ndarray
+    y_mean: np.ndarray
+    y_scale: np.ndarray
+    log_target: bool
+    #: Forward-order ``(W, b, activation_name)`` copies (see Dense.spec).
+    layers: tuple[tuple[np.ndarray, np.ndarray, str], ...]
+    #: SHA-256 weight digest; engines key their packed arenas on it.
+    fingerprint: str
 
 
 class _RegressionModel:
@@ -148,6 +171,25 @@ class _RegressionModel:
         xs = self._x_scaler.transform(x)
         ys = self.network.predict_blocked(xs, f)
         return self._inverse_target(self._y_scaler.inverse_transform(ys)).reshape(n, f)
+
+    def inference_spec(self) -> InferenceSpec:
+        """Snapshot this model for an external packed-inference engine.
+
+        Arrays are copies (see :meth:`~repro.nn.layers.Dense.spec`), so
+        engines may fold the scaler affines into the weights in place;
+        the embedded fingerprint lets them detect refits and repack.
+        """
+        if self.network is None:
+            raise RuntimeError("model used before fit()/load()")
+        return InferenceSpec(
+            x_mean=np.ascontiguousarray(self._x_scaler.mean_, dtype=float),
+            x_scale=np.ascontiguousarray(self._x_scaler.scale_, dtype=float),
+            y_mean=np.ascontiguousarray(self._y_scaler.mean_, dtype=float),
+            y_scale=np.ascontiguousarray(self._y_scaler.scale_, dtype=float),
+            log_target=self.log_target,
+            layers=self.network.layer_specs(),
+            fingerprint=self.fingerprint(),
+        )
 
     def fingerprint(self) -> str:
         """Digest of the trained weights plus scaler state.

@@ -82,6 +82,20 @@ class Dense:
         z += self.params["b"]
         return self.activation(z)
 
+    def spec(self) -> tuple[np.ndarray, np.ndarray, str]:
+        """Packed-inference export: ``(W, b, activation_name)``.
+
+        Returns C-contiguous float64 *copies* so an inference engine can
+        fold scaler affines into them (and hand them to shared-memory
+        shard workers) without aliasing the trainable parameters — later
+        training steps must never mutate a packed engine's weights.
+        """
+        return (
+            np.ascontiguousarray(self.params["W"], dtype=float),
+            np.ascontiguousarray(self.params["b"], dtype=float),
+            self.activation.name,
+        )
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop: consumes dL/dA, fills grads, returns dL/dX.
 

@@ -93,6 +93,15 @@ class FeedForwardNetwork:
             out = layer.forward_blocked(out, block_rows)
         return out
 
+    def layer_specs(self) -> tuple[tuple[np.ndarray, np.ndarray, str], ...]:
+        """Packed-inference export of every layer (see :meth:`Dense.spec`).
+
+        The tuple is the raw material for fused inference engines
+        (:mod:`repro.serving.engine`): contiguous weight/bias copies plus
+        activation names, in forward order.
+        """
+        return tuple(layer.spec() for layer in self.layers)
+
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backprop through all layers; returns dL/dinput."""
         grad = grad_out

@@ -49,17 +49,48 @@ class LRUCache:
             self.hits += 1
             return value
 
+    def get_many(self, keys: list[Hashable]) -> list[Any | None]:
+        """Batched :meth:`get`: one lock acquisition for a whole probe.
+
+        Returns one entry per key, None on a miss; hit/miss counters and
+        recency updates match key-by-key ``get`` calls exactly.
+        """
+        out: list[Any | None] = []
+        with self._lock:
+            for key in keys:
+                try:
+                    value = self._data[key]
+                except KeyError:
+                    self.misses += 1
+                    out.append(None)
+                else:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    out.append(value)
+        return out
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry if full."""
         with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-                self._data[key] = value
-                return
-            if len(self._data) >= self.maxsize:
-                self._data.popitem(last=False)
-                self.evictions += 1
-            self._data[key] = value
+            self._put_locked(key, value)
+
+    def put_many(self, items: list[tuple[Hashable, Any]]) -> None:
+        """Batched :meth:`put` under one lock acquisition."""
+        with self._lock:
+            for key, value in items:
+                self._put_locked(key, value)
+
+    def _put_locked(self, key: Hashable, value: Any) -> None:
+        # Both callers (put, put_many) enter with self._lock held; the
+        # lexical lock check cannot see cross-method holding.
+        if key in self._data:
+            self._data.move_to_end(key)  # repro: noqa[THR001] — caller holds self._lock
+            self._data[key] = value  # repro: noqa[THR001] — caller holds self._lock
+            return
+        if len(self._data) >= self.maxsize:
+            self._data.popitem(last=False)  # repro: noqa[THR001] — caller holds self._lock
+            self.evictions += 1  # repro: noqa[THR001] — caller holds self._lock
+        self._data[key] = value  # repro: noqa[THR001] — caller holds self._lock
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are lifetime stats)."""

@@ -6,10 +6,13 @@ applications, most of which it has seen before.  The
 :class:`SelectionService` serves that stream on top of a trained
 :class:`~repro.core.pipeline.FrequencySelectionPipeline`:
 
-* **Batching** — a flush of n requests runs *one* stacked
-  ``(n_unique x n_freqs, 3)`` forward pass per model
-  (:meth:`~repro.core.models._RegressionModel.predict_curve_many`)
-  instead of n sequential curve predictions.
+* **Batching** — a flush of n requests runs *one* packed forward pass
+  per model through the fused inference engine
+  (:class:`~repro.serving.engine.FusedInferenceEngine`) instead of n
+  sequential curve predictions.  The default engine mode replays the
+  reference pipeline bitwise; ``fused=True`` opts into the folded-scaler
+  fast path (1e-9 equivalence, not bitwise) and ``shards>1`` adds a
+  multiprocess shard pool.
 * **Caching** — prediction curves are memoized in a bounded LRU keyed by
   the quantized feature vector + device architecture + model
   fingerprints, so repeated (or near-identical, under coarse
@@ -26,7 +29,7 @@ from __future__ import annotations
 
 import threading
 import time as _time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -36,9 +39,10 @@ from repro.core.dataset import FeatureVector, features_at_max
 from repro.core.energy import ED2P, EDP, ObjectiveFunction, energy_from_power_time
 from repro.units import JoulesArray, MHzArray, Seconds, SecondsArray, Watts, WattsArray
 from repro.core.pipeline import FrequencySelectionPipeline, OnlineResult
-from repro.core.selection import SelectionResult, select_optimal_frequency
+from repro.core.selection import SelectionResult, select_optimal_frequency_many
 from repro.obs.metrics import HistogramSnapshot, MetricsRegistry
 from repro.serving.cache import LRUCache
+from repro.serving.engine import FusedInferenceEngine
 from repro.workloads.base import Workload
 
 __all__ = ["SelectionRequest", "ServiceResponse", "ServiceStats", "SelectionService", "STAGES"]
@@ -203,6 +207,9 @@ class ServiceStats:
     select_s: float
     #: Per-flush latency distribution per stage.
     stage_latency: dict[str, HistogramSnapshot] = field(default_factory=dict)
+    #: Engine configuration serving the predict stage ("exact", "fused",
+    #: or "<mode>xN" with an N-shard pool).
+    engine: str = "exact"
 
     @property
     def mean_batch_size(self) -> float:
@@ -261,6 +268,8 @@ class SelectionService:
         quantize_decimals: int = 12,
         max_batch_size: int = 64,
         batch_window_s: float = 0.002,
+        fused: bool = False,
+        shards: int = 1,
         registry: MetricsRegistry | None = None,
     ) -> None:
         if not pipeline.is_fitted:
@@ -269,16 +278,21 @@ class SelectionService:
             raise ValueError("max_batch_size must be >= 1")
         if quantize_decimals < 0:
             raise ValueError("quantize_decimals must be non-negative")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.pipeline = pipeline
         self.objectives = tuple(objectives)
         self.threshold = threshold
         self.quantize_decimals = quantize_decimals
         self.max_batch_size = max_batch_size
         self.batch_window_s = batch_window_s
+        self.fused = fused
+        self.shards = shards
         self._cache = LRUCache(cache_size)
         self._lock = threading.RLock()
         self._batcher = None
         self._key_static: tuple = ()
+        self._engine: FusedInferenceEngine | None = None
         self.refresh_models()
         # Counters and stage histograms live on a private metrics
         # registry, so ``stats()`` always describes *this* service.  An
@@ -323,15 +337,43 @@ class SelectionService:
         """Re-fingerprint the models and invalidate every cached curve.
 
         Call after refitting or reloading the pipeline's models: the new
-        fingerprints orphan old keys, and the explicit clear releases
-        their memory immediately rather than waiting for LRU churn.
+        fingerprints orphan old keys, the explicit clear releases their
+        memory immediately rather than waiting for LRU churn, and the
+        packed inference engine is rebuilt around the new weights.
         """
         with self._lock:
+            power_model = self.pipeline.power_model
+            time_model = self.pipeline.time_model
+            device = self.pipeline.device
             self._key_static = (
-                self.pipeline.device.arch.name,
-                self.pipeline.power_model.fingerprint(),
-                self.pipeline.time_model.fingerprint(),
+                device.arch.name,
+                power_model.fingerprint(),
+                time_model.fingerprint(),
             )
+            self._cache.clear()
+            if self._engine is not None:
+                self._engine.close()
+            scale = (
+                device.arch.tdp_watts if power_model.reference_power_w is not None else None
+            )
+            self._engine = FusedInferenceEngine(
+                power_model.inference_spec(),
+                time_model.inference_spec(),
+                device.dvfs.usable_array(),
+                power_scale_w=scale,
+                fast=self.fused,
+                shards=self.shards,
+            )
+
+    def clear_cache(self) -> None:
+        """Drop every memoized curve, keeping the packed engine.
+
+        The cheap way to force cold-path behaviour (e.g. for
+        benchmarking, or after an external store invalidation): unlike
+        :meth:`refresh_models` it neither re-fingerprints nor repacks —
+        the engine's folded weights and warmed arenas survive.
+        """
+        with self._lock:
             self._cache.clear()
 
     def _curve_key(self, features: FeatureVector) -> tuple:
@@ -377,13 +419,10 @@ class SelectionService:
     ) -> list[ServiceResponse]:
         device = self.pipeline.device
         freqs = device.dvfs.usable_array()
-        power_model, time_model = self.pipeline.power_model, self.pipeline.time_model
-        scale = device.arch.tdp_watts if power_model.reference_power_w is not None else None
 
         with obs.span("serving.flush", batch=len(requests)) as flush_span:
             return self._flush_traced(
-                flush_span, requests, objectives, threshold, device, freqs,
-                power_model, time_model, scale
+                flush_span, requests, objectives, threshold, device, freqs
             )
 
     def _flush_traced(
@@ -394,17 +433,27 @@ class SelectionService:
         threshold: float | None,
         device,
         freqs,
-        power_model,
-        time_model,
-        scale,
     ) -> list[ServiceResponse]:
+        """Column-oriented flush: requests live in parallel numpy columns.
+
+        From here on a request is a row index — features, measured
+        maxima, cache slots, and Algorithm-1 combos are parallel columns
+        joined by gather/scatter index arrays rather than per-request
+        dicts, so the per-request Python cost is one response object.
+        """
+        time_model = self.pipeline.time_model
         measured = 0
+        n = len(requests)
 
         # Stage 1 — acquire per-request profiles (measure workload handles).
         t0 = _time.perf_counter()
         with obs.span("serving.measure"):
-            profiles: list[tuple[FeatureVector, float, float | None]] = []
-            for req in requests:
+            features_col: list[FeatureVector] = []
+            p_max_col: list[float] = []
+            t_max_col: list[float | None] = []
+            fp_col = np.empty(n)
+            dram_col = np.empty(n)
+            for i, req in enumerate(requests):
                 if req.workload is not None:
                     fv, p_max, t_max = features_at_max(
                         device, req.workload, runs=req.runs, size=req.size
@@ -412,92 +461,147 @@ class SelectionService:
                     measured += 1
                 else:
                     fv, p_max, t_max = req.features, req.power_at_max_w, req.time_at_max_s
-                profiles.append((fv, p_max, t_max))
+                features_col.append(fv)
+                p_max_col.append(p_max)
+                t_max_col.append(t_max)
+                fp_col[i] = fv.fp_active
+                dram_col[i] = fv.dram_active
         t1 = _time.perf_counter()
 
-        # Stage 2 — cache probe with intra-flush dedup.
+        # Stage 2 — dedup into curve slots, then one batched cache probe.
         with obs.span("serving.lookup"):
-            keys = [self._curve_key(fv) for fv, _, _ in profiles]
-            curves: dict[tuple, tuple[np.ndarray, np.ndarray] | None] = {}
-            hit_keys: set[tuple] = set()
-            miss_keys: list[tuple] = []
-            miss_features: list[FeatureVector] = []
-            for key, (fv, _, _) in zip(keys, profiles):
-                if key in curves:
-                    continue
-                cached = self._cache.get(key)
-                if cached is not None:
-                    curves[key] = cached
-                    hit_keys.add(key)
-                else:
-                    curves[key] = None
-                    miss_keys.append(key)
-                    miss_features.append(fv)
+            q = self.quantize_decimals
+            static = self._key_static
+            keys = [
+                (*static, round(fp, q), round(dram, q))
+                for fp, dram in zip(fp_col.tolist(), dram_col.tolist())
+            ]
+            slot_of: dict[tuple, int] = {}
+            slots = np.empty(n, dtype=np.intp)
+            first_row: list[int] = []
+            unique_keys: list[tuple] = []
+            for i, key in enumerate(keys):
+                slot = slot_of.get(key)
+                if slot is None:
+                    slot = len(unique_keys)
+                    slot_of[key] = slot
+                    unique_keys.append(key)
+                    first_row.append(i)
+                slots[i] = slot
+            cached = self._cache.get_many(unique_keys)
+            power_rows = [entry[0] if entry is not None else None for entry in cached]
+            unit_rows = [entry[1] if entry is not None else None for entry in cached]
+            miss_slots = [s for s, entry in enumerate(cached) if entry is None]
         t2 = _time.perf_counter()
 
-        # Stage 3 — one stacked forward pass per model for all misses.
-        with obs.span("serving.predict", misses=len(miss_keys)):
-            if miss_keys:
-                power_matrix = power_model.predict_power_many(
-                    miss_features, freqs, target_power_scale_w=scale
+        # Stage 3 — one fused engine pass over all missing curves.
+        with obs.span("serving.predict", misses=len(miss_slots)):
+            full_matrices = None
+            if miss_slots:
+                all_miss = len(miss_slots) == len(unique_keys)
+                miss_rows = (
+                    np.asarray(first_row, dtype=np.intp)
+                    if all_miss
+                    else np.array([first_row[s] for s in miss_slots], dtype=np.intp)
                 )
-                unit_time_matrix = time_model.predict_unit_time_many(miss_features, freqs)
+                power_matrix, unit_time_matrix = self._engine.infer(
+                    fp_col[miss_rows], dram_col[miss_rows]
+                )
                 # Responses and cache entries share these rows; freeze them so
                 # no consumer can corrupt a curve another request will reuse.
                 power_matrix.flags.writeable = False
                 unit_time_matrix.flags.writeable = False
-                for i, key in enumerate(miss_keys):
-                    entry = (power_matrix[i], unit_time_matrix[i])
-                    curves[key] = entry
-                    self._cache.put(key, entry)
+                if all_miss:
+                    # Cold-flush fast path: slot j is matrix row j, so the
+                    # scatter is a C-level row split instead of a Python loop.
+                    power_rows = list(power_matrix)
+                    unit_rows = list(unit_time_matrix)
+                    entries = list(zip(unique_keys, zip(power_rows, unit_rows)))
+                    full_matrices = (power_matrix, unit_time_matrix)
+                else:
+                    entries = []
+                    for j, slot in enumerate(miss_slots):
+                        power_rows[slot] = power_matrix[j]
+                        unit_rows[slot] = unit_time_matrix[j]
+                        entries.append((unique_keys[slot], (power_matrix[j], unit_time_matrix[j])))
+                self._cache.put_many(entries)
         t3 = _time.perf_counter()
 
-        # Stage 4 — energy + Algorithm 1, memoized per identical request.
+        # Stage 4 — energy + Algorithm 1, vectorized over deduped
+        # (curve, p_max, t_max) combos; objectives/threshold are flush
+        # constants, so the combo key replaces the old per-request memo.
         with obs.span("serving.select"):
-            objective_names = tuple(obj.name for obj in objectives)
-            memo: dict[tuple, ServiceResponse] = {}
-            responses: list[ServiceResponse] = []
-            for req, key, (fv, p_max, t_max) in zip(requests, keys, profiles):
-                memo_key = (key, p_max, t_max, threshold, objective_names)
-                prior = memo.get(memo_key)
-                if prior is not None:
-                    responses.append(replace(prior, name=req.name, features=fv))
-                    continue
-                power_curve, unit_time = curves[key]
-                time_curve = time_model.time_from_unit(unit_time, t_max)
-                energy_curve = energy_from_power_time(power_curve, time_curve)
-                selections = {
-                    obj.name: select_optimal_frequency(
-                        freqs, energy_curve, time_curve, objective=obj, threshold=threshold
-                    )
-                    for obj in objectives
-                }
-                response = ServiceResponse(
-                    name=req.name,
-                    freqs_mhz=freqs,
-                    features=fv,
-                    measured_power_at_max_w=p_max,
-                    measured_time_at_max_s=t_max if t_max is not None else 0.0,
-                    power_w=power_curve,
-                    time_s=time_curve,
-                    energy_j=energy_curve,
-                    selections=selections,
-                    from_cache=key in hit_keys,
+            combo_of: dict[tuple, int] = {}
+            combo_col = np.empty(n, dtype=np.intp)
+            combo_slot: list[int] = []
+            combo_t_max: list[float | None] = []
+            for i in range(n):
+                ck = (int(slots[i]), p_max_col[i], t_max_col[i])
+                combo = combo_of.get(ck)
+                if combo is None:
+                    combo = len(combo_slot)
+                    combo_of[ck] = combo
+                    combo_slot.append(int(slots[i]))
+                    combo_t_max.append(t_max_col[i])
+                combo_col[i] = combo
+            if (
+                full_matrices is not None
+                and len(combo_slot) == n
+                and combo_slot == list(range(n))
+            ):
+                # All requests distinct and uncached: the combo matrices ARE
+                # the engine outputs — skip the per-row restack entirely.
+                power_c, unit_c = full_matrices
+            else:
+                power_c = np.stack([power_rows[s] for s in combo_slot])
+                unit_c = np.stack([unit_rows[s] for s in combo_slot])
+            if time_model.target == "relative":
+                if any(t is None for t in combo_t_max):
+                    raise ValueError("time_at_max_s is required for the relative time target")
+                time_c = unit_c * np.asarray(combo_t_max, dtype=float)[:, None]
+            else:
+                time_c = unit_c
+            energy_c = energy_from_power_time(power_c, time_c)
+            selections_c: list[dict[str, SelectionResult]] = [{} for _ in combo_slot]
+            for obj in objectives:
+                results = select_optimal_frequency_many(
+                    freqs, energy_c, time_c, objective=obj, threshold=threshold
                 )
-                memo[memo_key] = response
-                responses.append(response)
+                for combo, result in enumerate(results):
+                    selections_c[combo][obj.name] = result
+            responses: list[ServiceResponse] = []
+            for i, req in enumerate(requests):
+                combo = combo_col[i]
+                slot = combo_slot[combo]
+                t_max = t_max_col[i]
+                responses.append(
+                    ServiceResponse(
+                        name=req.name,
+                        freqs_mhz=freqs,
+                        features=features_col[i],
+                        measured_power_at_max_w=p_max_col[i],
+                        measured_time_at_max_s=t_max if t_max is not None else 0.0,
+                        power_w=power_rows[slot],
+                        time_s=time_c[combo],
+                        energy_j=energy_c[combo],
+                        selections=selections_c[combo],
+                        from_cache=cached[slot] is not None,
+                    )
+                )
         t4 = _time.perf_counter()
 
-        self._m_requests.inc(len(requests))
+        self._m_requests.inc(n)
         self._m_batches.inc()
         self._m_measured.inc(measured)
-        self._m_curves.inc(len(miss_keys))
-        self._m_max_batch.set_max(len(requests))
+        self._m_curves.inc(len(miss_slots))
+        self._m_max_batch.set_max(n)
         self._m_stage["measure"].observe(t1 - t0)
         self._m_stage["lookup"].observe(t2 - t1)
         self._m_stage["predict"].observe(t3 - t2)
         self._m_stage["select"].observe(t4 - t3)
-        flush_span.set(hits=len(hit_keys), curves_computed=len(miss_keys))
+        flush_span.set(
+            hits=len(unique_keys) - len(miss_slots), curves_computed=len(miss_slots)
+        )
         return responses
 
     # ------------------------------------------------------------------
@@ -563,4 +667,5 @@ class SelectionService:
                 predict_s=stage_latency["predict"].sum,
                 select_s=stage_latency["select"].sum,
                 stage_latency=stage_latency,
+                engine=self._engine.mode,
             )

@@ -10,6 +10,7 @@ bitwise bar per request.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -104,6 +105,55 @@ class TestSubmit:
         assert not errors
         # 3 initial + 6 threads * 5 rounds * 3 requests
         assert service.stats().requests == 3 + 6 * 5 * 3
+
+
+class _RecordingService:
+    """select_many stub that records batch sizes and simulates flush cost."""
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        self.delay_s = delay_s
+        self.batches: list[int] = []
+
+    def select_many(self, requests):
+        self.batches.append(len(requests))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return list(requests)
+
+
+class TestBurstLatency:
+    def test_burst_drains_all_pending_per_wakeup(self):
+        """A burst queued during a slow flush drains in back-to-back
+        max_batch_size chunks — paying the batch window once, not once
+        per chunk (and never once per request)."""
+        service = _RecordingService(delay_s=0.5)
+        batcher = MicroBatcher(service, max_batch_size=4, batch_window_s=0.05)
+        try:
+            start = time.monotonic()
+            first = batcher.submit("warm")
+            time.sleep(0.2)  # lands mid-flush of the first batch
+            burst = [batcher.submit(i) for i in range(6)]
+            for f in (first, *burst):
+                f.result(timeout=10)
+            elapsed = time.monotonic() - start
+        finally:
+            batcher.close()
+        assert service.batches == [1, 4, 2]
+        # 3 flushes + one window; a per-request dispatcher would need
+        # 7 x 0.5s of flush time alone.
+        assert elapsed < 2.5
+
+    def test_full_batch_skips_window_wait(self):
+        """Once the batch is full, waiting out the window is pure latency."""
+        service = _RecordingService()
+        batcher = MicroBatcher(service, max_batch_size=2, batch_window_s=30.0)
+        try:
+            futures = [batcher.submit(i) for i in range(2)]
+            for f in futures:
+                f.result(timeout=10)
+        finally:
+            batcher.close()
+        assert service.batches == [2]
 
 
 class TestLifecycle:

@@ -8,6 +8,7 @@ tolerances.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.dataset import features_at_max
@@ -156,6 +157,46 @@ class TestDedupAndCache:
         stats = service.stats()
         assert stats.cache_entries == 1
         assert stats.cache_evictions == 2
+
+
+class TestFusedService:
+    """The opt-in fast engine: 1e-9 curve closeness, identical decisions."""
+
+    @pytest.fixture()
+    def profiled(self, quiet_pipeline):
+        requests = []
+        for name in ("lammps", "lstm", "resnet50"):
+            fv, p_max, t_max = features_at_max(quiet_pipeline.device, get_workload(name))
+            requests.append(
+                SelectionRequest.from_features(fv, t_max, power_at_max_w=p_max, name=name)
+            )
+        return requests
+
+    def test_fused_matches_exact_within_1e9(self, quiet_pipeline, profiled):
+        exact = SelectionService(quiet_pipeline).select_many(profiled)
+        fused = SelectionService(quiet_pipeline, fused=True).select_many(profiled)
+        for got, want in zip(fused, exact):
+            np.testing.assert_allclose(got.power_w, want.power_w, rtol=1e-9, atol=0.0)
+            np.testing.assert_allclose(got.time_s, want.time_s, rtol=1e-9, atol=0.0)
+            np.testing.assert_allclose(got.energy_j, want.energy_j, rtol=1e-9, atol=0.0)
+            for name, sel in want.selections.items():
+                assert got.selections[name].freq_mhz == sel.freq_mhz
+                assert got.selections[name].index == sel.index
+
+    def test_stats_report_engine_mode(self, quiet_pipeline):
+        assert SelectionService(quiet_pipeline).stats().engine == "exact"
+        assert SelectionService(quiet_pipeline, fused=True).stats().engine == "fused"
+
+    def test_clear_cache_forces_recompute(self, quiet_pipeline, profiled):
+        service = SelectionService(quiet_pipeline)
+        first = service.select_many(profiled)
+        service.clear_cache()
+        assert service.stats().cache_entries == 0
+        again = service.select_many(profiled)
+        assert all(not r.from_cache for r in again)
+        # Same engine, same weights: the recompute is bitwise-stable.
+        for a, b in zip(again, first):
+            assert_online_results_identical(b.to_online_result(), a.to_online_result())
 
 
 class TestRequestValidation:
