@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Regenerate the fleet golden metrics files.
+
+Run after an *intentional* change to the fleet simulator, the cluster
+engine, the serving layer, or anything else on the campaign path::
+
+    PYTHONPATH=src:. python scripts/regen_fleet_golden.py
+
+then review the diff of ``tests/golden/golden_fleet_*.json`` — every
+changed value is a behaviour change you are signing off on.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from tests.golden.fleet_scenarios import write_goldens  # noqa: E402
+
+
+def main() -> None:
+    for path in write_goldens():
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

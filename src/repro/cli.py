@@ -20,6 +20,12 @@ Mirrors how the paper's framework is operated:
 ``repro serve``
     Service loop: read JSON-lines requests from a file or stdin, answer
     each with the selected frequencies, print service stats at the end.
+``repro fleet``
+    Run one named fleet scenario (``baseline``, ``capped``,
+    ``flash-crowd``, ``node-churn``, ``day``) through the
+    :mod:`repro.fleet` simulator: hundreds of GPUs, stochastic
+    arrivals, per-node selection services, facility power capping and
+    failure injection — bitwise-reproducible from (scenario, seed).
 ``repro experiment``
     Regenerate one paper figure/table and print it.
 ``repro obs``
@@ -158,6 +164,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1, help="inference worker processes (1 = in-process)"
     )
     p_serve.add_argument("--stats", action="store_true", help="print service stats to stderr")
+
+    p_fleet = sub.add_parser("fleet", help="run a named fleet scenario")
+    p_fleet.add_argument(
+        "--scenario", default="baseline", help="named scenario (see --list)"
+    )
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument(
+        "--out", metavar="PATH", default=None, help="write the fleet metrics JSON here"
+    )
+    p_fleet.add_argument(
+        "--rate-factor", type=float, default=1.0, help="scale the arrival rate"
+    )
+    p_fleet.add_argument(
+        "--duration-factor", type=float, default=1.0, help="scale the submission window"
+    )
+    p_fleet.add_argument(
+        "--list", action="store_true", help="list named scenarios and exit"
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper figure/table")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -511,6 +535,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import FleetSimulator, get_scenario, list_scenarios
+
+    if args.list:
+        for scenario in list_scenarios():
+            print(
+                f"{scenario.name:12s} {scenario.n_nodes:3d} nodes / "
+                f"{scenario.n_gpus:3d} GPUs  {scenario.description}"
+            )
+        return 0
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    scenario = scenario.scaled(
+        rate_factor=args.rate_factor, duration_factor=args.duration_factor
+    )
+    result = FleetSimulator(scenario, seed=args.seed).run()
+    metrics = result.metrics()
+    obs.annotate(fleet_metrics=metrics)
+    print(f"scenario          {metrics['scenario']} (seed {metrics['seed']})")
+    print(f"fleet             {metrics['nodes']} nodes / {metrics['gpus']} GPUs")
+    print(f"jobs              {metrics['jobs_completed']}/{metrics['jobs_submitted']} completed")
+    print(f"makespan          {metrics['makespan_s']:.1f} s")
+    print(f"energy            {metrics['total_energy_j'] / 1e6:.3f} MJ "
+          f"(+{metrics['wasted_energy_j'] / 1e3:.1f} kJ wasted)")
+    print(f"power             avg {metrics['avg_power_w']:.0f} W / peak {metrics['peak_power_w']:.0f} W")
+    print(f"wait              mean {metrics['mean_wait_s']:.2f} s / p95 {metrics['p95_wait_s']:.2f} s")
+    print(f"SLA               {metrics['deadline_met']}/{metrics['deadline_jobs']} deadlines met "
+          f"({metrics['deadline_met_fraction']:.1%})")
+    print(f"selections        {metrics['selections_total']} "
+          f"(cache hit rate {metrics['selection_cache_hit_rate']:.1%})")
+    print(f"disruptions       {metrics['outages_injected']} outages, "
+          f"{metrics['requeues']} requeues, {metrics['deferrals']} deferrals, "
+          f"{metrics['capped_jobs']} capped")
+    if args.out:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+        print(f"metrics written to {target}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -642,6 +712,7 @@ _DISPATCH = {
     "predict": _cmd_predict,
     "select": _cmd_select,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "experiment": _cmd_experiment,
     "obs": _cmd_obs,
     "check": _cmd_check,

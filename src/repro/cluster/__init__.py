@@ -9,27 +9,53 @@ compound into megawatts.  This package closes that loop:
   :class:`~repro.gpusim.device.SimulatedGPU`,
 * :mod:`~repro.cluster.policy` — per-job clock policies: the default
   boost clock, a static cap, and the paper's model-driven ED2P policy,
+* :mod:`~repro.cluster.engine` — the discrete-event engine: event
+  queue + tick loop, admission control, node-outage injection,
 * :mod:`~repro.cluster.scheduler` — an event-driven FIFO scheduler that
   places jobs on free GPUs under the chosen policy,
 * :mod:`~repro.cluster.metrics` — makespan, energy, and power-series
   accounting for a completed schedule.
 """
 
+from repro.cluster.engine import (
+    AdmissionControl,
+    ClusterEngine,
+    EngineResult,
+    EngineStats,
+    NodeOutage,
+    TickView,
+)
 from repro.cluster.job import Job, JobRecord
-from repro.cluster.metrics import ClusterReport, summarize
+from repro.cluster.metrics import ClusterReport, power_series, summarize
 from repro.cluster.node import GPUNode
-from repro.cluster.policy import ClockPolicy, DefaultClockPolicy, ModelDrivenPolicy, StaticClockPolicy
+from repro.cluster.policy import (
+    ClockDecision,
+    ClockPolicy,
+    DefaultClockPolicy,
+    ModelDrivenPolicy,
+    ServiceDrivenPolicy,
+    StaticClockPolicy,
+)
 from repro.cluster.scheduler import FIFOScheduler
 
 __all__ = [
     "Job",
     "JobRecord",
     "GPUNode",
+    "AdmissionControl",
+    "ClusterEngine",
+    "EngineResult",
+    "EngineStats",
+    "NodeOutage",
+    "TickView",
+    "ClockDecision",
     "ClockPolicy",
     "DefaultClockPolicy",
     "StaticClockPolicy",
     "ModelDrivenPolicy",
+    "ServiceDrivenPolicy",
     "FIFOScheduler",
     "ClusterReport",
+    "power_series",
     "summarize",
 ]

@@ -1,0 +1,459 @@
+"""Event-queue cluster engine with a tick loop.
+
+The engine generalises the original upfront-greedy FIFO placement into
+a discrete-event simulation: arrivals, completions, node outages and
+periodic ticks are all entries in one time-ordered event heap, and
+placement happens at event times onto the earliest-free board.  For a
+plain FIFO campaign (no failures, no admission control) the placement
+sequence — and therefore every per-board RNG stream and every record —
+is identical to the historical :class:`~repro.cluster.scheduler.FIFOScheduler`.
+
+On top of that base the engine adds the hooks the fleet layer needs:
+
+* **admission control** — an :class:`AdmissionControl` may lower a
+  job's clock or defer it entirely (facility power capping),
+* **failure injection** — :class:`NodeOutage` windows kill a node
+  mid-campaign; in-flight attempts are aborted (their partial energy is
+  accounted as ``wasted_energy_j``) and their jobs requeued,
+* **tick loop** — an optional fixed-period tick drives time-based
+  callbacks (fleet power sampling, queue depth metrics).
+
+Determinism: the engine itself draws no random numbers.  All stochastic
+state lives in the per-board device RNGs (seeded by the node's
+SeedSequence lineage) and in whatever process generated the job list,
+so equal inputs give bitwise-equal outputs.  Internal heaps are keyed
+by ``node_id`` — never by list position — so results are invariant to
+the iteration order of the ``nodes`` argument.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
+
+from repro import obs
+from repro.cluster.job import Job, JobRecord
+from repro.cluster.node import GPUNode
+from repro.cluster.policy import ClockDecision, ClockPolicy
+
+__all__ = [
+    "AdmissionControl",
+    "ClusterEngine",
+    "EngineResult",
+    "EngineStats",
+    "NodeOutage",
+    "TickView",
+]
+
+# Event kind priorities: events sharing a timestamp are processed in
+# this order (finishes free boards before a node drops; a node drops
+# before it returns; arrivals land last so same-instant completions are
+# already visible; ticks observe the settled state).
+_FINISH = 0
+_DOWN = 1
+_UP = 2
+_ARRIVAL = 3
+_TICK = 4
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One node-loss window: down at ``down_s``, back at ``up_s``.
+
+    ``up_s`` of None means the node never returns.
+    """
+
+    node_id: int
+    down_s: float
+    up_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.down_s < 0:
+            raise ValueError("down_s must be non-negative")
+        if self.up_s is not None and self.up_s <= self.down_s:
+            raise ValueError("up_s must be after down_s")
+
+
+class AdmissionControl(ABC):
+    """Gate applied between the clock policy and placement.
+
+    ``admit`` may return the decision unchanged, a re-pinned (slower)
+    decision, or None to defer the job until capacity frees up.  The
+    engine reports starts and finishes so the controller can track the
+    power it has committed.
+    """
+
+    @abstractmethod
+    def admit(self, now_s: float, job: Job, decision: ClockDecision) -> ClockDecision | None:
+        """Decision to place with, or None to defer the job."""
+
+    def on_start(self, now_s: float, job: Job, decision: ClockDecision) -> None:
+        """Job placed with ``decision`` at ``now_s``."""
+
+    def on_finish(self, now_s: float, job: Job, decision: ClockDecision) -> None:
+        """Job (or aborted attempt) released its reservation."""
+
+
+@dataclass
+class _Attempt:
+    """One placement attempt of a job on a board."""
+
+    job: Job
+    node_id: int
+    gpu_index: int
+    decision: ClockDecision
+    start_s: float
+    end_s: float
+    energy_j: float
+    mean_power_w: float
+    aborted: bool = False
+
+
+@dataclass
+class _NodeState:
+    node: GPUNode
+    alive: bool = True
+    #: Bumped on every down/up transition; idle-board heap entries from
+    #: older epochs are stale and dropped lazily.
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class TickView:
+    """Snapshot handed to the tick callback."""
+
+    now_s: float
+    running: int
+    pending: int
+    #: Instantaneous busy power of all in-flight attempts (W).
+    busy_power_w: float
+    nodes_alive: int
+
+
+@dataclass
+class EngineStats:
+    """Bookkeeping beyond the job records."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    #: Placement attempts killed by node failures.
+    aborted_attempts: int = 0
+    #: Jobs pushed back to the queue after a failure (= aborted attempts).
+    requeues: int = 0
+    #: Admission-control deferrals (a job can defer many times).
+    deferrals: int = 0
+    #: Energy burnt by aborted attempts (J); NOT included in any record,
+    #: so sum(record energies) stays the exact useful-work energy.
+    wasted_energy_j: float = 0.0
+    ticks: int = 0
+    sim_end_s: float = 0.0
+
+
+@dataclass
+class EngineResult:
+    """Completed campaign: records in completion order plus stats."""
+
+    records: list[JobRecord] = field(default_factory=list)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+
+class ClusterEngine:
+    """Discrete-event scheduler over a set of multi-GPU nodes."""
+
+    def __init__(
+        self,
+        nodes: list[GPUNode],
+        policy: ClockPolicy,
+        *,
+        admission: AdmissionControl | None = None,
+        outages: tuple[NodeOutage, ...] | list[NodeOutage] = (),
+        tick_s: float | None = None,
+        on_tick: Callable[[TickView], None] | None = None,
+        max_backfill: int = 32,
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        if tick_s is not None and tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        if max_backfill < 1:
+            raise ValueError("max_backfill must be >= 1")
+        self._states: dict[int, _NodeState] = {}
+        for node in nodes:
+            if node.node_id in self._states:
+                raise ValueError(f"duplicate node_id {node.node_id}")
+            self._states[node.node_id] = _NodeState(node)
+        for outage in outages:
+            if outage.node_id not in self._states:
+                raise ValueError(f"outage for unknown node_id {outage.node_id}")
+        self.policy = policy
+        self.admission = admission
+        self.outages = tuple(outages)
+        self.tick_s = tick_s
+        self.on_tick = on_tick
+        self.max_backfill = max_backfill
+        registry = obs.get_registry()
+        self._m_jobs = registry.counter("cluster_jobs_total", "jobs scheduled")
+        self._m_decide = registry.histogram(
+            "cluster_decide_seconds", "per-job clock-policy decision latency"
+        )
+
+    # -- run -----------------------------------------------------------
+
+    def run(self, jobs: list[Job]) -> EngineResult:
+        """Simulate the campaign; returns records and stats.
+
+        Records are sorted by (end_s, job_id).  Each submitted job
+        yields exactly one record (its successful attempt); energy of
+        failure-aborted attempts is tracked in ``stats.wasted_energy_j``.
+        """
+        result = EngineResult()
+        result.stats.jobs_submitted = len(jobs)
+        if not jobs and not self.tick_s:
+            return result
+
+        # Event heap entries: (time_s, priority, seq, payload).
+        self._events: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+        #: Non-tick events outstanding (arrivals/finishes/outages).
+        self._real_events = 0
+        # Pending (arrived, unplaced) jobs in FIFO order.
+        self._pending: list[tuple[float, int, Job]] = []
+        # Idle boards: (free_at_s, node_id, gpu_index, epoch).
+        self._idle: list[tuple[float, int, int, int]] = []
+        self._running: dict[int, _Attempt] = {}
+        self._attempt_seq = 0
+        self._attempts_of: dict[int, int] = {}
+        # Policy decisions of deferred jobs, kept per architecture so an
+        # admission-control retry does not re-run model inference every
+        # event round.  Dropped when the job is placed, so a
+        # failure-requeued job is decided afresh on its next attempt.
+        self._decision_cache: dict[int, dict[str, ClockDecision]] = {}
+
+        for state in self._states.values():
+            state.alive = True
+            state.epoch = 0
+            for g in range(len(state.node)):
+                heapq.heappush(self._idle, (0.0, state.node.node_id, g, 0))
+
+        ordered = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
+        with obs.span("cluster.prepare", jobs=len(ordered), policy=self.policy.name):
+            self.policy.prepare(ordered)
+        for job in ordered:
+            self._push_event(job.arrival_s, _ARRIVAL, job)
+        for outage in self.outages:
+            self._push_event(outage.down_s, _DOWN, outage)
+            if outage.up_s is not None:
+                self._push_event(outage.up_s, _UP, outage)
+        if self.tick_s is not None:
+            self._push_event(0.0, _TICK, None)
+
+        while self._events:
+            now = self._events[0][0]
+            # Drain every event sharing this timestamp before placing,
+            # so simultaneous completions compete fairly for the queue.
+            while self._events and self._events[0][0] <= now:
+                _, prio, _, payload = heapq.heappop(self._events)
+                if prio != _TICK:
+                    self._real_events -= 1
+                if prio == _FINISH:
+                    self._on_finish(now, payload, result)
+                elif prio == _DOWN:
+                    self._on_down(now, payload, result)
+                elif prio == _UP:
+                    self._on_up(now, payload)
+                elif prio == _ARRIVAL:
+                    heapq.heappush(self._pending, (payload.arrival_s, payload.job_id, payload))
+                else:
+                    self._on_tick(now, result)
+            self._place(now, result)
+            if self._pending and not self._running and self._real_events == 0:
+                raise RuntimeError(
+                    f"engine stalled at t={now:.3f}s with {len(self._pending)} "
+                    "pending jobs and no capacity coming back"
+                )
+            result.stats.sim_end_s = max(result.stats.sim_end_s, now)
+
+        if self._pending:
+            raise RuntimeError(f"{len(self._pending)} jobs never placed")
+        result.records.sort(key=lambda r: (r.end_s, r.job_id))
+        result.stats.jobs_completed = len(result.records)
+        return result
+
+    # -- event handlers ------------------------------------------------
+
+    def _push_event(self, time_s: float, prio: int, payload: object) -> None:
+        heapq.heappush(self._events, (time_s, prio, self._seq, payload))
+        self._seq += 1
+        if prio != _TICK:
+            self._real_events += 1
+
+    def _on_finish(self, now: float, attempt_id: int, result: EngineResult) -> None:
+        attempt = self._running.get(attempt_id)
+        if attempt is None or attempt.aborted:
+            return
+        del self._running[attempt_id]
+        job = attempt.job
+        state = self._states[attempt.node_id]
+        heapq.heappush(self._idle, (now, attempt.node_id, attempt.gpu_index, state.epoch))
+        if self.admission is not None:
+            self.admission.on_finish(now, job, attempt.decision)
+        result.records.append(
+            JobRecord(
+                job_id=job.job_id,
+                workload=job.workload.name,
+                node_id=attempt.node_id,
+                gpu_index=attempt.gpu_index,
+                clock_mhz=attempt.decision.clock_mhz,
+                arrival_s=job.arrival_s,
+                start_s=attempt.start_s,
+                end_s=attempt.end_s,
+                energy_j=attempt.energy_j,
+                mean_power_w=attempt.mean_power_w,
+                attempts=self._attempts_of.get(job.job_id, 1),
+                deadline_s=job.deadline_s,
+            )
+        )
+
+    def _on_down(self, now: float, outage: NodeOutage, result: EngineResult) -> None:
+        state = self._states[outage.node_id]
+        if not state.alive:
+            return
+        state.alive = False
+        state.epoch += 1
+        # Abort in-flight attempts on this node and requeue their jobs
+        # at their ORIGINAL arrival time — a disrupted job keeps its
+        # queue seniority, and its SLA keeps hurting.
+        for attempt_id in sorted(self._running):
+            attempt = self._running[attempt_id]
+            if attempt.node_id != outage.node_id or attempt.aborted:
+                continue
+            attempt.aborted = True
+            del self._running[attempt_id]
+            burnt = attempt.mean_power_w * max(0.0, now - attempt.start_s)
+            result.stats.wasted_energy_j += min(burnt, attempt.energy_j)
+            result.stats.aborted_attempts += 1
+            result.stats.requeues += 1
+            job = attempt.job
+            self._attempts_of[job.job_id] = self._attempts_of.get(job.job_id, 1) + 1
+            heapq.heappush(self._pending, (job.arrival_s, job.job_id, job))
+            if self.admission is not None:
+                self.admission.on_finish(now, job, attempt.decision)
+
+    def _on_up(self, now: float, outage: NodeOutage) -> None:
+        state = self._states[outage.node_id]
+        if state.alive:
+            return
+        state.alive = True
+        state.epoch += 1
+        for g in range(len(state.node)):
+            heapq.heappush(self._idle, (now, outage.node_id, g, state.epoch))
+
+    def _on_tick(self, now: float, result: EngineResult) -> None:
+        result.stats.ticks += 1
+        if self.on_tick is not None:
+            self.on_tick(
+                TickView(
+                    now_s=now,
+                    running=len(self._running),
+                    pending=len(self._pending),
+                    busy_power_w=sum(a.mean_power_w for a in self._running.values()),
+                    nodes_alive=sum(1 for s in self._states.values() if s.alive),
+                )
+            )
+        # Keep ticking while anything can still happen; otherwise let
+        # the heap drain so the run terminates.
+        if self._running or self._real_events > 0 or self._pending:
+            self._push_event(now + self.tick_s, _TICK, None)
+
+    # -- placement -----------------------------------------------------
+
+    def _next_idle(self) -> tuple[float, int, int] | None:
+        """Valid earliest-free idle board, dropping stale heap entries."""
+        while self._idle:
+            free_at, node_id, gpu_idx, epoch = self._idle[0]
+            state = self._states[node_id]
+            if not state.alive or epoch != state.epoch:
+                heapq.heappop(self._idle)
+                continue
+            return free_at, node_id, gpu_idx
+        return None
+
+    def _place(self, now: float, result: EngineResult) -> None:
+        """FIFO placement of pending jobs onto idle boards at ``now``.
+
+        With admission control a deferred head does not block the whole
+        queue: up to ``max_backfill`` later jobs are considered before
+        the round ends (deferred jobs keep their queue position).
+        """
+        deferred: list[tuple[float, int, Job]] = []
+        while self._pending and len(deferred) < self.max_backfill:
+            board = self._next_idle()
+            if board is None:
+                break
+            _, node_id, gpu_idx = board
+            entry = heapq.heappop(self._pending)
+            job = entry[2]
+            device = self._states[node_id].node.gpu(gpu_idx)
+
+            arch_key = device.arch.name
+            cached = self._decision_cache.get(job.job_id, {})
+            decision = cached.get(arch_key)
+            if decision is None:
+                t_decide = perf_counter()
+                with obs.span("cluster.decide", job=job.job_id, workload=job.workload.name):
+                    decision = self.policy.decide(job, device)
+                self._m_decide.observe(perf_counter() - t_decide)
+
+            if self.admission is not None:
+                admitted = self.admission.admit(now, job, decision)
+                if admitted is None:
+                    result.stats.deferrals += 1
+                    self._decision_cache.setdefault(job.job_id, {})[arch_key] = decision
+                    deferred.append(entry)
+                    continue
+                decision = admitted
+
+            self._decision_cache.pop(job.job_id, None)
+            clock = device.dvfs.snap(decision.clock_mhz)
+            heapq.heappop(self._idle)
+            with obs.span(
+                "cluster.place",
+                job=job.job_id,
+                node=node_id,
+                gpu=gpu_idx,
+                clock_mhz=clock,
+            ):
+                device.set_sm_clock(clock)
+                run = device.run(job.workload.census(job.size), workload_name=job.workload.name)
+                device.reset_clocks()
+            self._m_jobs.inc()
+
+            decision = ClockDecision(
+                clock_mhz=clock,
+                freqs_mhz=decision.freqs_mhz,
+                power_curve_w=decision.power_curve_w,
+                time_curve_s=decision.time_curve_s,
+                predicted_power_w=decision.predicted_power_w,
+                predicted_time_s=decision.predicted_time_s,
+                capped=decision.capped,
+            )
+            attempt = _Attempt(
+                job=job,
+                node_id=node_id,
+                gpu_index=gpu_idx,
+                decision=decision,
+                start_s=now,
+                end_s=now + run.exec_time_s,
+                energy_j=run.energy_j,
+                mean_power_w=run.mean_power_w,
+            )
+            self._running[self._attempt_seq] = attempt
+            self._push_event(attempt.end_s, _FINISH, self._attempt_seq)
+            self._attempt_seq += 1
+            if self.admission is not None:
+                self.admission.on_start(now, job, decision)
+        for entry in deferred:
+            heapq.heappush(self._pending, entry)

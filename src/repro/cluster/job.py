@@ -19,12 +19,17 @@ class Job:
     arrival_s: float = 0.0
     #: Optional workload size override.
     size: int | None = None
+    #: Optional completion deadline (absolute simulation time, seconds);
+    #: None means the job carries no SLA.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.job_id < 0:
             raise ValueError("job_id must be non-negative")
         if self.arrival_s < 0:
             raise ValueError("arrival_s must be non-negative")
+        if self.deadline_s is not None and self.deadline_s < self.arrival_s:
+            raise ValueError("deadline_s must not precede arrival_s")
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,11 @@ class JobRecord:
     end_s: float
     energy_j: float
     mean_power_w: float
+    #: Placement attempts consumed (1 = first try; >1 means the job was
+    #: requeued after a node failure killed an earlier attempt).
+    attempts: int = 1
+    #: Deadline carried over from the job (None = no SLA).
+    deadline_s: float | None = None
 
     @property
     def duration_s(self) -> float:
@@ -52,3 +62,10 @@ class JobRecord:
     def wait_s(self) -> float:
         """Queue wait before the job started."""
         return self.start_s - self.arrival_s
+
+    @property
+    def met_deadline(self) -> bool | None:
+        """Whether the job finished by its deadline (None without one)."""
+        if self.deadline_s is None:
+            return None
+        return self.end_s <= self.deadline_s

@@ -38,29 +38,60 @@ class ClusterReport:
         return self.makespan_s / baseline.makespan_s - 1.0
 
 
-def power_series(records: list[JobRecord], *, resolution_s: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+def power_series(
+    records: list[JobRecord], *, resolution_s: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
     """(timestamps, aggregate busy power) sampled on a fixed grid.
 
-    Each job contributes its mean power over [start, end); the series is
-    what a facility meter would see from the GPU partition (minus idle).
+    Bin ``i`` covers ``[t[i], t[i] + resolution_s)`` and reports the
+    mean power the facility meter would integrate over that window:
+    each job deposits ``energy_j × overlap/duration`` into every bin it
+    overlaps, so the series integral (``sum(p) * resolution_s``) equals
+    total job energy regardless of how jobs straddle bin boundaries.
+    Zero-duration jobs deposit their whole energy as an impulse into
+    the bin containing their start.  An empty record list yields two
+    empty arrays.
     """
-    if not records:
-        raise ValueError("no records")
     if resolution_s <= 0:
         raise ValueError("resolution_s must be positive")
+    if not records:
+        return np.zeros(0), np.zeros(0)
     end = max(r.end_s for r in records)
     t = np.arange(0.0, end + resolution_s, resolution_s)
     p = np.zeros_like(t)
+    last = len(t) - 1
     for r in records:
-        mask = (t >= r.start_s) & (t < r.end_s)
-        p[mask] += r.mean_power_w
+        duration = r.end_s - r.start_s
+        first_bin = min(last, max(0, int(r.start_s / resolution_s)))
+        if duration <= 0:
+            p[first_bin] += r.energy_j / resolution_s
+            continue
+        last_bin = min(last, max(0, int(np.ceil(r.end_s / resolution_s)) - 1))
+        for b in range(first_bin, last_bin + 1):
+            lo = b * resolution_s
+            overlap = min(r.end_s, lo + resolution_s) - max(r.start_s, lo)
+            if overlap > 0:
+                p[b] += r.energy_j * (overlap / duration) / resolution_s
     return t, p
 
 
 def summarize(policy_name: str, records: list[JobRecord]) -> ClusterReport:
-    """Build the aggregate report for one schedule."""
+    """Build the aggregate report for one schedule.
+
+    An empty record list summarises to an all-zero report (a campaign
+    that scheduled nothing), so callers can aggregate per-window or
+    per-node slices without special-casing quiet slices.
+    """
     if not records:
-        raise ValueError("no records to summarise")
+        return ClusterReport(
+            policy=policy_name,
+            n_jobs=0,
+            makespan_s=0.0,
+            total_energy_j=0.0,
+            mean_job_wait_s=0.0,
+            avg_power_w=0.0,
+            peak_power_w=0.0,
+        )
     makespan = max(r.end_s for r in records)
     energy = sum(r.energy_j for r in records)
     _, series = power_series(records)
@@ -71,5 +102,5 @@ def summarize(policy_name: str, records: list[JobRecord]) -> ClusterReport:
         total_energy_j=energy,
         mean_job_wait_s=float(np.mean([r.wait_s for r in records])),
         avg_power_w=energy / makespan if makespan > 0 else 0.0,
-        peak_power_w=float(series.max()),
+        peak_power_w=float(series.max()) if series.size else 0.0,
     )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.device import SimulatedGPU
 
@@ -12,7 +14,11 @@ class GPUNode:
     """One host with ``gpus_per_node`` independent simulated GPUs.
 
     Each GPU gets its own seeded RNG stream so node-level results are
-    reproducible but boards are not artificially correlated.
+    reproducible but boards are not artificially correlated.  An integer
+    ``seed`` derives per-board seeds arithmetically (the historical
+    behaviour); a :class:`numpy.random.SeedSequence` seed spawns one
+    child per board, plugging the node into a fleet-wide seed lineage
+    (the ``telemetry.parallel`` pattern at node granularity).
     """
 
     def __init__(
@@ -21,7 +27,7 @@ class GPUNode:
         arch: GPUArchitecture,
         *,
         gpus_per_node: int = 4,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
         max_samples_per_run: int = 8,
     ) -> None:
         if node_id < 0:
@@ -30,13 +36,13 @@ class GPUNode:
             raise ValueError("gpus_per_node must be >= 1")
         self.node_id = node_id
         self.arch = arch
+        if isinstance(seed, np.random.SeedSequence):
+            board_seeds: list[int | np.random.SeedSequence] = list(seed.spawn(gpus_per_node))
+        else:
+            board_seeds = [seed * 1000 + node_id * 100 + i for i in range(gpus_per_node)]
         self.gpus = [
-            SimulatedGPU(
-                arch,
-                seed=seed * 1000 + node_id * 100 + i,
-                max_samples_per_run=max_samples_per_run,
-            )
-            for i in range(gpus_per_node)
+            SimulatedGPU(arch, seed=board_seed, max_samples_per_run=max_samples_per_run)
+            for board_seed in board_seeds
         ]
 
     def __len__(self) -> int:

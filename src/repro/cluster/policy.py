@@ -17,19 +17,65 @@ three built-ins cover the operational spectrum:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.energy import ED2P, ObjectiveFunction
 from repro.core.pipeline import FrequencySelectionPipeline
 from repro.cluster.job import Job
 from repro.gpusim.device import SimulatedGPU
+from repro.units import MHz, MHzArray, Seconds, SecondsArray, Watts, WattsArray
 
 __all__ = [
+    "ClockDecision",
     "ClockPolicy",
     "DefaultClockPolicy",
     "StaticClockPolicy",
     "ModelDrivenPolicy",
     "ServiceDrivenPolicy",
 ]
+
+
+@dataclass(frozen=True)
+class ClockDecision:
+    """One placement decision, optionally with its predicted curves.
+
+    ``clock_mhz`` is all a plain policy produces.  Model-backed policies
+    additionally expose the predicted power/time curves over the design
+    space so admission control (facility power capping) can re-derive a
+    slower admissible clock without another model inference.
+    """
+
+    clock_mhz: MHz
+    freqs_mhz: MHzArray | None = None
+    power_curve_w: WattsArray | None = None
+    time_curve_s: SecondsArray | None = None
+    #: Predicted board power / exec time at ``clock_mhz`` (None when the
+    #: policy has no model behind it).
+    predicted_power_w: Watts | None = None
+    predicted_time_s: Seconds | None = None
+    #: True when an admission controller lowered the policy's clock.
+    capped: bool = False
+
+    def at_clock(self, clock_mhz: float, *, capped: bool = False) -> "ClockDecision":
+        """This decision re-pinned to another clock on the same curves."""
+        power = time = None
+        if self.freqs_mhz is not None:
+            idx = int(np.argmin(np.abs(np.asarray(self.freqs_mhz) - clock_mhz)))
+            if self.power_curve_w is not None:
+                power = float(np.asarray(self.power_curve_w)[idx])
+            if self.time_curve_s is not None:
+                time = float(np.asarray(self.time_curve_s)[idx])
+        return ClockDecision(
+            clock_mhz=clock_mhz,
+            freqs_mhz=self.freqs_mhz,
+            power_curve_w=self.power_curve_w,
+            time_curve_s=self.time_curve_s,
+            predicted_power_w=power,
+            predicted_time_s=time,
+            capped=capped,
+        )
 
 
 class ClockPolicy(ABC):
@@ -48,6 +94,14 @@ class ClockPolicy(ABC):
     @abstractmethod
     def clock_for(self, job: Job, device: SimulatedGPU) -> float:
         """SM clock (MHz) for ``job`` on ``device``."""
+
+    def decide(self, job: Job, device: SimulatedGPU) -> ClockDecision:
+        """Full placement decision for ``job`` on ``device``.
+
+        The default wraps :meth:`clock_for`; model-backed policies
+        override it to attach predicted curves for admission control.
+        """
+        return ClockDecision(clock_mhz=self.clock_for(job, device))
 
 
 class DefaultClockPolicy(ClockPolicy):
@@ -141,11 +195,16 @@ class ServiceDrivenPolicy(ClockPolicy):
         self.objective = objective
         self.threshold = threshold
         self._decisions: dict[str, float] = {}
+        self._responses: dict[str, object] = {}
 
     def _request_for(self, job: Job):
         from repro.serving.service import SelectionRequest
 
         return SelectionRequest.from_workload(job.workload, size=job.size)
+
+    def _record(self, name: str, response) -> None:
+        self._decisions[name] = response.selection(self.objective.name).freq_mhz
+        self._responses[name] = response
 
     def prepare(self, jobs: list[Job]) -> None:
         """Batch-decide every distinct application before placement.
@@ -167,7 +226,7 @@ class ServiceDrivenPolicy(ClockPolicy):
             threshold=self.threshold,
         )
         for job, response in zip(pending, responses):
-            self._decisions[job.workload.name] = response.selection(self.objective.name).freq_mhz
+            self._record(job.workload.name, response)
 
     def clock_for(self, job: Job, device: SimulatedGPU) -> float:
         key = job.workload.name
@@ -177,8 +236,19 @@ class ServiceDrivenPolicy(ClockPolicy):
                 objectives=(self.objective,),
                 threshold=self.threshold,
             )
-            self._decisions[key] = response.selection(self.objective.name).freq_mhz
+            self._record(key, response)
         return device.dvfs.snap(self._decisions[key])
+
+    def decide(self, job: Job, device: SimulatedGPU) -> ClockDecision:
+        """Decision with the predicted curves attached (for capping)."""
+        clock = self.clock_for(job, device)
+        response = self._responses[job.workload.name]
+        return ClockDecision(
+            clock_mhz=clock,
+            freqs_mhz=response.freqs_mhz,
+            power_curve_w=response.power_w,
+            time_curve_s=response.time_s,
+        ).at_clock(clock)
 
     @property
     def decisions(self) -> dict[str, float]:

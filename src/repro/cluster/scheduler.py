@@ -2,16 +2,16 @@
 
 Jobs are placed in arrival order onto the earliest-free GPU; each job's
 execution time and energy come from the simulated board at the clock the
-policy assigns.  The simulation is event-driven over job completions, so
-a 500-job campaign costs 500 device runs, not a timestep loop.
+policy assigns.  Since PR 7 the mechanics live in
+:class:`~repro.cluster.engine.ClusterEngine`; this class is the simple
+no-failures, no-capping front end that the experiments and tests use.
+Placement order, per-board RNG stream consumption and the resulting
+records are identical to the historical upfront-greedy implementation.
 """
 
 from __future__ import annotations
 
-import heapq
-from time import perf_counter
-
-from repro import obs
+from repro.cluster.engine import ClusterEngine
 from repro.cluster.job import Job, JobRecord
 from repro.cluster.node import GPUNode
 from repro.cluster.policy import ClockPolicy
@@ -23,78 +23,10 @@ class FIFOScheduler:
     """First-in-first-out placement over a set of multi-GPU nodes."""
 
     def __init__(self, nodes: list[GPUNode], policy: ClockPolicy) -> None:
-        if not nodes:
-            raise ValueError("need at least one node")
+        self.engine = ClusterEngine(nodes, policy)
         self.nodes = nodes
         self.policy = policy
-        registry = obs.get_registry()
-        self._m_jobs = registry.counter("cluster_jobs_total", "jobs scheduled")
-        self._m_decide = registry.histogram(
-            "cluster_decide_seconds", "per-job clock-policy decision latency"
-        )
 
     def run(self, jobs: list[Job]) -> list[JobRecord]:
-        """Schedule all jobs; returns completion records in finish order.
-
-        GPUs are tracked as a min-heap of (free_at, node, gpu) entries so
-        placement is O(log g) per job.  A job starts at
-        ``max(arrival, gpu free time)``.
-        """
-        if not jobs:
-            return []
-        # Heap entries: (free_at_s, node_idx, gpu_idx).
-        heap: list[tuple[float, int, int]] = [
-            (0.0, n, g) for n, node in enumerate(self.nodes) for g in range(len(node))
-        ]
-        heapq.heapify(heap)
-
-        ordered = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
-        # Batch-capable policies (the serving layer) decide every distinct
-        # application up front in one flush instead of stalling the first
-        # job of each application on a model prediction.
-        with obs.span("cluster.prepare", jobs=len(ordered), policy=self.policy.name):
-            self.policy.prepare(ordered)
-
-        records: list[JobRecord] = []
-        for job in ordered:
-            free_at, node_idx, gpu_idx = heapq.heappop(heap)
-            node = self.nodes[node_idx]
-            device = node.gpu(gpu_idx)
-
-            t_decide = perf_counter()
-            with obs.span(
-                "cluster.decide", job=job.job_id, workload=job.workload.name
-            ):
-                clock = self.policy.clock_for(job, device)
-            self._m_decide.observe(perf_counter() - t_decide)
-            with obs.span(
-                "cluster.place",
-                job=job.job_id,
-                node=node.node_id,
-                gpu=gpu_idx,
-                clock_mhz=clock,
-            ):
-                device.set_sm_clock(clock)
-                record = device.run(job.workload.census(job.size), workload_name=job.workload.name)
-                device.reset_clocks()
-            self._m_jobs.inc()
-
-            start = max(free_at, job.arrival_s)
-            end = start + record.exec_time_s
-            records.append(
-                JobRecord(
-                    job_id=job.job_id,
-                    workload=job.workload.name,
-                    node_id=node.node_id,
-                    gpu_index=gpu_idx,
-                    clock_mhz=clock,
-                    arrival_s=job.arrival_s,
-                    start_s=start,
-                    end_s=end,
-                    energy_j=record.energy_j,
-                    mean_power_w=record.mean_power_w,
-                )
-            )
-            heapq.heappush(heap, (end, node_idx, gpu_idx))
-        records.sort(key=lambda r: r.end_s)
-        return records
+        """Schedule all jobs; returns completion records in finish order."""
+        return self.engine.run(jobs).records

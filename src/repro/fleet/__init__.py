@@ -1,0 +1,65 @@
+"""Fleet-scale scenario simulation.
+
+The paper's per-application frequency selection only pays off in
+aggregate — hundreds of nodes, thousands of jobs, a facility power
+budget.  This package closes that loop on top of
+:mod:`repro.cluster`'s discrete-event engine:
+
+* :mod:`~repro.fleet.scenario`  — declarative campaign descriptions
+  (named: ``baseline``, ``capped``, ``flash-crowd``, ``node-churn``,
+  ``day``),
+* :mod:`~repro.fleet.arrivals`  — Poisson job arrivals with surges and
+  physical deadlines,
+* :mod:`~repro.fleet.signals`   — deterministic price/carbon signals,
+* :mod:`~repro.fleet.failures`  — outage-plan construction,
+* :mod:`~repro.fleet.capping`   — coordinated facility power capping,
+* :mod:`~repro.fleet.services`  — per-node selection services + the
+  per-job fleet clock policy,
+* :mod:`~repro.fleet.models`    — per-architecture model training,
+* :mod:`~repro.fleet.simulator` — the campaign runner and its
+  golden-stable metrics dict.
+
+Determinism contract: a campaign is a pure function of
+``(scenario, seed)``.  One root SeedSequence spawns dedicated children
+for arrivals, failures, and each node, so no component shares a
+stream and results are invariant to node iteration order.
+"""
+
+from repro.fleet.arrivals import generate_jobs, rate_at
+from repro.fleet.capping import PowerCapController
+from repro.fleet.failures import build_outages
+from repro.fleet.models import fleet_models
+from repro.fleet.scenario import (
+    ArrivalSpec,
+    FailureSpec,
+    NodeGroupSpec,
+    Scenario,
+    SignalSpec,
+    Surge,
+    get_scenario,
+    list_scenarios,
+)
+from repro.fleet.services import FleetServicePolicy, build_fleet
+from repro.fleet.signals import signal_factor
+from repro.fleet.simulator import FleetResult, FleetSimulator
+
+__all__ = [
+    "ArrivalSpec",
+    "FailureSpec",
+    "NodeGroupSpec",
+    "Scenario",
+    "SignalSpec",
+    "Surge",
+    "get_scenario",
+    "list_scenarios",
+    "generate_jobs",
+    "rate_at",
+    "signal_factor",
+    "build_outages",
+    "PowerCapController",
+    "fleet_models",
+    "build_fleet",
+    "FleetServicePolicy",
+    "FleetResult",
+    "FleetSimulator",
+]

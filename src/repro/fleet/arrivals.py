@@ -1,0 +1,93 @@
+"""Stochastic job arrivals for fleet campaigns.
+
+Jobs are drawn from a (possibly surge-modulated) Poisson process: the
+submission window is walked in one-second steps, the per-step count is
+Poisson(rate(t) * dt) and arrival instants are uniform inside the step.
+All randomness comes from the single ``rng`` argument — the fleet
+simulator passes a generator built from the campaign's dedicated
+arrival SeedSequence child, so the job list is a pure function of
+(scenario, seed) and independent of node count or iteration order.
+
+Deadlines are physical, not random: each workload's deadline base is
+``deadline_factor x`` its noise-free boost-clock runtime
+(:meth:`~repro.gpusim.device.SimulatedGPU.true_time`), taken worst-case
+across the fleet's architectures since placement is not known at
+submission time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.job import Job
+from repro.fleet.scenario import ArrivalSpec
+from repro.gpusim import GA100, GV100, SimulatedGPU
+from repro.workloads import get_workload
+
+__all__ = ["rate_at", "deadline_bases", "generate_jobs"]
+
+_ARCHS = {"GA100": GA100, "GV100": GV100}
+
+
+def rate_at(arrival: ArrivalSpec, t_s: float) -> float:
+    """Instantaneous arrival rate (jobs/s) at ``t_s``, surges applied."""
+    rate = arrival.rate_per_s
+    for surge in arrival.surges:
+        if surge.start_s <= t_s < surge.end_s:
+            rate *= surge.multiplier
+    return rate
+
+
+def deadline_bases(arrival: ArrivalSpec, arch_names: tuple[str, ...]) -> dict[str, float]:
+    """Per-workload noise-free boost runtime, worst across ``arch_names``.
+
+    RNG-free: :meth:`true_time` is the simulator's analytic model, so
+    building reference devices here consumes no random stream.
+    """
+    devices = [SimulatedGPU(_ARCHS[name], seed=0) for name in sorted(set(arch_names))]
+    bases: dict[str, float] = {}
+    for name in arrival.workloads:
+        workload = get_workload(name)
+        census = workload.census()
+        bases[name] = max(
+            float(d.true_time(census, d.arch.default_core_freq_mhz)) for d in devices
+        )
+    return bases
+
+
+def generate_jobs(
+    arrival: ArrivalSpec,
+    *,
+    rng: np.random.Generator,
+    arch_names: tuple[str, ...],
+) -> list[Job]:
+    """The campaign's job list, in arrival order with sequential ids."""
+    bases = deadline_bases(arrival, arch_names) if arrival.deadline_factor is not None else {}
+    names = arrival.workloads
+    events: list[tuple[float, str]] = []
+    t = 0.0
+    while t < arrival.duration_s:
+        dt = min(1.0, arrival.duration_s - t)
+        lam = rate_at(arrival, t) * dt
+        n = int(rng.poisson(lam))
+        if n:
+            offsets = rng.random(n) * dt
+            picks = rng.integers(0, len(names), size=n)
+            for off, pick in zip(offsets, picks):
+                events.append((t + float(off), names[int(pick)]))
+        t += dt
+    events.sort(key=lambda e: e[0])
+    jobs: list[Job] = []
+    for job_id, (arrival_s, name) in enumerate(events):
+        deadline = None
+        if arrival.deadline_factor is not None:
+            deadline = arrival_s + arrival.deadline_factor * bases[name]
+        jobs.append(
+            Job(
+                job_id=job_id,
+                workload=get_workload(name),
+                arrival_s=arrival_s,
+                deadline_s=deadline,
+            )
+        )
+    return jobs

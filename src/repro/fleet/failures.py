@@ -1,0 +1,37 @@
+"""Failure-plan construction.
+
+Turns a declarative :class:`~repro.fleet.scenario.FailureSpec` into the
+concrete :class:`~repro.cluster.engine.NodeOutage` list the engine
+injects.  Random churn draws exclusively from the ``rng`` argument —
+the simulator passes a generator built from the campaign's dedicated
+failure SeedSequence child, so the same failure seed always yields the
+same outage plan no matter what else changed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.engine import NodeOutage
+from repro.fleet.scenario import FailureSpec
+
+__all__ = ["build_outages"]
+
+
+def build_outages(
+    spec: FailureSpec,
+    *,
+    node_ids: list[int],
+    duration_s: float,
+    rng: np.random.Generator,
+) -> tuple[NodeOutage, ...]:
+    """The campaign's outage plan (explicit windows + random churn)."""
+    outages = [NodeOutage(node_id=n, down_s=d, up_s=u) for n, d, u in spec.outages]
+    lo, hi = spec.window
+    for _ in range(spec.random_outages):
+        node_id = node_ids[int(rng.integers(0, len(node_ids)))]
+        down = float(rng.uniform(lo, hi)) * duration_s
+        downtime = max(1.0, float(rng.exponential(spec.mean_downtime_s)))
+        outages.append(NodeOutage(node_id=node_id, down_s=down, up_s=down + downtime))
+    outages.sort(key=lambda o: (o.down_s, o.node_id))
+    return tuple(outages)

@@ -1,0 +1,70 @@
+"""Per-architecture model training for fleet campaigns.
+
+The fleet trains one tiny (power, time) model pair per architecture —
+fixed seeds, fixed workload order, strided clock grid — and shares the
+weights across every node of that architecture (services are read-only
+consumers at inference time).  Training happens on a dedicated device
+whose RNG stream is outside the campaign's seed lineage, so the weights
+are a pure function of the constants below and the golden fleet metrics
+survive any change to how a campaign spends its own seeds.
+"""
+
+from __future__ import annotations
+
+from repro.core.models import PowerModel, TimeModel
+from repro.core.pipeline import FrequencySelectionPipeline
+from repro.gpusim import GA100, GV100, SimulatedGPU
+from repro.gpusim.arch import GPUArchitecture
+from repro.workloads import get_workload
+
+__all__ = ["fleet_models", "clear_model_cache", "TRAINING_WORKLOADS"]
+
+TRAINING_WORKLOADS = ("dgemm", "stream", "spmv", "lud")
+MODEL_SEED = 0
+TRAIN_DEVICE_SEED = 7
+MAX_SAMPLES_PER_RUN = 4
+POWER_EPOCHS = 12
+TIME_EPOCHS = 8
+CLOCK_STRIDE = 10
+
+_ARCHS: dict[str, GPUArchitecture] = {"GA100": GA100, "GV100": GV100}
+_CACHE: dict[str, tuple[PowerModel, TimeModel]] = {}
+
+
+def _training_freqs(device: SimulatedGPU) -> tuple[float, ...]:
+    """Strided clock grid always including the reference (max) clock."""
+    usable = tuple(device.dvfs.usable_mhz)
+    freqs = usable[::CLOCK_STRIDE]
+    if freqs[-1] < usable[-1]:
+        freqs = freqs + (usable[-1],)
+    return freqs
+
+
+def fleet_models(arch_name: str) -> tuple[PowerModel, TimeModel]:
+    """The (power, time) model pair for one architecture, cached."""
+    if arch_name in _CACHE:
+        return _CACHE[arch_name]
+    try:
+        arch = _ARCHS[arch_name]
+    except KeyError:
+        raise ValueError(f"unknown arch {arch_name!r}; known: {sorted(_ARCHS)}") from None
+    device = SimulatedGPU(arch, seed=TRAIN_DEVICE_SEED, max_samples_per_run=MAX_SAMPLES_PER_RUN)
+    pipe = FrequencySelectionPipeline(
+        device,
+        power_model=PowerModel(reference_power_w=device.arch.tdp_watts, seed=MODEL_SEED),
+        time_model=TimeModel(seed=MODEL_SEED),
+    )
+    pipe.power_model.epochs = POWER_EPOCHS
+    pipe.time_model.epochs = TIME_EPOCHS
+    pipe.fit_offline(
+        [get_workload(name) for name in TRAINING_WORKLOADS],
+        runs_per_config=1,
+        freqs_mhz=_training_freqs(device),
+    )
+    _CACHE[arch_name] = (pipe.power_model, pipe.time_model)
+    return _CACHE[arch_name]
+
+
+def clear_model_cache() -> None:
+    """Drop cached model pairs (tests exercising retraining)."""
+    _CACHE.clear()

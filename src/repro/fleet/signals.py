@@ -1,0 +1,33 @@
+"""Deterministic price/carbon signals.
+
+A signal maps simulation time to a multiplicative factor on the
+facility power cap.  Both built-in shapes are smooth diurnal profiles —
+no RNG is involved, so signals never perturb the campaign's seed
+lineage:
+
+* ``price``  — a sinusoid peaking mid-period (business-hours pricing),
+* ``carbon`` — a cosine dip around mid-period (solar-heavy noon grid →
+  *more* headroom at midday, tighter cap overnight),
+* ``flat``   — constant 1.0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fleet.scenario import SignalSpec
+
+__all__ = ["signal_factor"]
+
+
+def signal_factor(spec: SignalSpec | None, t_s: float) -> float:
+    """Cap multiplier at time ``t_s`` (1.0 without a signal)."""
+    if spec is None or spec.kind == "flat":
+        return 1.0
+    x = 2.0 * np.pi * (t_s + spec.phase_s) / spec.period_s
+    if spec.kind == "price":
+        # Price peaks at quarter-period: cap = 1 - a there, 1 + a at
+        # the trough.
+        return float(1.0 - spec.amplitude * np.sin(x))
+    # carbon: dirtiest overnight (t = 0), cleanest mid-period.
+    return float(1.0 - spec.amplitude * np.cos(x))

@@ -1,0 +1,214 @@
+"""The fleet simulator: scenario in, deterministic metrics out.
+
+:class:`FleetSimulator` assembles a campaign from a
+:class:`~repro.fleet.scenario.Scenario` and a seed:
+
+1. **Seed lineage** — one root ``SeedSequence(seed)`` spawns dedicated
+   children for the arrival process, the failure plan, and every node
+   (which in turn spawns per-board and service-device streams).  No
+   component shares a stream, so results are invariant to node
+   iteration order and to how many workers anything runs on.
+2. **Fleet** — nodes + per-node services + the per-job
+   :class:`~repro.fleet.services.FleetServicePolicy`, with an optional
+   :class:`~repro.fleet.capping.PowerCapController` when the scenario
+   carries a power budget.
+3. **Campaign** — one :class:`~repro.cluster.engine.ClusterEngine` run:
+   event queue + tick loop, outage injection, requeue.
+4. **Metrics** — a flat, JSON-stable dict of fleet-level energy / SLA /
+   EDP numbers (the golden suite pins it bitwise), with counters and
+   histograms mirrored into :mod:`repro.obs` along the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.cluster.engine import ClusterEngine, EngineStats, TickView
+from repro.cluster.job import Job, JobRecord
+from repro.cluster.metrics import ClusterReport, power_series, summarize
+from repro.core.energy import ED2P, EDP
+from repro.fleet.arrivals import generate_jobs
+from repro.fleet.capping import PowerCapController
+from repro.fleet.failures import build_outages
+from repro.fleet.scenario import Scenario
+from repro.fleet.services import FleetServicePolicy, build_fleet
+
+__all__ = ["FleetResult", "FleetSimulator"]
+
+_OBJECTIVES = {"EDP": EDP, "ED2P": ED2P}
+
+
+@dataclass
+class FleetResult:
+    """One completed campaign."""
+
+    scenario: Scenario
+    seed: int
+    records: list[JobRecord]
+    stats: EngineStats
+    report: ClusterReport
+    #: Selection-service aggregates across all nodes.
+    selections_total: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Admission-control aggregates (0 when the scenario is uncapped).
+    capped_jobs: int = 0
+    forced_admissions: int = 0
+    outages_injected: int = 0
+    jobs: list[Job] = field(default_factory=list)
+
+    def metrics(self) -> dict:
+        """Flat fleet-level metrics, stable across identical runs.
+
+        Only simulation-domain quantities appear here — never wall
+        time — so the dict is bitwise-reproducible from (scenario,
+        seed) and safe to pin in the golden suite.
+        """
+        records = self.records
+        waits = [r.wait_s for r in records]
+        with_deadline = [r for r in records if r.deadline_s is not None]
+        met = sum(1 for r in with_deadline if r.met_deadline)
+        lookups = self.cache_hits + self.cache_misses
+        _, series = power_series(records, resolution_s=self.scenario.tick_s)
+        return {
+            "schema": 1,
+            "scenario": self.scenario.name,
+            "seed": self.seed,
+            "nodes": self.scenario.n_nodes,
+            "gpus": self.scenario.n_gpus,
+            "jobs_submitted": self.stats.jobs_submitted,
+            "jobs_completed": self.stats.jobs_completed,
+            "makespan_s": self.report.makespan_s,
+            "total_energy_j": self.report.total_energy_j,
+            "wasted_energy_j": self.stats.wasted_energy_j,
+            "edp": self.report.total_energy_j * self.report.makespan_s,
+            "mean_wait_s": float(np.mean(waits)) if waits else 0.0,
+            "p95_wait_s": float(np.percentile(waits, 95)) if waits else 0.0,
+            "avg_power_w": self.report.avg_power_w,
+            "peak_power_w": float(series.max()) if series.size else 0.0,
+            "mean_clock_mhz": float(np.mean([r.clock_mhz for r in records])) if records else 0.0,
+            "deadline_jobs": len(with_deadline),
+            "deadline_met": met,
+            "deadline_met_fraction": met / len(with_deadline) if with_deadline else 1.0,
+            "requeues": self.stats.requeues,
+            "aborted_attempts": self.stats.aborted_attempts,
+            "deferrals": self.stats.deferrals,
+            "outages_injected": self.outages_injected,
+            "capped_jobs": self.capped_jobs,
+            "forced_admissions": self.forced_admissions,
+            "selections_total": self.selections_total,
+            "selection_cache_hits": self.cache_hits,
+            "selection_cache_hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "ticks": self.stats.ticks,
+        }
+
+
+class FleetSimulator:
+    """Deterministic fleet campaign runner."""
+
+    def __init__(self, scenario: Scenario, *, seed: int = 0) -> None:
+        self.scenario = scenario
+        self.seed = int(seed)
+        try:
+            self.objective = _OBJECTIVES[scenario.objective]
+        except KeyError:
+            raise ValueError(
+                f"unknown objective {scenario.objective!r}; known: {sorted(_OBJECTIVES)}"
+            ) from None
+        registry = obs.get_registry()
+        self._m_jobs = registry.counter("fleet_jobs_total", "fleet jobs completed")
+        self._m_requeues = registry.counter("fleet_requeues_total", "failure-driven requeues")
+        self._m_deferrals = registry.counter("fleet_deferrals_total", "capping deferrals")
+        self._m_energy = registry.counter("fleet_energy_joules", "useful simulated GPU energy")
+        self._m_wasted = registry.counter("fleet_wasted_joules", "energy of aborted attempts")
+        self._m_wait = registry.histogram("fleet_wait_seconds", "per-job queue wait")
+        self._m_power = registry.histogram(
+            "fleet_busy_power_w", "per-tick in-flight busy power", buckets=_POWER_BUCKETS
+        )
+        self._m_queue = registry.histogram(
+            "fleet_queue_depth", "per-tick pending queue depth", buckets=_DEPTH_BUCKETS
+        )
+
+    def run(self) -> FleetResult:
+        """Run the campaign once."""
+        scenario = self.scenario
+        root = np.random.SeedSequence(self.seed)
+        arrival_ss, failure_ss, node_root = root.spawn(3)
+
+        with obs.span("fleet.build", scenario=scenario.name, nodes=scenario.n_nodes):
+            nodes, services = build_fleet(scenario, node_root)
+            policy = FleetServicePolicy(
+                nodes, services, objective=self.objective, threshold=scenario.threshold
+            )
+            admission = None
+            if scenario.cap_w is not None:
+                admission = PowerCapController(scenario.cap_w, signal=scenario.signal)
+            arch_names = tuple(g.arch for g in scenario.node_groups)
+            jobs = generate_jobs(
+                scenario.arrival,
+                rng=np.random.default_rng(arrival_ss),
+                arch_names=arch_names,
+            )
+            outages = build_outages(
+                scenario.failures,
+                node_ids=[n.node_id for n in nodes],
+                duration_s=scenario.arrival.duration_s,
+                rng=np.random.default_rng(failure_ss),
+            )
+
+        def on_tick(view: TickView) -> None:
+            self._m_power.observe(view.busy_power_w)
+            self._m_queue.observe(view.pending)
+
+        engine = ClusterEngine(
+            nodes,
+            policy,
+            admission=admission,
+            outages=outages,
+            tick_s=scenario.tick_s,
+            on_tick=on_tick,
+        )
+        with obs.span(
+            "fleet.campaign", scenario=scenario.name, seed=self.seed, jobs=len(jobs)
+        ):
+            engine_result = engine.run(jobs)
+
+        records = engine_result.records
+        stats = engine_result.stats
+        for record in records:
+            self._m_wait.observe(record.wait_s)
+        self._m_jobs.inc(stats.jobs_completed)
+        self._m_requeues.inc(stats.requeues)
+        self._m_deferrals.inc(stats.deferrals)
+        self._m_energy.inc(sum(r.energy_j for r in records))
+        self._m_wasted.inc(stats.wasted_energy_j)
+
+        service_stats = [services[node_id].stats() for node_id in sorted(services)]
+        result = FleetResult(
+            scenario=scenario,
+            seed=self.seed,
+            records=records,
+            stats=stats,
+            report=summarize(policy.name, records),
+            selections_total=sum(s.requests for s in service_stats),
+            cache_hits=sum(s.cache_hits for s in service_stats),
+            cache_misses=sum(s.cache_misses for s in service_stats),
+            capped_jobs=admission.capped_jobs if admission is not None else 0,
+            forced_admissions=admission.forced_admissions if admission is not None else 0,
+            outages_injected=len(outages),
+            jobs=jobs,
+        )
+        obs.annotate(
+            fleet_scenario=scenario.name,
+            fleet_seed=self.seed,
+            fleet_jobs=stats.jobs_submitted,
+            fleet_energy_j=result.report.total_energy_j,
+        )
+        return result
+
+
+_POWER_BUCKETS = (100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0)
+_DEPTH_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)

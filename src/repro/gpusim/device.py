@@ -158,7 +158,7 @@ class SimulatedGPU:
         self,
         arch: GPUArchitecture,
         *,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
         noise: NoiseModel | None = None,
         timing: TimingModel | None = None,
         power: PowerModel | None = None,
@@ -186,7 +186,11 @@ class SimulatedGPU:
         # sequential runs, exactly as default_rng(seed) would) and, via
         # spawn(), the independent per-cell child streams that make
         # parallel collection campaigns order- and worker-count-invariant.
-        self._seed_seq = np.random.SeedSequence(seed)
+        # A SeedSequence seed plugs the board into a caller-managed lineage
+        # (the fleet simulator spawns one child per node, per board).
+        self._seed_seq = (
+            seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+        )
         self._rng = np.random.default_rng(self._seed_seq)
         self._sm_clock = arch.default_core_freq_mhz
         self._mem_clock = arch.memory_freq_mhz

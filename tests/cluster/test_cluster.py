@@ -12,10 +12,27 @@ from repro.cluster import (
     StaticClockPolicy,
     summarize,
 )
+from repro.cluster.job import JobRecord
 from repro.cluster.policy import ServiceDrivenPolicy
 from repro.cluster.metrics import power_series
 from repro.gpusim import GA100
 from repro.workloads import get_workload
+
+
+def _synthetic_record(*, start: float, end: float, energy: float) -> JobRecord:
+    duration = end - start
+    return JobRecord(
+        job_id=0,
+        workload="synthetic",
+        node_id=0,
+        gpu_index=0,
+        clock_mhz=1410.0,
+        arrival_s=start,
+        start_s=start,
+        end_s=end,
+        energy_j=energy,
+        mean_power_w=energy / duration if duration > 0 else 0.0,
+    )
 
 
 @pytest.fixture()
@@ -207,6 +224,42 @@ class TestMetrics:
         assert capped.energy_saving_vs(base) > 0.0
         assert capped.makespan_change_vs(base) > 0.0  # slower
 
-    def test_empty_records_rejected(self):
-        with pytest.raises(ValueError, match="no records"):
-            summarize("x", [])
+    def test_empty_power_series(self):
+        t, p = power_series([])
+        assert t.size == 0 and p.size == 0
+
+    def test_zero_duration_job_deposits_energy_impulse(self):
+        record = _synthetic_record(start=2.3, end=2.3, energy=50.0)
+        t, p = power_series([record], resolution_s=1.0)
+        assert float(np.sum(p) * 1.0) == pytest.approx(50.0, rel=0.0, abs=0.0)
+        assert p[2] == pytest.approx(50.0)  # bin [2, 3) holds the impulse
+
+    def test_job_straddling_resolution_boundary(self):
+        # 1.5 s of work split 0.75/0.75 across the bins [0,1) and [1,2).
+        record = _synthetic_record(start=0.25, end=1.75, energy=150.0)
+        t, p = power_series([record], resolution_s=1.0)
+        assert p[0] == pytest.approx(75.0)
+        assert p[1] == pytest.approx(75.0)
+        assert float(np.sum(p)) == pytest.approx(150.0, rel=1e-12)
+
+    def test_straddling_jobs_conserve_energy_exactly(self):
+        records = [
+            _synthetic_record(start=0.1, end=0.9, energy=10.0),
+            _synthetic_record(start=0.5, end=3.25, energy=33.0),
+            _synthetic_record(start=2.0, end=2.0, energy=5.0),
+        ]
+        t, p = power_series(records, resolution_s=0.5)
+        assert float(np.sum(p) * 0.5) == pytest.approx(48.0, rel=1e-12)
+
+    def test_empty_records_summarise_to_zero(self):
+        report = summarize("x", [])
+        assert report.n_jobs == 0
+        assert report.makespan_s == 0.0
+        assert report.total_energy_j == 0.0
+        assert report.peak_power_w == 0.0
+
+    def test_power_series_exact_with_fine_resolution(self, nodes, jobs):
+        records = FIFOScheduler(nodes, DefaultClockPolicy()).run(jobs)
+        t, p = power_series(records, resolution_s=0.05)
+        integral = float(np.sum(p) * 0.05)
+        assert integral == pytest.approx(sum(r.energy_j for r in records), rel=1e-9)

@@ -1,0 +1,22 @@
+"""Day-scale fleet campaign (slow tier).
+
+One simulated day on the ``day`` scenario must push >= 1e5 selections
+through the per-node services — the acceptance bar for serving-layer
+throughput at fleet scale — while completing every submitted job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetSimulator, get_scenario
+
+
+@pytest.mark.slow
+def test_one_day_campaign_drives_1e5_selections():
+    result = FleetSimulator(get_scenario("day"), seed=0).run()
+    metrics = result.metrics()
+    assert metrics["selections_total"] >= 100_000
+    assert metrics["jobs_completed"] == metrics["jobs_submitted"]
+    assert metrics["makespan_s"] >= 86_400.0 * 0.9
+    assert metrics["total_energy_j"] == sum(r.energy_j for r in result.records)

@@ -1,0 +1,110 @@
+"""Property-based tests for the cluster engine's scheduling invariants.
+
+Cheap policies (no models, no services) keep each hypothesis example at
+a few device runs, so the engine's bookkeeping — not the serving stack —
+is what gets hammered.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterEngine,
+    GPUNode,
+    Job,
+    NodeOutage,
+    StaticClockPolicy,
+    summarize,
+)
+from repro.gpusim import GA100, GV100
+from repro.workloads import get_workload
+
+WORKLOADS = ("dgemm", "stream")
+
+
+@st.composite
+def job_lists(draw):
+    n = draw(st.integers(1, 10))
+    jobs = []
+    for i in range(n):
+        jobs.append(
+            Job(
+                job_id=i,
+                workload=get_workload(draw(st.sampled_from(WORKLOADS))),
+                arrival_s=draw(st.floats(0.0, 30.0)),
+            )
+        )
+    return jobs
+
+
+def make_nodes(order=(0, 1, 2)):
+    """Three mixed-arch nodes; ``order`` permutes only list position."""
+    build = {
+        0: lambda: GPUNode(0, GA100, gpus_per_node=2, seed=11),
+        1: lambda: GPUNode(1, GV100, gpus_per_node=2, seed=11),
+        2: lambda: GPUNode(2, GA100, gpus_per_node=1, seed=11),
+    }
+    return [build[i]() for i in order]
+
+
+def run_engine(jobs, order=(0, 1, 2), outages=()):
+    engine = ClusterEngine(make_nodes(order), StaticClockPolicy(900.0), outages=outages)
+    return engine.run(jobs)
+
+
+@given(jobs=job_lists())
+@settings(max_examples=15, deadline=None)
+def test_no_two_jobs_overlap_on_one_board(jobs):
+    result = run_engine(jobs)
+    by_board: dict[tuple[int, int], list] = {}
+    for r in result.records:
+        by_board.setdefault((r.node_id, r.gpu_index), []).append(r)
+    for records in by_board.values():
+        records.sort(key=lambda r: r.start_s)
+        for prev, nxt in zip(records, records[1:]):
+            assert nxt.start_s >= prev.end_s, (
+                f"jobs {prev.job_id} and {nxt.job_id} overlap on "
+                f"node {prev.node_id} gpu {prev.gpu_index}"
+            )
+
+
+@given(jobs=job_lists())
+@settings(max_examples=15, deadline=None)
+def test_every_job_appears_in_exactly_one_record(jobs):
+    result = run_engine(jobs)
+    assert sorted(r.job_id for r in result.records) == sorted(j.job_id for j in jobs)
+
+
+@given(jobs=job_lists())
+@settings(max_examples=15, deadline=None)
+def test_total_energy_is_sum_of_record_energies(jobs):
+    result = run_engine(jobs)
+    report = summarize("static", result.records)
+    assert report.total_energy_j == pytest.approx(
+        sum(r.energy_j for r in result.records), rel=0.0, abs=0.0
+    )
+    assert result.stats.wasted_energy_j == 0.0
+
+
+@given(jobs=job_lists(), order=st.permutations([0, 1, 2]))
+@settings(max_examples=15, deadline=None)
+def test_records_invariant_to_node_iteration_order(jobs, order):
+    canonical = run_engine(jobs).records
+    permuted = run_engine(jobs, order=tuple(order)).records
+    assert permuted == canonical
+
+
+@given(jobs=job_lists(), down=st.floats(1.0, 40.0))
+@settings(max_examples=10, deadline=None)
+def test_invariants_hold_under_node_outage(jobs, down):
+    """Exactly-one-record and no-overlap survive failure injection."""
+    outage = NodeOutage(node_id=0, down_s=down, up_s=down + 25.0)
+    result = run_engine(jobs, outages=(outage,))
+    assert sorted(r.job_id for r in result.records) == sorted(j.job_id for j in jobs)
+    for r in result.records:
+        if r.node_id == outage.node_id:
+            assert r.end_s <= outage.down_s or r.start_s >= outage.up_s
+    assert result.stats.wasted_energy_j >= 0.0

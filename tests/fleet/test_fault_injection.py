@@ -1,0 +1,106 @@
+"""Fault-injection tests: node loss mid-campaign with requeue."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ClusterEngine, GPUNode, Job, NodeOutage, StaticClockPolicy
+from repro.fleet import FleetSimulator, get_scenario
+from repro.gpusim import GA100
+from repro.workloads import get_workload
+
+
+def make_nodes():
+    return [GPUNode(i, GA100, gpus_per_node=2, seed=31) for i in range(2)]
+
+
+def make_jobs(n=8):
+    return [Job(job_id=i, workload=get_workload("dgemm"), arrival_s=0.0) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def undisrupted():
+    """Reference campaign without failures."""
+    result = ClusterEngine(make_nodes(), StaticClockPolicy(900.0)).run(make_jobs())
+    return {r.job_id: r for r in result.records}
+
+
+@pytest.fixture(scope="module")
+def outage(undisrupted):
+    """An outage window guaranteed to catch node 0 mid-flight."""
+    on_node0 = [r for r in undisrupted.values() if r.node_id == 0]
+    victim = max(on_node0, key=lambda r: r.end_s)
+    down = (victim.start_s + victim.end_s) / 2.0
+    return NodeOutage(node_id=0, down_s=down, up_s=down + 60.0)
+
+
+@pytest.fixture(scope="module")
+def disrupted(outage):
+    engine = ClusterEngine(make_nodes(), StaticClockPolicy(900.0), outages=(outage,))
+    return engine.run(make_jobs())
+
+
+class TestRequeue:
+    def test_no_job_lost_or_duplicated(self, disrupted):
+        assert sorted(r.job_id for r in disrupted.records) == list(range(8))
+
+    def test_inflight_jobs_were_requeued(self, disrupted):
+        assert disrupted.stats.requeues >= 1
+        assert disrupted.stats.aborted_attempts == disrupted.stats.requeues
+        retried = [r for r in disrupted.records if r.attempts > 1]
+        assert len(retried) == disrupted.stats.requeues
+
+    def test_aborted_energy_tracked_not_recorded(self, disrupted):
+        # Records carry only the successful attempt's energy; the
+        # aborted attempt's partial burn shows up as waste.
+        assert disrupted.stats.wasted_energy_j > 0.0
+
+    def test_no_record_overlaps_the_outage(self, disrupted, outage):
+        for r in disrupted.records:
+            if r.node_id == outage.node_id:
+                assert r.end_s <= outage.down_s or r.start_s >= outage.up_s
+
+    def test_requeued_jobs_keep_original_arrival(self, disrupted, undisrupted):
+        for r in disrupted.records:
+            assert r.arrival_s == undisrupted[r.job_id].arrival_s
+
+
+class TestSLAAccounting:
+    def test_disrupted_jobs_miss_tight_deadlines(self, undisrupted, outage):
+        """A deadline met without the failure is missed with it."""
+        jobs = [
+            dataclasses.replace(j, deadline_s=undisrupted[j.job_id].end_s + 1e-6)
+            for j in make_jobs()
+        ]
+        engine = ClusterEngine(make_nodes(), StaticClockPolicy(900.0), outages=(outage,))
+        records = engine.run(jobs).records
+        retried = [r for r in records if r.attempts > 1]
+        assert retried
+        for r in retried:
+            assert r.met_deadline is False
+            assert r.end_s > undisrupted[r.job_id].end_s
+
+
+class TestFailureDeterminism:
+    def test_same_outage_same_records(self, outage):
+        runs = []
+        for _ in range(2):
+            engine = ClusterEngine(
+                make_nodes(), StaticClockPolicy(900.0), outages=(outage,)
+            )
+            runs.append(engine.run(make_jobs()))
+        assert runs[0].records == runs[1].records
+        assert runs[0].stats.wasted_energy_j == pytest.approx(
+            runs[1].stats.wasted_energy_j, rel=0.0, abs=0.0
+        )
+
+    def test_churn_scenario_deterministic_end_to_end(self):
+        """Same failure seed -> bitwise-identical fleet metrics."""
+        scenario = get_scenario("node-churn").scaled(duration_factor=0.25)
+        first = FleetSimulator(scenario, seed=3).run()
+        second = FleetSimulator(scenario, seed=3).run()
+        assert first.metrics() == second.metrics()
+        assert first.records == second.records
+        assert first.outages_injected >= 1

@@ -1,0 +1,212 @@
+"""Unit tests for the fleet package: scenarios, arrivals, signals,
+capping, and the simulator's metrics contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import Job
+from repro.cluster.policy import ClockDecision
+from repro.fleet import (
+    ArrivalSpec,
+    FleetSimulator,
+    PowerCapController,
+    SignalSpec,
+    Surge,
+    build_outages,
+    generate_jobs,
+    get_scenario,
+    list_scenarios,
+    rate_at,
+    signal_factor,
+)
+from repro.fleet.scenario import FailureSpec
+from repro.workloads import get_workload
+
+
+class TestScenarios:
+    def test_named_scenarios_present(self):
+        names = [s.name for s in list_scenarios()]
+        assert {"baseline", "capped", "flash-crowd", "node-churn", "day"} <= set(names)
+
+    def test_unknown_scenario_lists_known(self):
+        with pytest.raises(KeyError, match="baseline"):
+            get_scenario("nope")
+
+    def test_scaled_rescales_arrivals_only(self):
+        base = get_scenario("baseline")
+        scaled = base.scaled(rate_factor=2.0, duration_factor=0.5)
+        assert scaled.arrival.rate_per_s == pytest.approx(2 * base.arrival.rate_per_s)
+        assert scaled.arrival.duration_s == pytest.approx(0.5 * base.arrival.duration_s)
+        assert scaled.node_groups == base.node_groups
+
+    def test_gpu_count(self):
+        assert get_scenario("baseline").n_gpus == 16
+
+
+class TestArrivals:
+    ARRIVAL = ArrivalSpec(
+        rate_per_s=2.0,
+        duration_s=120.0,
+        workloads=("dgemm", "stream"),
+        surges=(Surge(start_s=40.0, end_s=60.0, multiplier=5.0),),
+    )
+
+    def test_surge_modulates_rate(self):
+        assert rate_at(self.ARRIVAL, 10.0) == pytest.approx(2.0)
+        assert rate_at(self.ARRIVAL, 50.0) == pytest.approx(10.0)
+        assert rate_at(self.ARRIVAL, 60.0) == pytest.approx(2.0)
+
+    def test_jobs_deterministic_and_ordered(self):
+        kwargs = dict(arch_names=("GA100",))
+        a = generate_jobs(self.ARRIVAL, rng=np.random.default_rng(42), **kwargs)
+        b = generate_jobs(self.ARRIVAL, rng=np.random.default_rng(42), **kwargs)
+        assert a == b
+        assert [j.job_id for j in a] == list(range(len(a)))
+        assert all(x.arrival_s <= y.arrival_s for x, y in zip(a, a[1:]))
+        assert all(0.0 <= j.arrival_s < self.ARRIVAL.duration_s for j in a)
+
+    def test_deadlines_scale_with_true_runtime(self):
+        jobs = generate_jobs(
+            self.ARRIVAL, rng=np.random.default_rng(0), arch_names=("GA100", "GV100")
+        )
+        assert all(j.deadline_s is not None and j.deadline_s > j.arrival_s for j in jobs)
+
+    def test_no_deadlines_when_factor_none(self):
+        spec = ArrivalSpec(rate_per_s=1.0, duration_s=30.0, deadline_factor=None)
+        jobs = generate_jobs(spec, rng=np.random.default_rng(0), arch_names=("GA100",))
+        assert jobs and all(j.deadline_s is None for j in jobs)
+
+
+class TestSignals:
+    def test_flat_and_none(self):
+        assert signal_factor(None, 123.0) == 1.0
+        assert signal_factor(SignalSpec(kind="flat"), 123.0) == 1.0
+
+    def test_price_signal_bounds_and_tightening(self):
+        spec = SignalSpec(kind="price", period_s=100.0, amplitude=0.3)
+        factors = [signal_factor(spec, t) for t in np.linspace(0, 100, 201)]
+        assert min(factors) == pytest.approx(0.7, abs=1e-6)
+        assert max(factors) == pytest.approx(1.3, abs=1e-6)
+        # Price peaks at quarter-period -> tightest cap there.
+        assert signal_factor(spec, 25.0) == pytest.approx(0.7)
+
+    def test_carbon_signal_loosest_mid_period(self):
+        spec = SignalSpec(kind="carbon", period_s=100.0, amplitude=0.2)
+        assert signal_factor(spec, 50.0) == pytest.approx(1.2)
+        assert signal_factor(spec, 0.0) == pytest.approx(0.8)
+
+
+class TestFailurePlan:
+    def test_deterministic_given_same_rng_seed(self):
+        spec = FailureSpec(random_outages=5, mean_downtime_s=60.0)
+        kwargs = dict(node_ids=[0, 1, 2], duration_s=500.0)
+        a = build_outages(spec, rng=np.random.default_rng(7), **kwargs)
+        b = build_outages(spec, rng=np.random.default_rng(7), **kwargs)
+        assert a == b
+        assert len(a) == 5
+        assert all(o.up_s > o.down_s for o in a)
+        assert all(0.05 * 500.0 <= o.down_s <= 0.7 * 500.0 for o in a)
+
+    def test_explicit_outages_pass_through(self):
+        spec = FailureSpec(outages=((1, 10.0, 20.0), (0, 5.0, None)))
+        plan = build_outages(
+            spec, node_ids=[0, 1], duration_s=100.0, rng=np.random.default_rng(0)
+        )
+        assert [(o.node_id, o.down_s, o.up_s) for o in plan] == [
+            (0, 5.0, None),
+            (1, 10.0, 20.0),
+        ]
+
+
+def _decision(clock=1400.0):
+    freqs = np.array([800.0, 1000.0, 1200.0, 1400.0])
+    power = np.array([100.0, 150.0, 220.0, 300.0])
+    time = np.array([4.0, 3.2, 2.7, 2.4])
+    return ClockDecision(
+        clock_mhz=clock, freqs_mhz=freqs, power_curve_w=power, time_curve_s=time
+    ).at_clock(clock)
+
+
+def _job(job_id=0):
+    return Job(job_id=job_id, workload=get_workload("dgemm"))
+
+
+class TestPowerCapController:
+    def test_admits_unchanged_under_generous_cap(self):
+        ctrl = PowerCapController(1000.0)
+        out = ctrl.admit(0.0, _job(), _decision())
+        assert out is not None and out.clock_mhz == 1400.0 and not out.capped
+
+    def test_caps_clock_to_fit_headroom(self):
+        ctrl = PowerCapController(1000.0)
+        first = ctrl.admit(0.0, _job(0), _decision())
+        ctrl.on_start(0.0, _job(0), first)  # reserves 300 W
+        second = ctrl.admit(0.0, _job(1), _decision())
+        ctrl.on_start(0.0, _job(1), second)
+        third = ctrl.admit(0.0, _job(2), _decision())
+        # 400 W headroom left: the 1400 MHz point (300 W) still fits...
+        assert third is not None and third.clock_mhz == 1400.0
+        ctrl.on_start(0.0, _job(2), third)
+        fourth = ctrl.admit(0.0, _job(3), _decision())
+        # ...but at 100 W of headroom only the 800 MHz point (100 W) does.
+        assert fourth is not None and fourth.capped and fourth.clock_mhz == 800.0
+        assert ctrl.capped_jobs == 1
+
+    def test_defers_when_nothing_fits_and_fleet_busy(self):
+        ctrl = PowerCapController(350.0)
+        first = ctrl.admit(0.0, _job(0), _decision())
+        ctrl.on_start(0.0, _job(0), first)  # 300 W reserved, 50 W headroom
+        assert ctrl.admit(0.0, _job(1), _decision()) is None
+
+    def test_forces_lowest_clock_on_idle_fleet(self):
+        ctrl = PowerCapController(50.0)  # below even the floor clock
+        out = ctrl.admit(0.0, _job(), _decision())
+        assert out is not None and out.clock_mhz == 800.0
+        assert ctrl.forced_admissions == 1
+
+    def test_release_restores_headroom(self):
+        ctrl = PowerCapController(400.0)
+        d = ctrl.admit(0.0, _job(0), _decision())
+        ctrl.on_start(0.0, _job(0), d)
+        assert ctrl.admit(1.0, _job(1), _decision()).capped
+        ctrl.on_finish(2.0, _job(0), d)
+        assert ctrl.reserved_w == 0.0
+        assert not ctrl.admit(3.0, _job(1), _decision()).capped
+
+    def test_signal_modulates_cap(self):
+        spec = SignalSpec(kind="price", period_s=100.0, amplitude=0.5)
+        ctrl = PowerCapController(400.0, signal=spec)
+        assert ctrl.effective_cap_w(25.0) == pytest.approx(200.0)
+        assert ctrl.effective_cap_w(75.0) == pytest.approx(600.0)
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = get_scenario("baseline").scaled(duration_factor=0.1)
+        return FleetSimulator(scenario, seed=1).run()
+
+    def test_all_jobs_complete(self, result):
+        assert result.stats.jobs_completed == result.stats.jobs_submitted
+        assert result.stats.jobs_submitted > 0
+
+    def test_metrics_energy_is_sum_of_records(self, result):
+        assert result.metrics()["total_energy_j"] == sum(r.energy_j for r in result.records)
+
+    def test_one_selection_per_job(self, result):
+        assert result.selections_total == result.stats.jobs_submitted
+
+    def test_metrics_are_json_plain(self, result):
+        import json
+
+        payload = json.dumps(result.metrics())
+        assert json.loads(payload)["scenario"] == "baseline"
+
+    def test_unknown_objective_rejected(self):
+        import dataclasses
+
+        scenario = dataclasses.replace(get_scenario("baseline"), objective="EDP2")
+        with pytest.raises(ValueError, match="unknown objective"):
+            FleetSimulator(scenario)

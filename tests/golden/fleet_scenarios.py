@@ -1,0 +1,43 @@
+"""Golden fleet-scenario configuration shared by tests and regeneration.
+
+The golden suite pins the full fleet metrics dict of the ``baseline``
+and ``capped`` scenarios at seed 0 — energy, SLA, EDP, capping and
+serving counters — rendered with sorted keys so a rerun must match the
+committed file *byte for byte*.  Any drift in the engine, the arrival
+process, the seed lineage, the serving layer or the capping controller
+shows up here as a precise diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_SCENARIOS = ("baseline", "capped")
+SEED = 0
+
+
+def golden_path(name: str) -> Path:
+    return Path(__file__).parent / f"golden_fleet_{name}.json"
+
+
+def fleet_payload(name: str) -> dict:
+    """The metrics dict of one golden scenario at the pinned seed."""
+    from repro.fleet import FleetSimulator, get_scenario
+
+    return FleetSimulator(get_scenario(name), seed=SEED).run().metrics()
+
+
+def render(payload: dict) -> str:
+    """Canonical byte-stable rendering of a metrics payload."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_goldens() -> list[Path]:
+    """Write (or refresh) every committed fleet golden file."""
+    paths = []
+    for name in GOLDEN_SCENARIOS:
+        path = golden_path(name)
+        path.write_text(render(fleet_payload(name)))
+        paths.append(path)
+    return paths

@@ -1,0 +1,41 @@
+"""Golden regression suite for the fleet scenarios.
+
+Asserts the committed metrics of ``baseline`` and ``capped`` at seed 0
+are reproduced *bitwise* — the rendered JSON must equal the committed
+file byte for byte — and that a same-process rerun is bitwise-stable.
+
+If a change is intentional, regenerate with::
+
+    PYTHONPATH=src:. python scripts/regen_fleet_golden.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.golden.fleet_scenarios import (
+    GOLDEN_SCENARIOS,
+    fleet_payload,
+    golden_path,
+    render,
+)
+
+
+@pytest.fixture(scope="module", params=GOLDEN_SCENARIOS)
+def scenario_name(request):
+    return request.param
+
+
+def test_matches_committed_golden(scenario_name):
+    path = golden_path(scenario_name)
+    assert path.exists(), (
+        f"missing {path.name}; generate it with "
+        "`PYTHONPATH=src:. python scripts/regen_fleet_golden.py`"
+    )
+    assert render(fleet_payload(scenario_name)) == path.read_text()
+
+
+def test_rerun_is_bitwise_stable():
+    first = fleet_payload("baseline")
+    second = fleet_payload("baseline")
+    assert render(first) == render(second)

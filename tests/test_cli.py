@@ -210,6 +210,38 @@ class TestServe:
         assert first["selections"] == second["selections"]
 
 
+class TestFleetCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["fleet", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "capped", "flash-crowd", "node-churn", "day"):
+            assert name in out
+
+    def test_unknown_scenario_exit_code(self, capsys):
+        assert main(["fleet", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_short_campaign_writes_metrics(self, tmp_path, capsys):
+        out_file = tmp_path / "metrics.json"
+        code = main(
+            [
+                "fleet",
+                "--scenario", "baseline",
+                "--seed", "0",
+                "--duration-factor", "0.05",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        import json
+
+        metrics = json.loads(out_file.read_text())
+        assert metrics["scenario"] == "baseline"
+        assert metrics["jobs_completed"] == metrics["jobs_submitted"] > 0
+        out = capsys.readouterr().out
+        assert "deadlines met" in out
+
+
 class TestObsCli:
     """Global --trace/--manifest flags and the obs subcommand."""
 
