@@ -26,7 +26,7 @@ fresh process):
 
 Each scenario keeps a ``best`` record (highest selections/s ever
 committed for the current config) next to ``current``;
-``scripts/bench_gate.py`` fails CI when a committed ``current`` drops
+``repro report --gate`` fails CI when a committed ``current`` drops
 more than 10% below its ``best``.  Throughput numbers are
 machine-dependent; the in-test ``REGRESSION_FACTOR`` guard is
 deliberately looser so the benchmark stays runnable on slower hosts.

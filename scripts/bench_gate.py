@@ -1,15 +1,11 @@
 #!/usr/bin/env python
-"""Gate on the committed serving-benchmark trajectory.
+"""Thin shim over ``repro report --gate`` for the serving trajectory.
 
-Reads ``BENCH_serving.json`` (written by
-``benchmarks/test_perf_serving.py`` and committed alongside perf
-changes) and fails when any scenario's committed ``current``
-throughput has dropped more than ``--tolerance`` (default 10%) below
-that scenario's ``best`` record.  This is a *trajectory* check on the
-committed file — it never runs the benchmark itself, so it is
-machine-independent and cheap enough for every CI run.
-
-Exit codes: 0 ok, 1 regression, 2 unusable file.
+The gate logic moved to :mod:`repro.obs.report` (PR 8): ``repro report
+--gate`` checks *every* committed ``BENCH_*.json`` trajectory and is
+what CI runs.  This script keeps the old single-file entry point (and
+its exit-code contract: 0 ok, 1 regression, 2 unusable file) for local
+use and any caller still pointing at it.
 """
 
 from __future__ import annotations
@@ -19,28 +15,12 @@ import json
 import sys
 from pathlib import Path
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-def check(payload: dict, tolerance: float) -> list[str]:
-    """Return one message per scenario whose current lags its best."""
-    failures = []
-    scenarios = payload.get("scenarios")
-    if not isinstance(scenarios, dict) or not scenarios:
-        return ["no scenarios recorded — regenerate BENCH_serving.json"]
-    for name, record in sorted(scenarios.items()):
-        try:
-            current = float(record["selections_per_s"])
-            best = float(record["best"]["selections_per_s"])
-        except (KeyError, TypeError, ValueError):
-            failures.append(f"{name}: malformed record (needs selections_per_s and best)")
-            continue
-        floor = (1.0 - tolerance) * best
-        if current < floor:
-            failures.append(
-                f"{name}: committed {current:.0f} selections/s is "
-                f"{100 * (1 - current / best):.1f}% below the best record "
-                f"{best:.0f} (floor {floor:.0f})"
-            )
-    return failures
+from repro.obs.report import evaluate_gate  # noqa: E402
+from repro.obs.store import tracked_metrics  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,7 +28,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "bench_file",
         nargs="?",
-        default=Path(__file__).resolve().parent.parent / "BENCH_serving.json",
+        default=_REPO_ROOT / "BENCH_serving.json",
         type=Path,
         help="path to BENCH_serving.json (default: repo root)",
     )
@@ -72,15 +52,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{args.bench_file}: invalid JSON ({exc})", file=sys.stderr)
         return 2
 
-    failures = check(payload, args.tolerance)
+    try:
+        rows = tracked_metrics(payload)
+    except ValueError as exc:
+        print(f"bench gate: {exc}", file=sys.stderr)
+        return 2
+    failures = evaluate_gate(rows, tolerance=args.tolerance)
     if failures:
-        for message in failures:
-            print(f"bench gate: {message}", file=sys.stderr)
+        for failure in failures:
+            print(f"bench gate: {failure.message}", file=sys.stderr)
         return 1
-    scenarios = payload["scenarios"]
+    scenarios = sorted({row.metric.split(".")[0] for row in rows})
     print(
-        f"bench gate: {len(scenarios)} scenarios within {100 * args.tolerance:.0f}% of "
-        f"their best records ({', '.join(sorted(scenarios))})"
+        f"bench gate: {len(rows)} scenarios within {100 * args.tolerance:.0f}% of "
+        f"their best records ({', '.join(scenarios)})"
     )
     return 0
 

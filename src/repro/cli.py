@@ -30,8 +30,17 @@ Mirrors how the paper's framework is operated:
     Regenerate one paper figure/table and print it.
 ``repro obs``
     Observability utilities: ``summarize`` a trace JSONL into per-span
-    latency percentiles, ``export`` the process metrics registry as
-    Prometheus text or JSON.
+    latency percentiles (``--format json|text``), ``analyze`` it into a
+    span tree (self- vs cumulative-time attribution, critical path,
+    collapsed-stack flamegraph export, per-phase diff against a second
+    trace), ``export`` the process metrics registry as Prometheus text
+    or JSON.
+``repro report``
+    Performance trajectory report over the committed ``BENCH_*.json``
+    files (and an optional run-history store): markdown/GitHub/text
+    table of every tracked hot-path metric vs its best record.
+    ``--gate`` exits 2 when any metric regressed more than
+    ``--tolerance`` (default 10%) — the CI bench gate.
 ``repro check``
     Static invariant checker (see :mod:`repro.devtools`): AST rules for
     determinism, lock discipline, float comparisons, observability
@@ -195,9 +204,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum = obs_sub.add_parser("summarize", help="per-span latency report from a trace JSONL")
     p_sum.add_argument("trace_file", metavar="trace", help="trace file written via --trace")
     p_sum.add_argument("--top", type=int, default=None, help="show only the N largest spans")
+    p_sum.add_argument(
+        "--format", choices=("text", "json"), default="text", help="table or raw summary JSON"
+    )
+    p_ana = obs_sub.add_parser(
+        "analyze", help="span-tree attribution / flamegraph / diff from a trace JSONL"
+    )
+    p_ana.add_argument("trace_file", metavar="trace", help="trace file written via --trace")
+    p_ana.add_argument(
+        "--diff", metavar="OTHER", default=None, help="second trace: print the per-phase delta table"
+    )
+    p_ana.add_argument(
+        "--flamegraph",
+        metavar="OUT",
+        default=None,
+        help="write collapsed stacks (flamegraph.pl / speedscope) to OUT",
+    )
+    p_ana.add_argument(
+        "--critical-path", action="store_true", help="print the heaviest root-to-leaf chain"
+    )
+    p_ana.add_argument("--top", type=int, default=None, help="show only the N largest rows")
+    p_ana.add_argument(
+        "--format", choices=("text", "markdown"), default="text", help="table style"
+    )
     p_exp_reg = obs_sub.add_parser("export", help="export the process metrics registry")
     p_exp_reg.add_argument(
         "--format", choices=("prom", "json"), default="prom", help="exposition format"
+    )
+
+    p_report = sub.add_parser(
+        "report", help="performance trajectory report + regression gate (BENCH_*.json)"
+    )
+    p_report.add_argument(
+        "--root",
+        default=None,
+        help="directory holding the BENCH_*.json files (default: cwd, else the checkout)",
+    )
+    p_report.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="run-history store JSONL to consult (its best values tighten the gate)",
+    )
+    p_report.add_argument(
+        "--record",
+        action="store_true",
+        help="append the current bench points to --store before reporting",
+    )
+    p_report.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 2 when any tracked metric regressed more than --tolerance vs its best",
+    )
+    p_report.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional regression past each metric's best (default 0.10)",
+    )
+    p_report.add_argument(
+        "--format",
+        choices=("markdown", "github", "text"),
+        default="markdown",
+        help="report format ('github' adds ::error annotations for regressions)",
     )
 
     p_check = sub.add_parser(
@@ -603,13 +672,41 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
     if args.obs_command == "summarize":
         trace_path = Path(args.trace_file)
         if not trace_path.exists():
             print(f"no such trace file: {trace_path}", file=sys.stderr)
             return 2
         summary = obs.summarize_file(trace_path)
-        print(obs.render_summary(summary, top=args.top))
+        if args.format == "json":
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(obs.render_summary(summary, top=args.top))
+        return 0
+    if args.obs_command == "analyze":
+        trace_path = Path(args.trace_file)
+        if not trace_path.exists():
+            print(f"no such trace file: {trace_path}", file=sys.stderr)
+            return 2
+        forest = obs.forest_from_file(trace_path)
+        if args.diff is not None:
+            other = Path(args.diff)
+            if not other.exists():
+                print(f"no such trace file: {other}", file=sys.stderr)
+                return 2
+            rows = obs.diff_attribution(forest, obs.forest_from_file(other))
+            print(obs.render_diff(rows, fmt=args.format, top=args.top))
+        else:
+            print(obs.render_attribution(forest, top=args.top))
+            if args.critical_path:
+                print()
+                print(obs.render_critical_path(forest))
+        if args.flamegraph is not None:
+            out = obs.write_collapsed(forest, args.flamegraph)
+            stacks = sum(1 for line in out.read_text().splitlines() if line)
+            print(f"flamegraph: {stacks} collapsed stacks -> {out}", file=sys.stderr)
         return 0
     # export
     registry = obs.get_registry()
@@ -617,6 +714,52 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(registry.to_json())
     else:
         print(registry.to_prometheus_text(), end="")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        collect_rows,
+        default_root,
+        evaluate_gate,
+        load_bench_payloads,
+        record_rows,
+        render_report,
+    )
+    from repro.obs.store import RunStore
+
+    if not 0.0 <= args.tolerance < 1.0:
+        print("--tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+    root = Path(args.root) if args.root is not None else default_root()
+    try:
+        payloads = load_bench_payloads(root)
+        rows = collect_rows(payloads)
+    except ValueError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if not rows:
+        print(f"report: no BENCH_*.json files under {root}", file=sys.stderr)
+        return 2
+
+    store = RunStore(args.store) if args.store is not None else None
+    if args.record:
+        if store is None:
+            print("--record needs --store", file=sys.stderr)
+            return 2
+        record_rows(payloads, store)
+
+    failures = evaluate_gate(rows, tolerance=args.tolerance, store=store)
+    print(
+        render_report(
+            rows, failures, fmt=args.format, tolerance=args.tolerance, store=store
+        )
+    )
+    if args.gate and failures:
+        for failure in failures:
+            print(f"bench gate: {failure.message}", file=sys.stderr)
+        return 2
+    obs.annotate(report_metrics=len(rows), report_regressions=len(failures))
     return 0
 
 
@@ -715,6 +858,7 @@ _DISPATCH = {
     "fleet": _cmd_fleet,
     "experiment": _cmd_experiment,
     "obs": _cmd_obs,
+    "report": _cmd_report,
     "check": _cmd_check,
     "graph": _cmd_graph,
 }

@@ -403,8 +403,11 @@ class ClusterEngine:
             decision = cached.get(arch_key)
             if decision is None:
                 t_decide = perf_counter()
-                with obs.span("cluster.decide", job=job.job_id, workload=job.workload.name):
+                with obs.span(
+                    "cluster.decide", job=job.job_id, workload=job.workload.name
+                ) as decide_span:
                     decision = self.policy.decide(job, device)
+                    decide_span.set(clock_mhz=decision.clock_mhz, arch=arch_key)
                 self._m_decide.observe(perf_counter() - t_decide)
 
             if self.admission is not None:

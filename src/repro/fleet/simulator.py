@@ -172,21 +172,39 @@ class FleetSimulator:
             on_tick=on_tick,
         )
         with obs.span(
-            "fleet.campaign", scenario=scenario.name, seed=self.seed, jobs=len(jobs)
-        ):
+            "fleet.campaign",
+            scenario=scenario.name,
+            seed=self.seed,
+            jobs=len(jobs),
+            nodes=scenario.n_nodes,
+            gpus=scenario.n_gpus,
+            cap_w=scenario.cap_w,
+        ) as campaign_span:
             engine_result = engine.run(jobs)
+            campaign_span.set(
+                completed=engine_result.stats.jobs_completed,
+                requeues=engine_result.stats.requeues,
+                deferrals=engine_result.stats.deferrals,
+                ticks=engine_result.stats.ticks,
+            )
 
         records = engine_result.records
         stats = engine_result.stats
-        for record in records:
-            self._m_wait.observe(record.wait_s)
-        self._m_jobs.inc(stats.jobs_completed)
-        self._m_requeues.inc(stats.requeues)
-        self._m_deferrals.inc(stats.deferrals)
-        self._m_energy.inc(sum(r.energy_j for r in records))
-        self._m_wasted.inc(stats.wasted_energy_j)
+        with obs.span("fleet.aggregate", scenario=scenario.name) as agg_span:
+            for record in records:
+                self._m_wait.observe(record.wait_s)
+            self._m_jobs.inc(stats.jobs_completed)
+            self._m_requeues.inc(stats.requeues)
+            self._m_deferrals.inc(stats.deferrals)
+            self._m_energy.inc(sum(r.energy_j for r in records))
+            self._m_wasted.inc(stats.wasted_energy_j)
 
-        service_stats = [services[node_id].stats() for node_id in sorted(services)]
+            service_stats = [services[node_id].stats() for node_id in sorted(services)]
+            agg_span.set(
+                selections=sum(s.requests for s in service_stats),
+                cache_hits=sum(s.cache_hits for s in service_stats),
+                cache_misses=sum(s.cache_misses for s in service_stats),
+            )
         result = FleetResult(
             scenario=scenario,
             seed=self.seed,

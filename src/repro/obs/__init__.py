@@ -12,12 +12,37 @@ Three orthogonal pieces share this package (see DESIGN.md §10):
   invocation (config hash, seed, model fingerprints, git state, wall
   time, metric snapshot).
 
+Three consumer modules sit on top of the emitters (DESIGN.md §15):
+
+* :mod:`repro.obs.analyze` — span-tree reconstruction, self- vs
+  cumulative-time attribution, critical path, collapsed-stack
+  flamegraph export, and per-phase diffs between two runs.
+* :mod:`repro.obs.store` — append-only, manifest-keyed run-history
+  store ingesting bench payloads, fleet metrics, service stats and
+  manifests into one queryable trajectory.
+* :mod:`repro.obs.report` — ``repro report``: trajectory tables and the
+  >10 % hot-path regression gate that CI runs.
+
 The instrumentation contract for the rest of the codebase: importing
 and calling into ``repro.obs`` must never perturb numerics, RNG
 streams, or public APIs — the golden suite runs fully traced and is
 asserted bitwise-identical to the untraced run.
 """
 
+from repro.obs.analyze import (
+    DiffRow,
+    SpanNode,
+    attribution,
+    build_span_forest,
+    critical_path,
+    diff_attribution,
+    forest_from_file,
+    render_attribution,
+    render_critical_path,
+    render_diff,
+    to_collapsed,
+    write_collapsed,
+)
 from repro.obs.manifest import (
     RunContext,
     RunManifest,
@@ -37,6 +62,22 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     registry_from_json,
+)
+from repro.obs.report import (
+    collect_rows,
+    evaluate_gate,
+    load_bench_payloads,
+    render_report,
+)
+from repro.obs.store import (
+    RunRecord,
+    RunStore,
+    TrackedMetric,
+    record_from_bench_payload,
+    record_from_fleet_metrics,
+    record_from_manifest,
+    record_from_service_stats,
+    tracked_metrics,
 )
 from repro.obs.summarize import (
     load_events,
@@ -88,4 +129,31 @@ __all__ = [
     "summarize_events",
     "summarize_file",
     "render_summary",
+    # analyze
+    "SpanNode",
+    "DiffRow",
+    "build_span_forest",
+    "forest_from_file",
+    "attribution",
+    "critical_path",
+    "diff_attribution",
+    "to_collapsed",
+    "write_collapsed",
+    "render_attribution",
+    "render_critical_path",
+    "render_diff",
+    # store
+    "RunRecord",
+    "RunStore",
+    "TrackedMetric",
+    "tracked_metrics",
+    "record_from_bench_payload",
+    "record_from_fleet_metrics",
+    "record_from_service_stats",
+    "record_from_manifest",
+    # report
+    "collect_rows",
+    "evaluate_gate",
+    "load_bench_payloads",
+    "render_report",
 ]

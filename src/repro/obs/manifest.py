@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -163,9 +164,20 @@ def annotate(**kw) -> None:
 
 
 def write_manifest(manifest: RunManifest, target: str | Path) -> Path:
-    """Write ``manifest`` to ``target`` (a directory gets the default name)."""
+    """Write ``manifest`` to ``target`` (a directory gets the default name).
+
+    The write is atomic: the JSON lands in a same-directory temp file
+    first and is moved into place with ``os.replace``, so a crash
+    mid-run can never leave a truncated manifest — readers see either
+    the previous complete file or the new one.
+    """
     target = Path(target)
     path = target / MANIFEST_FILENAME if target.is_dir() else target
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(manifest.to_json() + "\n")
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(manifest.to_json() + "\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path

@@ -1,0 +1,352 @@
+"""Append-only, manifest-backed run-history store.
+
+The three ``BENCH_*.json`` files pin each benchmark's *latest* and
+*best* numbers, but carry no history: once a new measurement overwrites
+``current`` the old point is gone.  :class:`RunStore` keeps the
+trajectory — one JSON line per ingested result, keyed the way run
+manifests are keyed (bench name + config hash + ``git describe``), so a
+point can always be traced back to the commit and configuration that
+produced it.
+
+Anything the repo measures can be ingested through one schema:
+
+* the committed ``BENCH_*.json`` payloads
+  (:func:`record_from_bench_payload` — serving, collection, obs);
+* a fleet campaign's :meth:`FleetResult.metrics()
+  <repro.fleet.simulator.FleetResult.metrics>` dict
+  (:func:`record_from_fleet_metrics`);
+* a serving :class:`~repro.serving.service.ServiceStats` snapshot
+  (:func:`record_from_service_stats`);
+* a run manifest written by the CLI (:func:`record_from_manifest`).
+
+The file format is deliberately JSONL, not a database: appends are one
+``write`` + ``flush`` under a lock, history diffs cleanly in git, and a
+truncated final line (crash tail) is tolerated on read.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.obs.manifest import RunManifest, config_hash, git_describe
+
+__all__ = [
+    "RunRecord",
+    "RunStore",
+    "TrackedMetric",
+    "tracked_metrics",
+    "record_from_bench_payload",
+    "record_from_fleet_metrics",
+    "record_from_service_stats",
+    "record_from_manifest",
+]
+
+STORE_FILENAME = "run_history.jsonl"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One measured point in a benchmark's trajectory."""
+
+    schema: int
+    bench: str
+    config_hash: str
+    git: str | None
+    recorded_unix: float
+    source: str
+    metrics: dict[str, float]
+    meta: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, default=str)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        return cls(
+            schema=int(payload.get("schema", 1)),
+            bench=str(payload["bench"]),
+            config_hash=str(payload.get("config_hash", "")),
+            git=payload.get("git"),
+            recorded_unix=float(payload.get("recorded_unix", 0.0)),
+            source=str(payload.get("source", "?")),
+            metrics={str(k): float(v) for k, v in (payload.get("metrics") or {}).items()},
+            meta=dict(payload.get("meta") or {}),
+        )
+
+
+class RunStore:
+    """Append-only JSONL store of :class:`RunRecord` lines.
+
+    A directory target gets the default ``run_history.jsonl`` name.
+    Reads tolerate a truncated final line; appends are atomic at the
+    line level (single ``write`` of one line + flush, serialized by a
+    process-local lock).
+    """
+
+    def __init__(self, target: str | Path) -> None:
+        target = Path(target)
+        self.path = target / STORE_FILENAME if target.is_dir() else target
+        self._lock = threading.Lock()
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Persist one record (returns it for chaining)."""
+        line = record.to_json() + "\n"
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)
+                fh.flush()
+        return record
+
+    def records(self, bench: str | None = None) -> list[RunRecord]:
+        """Every stored record (optionally one bench), oldest first."""
+        if not self.path.exists():
+            return []
+        out: list[RunRecord] = []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # crash tail — everything before is intact
+                raise
+            record = RunRecord.from_dict(payload)
+            if bench is None or record.bench == bench:
+                out.append(record)
+        return out
+
+    def benches(self) -> list[str]:
+        """Distinct bench names present, sorted."""
+        return sorted({r.bench for r in self.records()})
+
+    def trajectory(self, bench: str, metric: str) -> list[tuple[float, float]]:
+        """``(recorded_unix, value)`` points for one metric, oldest first."""
+        return [
+            (r.recorded_unix, r.metrics[metric])
+            for r in self.records(bench)
+            if metric in r.metrics
+        ]
+
+    def best(
+        self, bench: str, metric: str, *, higher_is_better: bool = True
+    ) -> float | None:
+        """Best value ever recorded for ``metric``, or None if unseen."""
+        values = [v for _, v in self.trajectory(bench, metric)]
+        if not values:
+            return None
+        return max(values) if higher_is_better else min(values)
+
+    def latest(self, bench: str) -> RunRecord | None:
+        """Most recently appended record for ``bench``."""
+        records = self.records(bench)
+        return records[-1] if records else None
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+# ----------------------------------------------------------------------
+# Tracked hot-path metrics of the committed BENCH_* payloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrackedMetric:
+    """One gated metric: its committed current and best-ever values."""
+
+    bench: str
+    metric: str
+    current: float
+    best: float
+    higher_is_better: bool
+
+
+def _serving_metrics(payload: dict) -> list[TrackedMetric]:
+    bench = str(payload.get("bench", "serving"))
+    out = []
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise ValueError(f"{bench}: no scenarios recorded — regenerate the bench file")
+    for name, record in sorted(scenarios.items()):
+        try:
+            out.append(
+                TrackedMetric(
+                    bench=bench,
+                    metric=f"{name}.selections_per_s",
+                    current=float(record["selections_per_s"]),
+                    best=float(record["best"]["selections_per_s"]),
+                    higher_is_better=True,
+                )
+            )
+        except (KeyError, TypeError, ValueError):
+            raise ValueError(
+                f"{bench}: malformed scenario {name!r} (needs selections_per_s and best)"
+            ) from None
+    return out
+
+
+def _collection_metrics(payload: dict) -> list[TrackedMetric]:
+    bench = str(payload.get("bench", "collection"))
+    try:
+        current, best = payload["current"], payload["best"]
+        return [
+            TrackedMetric(
+                bench=bench,
+                metric=metric,
+                current=float(current[metric]),
+                best=float(best[metric]),
+                higher_is_better=True,
+            )
+            for metric in ("runs_per_s", "samples_per_s")
+        ]
+    except (KeyError, TypeError, ValueError):
+        raise ValueError(f"{bench}: malformed payload (needs current/best rates)") from None
+
+
+def _obs_metrics(payload: dict) -> list[TrackedMetric]:
+    bench = str(payload.get("bench", "obs"))
+    try:
+        return [
+            TrackedMetric(
+                bench=bench,
+                metric="slowdown_vs_disabled",
+                current=float(payload["current"]["slowdown_vs_disabled"]),
+                best=float(payload["best"]["slowdown_vs_disabled"]),
+                higher_is_better=False,
+            )
+        ]
+    except (KeyError, TypeError, ValueError):
+        raise ValueError(f"{bench}: malformed payload (needs current/best slowdown)") from None
+
+
+#: bench-name prefix -> extractor for the committed BENCH_* schemas.
+_EXTRACTORS = {
+    "serving": _serving_metrics,
+    "collection": _collection_metrics,
+    "obs": _obs_metrics,
+}
+
+
+def tracked_metrics(payload: dict) -> list[TrackedMetric]:
+    """The gated hot-path metrics of one ``BENCH_*.json`` payload.
+
+    Raises ``ValueError`` for an unrecognized or malformed payload so
+    the gate can distinguish "regressed" from "unusable".
+    """
+    bench = payload.get("bench")
+    if not isinstance(bench, str):
+        raise ValueError("payload has no 'bench' name")
+    for prefix, extract in _EXTRACTORS.items():
+        if bench.startswith(prefix):
+            return extract(payload)
+    raise ValueError(f"unrecognized bench payload {bench!r}")
+
+
+# ----------------------------------------------------------------------
+# Ingestion adapters
+# ----------------------------------------------------------------------
+def _now() -> float:
+    return time.time()
+
+
+def record_from_bench_payload(payload: dict, *, source: str = "bench") -> RunRecord:
+    """Normalize one ``BENCH_*.json`` payload into a store record."""
+    tracked = tracked_metrics(payload)
+    config = payload.get("config") or payload.get("campaign") or {}
+    return RunRecord(
+        schema=1,
+        bench=tracked[0].bench,
+        config_hash=config_hash(config),
+        git=git_describe(Path(__file__).parent),
+        recorded_unix=_now(),
+        source=source,
+        metrics={t.metric: t.current for t in tracked},
+        meta={
+            "config": config,
+            "best": {t.metric: t.best for t in tracked},
+            "higher_is_better": {t.metric: t.higher_is_better for t in tracked},
+        },
+    )
+
+
+def record_from_fleet_metrics(metrics: dict, *, source: str = "fleet") -> RunRecord:
+    """Ingest a ``FleetResult.metrics()`` dict (or its written JSON)."""
+    scenario = metrics.get("scenario", "?")
+    key = {"scenario": scenario, "seed": metrics.get("seed")}
+    numeric = {
+        name: float(value)
+        for name, value in metrics.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    return RunRecord(
+        schema=1,
+        bench=f"fleet-{scenario}",
+        config_hash=config_hash(key),
+        git=git_describe(Path(__file__).parent),
+        recorded_unix=_now(),
+        source=source,
+        metrics=numeric,
+        meta=key,
+    )
+
+
+def record_from_service_stats(stats, *, bench: str = "serving-service", source: str = "serving") -> RunRecord:
+    """Ingest a serving ``ServiceStats`` snapshot (lifetime counters)."""
+    metrics = {
+        "requests": float(stats.requests),
+        "batches": float(stats.batches),
+        "mean_batch_size": float(stats.mean_batch_size),
+        "cache_hits": float(stats.cache_hits),
+        "cache_misses": float(stats.cache_misses),
+        "hit_rate": float(stats.hit_rate),
+        "curves_computed": float(stats.curves_computed),
+        "measure_s": float(stats.measure_s),
+        "lookup_s": float(stats.lookup_s),
+        "predict_s": float(stats.predict_s),
+        "select_s": float(stats.select_s),
+    }
+    key = {"engine": stats.engine, "max_batch_size": stats.max_batch_size}
+    return RunRecord(
+        schema=1,
+        bench=bench,
+        config_hash=config_hash(key),
+        git=git_describe(Path(__file__).parent),
+        recorded_unix=_now(),
+        source=source,
+        metrics=metrics,
+        meta=key,
+    )
+
+
+def record_from_manifest(manifest: RunManifest | dict, *, source: str = "manifest") -> RunRecord:
+    """Ingest a run manifest (the object, or its parsed JSON dict).
+
+    Counter/gauge instruments land as their value; histograms land as
+    ``<name>.count`` / ``<name>.sum``.
+    """
+    data = manifest if isinstance(manifest, dict) else json.loads(manifest.to_json())
+    metrics: dict[str, float] = {"wall_time_s": float(data.get("wall_time_s", 0.0))}
+    for name, snap in (data.get("metrics") or {}).items():
+        if not isinstance(snap, dict):
+            continue
+        if snap.get("kind") == "histogram":
+            metrics[f"{name}.count"] = float(snap.get("count", 0.0))
+            metrics[f"{name}.sum"] = float(snap.get("sum", 0.0))
+        elif "value" in snap:
+            metrics[name] = float(snap["value"])
+    return RunRecord(
+        schema=1,
+        bench=f"run-{data.get('command', '?')}",
+        config_hash=str(data.get("config_hash", "")),
+        git=data.get("git"),
+        recorded_unix=float(data.get("started_unix") or _now()),
+        source=source,
+        metrics=metrics,
+        meta={"seed": data.get("seed"), "exit_code": data.get("exit_code")},
+    )

@@ -2,8 +2,10 @@
 
 ``repro obs summarize trace.jsonl`` renders what this module computes:
 every span name seen in a trace, how often it ran, and where its
-latency mass sits (total / mean / p50 / p90 / p99 / max), plus instant
-events (early stops, cache clears) by name.  Works on any JSONL trace
+latency mass sits (total / mean / p50 / p90 / p95 / p99 / max), plus
+instant events (early stops, cache clears) by name.  The summary dict
+is JSON-ready; ``repro obs summarize --format json`` prints it
+verbatim for machine consumers.  Works on any JSONL trace
 written by :class:`repro.obs.trace.Tracer` — including one produced by
 several instrumented phases in a single process (collection, training,
 serving, cluster scheduling).
@@ -59,6 +61,7 @@ def summarize_events(events: list[dict]) -> dict:
             "mean_s": float(arr.mean()),
             "p50_s": float(np.percentile(arr, 50)),
             "p90_s": float(np.percentile(arr, 90)),
+            "p95_s": float(np.percentile(arr, 95)),
             "p99_s": float(np.percentile(arr, 99)),
             "max_s": float(arr.max()),
         }
@@ -90,16 +93,19 @@ def render_summary(summary: dict, *, top: int | None = None) -> str:
         f"{summary['records']} records across {summary['threads']} thread(s)",
         "",
         f"{'span':32s} {'count':>7s} {'total':>10s} {'mean':>10s} "
-        f"{'p50':>10s} {'p90':>10s} {'p99':>10s} {'max':>10s}",
+        f"{'p50':>10s} {'p90':>10s} {'p95':>10s} {'p99':>10s} {'max':>10s}",
     ]
     ranked = sorted(summary["spans"].items(), key=lambda kv: -kv[1]["total_s"])
     if top is not None:
         ranked = ranked[:top]
     for name, row in ranked:
+        # Traces written before the p95 column default to p90 so old
+        # files still render.
+        p95 = row.get("p95_s", row["p90_s"])
         lines.append(
             f"{name:32s} {row['count']:7d} {_fmt_s(row['total_s'])} "
             f"{_fmt_s(row['mean_s'])} {_fmt_s(row['p50_s'])} "
-            f"{_fmt_s(row['p90_s'])} {_fmt_s(row['p99_s'])} {_fmt_s(row['max_s'])}"
+            f"{_fmt_s(row['p90_s'])} {_fmt_s(p95)} {_fmt_s(row['p99_s'])} {_fmt_s(row['max_s'])}"
         )
     if summary["events"]:
         lines.append("")

@@ -420,7 +420,9 @@ class SelectionService:
         device = self.pipeline.device
         freqs = device.dvfs.usable_array()
 
-        with obs.span("serving.flush", batch=len(requests)) as flush_span:
+        with obs.span(
+            "serving.flush", batch=len(requests), engine=self._engine.mode
+        ) as flush_span:
             return self._flush_traced(
                 flush_span, requests, objectives, threshold, device, freqs
             )
@@ -447,7 +449,7 @@ class SelectionService:
 
         # Stage 1 — acquire per-request profiles (measure workload handles).
         t0 = _time.perf_counter()
-        with obs.span("serving.measure"):
+        with obs.span("serving.measure") as measure_span:
             features_col: list[FeatureVector] = []
             p_max_col: list[float] = []
             t_max_col: list[float | None] = []
@@ -466,10 +468,11 @@ class SelectionService:
                 t_max_col.append(t_max)
                 fp_col[i] = fv.fp_active
                 dram_col[i] = fv.dram_active
+            measure_span.set(measured=measured)
         t1 = _time.perf_counter()
 
         # Stage 2 — dedup into curve slots, then one batched cache probe.
-        with obs.span("serving.lookup"):
+        with obs.span("serving.lookup") as lookup_span:
             q = self.quantize_decimals
             static = self._key_static
             keys = [
@@ -492,6 +495,7 @@ class SelectionService:
             power_rows = [entry[0] if entry is not None else None for entry in cached]
             unit_rows = [entry[1] if entry is not None else None for entry in cached]
             miss_slots = [s for s, entry in enumerate(cached) if entry is None]
+            lookup_span.set(unique=len(unique_keys), hits=len(unique_keys) - len(miss_slots))
         t2 = _time.perf_counter()
 
         # Stage 3 — one fused engine pass over all missing curves.
@@ -530,7 +534,7 @@ class SelectionService:
         # Stage 4 — energy + Algorithm 1, vectorized over deduped
         # (curve, p_max, t_max) combos; objectives/threshold are flush
         # constants, so the combo key replaces the old per-request memo.
-        with obs.span("serving.select"):
+        with obs.span("serving.select") as select_span:
             combo_of: dict[tuple, int] = {}
             combo_col = np.empty(n, dtype=np.intp)
             combo_slot: list[int] = []
@@ -588,6 +592,7 @@ class SelectionService:
                         from_cache=cached[slot] is not None,
                     )
                 )
+            select_span.set(combos=len(combo_slot), objectives=len(objectives))
         t4 = _time.perf_counter()
 
         self._m_requests.inc(n)
@@ -600,7 +605,10 @@ class SelectionService:
         self._m_stage["predict"].observe(t3 - t2)
         self._m_stage["select"].observe(t4 - t3)
         flush_span.set(
-            hits=len(unique_keys) - len(miss_slots), curves_computed=len(miss_slots)
+            hits=len(unique_keys) - len(miss_slots),
+            curves_computed=len(miss_slots),
+            measured=measured,
+            unique=len(unique_keys),
         )
         return responses
 

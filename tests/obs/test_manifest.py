@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro import obs
 from repro.obs.manifest import (
     MANIFEST_FILENAME,
@@ -72,6 +74,31 @@ class TestWriteManifest:
         target = tmp_path / "sub" / "custom.json"
         path = write_manifest(manifest, target)
         assert path == target and target.exists()
+
+    def test_write_is_atomic_no_temp_residue(self, tmp_path):
+        manifest = RunContext("x", []).finish()
+        path = write_manifest(manifest, tmp_path)
+        assert json.loads(path.read_text())["command"] == "x"
+        # The temp file was moved into place, not left behind.
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_interrupted_replace_keeps_previous_manifest(self, tmp_path, monkeypatch):
+        """A crash mid-write never leaves a truncated manifest behind."""
+        import repro.obs.manifest as manifest_mod
+
+        first = RunContext("first", []).finish()
+        target = write_manifest(first, tmp_path)
+
+        def boom(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(manifest_mod.os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            write_manifest(RunContext("second", []).finish(), tmp_path)
+        monkeypatch.undo()
+        # The old manifest is intact and parseable; no temp residue.
+        assert json.loads(target.read_text())["command"] == "first"
+        assert [p.name for p in tmp_path.iterdir()] == [target.name]
 
 
 def test_git_describe_in_this_checkout():

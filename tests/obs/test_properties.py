@@ -85,3 +85,56 @@ def test_exceptions_anywhere_keep_stack_consistent(tree, data):
     assert tracer.active_depth() == 0
     for event in tracer.events():
         assert event["dur_s"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Round trip: emission -> flat stream -> analyzer reconstruction
+# ----------------------------------------------------------------------
+def _expected_shape(tree: list, prefix: str = "s") -> list[tuple[str, list]]:
+    """The (name, children) forest an emission of ``tree`` must rebuild."""
+    return [
+        (f"{prefix}.{i}", _expected_shape(child, f"{prefix}.{i}"))
+        for i, child in enumerate(tree)
+    ]
+
+
+def _shape_of(nodes) -> list[tuple[str, list]]:
+    return [(n.name, _shape_of(n.children)) for n in nodes]
+
+
+def _depths(shape, depth=0):
+    for name, children in shape:
+        yield name, depth
+        yield from _depths(children, depth + 1)
+
+
+@given(tree=st.lists(span_trees, max_size=3))
+def test_any_emission_sequence_round_trips_through_the_analyzer(tree):
+    """Reconstruction inverts emission: depths/nesting match the LIFO
+    run exactly, and self-times sum to the roots' cumulative time."""
+    from repro.obs.analyze import build_span_forest
+
+    tracer = obs.configure()
+    try:
+        _run_tree(tree)
+        events = tracer.events()
+    finally:
+        obs.disable()
+
+    forest = build_span_forest(events)
+    expected = _expected_shape(tree)
+    # Exact structural match: same names, same nesting, same sibling
+    # order (span ids are assigned at entry, so order is start order).
+    assert _shape_of(forest) == expected
+    # Every span's reconstructed depth equals the depth it was emitted
+    # at (the tracer recorded it as an attr during the walk).
+    by_name = {
+        node.name: node for root in forest for node in root.walk()
+    }
+    for name, depth in _depths(expected):
+        assert by_name[name].attrs["depth"] == depth
+    # Self-time conservation: the analyzer never invents or loses time —
+    # per tree, self-times sum to the root's cumulative time.
+    for root in forest:
+        total_self = sum(node.self_s for node in root.walk())
+        assert abs(total_self - root.dur_s) <= 1e-9

@@ -1,0 +1,231 @@
+"""`repro report` gate + rendering.
+
+The acceptance contract (ISSUE 8): the gate must reproduce the historic
+``scripts/bench_gate.py`` verdict on the *checked-in* BENCH files, and
+must catch an injected >10 % synthetic regression.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import (
+    BENCH_FILES,
+    collect_rows,
+    default_root,
+    evaluate_gate,
+    load_bench_payloads,
+    record_rows,
+    render_report,
+)
+from repro.obs.store import RunStore, TrackedMetric
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _row(current, best, *, higher=True, bench="b", metric="m"):
+    return TrackedMetric(
+        bench=bench, metric=metric, current=current, best=best, higher_is_better=higher
+    )
+
+
+class TestEvaluateGate:
+    def test_within_tolerance_passes(self):
+        assert evaluate_gate([_row(91.0, 100.0)]) == []
+
+    def test_higher_is_better_regression_fails(self):
+        (failure,) = evaluate_gate([_row(85.0, 100.0)])
+        assert failure.regression == pytest.approx(0.15)
+        assert "below the best record" in failure.message
+
+    def test_lower_is_better_regression_fails(self):
+        (failure,) = evaluate_gate([_row(1.3, 1.0, higher=False)])
+        assert failure.regression == pytest.approx(0.3)
+        assert "above the best record" in failure.message
+
+    def test_lower_is_better_improvement_passes(self):
+        assert evaluate_gate([_row(0.5, 1.0, higher=False)]) == []
+
+    def test_store_history_tightens_the_bar(self, tmp_path):
+        store = RunStore(tmp_path / "h.jsonl")
+        from tests.obs.test_store import _record
+
+        store.append(_record(bench="b", m=200.0))
+        # Fine vs the committed best (100), regressed vs history (200).
+        assert evaluate_gate([_row(95.0, 100.0)]) == []
+        (failure,) = evaluate_gate([_row(95.0, 100.0)], store=store)
+        assert failure.row.best == 200.0
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate([], tolerance=1.5)
+
+
+class TestCheckedInTrajectories:
+    """The gate on the real committed files reproduces the old verdict."""
+
+    def test_all_bench_files_load(self):
+        payloads = load_bench_payloads(REPO_ROOT)
+        assert set(payloads) == set(BENCH_FILES)
+
+    def test_gate_passes_on_checked_in_files(self):
+        rows = collect_rows(load_bench_payloads(REPO_ROOT))
+        assert len(rows) >= 10  # 7 serving scenarios + 2 collection + 1 obs
+        assert evaluate_gate(rows, tolerance=0.10) == []
+
+    def test_default_root_finds_the_checkout(self):
+        assert (default_root() / "BENCH_serving.json").exists()
+
+    def test_matches_legacy_serving_verdict(self):
+        """Row-for-row parity with the old scripts/bench_gate.py check."""
+        payload = json.loads((REPO_ROOT / "BENCH_serving.json").read_text())
+        rows = [r for r in collect_rows({"BENCH_serving.json": payload}) if r.higher_is_better]
+        for tolerance in (0.0, 0.10, 0.5):
+            ours = {f.row.metric.split(".")[0] for f in evaluate_gate(rows, tolerance=tolerance)}
+            legacy = set()
+            for name, record in payload["scenarios"].items():
+                current = float(record["selections_per_s"])
+                best = float(record["best"]["selections_per_s"])
+                if current < (1.0 - tolerance) * best:
+                    legacy.add(name)
+            assert ours == legacy
+
+
+def _inject_regression(tmp_path, *, factor=0.8):
+    """Copy the bench files, scaling one serving current to 80% of best."""
+    for name in BENCH_FILES:
+        shutil.copy(REPO_ROOT / name, tmp_path / name)
+    path = tmp_path / "BENCH_serving.json"
+    payload = json.loads(path.read_text())
+    record = payload["scenarios"]["hot"]
+    record["selections_per_s"] = factor * float(record["best"]["selections_per_s"])
+    path.write_text(json.dumps(payload, indent=2))
+    return tmp_path
+
+
+class TestInjectedRegression:
+    def test_synthetic_20pct_drop_detected(self, tmp_path):
+        root = _inject_regression(tmp_path)
+        rows = collect_rows(load_bench_payloads(root))
+        failures = evaluate_gate(rows, tolerance=0.10)
+        assert [f.row.metric for f in failures] == ["hot.selections_per_s"]
+        assert failures[0].regression == pytest.approx(0.2)
+
+    def test_drop_inside_tolerance_passes(self, tmp_path):
+        root = _inject_regression(tmp_path, factor=0.95)
+        rows = collect_rows(load_bench_payloads(root))
+        assert evaluate_gate(rows, tolerance=0.10) == []
+
+
+class TestRendering:
+    def test_markdown_report_has_table_and_summary(self):
+        rows = [_row(95.0, 100.0), _row(50.0, 100.0, metric="bad")]
+        failures = evaluate_gate(rows)
+        text = render_report(rows, failures, fmt="markdown")
+        assert "| bench | metric | current | best | status |" in text
+        assert "**1 regression(s)**" in text
+        assert "REGRESSED 50.0%" in text
+
+    def test_github_format_emits_error_annotations(self):
+        rows = [_row(50.0, 100.0)]
+        text = render_report(rows, evaluate_gate(rows), fmt="github")
+        assert text.splitlines()[0].startswith("::error ::bench gate:")
+
+    def test_text_format_lists_failures(self):
+        rows = [_row(50.0, 100.0)]
+        text = render_report(rows, evaluate_gate(rows), fmt="text")
+        assert "bench gate:" in text
+
+    def test_clean_report_mentions_tolerance(self):
+        text = render_report([_row(100.0, 100.0)], [], fmt="markdown", tolerance=0.2)
+        assert "20%" in text
+        assert "all within tolerance" in text
+
+
+class TestReportCli:
+    def test_report_on_checkout_exits_zero(self, capsys):
+        assert main(["report", "--root", str(REPO_ROOT), "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "Performance trajectory report" in out
+
+    def test_gate_exit_2_on_injected_regression(self, tmp_path, capsys):
+        root = _inject_regression(tmp_path)
+        assert main(["report", "--root", str(root), "--gate"]) == 2
+        captured = capsys.readouterr()
+        assert "bench gate:" in captured.err
+        assert "REGRESSED" in captured.out
+
+    def test_regression_without_gate_reports_but_exits_zero(self, tmp_path, capsys):
+        root = _inject_regression(tmp_path)
+        assert main(["report", "--root", str(root)]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_record_appends_to_store(self, tmp_path, capsys):
+        store_path = tmp_path / "history.jsonl"
+        code = main(
+            [
+                "report",
+                "--root",
+                str(REPO_ROOT),
+                "--store",
+                str(store_path),
+                "--record",
+            ]
+        )
+        assert code == 0
+        store = RunStore(store_path)
+        assert len(store) == len(BENCH_FILES)
+        assert "run-history store" in capsys.readouterr().out
+
+    def test_record_requires_store(self, capsys):
+        assert main(["report", "--root", str(REPO_ROOT), "--record"]) == 2
+        assert "--record needs --store" in capsys.readouterr().err
+
+    def test_empty_root_exits_2(self, tmp_path, capsys):
+        assert main(["report", "--root", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_unusable_file_exits_2(self, tmp_path, capsys):
+        (tmp_path / "BENCH_serving.json").write_text("{not json")
+        assert main(["report", "--root", str(tmp_path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_bad_tolerance_exits_2(self, capsys):
+        assert main(["report", "--tolerance", "2.0"]) == 2
+
+    def test_github_format_cli(self, tmp_path, capsys):
+        root = _inject_regression(tmp_path)
+        assert main(["report", "--root", str(root), "--format", "github"]) == 0
+        assert "::error ::" in capsys.readouterr().out
+
+
+class TestLegacyShim:
+    """scripts/bench_gate.py still honours its old exit-code contract."""
+
+    @pytest.fixture()
+    def shim(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_gate_shim", REPO_ROOT / "scripts" / "bench_gate.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_passes_on_checked_in_file(self, shim, capsys):
+        assert shim.main([]) == 0
+        assert "bench gate:" in capsys.readouterr().out
+
+    def test_exit_1_on_regression(self, shim, tmp_path, capsys):
+        root = _inject_regression(tmp_path)
+        assert shim.main([str(root / "BENCH_serving.json")]) == 1
+        assert "below the best record" in capsys.readouterr().err
+
+    def test_exit_2_on_missing_file(self, shim, tmp_path):
+        assert shim.main([str(tmp_path / "nope.json")]) == 2

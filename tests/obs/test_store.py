@@ -1,0 +1,183 @@
+"""Run-history store: append/query round-trips and ingestion adapters."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.store import (
+    RunRecord,
+    RunStore,
+    record_from_bench_payload,
+    record_from_fleet_metrics,
+    record_from_manifest,
+    record_from_service_stats,
+    tracked_metrics,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _record(bench="b", value=1.0, when=0.0, **metrics):
+    metrics = metrics or {"m": value}
+    return RunRecord(
+        schema=1,
+        bench=bench,
+        config_hash="c" * 8,
+        git="deadbeef",
+        recorded_unix=when,
+        source="test",
+        metrics=metrics,
+    )
+
+
+class TestRunStore:
+    def test_append_and_read_round_trip(self, tmp_path):
+        store = RunStore(tmp_path / "h.jsonl")
+        store.append(_record(value=1.5))
+        store.append(_record(value=2.5, when=1.0))
+        records = store.records()
+        assert len(records) == 2
+        assert records[0].metrics == {"m": 1.5}
+        assert records[1].recorded_unix == pytest.approx(1.0)
+
+    def test_directory_target_gets_default_name(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.append(_record())
+        assert (tmp_path / "run_history.jsonl").exists()
+
+    def test_bench_filter_and_names(self, tmp_path):
+        store = RunStore(tmp_path / "h.jsonl")
+        store.append(_record(bench="x"))
+        store.append(_record(bench="y"))
+        store.append(_record(bench="x", when=2.0))
+        assert len(store.records("x")) == 2
+        assert store.benches() == ["x", "y"]
+        assert store.latest("x").recorded_unix == pytest.approx(2.0)
+
+    def test_trajectory_and_best_both_directions(self, tmp_path):
+        store = RunStore(tmp_path / "h.jsonl")
+        for i, v in enumerate((3.0, 1.0, 2.0)):
+            store.append(_record(when=float(i), m=v))
+        assert store.trajectory("b", "m") == [(0.0, 3.0), (1.0, 1.0), (2.0, 2.0)]
+        assert store.best("b", "m") == 3.0
+        assert store.best("b", "m", higher_is_better=False) == 1.0
+        assert store.best("b", "absent") is None
+        assert store.best("nope", "m") is None
+
+    def test_tolerates_crash_tail(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = RunStore(path)
+        store.append(_record())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"bench": "trunc')  # interrupted mid-write
+        assert len(store.records()) == 1
+
+    def test_empty_store_reads_empty(self, tmp_path):
+        assert RunStore(tmp_path / "missing.jsonl").records() == []
+
+
+class TestTrackedMetrics:
+    """Extraction over the three *checked-in* BENCH payload schemas."""
+
+    def test_serving_payload_tracks_every_scenario(self):
+        payload = json.loads((REPO_ROOT / "BENCH_serving.json").read_text())
+        rows = tracked_metrics(payload)
+        names = {r.metric for r in rows}
+        assert {f"{s}.selections_per_s" for s in payload["scenarios"]} == names
+        assert all(r.higher_is_better for r in rows)
+
+    def test_collection_payload_tracks_rates(self):
+        payload = json.loads((REPO_ROOT / "BENCH_collection.json").read_text())
+        rows = tracked_metrics(payload)
+        assert {r.metric for r in rows} == {"runs_per_s", "samples_per_s"}
+
+    def test_obs_payload_tracks_slowdown_lower_is_better(self):
+        payload = json.loads((REPO_ROOT / "BENCH_obs.json").read_text())
+        (row,) = tracked_metrics(payload)
+        assert row.metric == "slowdown_vs_disabled"
+        assert not row.higher_is_better
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            tracked_metrics({"bench": "mystery"})
+        with pytest.raises(ValueError, match="bench"):
+            tracked_metrics({})
+
+    def test_malformed_serving_rejected(self):
+        with pytest.raises(ValueError, match="no scenarios"):
+            tracked_metrics({"bench": "serving-batch-throughput", "scenarios": {}})
+        with pytest.raises(ValueError, match="malformed"):
+            tracked_metrics(
+                {"bench": "serving-batch-throughput", "scenarios": {"cold": {}}}
+            )
+
+
+class TestIngestion:
+    def test_bench_payload_record(self, tmp_path):
+        payload = json.loads((REPO_ROOT / "BENCH_obs.json").read_text())
+        record = record_from_bench_payload(payload, source="BENCH_obs.json")
+        assert record.bench == "obs-tracer-overhead"
+        assert record.metrics["slowdown_vs_disabled"] == payload["current"]["slowdown_vs_disabled"]
+        assert record.meta["higher_is_better"]["slowdown_vs_disabled"] is False
+        assert len(record.config_hash) == 64
+        RunStore(tmp_path / "h.jsonl").append(record)  # serializes cleanly
+
+    def test_fleet_metrics_record_from_golden(self, tmp_path):
+        metrics = json.loads(
+            (REPO_ROOT / "tests/golden/golden_fleet_baseline.json").read_text()
+        )
+        record = record_from_fleet_metrics(metrics)
+        assert record.bench == f"fleet-{metrics['scenario']}"
+        assert record.metrics["total_energy_j"] == metrics["total_energy_j"]
+        # Non-numeric fields (scenario name) stay out of the metric dict.
+        assert "scenario" not in record.metrics
+        store = RunStore(tmp_path / "h.jsonl")
+        store.append(record)
+        assert store.best(record.bench, "jobs_completed") == metrics["jobs_completed"]
+
+    def test_service_stats_record(self):
+        class FakeStats:
+            requests = 10
+            batches = 2
+            mean_batch_size = 5.0
+            max_batch_size = 8
+            cache_hits = 6
+            cache_misses = 4
+            hit_rate = 0.6
+            curves_computed = 4
+            measure_s = 0.1
+            lookup_s = 0.2
+            predict_s = 0.3
+            select_s = 0.4
+            engine = "exact"
+
+        record = record_from_service_stats(FakeStats())
+        assert record.bench == "serving-service"
+        assert record.metrics["hit_rate"] == pytest.approx(0.6)
+        assert record.meta == {"engine": "exact", "max_batch_size": 8}
+
+    def test_manifest_record(self):
+        run = obs.RunContext("train", ["train", "--seed", "3"], {"seed": 3})
+        registry = obs.MetricsRegistry()
+        registry.counter("train_rows_total", "rows").inc(42)
+        registry.histogram("epoch_seconds", "per-epoch").observe(0.5)
+        manifest = run.finish(exit_code=0, registry=registry)
+        record = record_from_manifest(manifest)
+        assert record.bench == "run-train"
+        assert record.config_hash == manifest.config_hash
+        assert record.metrics["train_rows_total"] == 42.0
+        assert record.metrics["epoch_seconds.count"] == 1.0
+        assert record.metrics["epoch_seconds.sum"] == pytest.approx(0.5)
+        assert record.meta["exit_code"] == 0
+
+    def test_manifest_record_from_parsed_json(self):
+        run = obs.RunContext("fleet", ["fleet"], {"scenario": "baseline"})
+        manifest = run.finish(exit_code=0)
+        parsed = json.loads(manifest.to_json())
+        record = record_from_manifest(parsed)
+        assert record.bench == "run-fleet"
+        assert record.git == manifest.git

@@ -29,7 +29,16 @@ class TestSummarize:
         row = summarize_events(events)["spans"]["a"]
         assert row["p50_s"] == pytest.approx(0.3)
         assert row["p90_s"] == pytest.approx(0.46)
+        assert row["p95_s"] == pytest.approx(0.48)
         assert row["p99_s"] <= row["max_s"]
+        assert row["p50_s"] <= row["p95_s"] <= row["p99_s"]
+
+    def test_summary_is_json_ready(self):
+        events = [_span("a", 0.1), {"type": "event", "name": "e", "thread": "t"}]
+        payload = json.dumps(summarize_events(events))
+        restored = json.loads(payload)
+        assert restored["spans"]["a"]["p95_s"] == pytest.approx(0.1)
+        assert restored["events"] == {"e": 1}
 
     def test_counts_instant_events_and_threads(self):
         events = [
@@ -48,6 +57,13 @@ class TestSummarize:
         text = render_summary(summary)
         assert text.index("big") < text.index("small")
         assert "small" not in render_summary(summary, top=1)
+        assert "p95" in text.splitlines()[2]
+
+    def test_render_tolerates_pre_p95_summaries(self):
+        summary = summarize_events([_span("a", 0.1)])
+        for row in summary["spans"].values():
+            row.pop("p95_s")
+        assert "a" in render_summary(summary)
 
 
 class TestLoadEvents:

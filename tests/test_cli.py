@@ -273,6 +273,65 @@ class TestObsCli:
         assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
         assert "no such trace" in capsys.readouterr().err
 
+    def test_summarize_json_format(self, models, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        assert main(["--trace", str(trace), "select", "--models", str(models), "--workloads", "lstm"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(trace), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "serving.flush" in payload["spans"]
+        row = payload["spans"]["serving.flush"]
+        assert row["count"] == 1
+        assert 0.0 <= row["p50_s"] <= row["p95_s"] <= row["p99_s"]
+
+    def test_analyze_attribution_and_critical_path(self, models, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["--trace", str(trace), "select", "--models", str(models), "--workloads", "lammps,lstm"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "analyze", str(trace), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "self" in out and "cum" in out
+        assert "serving.flush" in out
+        assert "critical path" in out
+
+    def test_analyze_flamegraph_export(self, models, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        out_file = tmp_path / "flame.txt"
+        assert main(["--trace", str(trace), "select", "--models", str(models), "--workloads", "lstm"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "analyze", str(trace), "--flamegraph", str(out_file)]) == 0
+        assert "flamegraph:" in capsys.readouterr().err
+        lines = out_file.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack and int(weight) >= 0
+        assert any(line.startswith("serving.flush;") for line in lines)
+
+    def test_analyze_diff_two_traces(self, models, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        for trace in (a, b):
+            assert main(["--trace", str(trace), "select", "--models", str(models), "--workloads", "lstm"]) == 0
+            capsys.readouterr()
+        assert main(["obs", "analyze", str(a), "--diff", str(b), "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| span | count a→b | self a | self b |" in out
+        assert "serving.flush" in out
+
+    def test_analyze_missing_file_exit_code(self, tmp_path, capsys):
+        assert main(["obs", "analyze", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_analyze_missing_diff_file_exit_code(self, models, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["--trace", str(trace), "select", "--models", str(models), "--workloads", "lstm"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "analyze", str(trace), "--diff", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
     def test_export_json_round_trips_registry(self, models, capsys):
         import json
 
