@@ -298,7 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline with every current finding (justifications required before commit)",
     )
     p_check.add_argument(
-        "--rules", default=None, help="comma-separated rule ids to run (default: all)"
+        "--select",
+        "--rules",
+        dest="rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
     )
     p_check.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
@@ -817,7 +821,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if args.format == "json":
         print(report.to_json())
     elif args.format == "github":
-        print(render_github(report))
+        print(render_github(report, baseline=baseline))
     else:
         print(render_text(report))
     return 0 if report.ok else 1

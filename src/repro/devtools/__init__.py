@@ -24,14 +24,22 @@ module-qualified resolution, and rules that reason along its edges:
   ED²P; see :mod:`repro.devtools.units` and :mod:`repro.units`).
 * **DET003** — seed-lineage taint analysis: every Generator inside a
   seeded package must derive from a caller-supplied root.
+* **THR002/THR003/THR004** — concurrency analysis over inferred
+  execution contexts (:mod:`repro.devtools.concurrency`): shared-state
+  mutation without a common held lock, lock-order inversion, and
+  fork-unsafe captures (locks/files/RNG crossing a ``Process`` spawn).
+* **RES001** — resource-lifetime escape analysis: acquired handles
+  (``SharedMemory``, files, locks) must be released on every path or
+  have their ownership transferred.
 * **PARSE001** — unparseable files are reported as findings, not
   crashes.
 
 ``repro graph`` dumps the call graph (JSON/DOT) and the declared unit
 table.  Findings can be silenced inline (``# repro: noqa[RULE]``) or
-grandfathered in a committed baseline file with a justification; the
+grandfathered in a committed baseline file with a justification —
+per-entry, or shared per rule id via ``rule_justifications``; the
 tier-1 gate (``tests/devtools/test_gate.py``) fails on anything else.
-See DESIGN.md §11-§12 for the workflow.
+See DESIGN.md §11-§12 and §16 for the workflow.
 """
 
 from repro.devtools.baseline import Baseline, BaselineEntry

@@ -9,7 +9,11 @@ of accreting.
 
 Every entry carries a ``justification``; the gate test refuses entries
 without one, which is what makes the baseline a reviewed decision record
-rather than a mute button.
+rather than a mute button.  A top-level ``rule_justifications`` map can
+supply a shared justification for every entry of one rule (e.g. a
+blanket rationale for grandfathering THR002 in a legacy package) so the
+per-entry field only has to be written when an entry needs its own
+story.
 """
 
 from __future__ import annotations
@@ -73,14 +77,25 @@ class BaselineEntry:
 class Baseline:
     """Ordered collection of :class:`BaselineEntry` with multiset matching."""
 
-    def __init__(self, entries: list[BaselineEntry] | tuple[BaselineEntry, ...] = ()) -> None:
+    def __init__(
+        self,
+        entries: list[BaselineEntry] | tuple[BaselineEntry, ...] = (),
+        rule_justifications: dict[str, str] | None = None,
+    ) -> None:
         self.entries = list(entries)
+        #: Rule-id -> shared justification, used when an entry's own
+        #: ``justification`` field is blank.
+        self.rule_justifications = dict(rule_justifications or {})
 
     def __len__(self) -> int:
         return len(self.entries)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Baseline) and self.entries == other.entries
+        return (
+            isinstance(other, Baseline)
+            and self.entries == other.entries
+            and self.rule_justifications == other.rule_justifications
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -92,14 +107,23 @@ class Baseline:
         payload = json.loads(path.read_text(encoding="utf-8"))
         if payload.get("schema") != _SCHEMA:
             raise ValueError(f"unsupported baseline schema: {payload.get('schema')!r}")
-        return cls([BaselineEntry.from_dict(entry) for entry in payload.get("entries", [])])
+        rule_justifications = {
+            str(rule): str(text)
+            for rule, text in payload.get("rule_justifications", {}).items()
+        }
+        return cls(
+            [BaselineEntry.from_dict(entry) for entry in payload.get("entries", [])],
+            rule_justifications=rule_justifications,
+        )
 
     def save(self, path: Path | str) -> None:
         """Write the baseline (stable ordering, trailing newline)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         ordered = sorted(self.entries, key=lambda e: (e.path, e.rule, e.line, e.message))
-        payload = {"schema": _SCHEMA, "entries": [entry.to_dict() for entry in ordered]}
+        payload: dict = {"schema": _SCHEMA, "entries": [entry.to_dict() for entry in ordered]}
+        if self.rule_justifications:
+            payload["rule_justifications"] = dict(sorted(self.rule_justifications.items()))
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     # ------------------------------------------------------------------
@@ -139,8 +163,18 @@ class Baseline:
         return cls([BaselineEntry.from_finding(f, justification) for f in findings])
 
     def justification_for(self, finding: Finding) -> str | None:
-        """Justification text of the first entry matching ``finding``."""
+        """Justification text of the first entry matching ``finding``.
+
+        Falls back to the rule-level justification when the matching
+        entry does not carry its own.
+        """
         for entry in self.entries:
             if entry.key() == finding.key():
-                return entry.justification
+                return self.effective_justification(entry)
         return None
+
+    def effective_justification(self, entry: BaselineEntry) -> str:
+        """Entry's own justification, or its rule's shared one."""
+        if entry.justification.strip():
+            return entry.justification
+        return self.rule_justifications.get(entry.rule, "")

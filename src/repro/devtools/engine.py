@@ -254,8 +254,15 @@ def render_text(report: CheckReport) -> str:
     return "\n".join(lines)
 
 
-def render_github(report: CheckReport) -> str:
-    """GitHub Actions workflow annotations (``::error file=...``).
+def render_github(report: CheckReport, *, baseline: Baseline | None = None) -> str:
+    """GitHub Actions workflow annotations — exactly one per finding.
+
+    Live findings and parse errors annotate at ``::error`` /
+    ``::warning`` with the rule id in the ``title`` field (that is what
+    makes annotations filterable in the Checks UI).  When a ``baseline``
+    is supplied, grandfathered findings are surfaced too, as ``::notice``
+    annotations carrying their recorded justification — the CI log then
+    shows *what* is muted and *why* without failing the job.
 
     Paths are emitted relative to the current working directory when the
     scan root lives under it (so annotations land on the right files in
@@ -266,16 +273,29 @@ def render_github(report: CheckReport) -> str:
         prefix = root.resolve().relative_to(Path.cwd().resolve()).as_posix() if root else ""
     except ValueError:
         prefix = ""
+
+    def escape(text: str) -> str:
+        return text.replace("%", "%25").replace("\n", "%0A")
+
+    def annotate(finding: Finding, level: str, message: str) -> str:
+        path = f"{prefix}/{finding.path}" if prefix and prefix != "." else finding.path
+        return (
+            f"::{level} file={path},line={finding.line},col={finding.col + 1},"
+            f"title={finding.rule_id}::{escape(message)}"
+        )
+
     lines: list[str] = []
     for finding in report.parse_errors + report.findings:
-        path = f"{prefix}/{finding.path}" if prefix and prefix != "." else finding.path
         level = "error" if finding.severity == "error" else "warning"
-        message = finding.message.replace("%", "%25").replace("\n", "%0A")
-        lines.append(
-            f"::{level} file={path},line={finding.line},col={finding.col + 1},"
-            f"title={finding.rule_id}::{message}"
-        )
-    if not lines:
+        lines.append(annotate(finding, level, finding.message))
+    n_live = len(lines)
+    if baseline is not None:
+        for finding in report.baselined:
+            justification = baseline.justification_for(finding) or "no justification recorded"
+            lines.append(
+                annotate(finding, "notice", f"baselined: {finding.message} — {justification}")
+            )
+    if not n_live:
         lines.append(
             f"::notice title=repro check::checked {report.files_checked} files with "
             f"{len(report.rules_run)} rules: no violations"

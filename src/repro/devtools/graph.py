@@ -302,10 +302,10 @@ class ProjectIndex:
             decorators=decorators,
         )
         self.functions[info.qualname] = info
-        # Nested defs are indexed too (resolution targets for local calls).
-        for sub in node.body:
-            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._make_function(ctx, sub, prefix=info.qualname, class_qualname=class_qualname)
+        # Nested defs are indexed too (resolution targets for local calls),
+        # including ones declared inside try/if/with blocks.
+        for sub in _block_nested_defs(node.body):
+            self._make_function(ctx, sub, prefix=info.qualname, class_qualname=class_qualname)
         return info
 
     def _make_class(self, ctx: ModuleContext, node: ast.ClassDef) -> ClassInfo:
@@ -346,26 +346,7 @@ class ProjectIndex:
                 init = self.lookup_method(cinfo.qualname, method_name)
                 if init is None or init.class_qualname != cinfo.qualname:
                     continue
-                scope = self._scope_for(init, ctx)
-                for stmt in ast.walk(init.node):
-                    target = None
-                    value = None
-                    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
-                        target, value = stmt.targets[0], stmt.value
-                    elif isinstance(stmt, ast.AnnAssign):
-                        target, value = stmt.target, stmt.value
-                    if (
-                        isinstance(target, ast.Attribute)
-                        and isinstance(target.value, ast.Name)
-                        and target.value.id == "self"
-                    ):
-                        typ = None
-                        if isinstance(stmt, ast.AnnAssign):
-                            typ = self.annotation_type(stmt.annotation, ctx)
-                        if typ is None and value is not None:
-                            typ = self.value_type(value, scope, ctx)
-                        if typ is not None and typ[0] != "external":
-                            cinfo.attr_types.setdefault(target.attr, typ)
+                self._type_construction(init, cinfo, ctx)
         # Module-level singletons (``_DEFAULT = _build_default()``): typed so
         # attribute calls on them resolve from any function in the module.
         for module, ctx in self.modules.items():
@@ -386,6 +367,55 @@ class ProjectIndex:
                     typ = self.value_type(value, {}, ctx)
                 if typ is not None:
                     mvars[target.id] = typ
+
+    def _type_construction(self, init: FunctionInfo, cinfo: ClassInfo, ctx: ModuleContext) -> None:
+        """Ordered walk of a constructor body typing ``self.*`` attributes.
+
+        Locals assigned earlier feed the attributes assigned later —
+        ``registry = get_registry(); self._m = registry.counter(...)``
+        types ``_m`` from ``counter``'s return annotation.  Control-flow
+        blocks are descended in source order; nested defs are not.
+        """
+        scope = self._scope_for(init, ctx)
+        local_defs = self._local_defs_for(init)
+
+        def visit(body: list[ast.stmt]) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue
+                target = None
+                value = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value = stmt.target, stmt.value
+                if target is not None:
+                    typ = None
+                    if isinstance(stmt, ast.AnnAssign):
+                        typ = self.annotation_type(stmt.annotation, ctx)
+                    if typ is None and value is not None:
+                        typ = self.value_type(value, scope, ctx, local_defs=local_defs)
+                    if isinstance(target, ast.Name):
+                        if typ is not None:
+                            scope[target.id] = typ
+                        else:
+                            scope.pop(target.id, None)
+                    elif (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and typ is not None
+                        and typ[0] != "external"
+                    ):
+                        cinfo.attr_types.setdefault(target.attr, typ)
+                for _field, val in ast.iter_fields(stmt):
+                    if isinstance(val, list):
+                        visit([s for s in val if isinstance(s, ast.stmt)])
+                        for sub in val:
+                            if isinstance(sub, (ast.excepthandler, ast.match_case)):
+                                visit(sub.body)
+
+        visit(init.node.body)
 
     # -- symbol resolution ----------------------------------------------
     def resolve_name(self, dotted: str, *, _depth: int = 0) -> str | None:
@@ -541,6 +571,7 @@ class ProjectIndex:
         scope: dict[str, tuple[str, str]],
         ctx: ModuleContext,
         *,
+        local_defs: dict[str, str] | None = None,
         _depth: int = 0,
     ) -> tuple[str, str] | None:
         """Best-effort type of an expression under ``scope``."""
@@ -561,7 +592,7 @@ class ProjectIndex:
                 return ("type", qual)
             return self.module_vars.get(ctx.module, {}).get(expr.id)
         if isinstance(expr, ast.Attribute):
-            base = self.value_type(expr.value, scope, ctx, _depth=_depth + 1)
+            base = self.value_type(expr.value, scope, ctx, local_defs=local_defs, _depth=_depth + 1)
             if base is None:
                 return None
             if base[0] == "external":
@@ -580,16 +611,16 @@ class ProjectIndex:
                 return self.annotation_type(prop.returns, owner_ctx)
             return None
         if isinstance(expr, ast.Subscript):
-            base = self.value_type(expr.value, scope, ctx, _depth=_depth + 1)
+            base = self.value_type(expr.value, scope, ctx, local_defs=local_defs, _depth=_depth + 1)
             if base is not None and base[0] in ("seq", "map"):
                 return ("class", base[1])
             return None
         if isinstance(expr, ast.Call):
-            site = self.classify_call(expr, scope, ctx, caller="<expr>")
+            site = self.classify_call(expr, scope, ctx, caller="<expr>", local_defs=local_defs)
             if site.kind == "external":
                 # reversed()/sorted()/list()/tuple() preserve element types.
                 if site.target in _CONTAINER_PASSTHROUGH and expr.args:
-                    inner = self.value_type(expr.args[0], scope, ctx, _depth=_depth + 1)
+                    inner = self.value_type(expr.args[0], scope, ctx, local_defs=local_defs, _depth=_depth + 1)
                     if inner is not None and inner[0] == "seq":
                         return inner
                 return ("external", site.target or site.expr)
@@ -604,24 +635,35 @@ class ProjectIndex:
                     return ("class", site.target)
             return None
         if isinstance(expr, ast.IfExp):
-            body = self.value_type(expr.body, scope, ctx, _depth=_depth + 1)
+            body = self.value_type(expr.body, scope, ctx, local_defs=local_defs, _depth=_depth + 1)
             if body is not None and body[0] == "class":
                 return body
-            orelse = self.value_type(expr.orelse, scope, ctx, _depth=_depth + 1)
+            orelse = self.value_type(expr.orelse, scope, ctx, local_defs=local_defs, _depth=_depth + 1)
             if orelse is not None and orelse[0] == "class":
                 return orelse
             return body or orelse
         if isinstance(expr, ast.BoolOp):
             for value in expr.values:
-                typ = self.value_type(value, scope, ctx, _depth=_depth + 1)
+                typ = self.value_type(value, scope, ctx, local_defs=local_defs, _depth=_depth + 1)
                 if typ is not None and typ[0] == "class":
                     return typ
             return None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            # ``[Model(...) for _ in range(n)]`` builds a typed sequence;
+            # element types that don't resolve stay opaque literals.
+            elem = self.value_type(expr.elt, scope, ctx, local_defs=local_defs, _depth=_depth + 1)
+            if elem is not None and elem[0] == "class":
+                return ("seq", elem[1])
+            return ("external", "literal")
+        if isinstance(expr, ast.DictComp):
+            val = self.value_type(expr.value, scope, ctx, local_defs=local_defs, _depth=_depth + 1)
+            if val is not None and val[0] == "class":
+                return ("map", val[1])
+            return ("external", "literal")
         if isinstance(
             expr,
             (ast.Constant, ast.List, ast.Tuple, ast.Dict, ast.Set, ast.JoinedStr,
-             ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp, ast.Compare,
-             ast.FormattedValue),
+             ast.Compare, ast.FormattedValue),
         ):
             return ("external", "literal")
         return None
@@ -741,7 +783,7 @@ class ProjectIndex:
                     return site("resolved", qual)
                 if not _is_project_dotted(dotted, self):
                     return site("external", dotted)
-            base_type = self.value_type(func.value, scope, ctx)
+            base_type = self.value_type(func.value, scope, ctx, local_defs=local_defs)
             if base_type is not None:
                 if base_type[0] == "external":
                     return site("external", f"{base_type[1]}.{func.attr}")
@@ -781,7 +823,7 @@ class ProjectIndex:
 
         # Calling the result of another expression: ``Sigmoid()(x)``,
         # ``registry[name]()`` — resolvable when the value type is known.
-        value = self.value_type(func, scope, ctx)
+        value = self.value_type(func, scope, ctx, local_defs=local_defs)
         if value is not None:
             if value[0] == "external":
                 return site("external", f"{value[1]}.__call__")
@@ -839,9 +881,8 @@ class ProjectIndex:
             parent_qual = parent_qual.rsplit(".", 1)[0]
         defs: dict[str, str] = {}
         for enclosing in reversed(chain):
-            for sub in enclosing.node.body:
-                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    defs[sub.name] = f"{enclosing.qualname}.{sub.name}"
+            for sub in _block_nested_defs(enclosing.node.body):
+                defs[sub.name] = f"{enclosing.qualname}.{sub.name}"
         return defs
 
     def _scan_body(
@@ -868,7 +909,7 @@ class ProjectIndex:
                 return  # nested defs are scanned as their own callers
             if isinstance(stmt, ast.Assign):
                 scan_expr(stmt.value)
-                typ = self.value_type(stmt.value, scope, ctx)
+                typ = self.value_type(stmt.value, scope, ctx, local_defs=local_defs)
                 for target in stmt.targets:
                     if isinstance(target, ast.Name):
                         if typ is not None:
@@ -882,13 +923,13 @@ class ProjectIndex:
                 if isinstance(stmt.target, ast.Name):
                     typ = self.annotation_type(stmt.annotation, ctx)
                     if typ is None and stmt.value is not None:
-                        typ = self.value_type(stmt.value, scope, ctx)
+                        typ = self.value_type(stmt.value, scope, ctx, local_defs=local_defs)
                     if typ is not None:
                         scope[stmt.target.id] = typ
                 return
             if isinstance(stmt, (ast.For, ast.AsyncFor)) and isinstance(stmt.target, ast.Name):
                 scan_expr(stmt.iter)
-                iter_type = self.value_type(stmt.iter, scope, ctx)
+                iter_type = self.value_type(stmt.iter, scope, ctx, local_defs=local_defs)
                 if iter_type is not None and iter_type[0] == "seq":
                     scope[stmt.target.id] = ("class", iter_type[1])
                 else:
@@ -911,6 +952,29 @@ class ProjectIndex:
         for stmt in body:
             scan_stmt(stmt)
         return sites
+
+
+def _block_nested_defs(stmts: list[ast.stmt]) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Function defs in a statement list, descending into control-flow
+    blocks (if/for/while/try/with/match) but never into nested scopes —
+    a def inside a ``try:`` belongs to the enclosing function, a def
+    inside another def does not."""
+    found: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+
+    def visit(body: list) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                found.append(stmt)
+            elif not isinstance(stmt, ast.ClassDef):
+                for _field, value in ast.iter_fields(stmt):
+                    if isinstance(value, list):
+                        visit([s for s in value if isinstance(s, ast.stmt)])
+                        for sub in value:
+                            if isinstance(sub, (ast.excepthandler, ast.match_case)):
+                                visit(sub.body)
+
+    visit(stmts)
+    return found
 
 
 def _is_project_dotted(dotted: str, index: ProjectIndex) -> bool:

@@ -70,6 +70,8 @@ from repro.obs.report import (
     render_report,
 )
 from repro.obs.store import (
+    FileLock,
+    LockTimeout,
     RunRecord,
     RunStore,
     TrackedMetric,
@@ -143,6 +145,8 @@ __all__ = [
     "render_critical_path",
     "render_diff",
     # store
+    "FileLock",
+    "LockTimeout",
     "RunRecord",
     "RunStore",
     "TrackedMetric",

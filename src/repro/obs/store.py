@@ -27,6 +27,7 @@ truncated final line (crash tail) is tolerated on read.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import asdict, dataclass, field
@@ -35,6 +36,8 @@ from pathlib import Path
 from repro.obs.manifest import RunManifest, config_hash, git_describe
 
 __all__ = [
+    "FileLock",
+    "LockTimeout",
     "RunRecord",
     "RunStore",
     "TrackedMetric",
@@ -46,6 +49,109 @@ __all__ = [
 ]
 
 STORE_FILENAME = "run_history.jsonl"
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a :class:`FileLock` cannot be acquired in time."""
+
+
+class FileLock:
+    """Advisory inter-process lock backed by an ``O_EXCL`` pid file.
+
+    Creation of the lock file is the atomic acquisition; the file body
+    records the holder's pid so a waiter can distinguish "held" from
+    "left behind by a process that died mid-append" and take the lock
+    over instead of blocking forever.  Always acquire through the
+    context manager — it is what guarantees the file is removed on every
+    exit path, including exceptions raised while the lock is held.
+    """
+
+    def __init__(self, path: str | Path, *, timeout_s: float = 10.0, poll_s: float = 0.05) -> None:
+        self.path = Path(path)
+        self.timeout_s = float(timeout_s)
+        self.poll_s = float(poll_s)
+        self._held = False
+
+    # ------------------------------------------------------------------
+    def _try_create(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, str(os.getpid()).encode("ascii"))
+        finally:
+            os.close(fd)
+        return True
+
+    def _holder_pid(self) -> int | None:
+        """Pid recorded in the lock file, or None if unreadable/gone."""
+        try:
+            text = self.path.read_text(encoding="ascii").strip()
+            return int(text) if text else None
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # pragma: no cover - pid exists, other user
+            return True
+        except OSError:  # pragma: no cover - defensive
+            return False
+        return True
+
+    def _steal_if_stale(self) -> None:
+        """Remove the lock file when its recorded holder is dead.
+
+        An empty/unreadable pid means the holder died between ``open``
+        and ``write`` — also stale.  Removal races with other waiters
+        are fine: whoever wins the subsequent ``O_EXCL`` create holds
+        the lock.
+        """
+        pid = self._holder_pid()
+        if pid is not None and (pid == os.getpid() or self._pid_alive(pid)):
+            return
+        if pid is None and not self.path.exists():
+            return
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            if self._try_create():
+                self._held = True
+                return
+            self._steal_if_stale()
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within {self.timeout_s:.1f}s "
+                    f"(held by pid {self._holder_pid()})"
+                )
+            time.sleep(self.poll_s)
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - stolen as stale
+            pass
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 @dataclass(frozen=True)
@@ -83,23 +189,32 @@ class RunStore:
 
     A directory target gets the default ``run_history.jsonl`` name.
     Reads tolerate a truncated final line; appends are atomic at the
-    line level (single ``write`` of one line + flush, serialized by a
-    process-local lock).
+    line level (single ``write`` of one line + flush), serialized by a
+    process-local ``threading.Lock`` *and* an inter-process
+    :class:`FileLock` (``<store>.lock`` pid file).  A lock file left
+    behind by a process that died mid-append is taken over once its
+    recorded pid is dead — appenders never deadlock on a crash tail.
     """
 
-    def __init__(self, target: str | Path) -> None:
+    def __init__(self, target: str | Path, *, lock_timeout_s: float = 10.0) -> None:
         target = Path(target)
         self.path = target / STORE_FILENAME if target.is_dir() else target
         self._lock = threading.Lock()
+        self._lock_timeout_s = float(lock_timeout_s)
+
+    @property
+    def lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
 
     def append(self, record: RunRecord) -> RunRecord:
         """Persist one record (returns it for chaining)."""
         line = record.to_json() + "\n"
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(line)
-                fh.flush()
+            with FileLock(self.lock_path, timeout_s=self._lock_timeout_s):
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(line)
+                    fh.flush()
         return record
 
     def records(self, bench: str | None = None) -> list[RunRecord]:

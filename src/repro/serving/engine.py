@@ -557,40 +557,44 @@ def _shard_worker(
     capacity: int,
 ) -> None:  # pragma: no cover - exercised in a child process
     weights_shm = shared_memory.SharedMemory(name=weights_name)
-    io_shm = shared_memory.SharedMemory(name=io_name)
     try:
-        total = weights_shm.size // 8
-        base = np.ndarray((total,), dtype=np.float64, buffer=weights_shm.buf)
-        power_model = PackedModel(_rebuild_spec(base, manifests[0], metas[0]), freqs, fast=fast)
-        time_model = PackedModel(_rebuild_spec(base, manifests[1], metas[1]), freqs, fast=fast)
-        f = freqs.size
-        io = np.ndarray((2 * capacity + 2 * capacity * f,), dtype=np.float64, buffer=io_shm.buf)
-        fp_col = io[:capacity]
-        dram_col = io[capacity : 2 * capacity]
-        power_out = io[2 * capacity : 2 * capacity + capacity * f].reshape(capacity, f)
-        unit_out = io[2 * capacity + capacity * f :].reshape(capacity, f)
-        conn.send("ready")
-        while True:
-            message = conn.recv()
-            if message is None:
-                return
-            start, stop = message
-            try:
-                power_model.forward_into(
-                    fp_col[start:stop],
-                    dram_col[start:stop],
-                    power_out[start:stop],
-                    finalize=lambda v: _finalize_power(v, power_scale_w),
-                )
-                time_model.forward_into(
-                    fp_col[start:stop], dram_col[start:stop], unit_out[start:stop], finalize=_finalize_unit_time
-                )
-                conn.send(True)
-            except Exception as exc:  # defensive: surface worker faults to the parent
-                conn.send(exc)
+        # The io attach can itself fail — nested try/finally so the
+        # weights mapping never outlives this worker on any path.
+        io_shm = shared_memory.SharedMemory(name=io_name)
+        try:
+            total = weights_shm.size // 8
+            base = np.ndarray((total,), dtype=np.float64, buffer=weights_shm.buf)
+            power_model = PackedModel(_rebuild_spec(base, manifests[0], metas[0]), freqs, fast=fast)
+            time_model = PackedModel(_rebuild_spec(base, manifests[1], metas[1]), freqs, fast=fast)
+            f = freqs.size
+            io = np.ndarray((2 * capacity + 2 * capacity * f,), dtype=np.float64, buffer=io_shm.buf)
+            fp_col = io[:capacity]
+            dram_col = io[capacity : 2 * capacity]
+            power_out = io[2 * capacity : 2 * capacity + capacity * f].reshape(capacity, f)
+            unit_out = io[2 * capacity + capacity * f :].reshape(capacity, f)
+            conn.send("ready")
+            while True:
+                message = conn.recv()
+                if message is None:
+                    return
+                start, stop = message
+                try:
+                    power_model.forward_into(
+                        fp_col[start:stop],
+                        dram_col[start:stop],
+                        power_out[start:stop],
+                        finalize=lambda v: _finalize_power(v, power_scale_w),
+                    )
+                    time_model.forward_into(
+                        fp_col[start:stop], dram_col[start:stop], unit_out[start:stop], finalize=_finalize_unit_time
+                    )
+                    conn.send(True)
+                except Exception as exc:  # defensive: surface worker faults to the parent
+                    conn.send(exc)
+        finally:
+            io_shm.close()
     finally:
         weights_shm.close()
-        io_shm.close()
 
 
 class ShardPool:
@@ -639,43 +643,46 @@ class ShardPool:
                 manifests[which].append((offset, arr.shape))
                 offset += arr.size
         self._weights_shm = shared_memory.SharedMemory(create=True, size=max(offset, 1) * 8)
-        base = np.ndarray((offset,), dtype=np.float64, buffer=self._weights_shm.buf)
-        cursor = 0
-        for group in arrays:
-            for arr in group:
-                flat = np.ascontiguousarray(arr, dtype=np.float64).reshape(-1)
-                base[cursor : cursor + flat.size] = flat
-                cursor += flat.size
-        metas = (
-            {
-                "log_target": power_spec.log_target,
-                "fingerprint": power_spec.fingerprint,
-                "acts": [act for _, _, act in power_spec.layers],
-            },
-            {
-                "log_target": time_spec.log_target,
-                "fingerprint": time_spec.fingerprint,
-                "acts": [act for _, _, act in time_spec.layers],
-            },
-        )
-
-        io_elems = 2 * capacity + 2 * capacity * f
-        self._io_shm = shared_memory.SharedMemory(create=True, size=io_elems * 8)
-        io = np.ndarray((io_elems,), dtype=np.float64, buffer=self._io_shm.buf)
-        self._fp_col = io[:capacity]
-        self._dram_col = io[capacity : 2 * capacity]
-        self._power_out = io[2 * capacity : 2 * capacity + capacity * f].reshape(capacity, f)
-        self._unit_out = io[2 * capacity + capacity * f :].reshape(capacity, f)
-
-        # fork shares the parent's page cache with zero pickling; fall
-        # back to the platform default (spawn) where fork is unavailable.
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            ctx = multiprocessing.get_context()
+        # Everything past the first block's creation runs under the
+        # cleanup guard: a failed io-block allocation or worker spawn must
+        # not leak the already-created /dev/shm segments.
         self._workers = []
         self._conns = []
         try:
+            base = np.ndarray((offset,), dtype=np.float64, buffer=self._weights_shm.buf)
+            cursor = 0
+            for group in arrays:
+                for arr in group:
+                    flat = np.ascontiguousarray(arr, dtype=np.float64).reshape(-1)
+                    base[cursor : cursor + flat.size] = flat
+                    cursor += flat.size
+            metas = (
+                {
+                    "log_target": power_spec.log_target,
+                    "fingerprint": power_spec.fingerprint,
+                    "acts": [act for _, _, act in power_spec.layers],
+                },
+                {
+                    "log_target": time_spec.log_target,
+                    "fingerprint": time_spec.fingerprint,
+                    "acts": [act for _, _, act in time_spec.layers],
+                },
+            )
+
+            io_elems = 2 * capacity + 2 * capacity * f
+            self._io_shm = shared_memory.SharedMemory(create=True, size=io_elems * 8)
+            io = np.ndarray((io_elems,), dtype=np.float64, buffer=self._io_shm.buf)
+            self._fp_col = io[:capacity]
+            self._dram_col = io[capacity : 2 * capacity]
+            self._power_out = io[2 * capacity : 2 * capacity + capacity * f].reshape(capacity, f)
+            self._unit_out = io[2 * capacity + capacity * f :].reshape(capacity, f)
+
+            # fork shares the parent's page cache with zero pickling; fall
+            # back to the platform default (spawn) where fork is unavailable.
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                ctx = multiprocessing.get_context()
             for _ in range(n_shards):
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
@@ -745,7 +752,11 @@ class ShardPool:
                 proc.terminate()
         for conn in self._conns:
             conn.close()
-        for shm in (self._weights_shm, self._io_shm):
+        # _io_shm does not exist yet when construction fails between the
+        # two allocations — the cleanup guard still routes through here.
+        for shm in (self._weights_shm, getattr(self, "_io_shm", None)):
+            if shm is None:
+                continue
             shm.close()
             try:
                 shm.unlink()

@@ -13,6 +13,10 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import-time cycle: service.py constructs MicroBatcher
+    from repro.serving.service import SelectionService
 
 __all__ = ["MicroBatcher"]
 
@@ -20,7 +24,13 @@ __all__ = ["MicroBatcher"]
 class MicroBatcher:
     """Window-and-size micro-batching front for a selection service."""
 
-    def __init__(self, service, *, max_batch_size: int = 64, batch_window_s: float = 0.002) -> None:
+    def __init__(
+        self,
+        service: "SelectionService",
+        *,
+        max_batch_size: int = 64,
+        batch_window_s: float = 0.002,
+    ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if batch_window_s < 0:

@@ -27,7 +27,9 @@ def test_every_baseline_entry_is_justified():
     from repro.devtools import Baseline
 
     baseline = Baseline.load(default_baseline_path())
-    unjustified = [e for e in baseline.entries if not e.justification.strip()]
+    # An entry may carry its own justification or inherit its rule's
+    # shared one from `rule_justifications` — but never neither.
+    unjustified = [e for e in baseline.entries if not baseline.effective_justification(e).strip()]
     assert not unjustified, f"baseline entries without justification: {unjustified}"
 
 
@@ -44,3 +46,45 @@ def test_full_tree_check_is_fast():
 def test_checked_the_real_tree():
     assert _REPORT.files_checked > 50
     assert (default_root() / "repro" / "__init__.py").exists()
+
+
+def test_concurrency_rules_are_registered_and_ran():
+    for rule_id in ("THR002", "THR003", "THR004", "RES001"):
+        assert rule_id in rule_ids()
+        assert rule_id in _REPORT.rules_run
+
+
+# ----------------------------------------------------------------------
+# CLI error paths: every usage error exits 2 (distinct from 1 = findings)
+# ----------------------------------------------------------------------
+def test_cli_unknown_rule_id_in_select_exits_2(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--select", "THR999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule ids: THR999" in err
+    # The error names the known ids so the fix is a copy-paste away.
+    assert "THR002" in err
+
+
+def test_cli_missing_baseline_file_exits_2(tmp_path, capsys):
+    from repro.cli import main
+
+    missing = tmp_path / "does_not_exist.json"
+    assert main(["check", "--baseline", str(missing)]) == 2
+    assert "no such baseline" in capsys.readouterr().err
+
+
+def test_cli_non_package_target_dir_exits_2(tmp_path, capsys):
+    from repro.cli import main
+
+    # tmp_path has no 'repro' package under it.
+    assert main(["check", "--root", str(tmp_path)]) == 2
+    assert "repro" in capsys.readouterr().err
+
+
+def test_cli_select_is_an_alias_for_rules(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--select", "THR002,THR003,THR004,RES001"]) == 0
+    assert "4 rules" in capsys.readouterr().out

@@ -155,6 +155,61 @@ def test_cli_check_github_format(capsys):
     assert out.startswith("::notice")
 
 
+def test_render_github_one_annotation_per_finding_with_rule_in_title(tmp_path):
+    from repro.devtools import render_github
+
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(
+        "def f(x):\n    return x == 0.25\n\n\ndef g(y):\n    return y != 1.5\n"
+    )
+    findings_report = run_check(tmp_path, baseline=Baseline())
+    out = render_github(findings_report)
+    annotations = [l for l in out.splitlines() if l.startswith("::")]
+    # Exactly one annotation per finding — no summary collapsing, no dupes.
+    assert len(annotations) == len(findings_report.findings) == 2
+    for line in annotations:
+        assert "title=NUM001" in line
+
+
+def test_render_github_baselined_findings_become_notices(tmp_path):
+    from repro.devtools import BaselineEntry, render_github
+
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("def f(x):\n    return x == 0.25\n")
+    live = run_check(tmp_path, baseline=Baseline())
+    assert live.findings
+    baseline = Baseline(
+        [BaselineEntry.from_finding(f, "legacy float compare") for f in live.findings]
+    )
+    muted = run_check(tmp_path, baseline=baseline)
+    assert muted.ok and muted.baselined
+    out = render_github(muted, baseline=baseline)
+    notices = [l for l in out.splitlines() if l.startswith("::notice file=")]
+    assert len(notices) == len(muted.baselined)
+    assert "legacy float compare" in notices[0]
+    assert "title=NUM001" in notices[0]
+    # Without the baseline argument the muted findings stay invisible.
+    assert "::notice file=" not in render_github(muted)
+
+
+def test_rule_level_justification_covers_entries(tmp_path):
+    from repro.devtools import BaselineEntry
+
+    entry = BaselineEntry(rule="NUM001", path="repro/mod.py", message="m")
+    baseline = Baseline([entry], rule_justifications={"NUM001": "audited 2026-08"})
+    assert baseline.effective_justification(entry) == "audited 2026-08"
+    own = BaselineEntry(rule="NUM001", path="repro/mod.py", message="m", justification="mine")
+    assert baseline.effective_justification(own) == "mine"
+    # Round-trips through save/load.
+    path = tmp_path / "b.json"
+    baseline.save(path)
+    assert Baseline.load(path) == baseline
+
+
 # ----------------------------------------------------------------------
 # repro graph CLI
 # ----------------------------------------------------------------------
@@ -162,7 +217,7 @@ def test_cli_graph_json(capsys):
     assert main(["graph"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["schema"] == 1
-    assert payload["stats"]["resolution_rate"] >= 0.90
+    assert payload["stats"]["resolution_rate"] >= 0.93
     assert payload["edges"]
 
 

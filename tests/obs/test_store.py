@@ -9,6 +9,8 @@ import pytest
 
 from repro import obs
 from repro.obs.store import (
+    FileLock,
+    LockTimeout,
     RunRecord,
     RunStore,
     record_from_bench_payload,
@@ -78,6 +80,59 @@ class TestRunStore:
 
     def test_empty_store_reads_empty(self, tmp_path):
         assert RunStore(tmp_path / "missing.jsonl").records() == []
+
+
+class TestFileLock:
+    """Inter-process append lock: clean release and stale-pid takeover."""
+
+    def test_append_leaves_no_lock_file(self, tmp_path):
+        store = RunStore(tmp_path / "h.jsonl")
+        store.append(_record())
+        assert not store.lock_path.exists()
+
+    def test_context_manager_releases_on_exception(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with pytest.raises(RuntimeError):
+            with lock:
+                assert (tmp_path / "x.lock").exists()
+                raise RuntimeError("mid-append crash")
+        assert not (tmp_path / "x.lock").exists()
+
+    def test_stale_lock_from_dead_pid_is_taken_over(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        # Fabricate the crash artifact: a lock file naming a pid that no
+        # longer exists (max pid + spawn churn makes 2**22+1 safely dead).
+        dead_pid = 2**22 + 1
+        store = RunStore(path, lock_timeout_s=2.0)
+        store.lock_path.write_text(str(dead_pid), encoding="ascii")
+        store.append(_record())
+        assert len(store.records()) == 1
+        assert not store.lock_path.exists()
+
+    def test_empty_lock_file_counts_as_stale(self, tmp_path):
+        # Holder died between open and write: file exists, no pid inside.
+        lock = FileLock(tmp_path / "x.lock", timeout_s=2.0)
+        (tmp_path / "x.lock").write_text("", encoding="ascii")
+        with lock:
+            assert (tmp_path / "x.lock").read_text(encoding="ascii").strip() != ""
+
+    def test_live_holder_times_out(self, tmp_path):
+        import os
+
+        # Our own pid is alive by definition — a waiter must not steal it.
+        (tmp_path / "x.lock").write_text(str(os.getpid()), encoding="ascii")
+        lock = FileLock(tmp_path / "x.lock", timeout_s=0.2, poll_s=0.02)
+        with pytest.raises(LockTimeout):
+            lock.acquire()
+        assert (tmp_path / "x.lock").exists()
+
+    def test_reentry_after_release(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            pass
+        with lock:
+            assert (tmp_path / "x.lock").exists()
+        assert not (tmp_path / "x.lock").exists()
 
 
 class TestTrackedMetrics:
