@@ -28,6 +28,6 @@ else
 fi
 
 echo "== repro check =="
-PYTHONPATH="$repo_root/src" python -m repro.cli check "$@" || status=1
+PYTHONPATH="$repo_root/src" python -m repro.cli check --stats "$@" || status=1
 
 exit "$status"

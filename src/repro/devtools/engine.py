@@ -25,6 +25,7 @@ __all__ = [
     "default_baseline_path",
     "default_root",
     "render_github",
+    "render_stats",
     "render_text",
     "run_check",
 ]
@@ -68,6 +69,10 @@ class CheckReport:
     duration_s: float
     root: str = ""
     parse_errors: list[Finding] = field(default_factory=list)
+    #: Wall time per phase/rule: ``"parse"``, ``"project-index"``, and one
+    #: entry per rule id (summed across modules).  Rendered by ``--stats``.
+    timings: dict[str, float] = field(default_factory=dict)
+    jobs: int = 1
 
     @property
     def ok(self) -> bool:
@@ -100,6 +105,8 @@ class CheckReport:
             "parse_errors": [f.to_dict() for f in self.parse_errors],
             "suppressed": self.suppressed,
             "duration_s": self.duration_s,
+            "timings": {k: round(v, 6) for k, v in sorted(self.timings.items())},
+            "jobs": self.jobs,
         }
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -112,17 +119,42 @@ def _resolve_rules(rules: list[str] | tuple[str, ...] | None) -> list[Rule]:
     return [get_rule(rule_id.strip().upper()) for rule_id in rules if rule_id.strip()]
 
 
-def _check_context(ctx: ModuleContext, active: list[Rule]) -> tuple[list[Finding], int]:
+def _check_context(
+    ctx: ModuleContext,
+    active: list[Rule],
+    timings: dict[str, float] | None = None,
+) -> tuple[list[Finding], int]:
     """(unsuppressed findings, suppressed count) for one module."""
     kept: list[Finding] = []
     suppressed = 0
     for rule in active:
+        t0 = perf_counter()
         for finding in rule.check(ctx):
             if ctx.suppressed(finding):
                 suppressed += 1
             else:
                 kept.append(finding)
+        if timings is not None:
+            timings[rule.rule_id] = timings.get(rule.rule_id, 0.0) + perf_counter() - t0
     return kept, suppressed
+
+
+def _parse_worker(args: tuple[str, str]) -> tuple[str, "ModuleContext | None", tuple | None]:
+    """Parse one file (process-pool worker; must stay module-level picklable).
+
+    Returns ``(rel_path, context, error)`` where ``error`` is
+    ``(line, col, message)`` when the file does not parse.
+    """
+    path_s, root_s = args
+    path, root = Path(path_s), Path(root_s)
+    rel = path.relative_to(root).as_posix()
+    try:
+        return rel, build_context(path, root), None
+    except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        col = getattr(exc, "offset", None) or 0
+        msg = getattr(exc, "msg", None) or str(exc)
+        return rel, None, (line, col, msg)
 
 
 def check_source(
@@ -159,32 +191,43 @@ def run_check(
     *,
     rules: list[str] | tuple[str, ...] | None = None,
     baseline: Baseline | None = None,
+    jobs: int = 1,
 ) -> CheckReport:
     """Check every source file under ``root/repro`` (default: the installed tree).
 
     ``baseline=None`` loads the committed ``baseline.json`` next to this
     package; pass an empty :class:`Baseline` to check without one.
+    ``jobs > 1`` parses files on a process pool (the findings are
+    identical — ``jobs=1`` stays the fully sequential default).
     """
     root = default_root() if root is None else Path(root)
     if baseline is None:
         baseline = Baseline.load(default_baseline_path(root))
     active = _resolve_rules(rules)
     t0 = perf_counter()
+    timings: dict[str, float] = {}
     findings: list[Finding] = []
     parse_errors: list[Finding] = []
     suppressed = 0
     files = iter_source_files(root)
     # Phase 1: parse everything.  Unparseable files become PARSE001
-    # findings (the rest of the tree still gets checked).
+    # findings (the rest of the tree still gets checked).  With jobs > 1
+    # the parse fans out on a process pool; results come back in file
+    # order either way, so the report is byte-identical.
     contexts: list[ModuleContext] = []
-    for path in files:
-        rel = path.relative_to(root).as_posix()
-        try:
-            contexts.append(build_context(path, root))
-        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
-            line = getattr(exc, "lineno", None) or 1
-            col = getattr(exc, "offset", None) or 0
-            msg = getattr(exc, "msg", None) or str(exc)
+    work = [(str(p), str(root)) for p in files]
+    if jobs > 1 and len(work) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            parsed = list(pool.map(_parse_worker, work, chunksize=8))
+    else:
+        parsed = [_parse_worker(item) for item in work]
+    for rel, ctx, error in parsed:
+        if ctx is not None:
+            contexts.append(ctx)
+        else:
+            line, col, msg = error
             parse_errors.append(
                 Finding(
                     path=rel,
@@ -195,16 +238,19 @@ def run_check(
                     message=f"file does not parse: {msg}",
                 )
             )
+    timings["parse"] = perf_counter() - t0
     # Phase 2: interprocedural rules get one shared project index.
     if any(rule.needs_project for rule in active):
         from repro.devtools.graph import ProjectIndex
 
+        t_index = perf_counter()
         index = ProjectIndex.from_contexts(contexts)
         for ctx in contexts:
             ctx.project = index
+        timings["project-index"] = perf_counter() - t_index
     # Phase 3: run the rules per module.
     for ctx in contexts:
-        kept, n_suppressed = _check_context(ctx, active)
+        kept, n_suppressed = _check_context(ctx, active, timings)
         findings.extend(kept)
         suppressed += n_suppressed
     live, baselined, stale = baseline.partition(sorted(findings))
@@ -218,6 +264,8 @@ def run_check(
         duration_s=perf_counter() - t0,
         root=str(root),
         parse_errors=parse_errors,
+        timings=timings,
+        jobs=jobs,
     )
 
 
@@ -251,6 +299,21 @@ def render_text(report: CheckReport) -> str:
             f"({len(report.baselined)} baselined, {report.suppressed} suppressed inline)"
         )
     lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_stats(report: CheckReport) -> str:
+    """Per-phase / per-rule wall-time table (``repro check --stats``)."""
+    rows = sorted(report.timings.items(), key=lambda kv: (-kv[1], kv[0]))
+    width = max((len(name) for name, _ in rows), default=4)
+    lines = [f"{'rule':<{width}}  {'wall':>9}  share"]
+    total = report.duration_s or 1e-12
+    for name, seconds in rows:
+        lines.append(f"{name:<{width}}  {seconds * 1e3:>7.1f}ms  {seconds / total:>5.1%}")
+    lines.append(
+        f"{'total':<{width}}  {report.duration_s * 1e3:>7.1f}ms  "
+        f"(jobs={report.jobs}, {report.files_checked} files)"
+    )
     return "\n".join(lines)
 
 

@@ -1,4 +1,9 @@
-"""Numerical-safety rule: no equality comparison between floats.
+"""Numerical-safety rule NUM001: no equality comparison between floats.
+
+(One lexical rule lives here; the interprocedural numeric dataflow
+rules — NUM002/SHAPE001/PERF001/PURE001 over the dtype/shape lattice of
+:mod:`repro.devtools.numeric` — live in
+:mod:`repro.devtools.rules.numeric`.)
 
 Algorithm 1 selection, Pareto tie handling and the serving cache key all
 touch values that came out of DNN forward passes; ``==`` on such values

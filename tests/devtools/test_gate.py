@@ -54,6 +54,28 @@ def test_concurrency_rules_are_registered_and_ran():
         assert rule_id in _REPORT.rules_run
 
 
+def test_numeric_rules_are_registered_and_ran():
+    for rule_id in ("NUM002", "SHAPE001", "PERF001", "PURE001"):
+        assert rule_id in rule_ids()
+        assert rule_id in _REPORT.rules_run
+
+
+def test_report_carries_per_rule_timings():
+    # --stats feeds off these; every rule that ran gets a wall-time row.
+    assert "parse" in _REPORT.timings
+    for rule_id in _REPORT.rules_run:
+        assert rule_id in _REPORT.timings
+
+
+def test_parallel_parse_matches_sequential():
+    parallel = run_check(jobs=2)
+    assert [f.to_dict() for f in parallel.findings] == [
+        f.to_dict() for f in _REPORT.findings
+    ]
+    assert parallel.files_checked == _REPORT.files_checked
+    assert parallel.jobs == 2
+
+
 # ----------------------------------------------------------------------
 # CLI error paths: every usage error exits 2 (distinct from 1 = findings)
 # ----------------------------------------------------------------------

@@ -1,0 +1,623 @@
+"""Numeric dataflow analysis + NUM002/SHAPE001/PERF001/PURE001.
+
+Three layers of coverage, mirroring ``test_concurrency.py``:
+
+* the dtype-promotion lattice checked against numpy's own
+  ``np.promote_types`` (hypothesis property suite + exhaustive sweep);
+* seeded bad fixtures per rule through ``check_source`` (so noqa and
+  package scoping apply), each paired with a clean twin;
+* the shipped tree: the four rules run clean, and the acceptance-
+  criterion purity proofs (serving curve cache, fleet decision cache)
+  are asserted directly against the analysis object.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devtools import check_source
+from repro.devtools.context import context_from_source
+from repro.devtools.graph import ProjectIndex
+from repro.devtools.numeric import (
+    DTYPES,
+    ArrayVal,
+    broadcast_dims,
+    dtype_table,
+    get_numeric_analysis,
+    promote,
+)
+
+_dtypes = st.sampled_from(DTYPES)
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def _check(source: str, *, module: str = "repro.serving.fixture", extra=None):
+    return check_source(
+        textwrap.dedent(source),
+        module=module,
+        rules=["NUM002", "SHAPE001", "PERF001", "PURE001"],
+        extra_sources={m: textwrap.dedent(s) for m, s in (extra or {}).items()},
+    )
+
+
+def _analysis(modules: dict[str, str]):
+    contexts = [
+        context_from_source(textwrap.dedent(src), module=mod)
+        for mod, src in modules.items()
+    ]
+    return get_numeric_analysis(ProjectIndex.from_contexts(contexts))
+
+
+# ----------------------------------------------------------------------
+# The promotion lattice vs numpy ground truth
+# ----------------------------------------------------------------------
+class TestPromotionLattice:
+    def test_matches_numpy_exhaustively(self):
+        for a in DTYPES:
+            for b in DTYPES:
+                assert promote(a, b) == np.promote_types(a, b).name, (a, b)
+
+    @given(_dtypes, _dtypes)
+    def test_commutative(self, a, b):
+        assert promote(a, b) == promote(b, a)
+
+    @given(_dtypes, _dtypes, _dtypes)
+    def test_folds_agree_with_numpy_in_both_orders(self, a, b, c):
+        # numpy promotion itself is *not* associative (int8,uint8 -> int16
+        # -> float32, but uint8,float16 -> float16 -> float16), so the
+        # lattice property to hold is: every composition order produces
+        # exactly what numpy produces for that order.
+        assert promote(promote(a, b), c) == np.promote_types(np.promote_types(a, b), c).name
+        assert promote(a, promote(b, c)) == np.promote_types(a, np.promote_types(b, c)).name
+
+    @given(_dtypes)
+    def test_idempotent(self, a):
+        assert promote(a, a) == a
+
+    @given(_dtypes, _dtypes)
+    def test_closed_over_universe(self, a, b):
+        assert promote(a, b) in DTYPES
+
+
+class TestBroadcast:
+    def test_trailing_dims_unify(self):
+        dims, rank, conflict = broadcast_dims(
+            ArrayVal("float64", 2, (3, 4)), ArrayVal("float64", 1, (4,))
+        )
+        assert (dims, rank, conflict) == ((3, 4), 2, None)
+
+    def test_size_one_broadcasts(self):
+        dims, _, conflict = broadcast_dims(
+            ArrayVal("float64", 2, (3, 1)), ArrayVal("float64", 2, (3, 7))
+        )
+        assert conflict is None
+        assert dims == (3, 7)
+
+    def test_concrete_mismatch_names_the_pair(self):
+        _, _, conflict = broadcast_dims(
+            ArrayVal("float64", 1, (3,)), ArrayVal("float64", 1, (4,))
+        )
+        assert conflict == (3, 4)
+
+    def test_symbolic_dim_never_conflicts(self):
+        _, _, conflict = broadcast_dims(
+            ArrayVal("float64", 1, ("n",)), ArrayVal("float64", 1, (4,))
+        )
+        assert conflict is None
+
+
+# ----------------------------------------------------------------------
+# NUM002 — dtype drift off the float64 pipeline
+# ----------------------------------------------------------------------
+class TestNUM002:
+    def test_astype_float32_in_contract_package_flagged(self):
+        findings = _check(
+            """
+            import numpy as np
+
+            def narrow(x: np.ndarray) -> np.ndarray:
+                return x.astype(np.float32)
+            """
+        )
+        assert _ids(findings) == ["NUM002"]
+        assert "float32" in findings[0].message
+
+    def test_float32_construction_flagged(self):
+        findings = _check(
+            """
+            import numpy as np
+
+            def build(n: int):
+                return np.zeros(n, dtype=np.float32)
+            """
+        )
+        assert _ids(findings) == ["NUM002"]
+
+    def test_float64_construction_clean(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def build(n: int):
+                return np.zeros(n, dtype=np.float64)
+            """
+        ) == []
+
+    def test_bare_int_truncation_flagged(self):
+        findings = _check(
+            """
+            import numpy as np
+
+            def pick(x: np.ndarray) -> int:
+                return int(x[0])
+            """
+        )
+        assert _ids(findings) == ["NUM002"]
+        assert "int(" in findings[0].message
+
+    def test_int_round_is_clean(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def pick(x: np.ndarray) -> int:
+                return int(round(float(x[0])))
+            """
+        ) == []
+
+    def test_argmin_result_is_integral_not_flagged(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def best(x: np.ndarray) -> int:
+                return int(np.argmin(x))
+            """
+        ) == []
+
+    def test_float32_outside_contract_packages_is_clean(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def build(n: int):
+                return np.zeros(n, dtype=np.float32)
+            """,
+            module="repro.workloads.fixture",
+        ) == []
+
+    def test_noqa_suppresses(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def narrow(x: np.ndarray) -> np.ndarray:
+                return x.astype(np.float32)  # repro: noqa[NUM002] — deliberate quantisation
+            """
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# SHAPE001 — broadcast/matmul mismatch
+# ----------------------------------------------------------------------
+class TestSHAPE001:
+    def test_matmul_inner_dim_mismatch_flagged(self):
+        findings = _check(
+            """
+            import numpy as np
+
+            def bad():
+                a = np.zeros((3, 4))
+                b = np.zeros((5, 6))
+                return a @ b
+            """
+        )
+        assert "SHAPE001" in _ids(findings)
+
+    def test_matmul_matching_inner_dim_clean(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def good():
+                a = np.zeros((3, 4))
+                b = np.zeros((4, 6))
+                return a @ b
+            """
+        ) == []
+
+    def test_elementwise_concrete_mismatch_flagged(self):
+        findings = _check(
+            """
+            import numpy as np
+
+            def bad():
+                a = np.zeros(3)
+                b = np.zeros(4)
+                return a + b
+            """
+        )
+        assert "SHAPE001" in _ids(findings)
+
+    def test_broadcast_against_one_clean(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def good():
+                a = np.zeros((3, 1))
+                b = np.zeros((3, 7))
+                return a + b
+            """
+        ) == []
+
+    def test_symbolic_dims_clean(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def good(n: int, m: int):
+                a = np.zeros(n)
+                b = np.zeros(m)
+                return a + b
+            """
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# PERF001 — hot-path hygiene (scoped to the computed hot set)
+# ----------------------------------------------------------------------
+_HOT_PREAMBLE = """
+import numpy as np
+
+class FusedInferenceEngine:
+    def infer(self, x: np.ndarray):
+        return helper(x)
+"""
+
+
+def _hot(body: str) -> str:
+    """A fixture whose ``helper`` is a call-graph descendant of a hot root."""
+    return _HOT_PREAMBLE + textwrap.dedent(body)
+
+
+class TestPERF001:
+    def test_per_element_loop_in_hot_descendant_flagged(self):
+        findings = _check(
+            _hot("""
+            def helper(x: np.ndarray):
+                out = np.empty(x.shape[0])
+                for i in range(x.shape[0]):
+                    out[i] = x[i] * 2.0
+                return out
+            """)
+        )
+        assert "PERF001" in _ids(findings)
+        assert any("hot via FusedInferenceEngine.infer" in f.message for f in findings)
+
+    def test_same_loop_in_cold_function_is_clean(self):
+        assert _check(
+            """
+            import numpy as np
+
+            def helper(x: np.ndarray):
+                out = np.empty(x.shape[0])
+                for i in range(x.shape[0]):
+                    out[i] = x[i] * 2.0
+                return out
+            """
+        ) == []
+
+    def test_np_append_in_hot_loop_flagged(self):
+        findings = _check(
+            _hot("""
+            def helper(x: np.ndarray):
+                acc = np.zeros(0)
+                for row in x:
+                    acc = np.append(acc, row)
+                return acc
+            """)
+        )
+        assert "PERF001" in _ids(findings)
+        assert any("np.append" in f.message for f in findings)
+
+    def test_append_then_stack_in_hot_loop_flagged(self):
+        findings = _check(
+            _hot("""
+            def helper(x: np.ndarray):
+                rows = []
+                for row in x:
+                    rows.append(row * 2.0)
+                return np.stack(rows)
+            """)
+        )
+        assert "PERF001" in _ids(findings)
+
+    def test_loop_invariant_alloc_in_hot_loop_flagged(self):
+        findings = _check(
+            _hot("""
+            def helper(x: np.ndarray):
+                total = 0.0
+                for row in x:
+                    scratch = np.zeros(64)
+                    total = total + float(np.sum(scratch + row))
+                return total
+            """)
+        )
+        assert "PERF001" in _ids(findings)
+
+    def test_blocked_slice_store_is_not_per_element(self):
+        # ``z[s:s+f] = ...`` chunked writes (the fused engine's blocked
+        # matmul) must not be mistaken for per-element loops.
+        assert _check(
+            _hot("""
+            def helper(x: np.ndarray):
+                z = np.empty_like(x)
+                f = 4
+                for s in range(0, x.shape[0], f):
+                    z[s : s + f] = x[s : s + f] * 2.0
+                return z
+            """)
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# PURE001 — cache-safety purity proofs
+# ----------------------------------------------------------------------
+class TestPURE001:
+    def test_time_tainted_value_into_lru_cache_method_flagged(self):
+        findings = _check(
+            """
+            import time
+            import numpy as np
+
+            class LRUCache:
+                def put_many(self, entries):
+                    pass
+
+            class Service:
+                _cache: LRUCache
+
+                def flush(self, keys):
+                    entries = [(k, compute(k)) for k in keys]
+                    self._cache.put_many(entries)
+
+            def compute(k):
+                return time.time()
+            """
+        )
+        assert _ids(findings) == ["PURE001"]
+        assert "time.time" in findings[0].message
+
+    def test_pure_value_into_lru_cache_clean(self):
+        assert _check(
+            """
+            import numpy as np
+
+            class LRUCache:
+                def put_many(self, entries):
+                    pass
+
+            class Service:
+                _cache: LRUCache
+
+                def flush(self, keys):
+                    entries = [(k, compute(k)) for k in keys]
+                    self._cache.put_many(entries)
+
+            def compute(k):
+                return k * 2.0
+            """
+        ) == []
+
+    def test_decision_cache_subscript_store_flagged(self):
+        findings = _check(
+            """
+            import time
+
+            class Engine:
+                def __init__(self):
+                    self._decision_cache = {}
+
+                def admit(self, key):
+                    self._decision_cache[key] = decide(key)
+
+            def decide(key):
+                return time.time()
+            """
+        )
+        assert _ids(findings) == ["PURE001"]
+
+    def test_seeded_rng_is_not_impure(self):
+        assert _check(
+            """
+            import numpy as np
+
+            class Engine:
+                def __init__(self):
+                    self._decision_cache = {}
+
+                def admit(self, key, seed: int):
+                    self._decision_cache[key] = decide(key, seed)
+
+            def decide(key, seed):
+                rng = np.random.default_rng(seed)
+                return float(rng.standard_normal())
+            """
+        ) == []
+
+    def test_lru_cache_decorated_impure_function_flagged(self):
+        findings = _check(
+            """
+            import functools
+            import time
+
+            @functools.lru_cache(maxsize=64)
+            def lookup(key):
+                return time.time()
+            """
+        )
+        assert _ids(findings) == ["PURE001"]
+
+    def test_lru_cache_decorated_pure_function_clean(self):
+        assert _check(
+            """
+            import functools
+
+            @functools.lru_cache(maxsize=64)
+            def lookup(key):
+                return key * 3
+            """
+        ) == []
+
+    def test_instrumentation_off_the_return_path_is_pure(self):
+        # perf_counter readings that never reach the cached value must
+        # not poison the proof (the real serving flush does exactly this).
+        assert _check(
+            """
+            import time
+
+            class Engine:
+                def __init__(self):
+                    self._decision_cache = {}
+
+                def admit(self, key):
+                    t0 = time.perf_counter()
+                    value = decide(key)
+                    elapsed = time.perf_counter() - t0
+                    observe(elapsed)
+                    self._decision_cache[key] = value
+
+            def decide(key):
+                return key * 2
+
+            def observe(x):
+                pass
+            """
+        ) == []
+
+    def test_subclass_override_at_dynamic_site_flagged(self):
+        # The static target is pure, but a subclass override reached
+        # through the same call site is not — the proof must cover it.
+        findings = _check(
+            """
+            import time
+
+            class Policy:
+                def decide(self, key):
+                    return key
+
+            class DriftingPolicy(Policy):
+                def decide(self, key):
+                    return time.time()
+
+            class Engine:
+                def __init__(self, policy: Policy):
+                    self._decision_cache = {}
+                    self.policy = policy
+
+                def admit(self, key):
+                    self._decision_cache[key] = self.policy.decide(key)
+            """
+        )
+        assert _ids(findings) == ["PURE001"]
+        assert "DriftingPolicy" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Analysis layer: hot set + dtype table on fixtures
+# ----------------------------------------------------------------------
+class TestAnalysis:
+    def test_hot_set_is_call_graph_descendants(self):
+        analysis = _analysis(
+            {
+                "repro.fixmod": (
+                    "class SelectionService:\n"
+                    "    def _flush(self):\n"
+                    "        inner()\n"
+                    "\n"
+                    "def inner():\n"
+                    "    leaf()\n"
+                    "\n"
+                    "def leaf():\n"
+                    "    pass\n"
+                    "\n"
+                    "def cold():\n"
+                    "    pass\n"
+                )
+            }
+        )
+        assert "repro.fixmod.inner" in analysis.hot_map
+        assert "repro.fixmod.leaf" in analysis.hot_map
+        assert "repro.fixmod.cold" not in analysis.hot_map
+
+    def test_return_dtype_propagates_through_calls(self):
+        analysis = _analysis(
+            {
+                "repro.fixmod": (
+                    "import numpy as np\n"
+                    "\n"
+                    "def make(n: int):\n"
+                    "    return np.zeros((n, 3))\n"
+                    "\n"
+                    "def use(n: int):\n"
+                    "    return make(n) * 2.0\n"
+                )
+            }
+        )
+        made = analysis.return_vals["repro.fixmod.make"]
+        assert (made.dtype, made.rank) == ("float64", 2)
+        used = analysis.return_vals["repro.fixmod.use"]
+        assert (used.dtype, used.rank) == ("float64", 2)
+
+    def test_dtype_table_schema(self):
+        contexts = [
+            context_from_source(
+                "import numpy as np\n\ndef make(n: int):\n    return np.zeros(n)\n",
+                module="repro.fixmod",
+            )
+        ]
+        table = dtype_table(ProjectIndex.from_contexts(contexts))
+        assert table["schema"] == 1
+        assert table["lattice"] == list(DTYPES)
+        assert table["functions"]["repro.fixmod.make"].startswith("float64[")
+        assert "repro.fixmod.make" in table["parameters"]
+
+
+# ----------------------------------------------------------------------
+# The shipped tree under the four new rules
+# ----------------------------------------------------------------------
+def test_shipped_tree_is_clean_under_numeric_rules():
+    from repro.devtools import Baseline, run_check
+
+    report = run_check(
+        rules=["NUM002", "SHAPE001", "PERF001", "PURE001"], baseline=Baseline()
+    )
+    details = "\n".join(f.render() for f in report.findings)
+    assert report.ok, f"numeric rules found live violations:\n{details}"
+
+
+def test_shipped_cache_feeders_are_proven_pure():
+    from pathlib import Path
+
+    from repro.devtools.engine import default_root
+    from repro.devtools.graph import index_from_root
+
+    _, index, _ = index_from_root(Path(default_root()))
+    analysis = get_numeric_analysis(index)
+    labels = {(feed.module, feed.label) for feed in analysis.cache_feeds}
+    # The acceptance criteria name these two caches explicitly.
+    assert ("repro.serving.service", "LRUCache.put_many") in labels
+    assert any(
+        module == "repro.cluster.engine" and "decision_cache" in label
+        for module, label in labels
+    )
+    impure = [feed for feed in analysis.cache_feeds if not feed.proven_pure]
+    assert not impure, f"cache feeds failed the purity proof: {impure}"

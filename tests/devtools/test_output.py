@@ -21,6 +21,8 @@ _REPORT_KEYS = {
     "parse_errors",
     "suppressed",
     "duration_s",
+    "timings",
+    "jobs",
 }
 
 
